@@ -1,0 +1,144 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! balancing on/off, disambiguator design, flatten commitment protocol cost
+//! and the multi-site simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use treedoc_commit::{run_three_phase, run_two_phase, FlattenProposal, TreedocParticipant};
+use treedoc_core::{Sdis, SiteId, Treedoc, TreedocConfig, Udis};
+use treedoc_sim::{run, Scenario};
+
+fn bench_balancing_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_balancing");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (label, balancing) in [("unbalanced", false), ("balanced", true)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let config = if balancing {
+                        TreedocConfig::balanced()
+                    } else {
+                        TreedocConfig::default()
+                    };
+                    Treedoc::<String, Sdis>::with_config(SiteId::from_u64(1), config)
+                },
+                |mut doc| {
+                    for k in 0..512 {
+                        doc.local_insert(k, format!("line {k}")).unwrap();
+                    }
+                    doc
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_disambiguator_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_disambiguator");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("sdis_churn", |b| {
+        b.iter_batched(
+            || Treedoc::<String, Sdis>::new(SiteId::from_u64(1)),
+            |mut doc| {
+                for k in 0..256 {
+                    doc.local_insert(doc.len().min(k), format!("x{k}")).unwrap();
+                    if k % 2 == 0 && doc.len() > 1 {
+                        doc.local_delete(0).unwrap();
+                    }
+                }
+                doc
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("udis_churn", |b| {
+        b.iter_batched(
+            || Treedoc::<String, Udis>::new(SiteId::from_u64(1)),
+            |mut doc| {
+                for k in 0..256 {
+                    doc.local_insert(doc.len().min(k), format!("x{k}")).unwrap();
+                    if k % 2 == 0 && doc.len() > 1 {
+                        doc.local_delete(0).unwrap();
+                    }
+                }
+                doc
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_commit_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_commit");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    let proposal = FlattenProposal {
+        proposer: SiteId::from_u64(1),
+        subtree: Vec::new(),
+        base_revision: 0,
+        txn: 1,
+    };
+    let make_docs = || {
+        (1..=5u64)
+            .map(|s| {
+                let mut d = Treedoc::<String, Sdis>::new(SiteId::from_u64(s));
+                for k in 0..128 {
+                    d.local_insert(k, format!("l{k}")).unwrap();
+                }
+                d
+            })
+            .collect::<Vec<_>>()
+    };
+
+    group.bench_function("two_phase_commit_5_replicas", |b| {
+        b.iter_batched(
+            make_docs,
+            |mut docs| {
+                let mut participants: Vec<_> =
+                    docs.iter_mut().map(TreedocParticipant::new).collect();
+                run_two_phase(&proposal, &mut participants)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("three_phase_commit_5_replicas", |b| {
+        b.iter_batched(
+            make_docs,
+            |mut docs| {
+                let mut participants: Vec<_> =
+                    docs.iter_mut().map(TreedocParticipant::new).collect();
+                run_three_phase(&proposal, &mut participants)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_simulation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("three_sites_300_ops", |b| {
+        b.iter(|| run(&Scenario { sites: 3, edits_per_site: 100, ..Default::default() }))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_balancing_ablation,
+    bench_disambiguator_ablation,
+    bench_commit_protocols,
+    bench_simulation
+);
+criterion_main!(benches);

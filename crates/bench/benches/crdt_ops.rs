@@ -1,0 +1,129 @@
+//! Micro-benchmarks of the core CRDT operations: local inserts / deletes,
+//! remote replay, identifier allocation and flatten.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use treedoc_core::{Sdis, SiteId, Treedoc, TreedocConfig, Udis};
+
+fn seeded_doc(n: usize) -> Treedoc<String, Sdis> {
+    let atoms: Vec<String> = (0..n).map(|i| format!("line {i}")).collect();
+    Treedoc::from_atoms(SiteId::from_u64(1), &atoms)
+}
+
+fn bench_local_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_ops");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    group.bench_function("insert_middle_1k_doc", |b| {
+        b.iter_batched(
+            || seeded_doc(1024),
+            |mut doc| {
+                for k in 0..64 {
+                    doc.local_insert(512 + k, format!("new {k}")).unwrap();
+                }
+                doc
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("append_unbalanced_256", |b| {
+        b.iter_batched(
+            || Treedoc::<String, Sdis>::new(SiteId::from_u64(1)),
+            |mut doc| {
+                for k in 0..256 {
+                    doc.local_insert(k, format!("a{k}")).unwrap();
+                }
+                doc
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("append_balanced_256", |b| {
+        b.iter_batched(
+            || Treedoc::<String, Sdis>::with_config(SiteId::from_u64(1), TreedocConfig::balanced()),
+            |mut doc| {
+                for k in 0..256 {
+                    doc.local_insert(k, format!("a{k}")).unwrap();
+                }
+                doc
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("delete_from_1k_doc", |b| {
+        b.iter_batched(
+            || seeded_doc(1024),
+            |mut doc| {
+                for _ in 0..64 {
+                    doc.local_delete(100).unwrap();
+                }
+                doc
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    // Pre-generate a batch of operations from one replica, then measure the
+    // cost of replaying them at another.
+    let mut source: Treedoc<String, Udis> = Treedoc::new(SiteId::from_u64(1));
+    let ops: Vec<_> = (0..512)
+        .map(|k| source.local_insert(k, format!("op {k}")).unwrap())
+        .collect();
+
+    group.bench_function("replay_512_inserts", |b| {
+        b.iter_batched(
+            || Treedoc::<String, Udis>::new(SiteId::from_u64(2)),
+            |mut doc| {
+                for op in &ops {
+                    doc.apply(op).unwrap();
+                }
+                doc
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+fn bench_flatten(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flatten");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    group.bench_function("flatten_1k_doc_with_tombstones", |b| {
+        b.iter_batched(
+            || {
+                let mut doc = seeded_doc(1024);
+                for _ in 0..256 {
+                    doc.local_delete(300).unwrap();
+                }
+                doc
+            },
+            |mut doc| {
+                doc.flatten_all().unwrap();
+                doc
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_ops, bench_replay, bench_flatten);
+criterion_main!(benches);

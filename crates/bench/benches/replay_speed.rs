@@ -1,0 +1,50 @@
+//! The §5.2 CPU-cost claim: replaying a whole edit history is fast ("less
+//! than 1.44 seconds for the 'Distributed Computing' Wikipedia entry").
+//!
+//! The full 870-revision twin is replayed once per sample, so the sample
+//! count is kept small; the per-iteration time is the number to compare with
+//! the paper's claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use treedoc_trace::{paper_corpus, replay_treedoc, DisChoice, ReplayConfig};
+
+fn bench_replay_speed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay_speed");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    // The least active LaTeX document: quick, gives a stable baseline.
+    let acf = paper_corpus().into_iter().find(|s| s.name == "acf.tex").unwrap().generate();
+    group.bench_function("acf_tex_sdis_no_flatten", |b| {
+        b.iter(|| replay_treedoc(&acf, ReplayConfig::default()))
+    });
+    group.bench_function("acf_tex_sdis_flatten2", |b| {
+        b.iter(|| {
+            replay_treedoc(
+                &acf,
+                ReplayConfig { flatten_every: Some(2), ..ReplayConfig::default() },
+            )
+        })
+    });
+
+    // The most active document (the paper's 1.44 s reference point).
+    let dc = paper_corpus()
+        .into_iter()
+        .find(|s| s.name == "Distributed Computing")
+        .unwrap()
+        .generate();
+    group.bench_function("distributed_computing_sdis_no_flatten", |b| {
+        b.iter(|| {
+            replay_treedoc(
+                &dc,
+                ReplayConfig { dis: DisChoice::Sdis, balancing: false, flatten_every: None },
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay_speed);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Timed version of the Table 1 grid on its LaTeX slice: one benchmark per
+//! (document, flatten) cell, so regressions in the replay path or the flatten
+//! heuristic show up as timing changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treedoc_trace::{latex_corpus, replay_treedoc, DisChoice, ReplayConfig};
+
+fn bench_table1_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_latex");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    for spec in latex_corpus() {
+        let history = spec.generate();
+        for flatten in [None, Some(2), Some(8)] {
+            let label = match flatten {
+                None => "no-flatten".to_string(),
+                Some(k) => format!("flatten-{k}"),
+            };
+            group.bench_with_input(
+                BenchmarkId::new(spec.name.clone(), label),
+                &flatten,
+                |b, &flatten| {
+                    b.iter(|| {
+                        replay_treedoc(
+                            &history,
+                            ReplayConfig {
+                                dis: DisChoice::Sdis,
+                                balancing: false,
+                                flatten_every: flatten,
+                            },
+                        )
+                    })
+                },
+            );
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_cells);
+criterion_main!(benches);

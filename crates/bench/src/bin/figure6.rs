@@ -1,0 +1,54 @@
+//! Regenerates **Figure 6** of the paper: the evolution of the total number
+//! of nodes and of non-tombstone nodes over the lifetime of `acf.tex`
+//! (flatten heuristic every 2 revisions, as in the paper's plot).
+//!
+//! Run with `cargo run -p bench --bin figure6 --release`.
+//! Pass `--csv` to emit a CSV series suitable for plotting, or
+//! `--flatten <k|none>` to change the flatten setting.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let flatten = match args.iter().position(|a| a == "--flatten") {
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("none") => None,
+            Some(k) => Some(k.parse::<usize>().expect("--flatten takes a number or 'none'")),
+            None => Some(2),
+        },
+        None => Some(2),
+    };
+    let report = bench::figure6(flatten);
+    if csv {
+        println!("revision,total_nodes,non_tombstone_nodes");
+        for p in &report.timeline {
+            println!("{},{},{}", p.revision, p.total_nodes, p.live_nodes);
+        }
+        return;
+    }
+    println!(
+        "Figure 6. Variation of the number of nodes for acf.tex ({}).",
+        match flatten {
+            None => "no flattening".to_string(),
+            Some(k) => format!("flatten every {k} revisions"),
+        }
+    );
+    println!("{:>8} {:>12} {:>16}", "revision", "total nodes", "non-tombstones");
+    let max_nodes = report.timeline.iter().map(|p| p.total_nodes).max().unwrap_or(1).max(1);
+    for p in &report.timeline {
+        let bar_len = (p.total_nodes * 40) / max_nodes;
+        let live_len = (p.live_nodes * 40) / max_nodes;
+        let mut bar = String::new();
+        for i in 0..40 {
+            bar.push(if i < live_len {
+                '#'
+            } else if i < bar_len {
+                '.'
+            } else {
+                ' '
+            });
+        }
+        println!("{:>8} {:>12} {:>16}  |{}|", p.revision, p.total_nodes, p.live_nodes, bar);
+    }
+    println!();
+    println!("'#' = live atoms, '.' = tombstones; drops in the '.' region are flatten rounds.");
+}

@@ -1,0 +1,21 @@
+//! Regenerates **Table 2** of the paper: the workload summary (revisions,
+//! initial and final document length) of the replayed corpus.
+//!
+//! Run with `cargo run -p bench --bin table2 --release`.
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let rows = bench::table2();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+        return;
+    }
+    println!("Table 2. Summary of documents studied (synthetic twins of the paper's corpus).");
+    println!("{:<24} {:>10} {:>10} {:>10}", "Document", "revisions", "initial", "final");
+    for row in rows {
+        println!(
+            "{:<24} {:>10} {:>10} {:>10}",
+            row.label, row.revisions, row.initial, row.final_len
+        );
+    }
+}

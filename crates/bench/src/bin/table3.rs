@@ -1,0 +1,26 @@
+//! Regenerates **Table 3** of the paper: the fraction of tombstones on the
+//! LaTeX documents, with and without the §4.1 balancing strategies, for
+//! flatten settings none / 8 / 2.
+//!
+//! Run with `cargo run -p bench --bin table3 --release`.
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let cells = bench::table3();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&cells).expect("serializable cells"));
+        return;
+    }
+    println!("Table 3. Fraction of tombstones (LaTeX documents, SDIS).");
+    println!("{:<12} {:>16} {:>16}", "", "no balancing", "balancing");
+    for flatten in ["no-flatten", "flatten-8", "flatten-2"] {
+        let pick = |balancing: bool| {
+            cells
+                .iter()
+                .find(|c| c.flatten == flatten && c.balancing == balancing)
+                .map(|c| c.tombstone_fraction * 100.0)
+                .unwrap_or(f64::NAN)
+        };
+        println!("{:<12} {:>15.1}% {:>15.1}%", flatten, pick(false), pick(true));
+    }
+}

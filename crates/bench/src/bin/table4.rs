@@ -1,0 +1,51 @@
+//! Regenerates **Table 4** of the paper: SDIS versus UDIS identifier
+//! overhead per atom and average PosID size on the LaTeX documents, with and
+//! without balancing, for flatten settings none / 8 / 2.
+//!
+//! Run with `cargo run -p bench --bin table4 --release`.
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let cells = bench::table4();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&cells).expect("serializable cells"));
+        return;
+    }
+    println!("Table 4. SDIS vs. UDIS (LaTeX documents); sizes in bits.");
+    println!(
+        "{:<12} {:<22} {:>12} {:>12} {:>12} {:>12}",
+        "", "", "SDIS no-bal", "UDIS no-bal", "SDIS bal", "UDIS bal"
+    );
+    for flatten in ["no-flatten", "flatten-8", "flatten-2"] {
+        let pick = |dis: &str, balancing: bool| {
+            cells
+                .iter()
+                .find(|c| c.flatten == flatten && c.balancing == balancing && c.dis == dis)
+                .cloned()
+        };
+        let cols = [
+            pick("SDIS", false),
+            pick("UDIS", false),
+            pick("SDIS", true),
+            pick("UDIS", true),
+        ];
+        let fmt = |f: &dyn Fn(&bench::GridCell) -> f64| {
+            cols.iter()
+                .map(|c| c.as_ref().map(|c| format!("{:>12.1}", f(c))).unwrap_or_else(|| format!("{:>12}", "-")))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        println!(
+            "{:<12} {:<22} {}",
+            flatten,
+            "overhead/atom",
+            fmt(&|c: &bench::GridCell| c.overhead_per_atom_bits)
+        );
+        println!(
+            "{:<12} {:<22} {}",
+            "",
+            "avg PosID size",
+            fmt(&|c: &bench::GridCell| c.avg_pos_id_bits)
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates **Table 5** of the paper: the ratio of total position-
+//! identifier sizes, Logoot versus Treedoc/UDIS without flattening.
+//!
+//! Run with `cargo run -p bench --bin table5 --release`.
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let rows = bench::table5();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+        return;
+    }
+    println!("Table 5. Comparing Treedoc (UDIS, no flatten) vs. Logoot: PosID sizes.");
+    println!(
+        "{:<24} {:>14} {:>14} {:>10}",
+        "Document", "Treedoc bytes", "Logoot bytes", "ratio"
+    );
+    for row in rows {
+        println!(
+            "{:<24} {:>14} {:>14} {:>10.1}",
+            row.document, row.treedoc_bytes, row.logoot_bytes, row.ratio
+        );
+    }
+    println!();
+    println!("(The paper reports ratios between 1.8 and 3.9; see EXPERIMENTS.md for how the");
+    println!(" ratio depends on the Logoot per-level digit base, which the paper leaves open.)");
+}

@@ -1,0 +1,305 @@
+//! Shared experiment runners for the benchmark harness.
+//!
+//! Every table and figure of the paper's evaluation (§5) has a runner here;
+//! the `src/bin/*` binaries print them in a paper-like layout and the
+//! Criterion benches reuse the same runners for timing. See EXPERIMENTS.md at
+//! the workspace root for the experiment-by-experiment comparison with the
+//! published numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use serde::Serialize;
+
+use treedoc_trace::{
+    latex_corpus, paper_corpus, replay_logoot, replay_treedoc, DisChoice, DocumentSpec,
+    ReplayConfig, ReplayReport,
+};
+
+/// The flatten settings evaluated in Table 1 (none, or every 1 / 2 / 8
+/// revisions).
+pub const TABLE1_FLATTEN: [Option<usize>; 4] = [None, Some(1), Some(2), Some(8)];
+
+/// The flatten settings evaluated in Tables 3 and 4.
+pub const TABLE34_FLATTEN: [Option<usize>; 3] = [None, Some(8), Some(2)];
+
+/// Formats a flatten setting the way the paper labels it.
+pub fn flatten_label(flatten: Option<usize>) -> String {
+    match flatten {
+        None => "no-flatten".to_string(),
+        Some(k) => format!("flatten-{k}"),
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Document name.
+    pub document: String,
+    /// Flatten setting label.
+    pub flatten: String,
+    /// Maximum PosID size (bits).
+    pub max_pos_id_bits: usize,
+    /// Average PosID size (bits).
+    pub avg_pos_id_bits: f64,
+    /// Number of Treedoc nodes (tombstones included).
+    pub nodes: usize,
+    /// In-memory node bytes (26 bytes per node, §5.2).
+    pub node_bytes: usize,
+    /// In-memory overhead relative to the document size.
+    pub mem_overhead: f64,
+    /// Percentage of non-tombstone nodes.
+    pub non_tombstone_pct: f64,
+    /// On-disk structure bytes.
+    pub disk_bytes: usize,
+    /// On-disk overhead as a percentage of the document size.
+    pub disk_pct: f64,
+    /// Replay wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// Runs the Table 1 grid: every corpus document under SDIS, no balancing,
+/// with each flatten setting.
+pub fn table1() -> Vec<Table1Row> {
+    let mut rows = Vec::new();
+    for spec in paper_corpus() {
+        let history = spec.generate();
+        for flatten in TABLE1_FLATTEN {
+            let config = ReplayConfig { dis: DisChoice::Sdis, balancing: false, flatten_every: flatten };
+            let report = replay_treedoc(&history, config);
+            rows.push(table1_row(&spec, flatten, &report));
+        }
+    }
+    rows
+}
+
+/// Builds one Table 1 row from a replay report.
+pub fn table1_row(spec: &DocumentSpec, flatten: Option<usize>, report: &ReplayReport) -> Table1Row {
+    Table1Row {
+        document: spec.name.clone(),
+        flatten: flatten_label(flatten),
+        max_pos_id_bits: report.final_stats.pos_ids.max_bits,
+        avg_pos_id_bits: report.avg_pos_id_bits(),
+        nodes: report.final_stats.total_nodes,
+        node_bytes: report.memory_bytes(),
+        mem_overhead: report.memory_overhead_ratio(),
+        non_tombstone_pct: report.non_tombstone_fraction() * 100.0,
+        disk_bytes: report.disk_overhead_bytes,
+        disk_pct: report.disk_overhead_ratio() * 100.0,
+        elapsed: report.elapsed,
+    }
+}
+
+/// One row of Table 2 (workload summary).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// Row label (average / least active / most active / per document).
+    pub label: String,
+    /// Number of revisions.
+    pub revisions: usize,
+    /// Atoms in the first revision.
+    pub initial: usize,
+    /// Atoms in the final revision.
+    pub final_len: usize,
+}
+
+/// Runs Table 2: the per-document summaries plus the aggregate rows the paper
+/// prints (average, least active, most active).
+pub fn table2() -> Vec<Table2Row> {
+    let histories: Vec<_> = paper_corpus().iter().map(|s| s.generate()).collect();
+    let mut rows: Vec<Table2Row> = histories
+        .iter()
+        .map(|h| Table2Row {
+            label: h.name.clone(),
+            revisions: h.revision_count(),
+            initial: h.initial_len(),
+            final_len: h.final_len(),
+        })
+        .collect();
+    let n = histories.len().max(1);
+    let avg = Table2Row {
+        label: "average".into(),
+        revisions: histories.iter().map(|h| h.revision_count()).sum::<usize>() / n,
+        initial: histories.iter().map(|h| h.initial_len()).sum::<usize>() / n,
+        final_len: histories.iter().map(|h| h.final_len()).sum::<usize>() / n,
+    };
+    let least = histories.iter().min_by_key(|h| h.revision_count()).unwrap();
+    let most = histories.iter().max_by_key(|h| h.revision_count()).unwrap();
+    rows.push(avg);
+    rows.push(Table2Row {
+        label: "less active".into(),
+        revisions: least.revision_count(),
+        initial: least.initial_len(),
+        final_len: least.final_len(),
+    });
+    rows.push(Table2Row {
+        label: "most active".into(),
+        revisions: most.revision_count(),
+        initial: most.initial_len(),
+        final_len: most.final_len(),
+    });
+    rows
+}
+
+/// One cell of Table 3 (tombstone fraction) / Table 4 (identifier overhead).
+#[derive(Debug, Clone, Serialize)]
+pub struct GridCell {
+    /// Flatten setting label.
+    pub flatten: String,
+    /// Whether the §4.1 balancing strategies were enabled.
+    pub balancing: bool,
+    /// Disambiguator design label (Table 4 only; Table 3 uses SDIS).
+    pub dis: String,
+    /// Fraction of tombstones over stored nodes, aggregated over the LaTeX
+    /// documents (Table 3).
+    pub tombstone_fraction: f64,
+    /// Identifier overhead per live atom, in bits (Table 4).
+    pub overhead_per_atom_bits: f64,
+    /// Average identifier size over stored nodes, in bits (Table 4).
+    pub avg_pos_id_bits: f64,
+}
+
+/// Runs the Table 3 grid: tombstone fraction on the LaTeX documents with and
+/// without balancing, for each flatten setting (SDIS).
+pub fn table3() -> Vec<GridCell> {
+    grid(DisChoice::Sdis)
+}
+
+/// Runs the Table 4 grid: SDIS versus UDIS identifier overhead on the LaTeX
+/// documents, with and without balancing, for each flatten setting.
+pub fn table4() -> Vec<GridCell> {
+    let mut cells = grid(DisChoice::Sdis);
+    cells.extend(grid(DisChoice::Udis));
+    cells
+}
+
+fn grid(dis: DisChoice) -> Vec<GridCell> {
+    let histories: Vec<_> = latex_corpus().iter().map(|s| s.generate()).collect();
+    let mut cells = Vec::new();
+    for flatten in TABLE34_FLATTEN {
+        for balancing in [false, true] {
+            let config = ReplayConfig { dis, balancing, flatten_every: flatten };
+            let mut total_nodes = 0usize;
+            let mut live = 0usize;
+            let mut total_bits = 0usize;
+            for history in &histories {
+                let report = replay_treedoc(history, config);
+                total_nodes += report.final_stats.total_nodes;
+                live += report.final_stats.live_atoms;
+                total_bits += report.final_stats.pos_ids.total_bits;
+            }
+            cells.push(GridCell {
+                flatten: flatten_label(flatten),
+                balancing,
+                dis: match dis {
+                    DisChoice::Sdis => "SDIS".into(),
+                    DisChoice::Udis => "UDIS".into(),
+                },
+                tombstone_fraction: if total_nodes == 0 {
+                    0.0
+                } else {
+                    (total_nodes - live) as f64 / total_nodes as f64
+                },
+                overhead_per_atom_bits: if live == 0 {
+                    0.0
+                } else {
+                    total_bits as f64 / live as f64
+                },
+                avg_pos_id_bits: if total_nodes == 0 {
+                    0.0
+                } else {
+                    total_bits as f64 / total_nodes as f64
+                },
+            });
+        }
+    }
+    cells
+}
+
+/// One row of Table 5 (Logoot versus Treedoc identifier sizes).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table5Row {
+    /// Document name.
+    pub document: String,
+    /// Total Treedoc (UDIS, no flatten) identifier bytes over live atoms.
+    pub treedoc_bytes: usize,
+    /// Total Logoot identifier bytes.
+    pub logoot_bytes: usize,
+    /// The ratio reported by the paper (Logoot / Treedoc).
+    pub ratio: f64,
+}
+
+/// Runs Table 5: total position-identifier size of Logoot versus
+/// Treedoc/UDIS without flattening, per document.
+pub fn table5() -> Vec<Table5Row> {
+    let mut rows = Vec::new();
+    for spec in paper_corpus() {
+        let history = spec.generate();
+        let treedoc = replay_treedoc(
+            &history,
+            ReplayConfig { dis: DisChoice::Udis, balancing: false, flatten_every: None },
+        );
+        let logoot = replay_logoot(&history);
+        let treedoc_bytes = treedoc.live_pos_id_bytes();
+        let logoot_bytes = logoot.total_id_bytes();
+        rows.push(Table5Row {
+            document: spec.name.clone(),
+            treedoc_bytes,
+            logoot_bytes,
+            ratio: if treedoc_bytes == 0 {
+                0.0
+            } else {
+                logoot_bytes as f64 / treedoc_bytes as f64
+            },
+        });
+    }
+    rows
+}
+
+/// The Figure 6 time series: total nodes and non-tombstone nodes per revision
+/// for the `acf.tex` twin.
+pub fn figure6(flatten_every: Option<usize>) -> ReplayReport {
+    let spec = paper_corpus()
+        .into_iter()
+        .find(|s| s.name == "acf.tex")
+        .expect("acf.tex is part of the corpus");
+    let history = spec.generate();
+    replay_treedoc(
+        &history,
+        ReplayConfig { dis: DisChoice::Sdis, balancing: false, flatten_every },
+    )
+}
+
+/// Replay of the most active document (the "Distributed Computing" twin),
+/// used for the §5.2 CPU-cost claim ("less than 1.44 seconds").
+pub fn replay_most_active() -> ReplayReport {
+    let spec = paper_corpus()
+        .into_iter()
+        .find(|s| s.name == "Distributed Computing")
+        .expect("corpus contains the most active document");
+    let history = spec.generate();
+    replay_treedoc(&history, ReplayConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(flatten_label(None), "no-flatten");
+        assert_eq!(flatten_label(Some(2)), "flatten-2");
+    }
+
+    #[test]
+    fn table2_has_per_document_and_aggregate_rows() {
+        let rows = table2();
+        assert_eq!(rows.len(), 6 + 3);
+        let most = rows.iter().find(|r| r.label == "most active").unwrap();
+        assert_eq!(most.revisions, 870);
+        let least = rows.iter().find(|r| r.label == "less active").unwrap();
+        assert_eq!(least.revisions, 51);
+    }
+}

@@ -1,0 +1,34 @@
+//! # treedoc-commit
+//!
+//! Distributed commitment for Treedoc's structural clean-up (§4.2.1 of the
+//! paper).
+//!
+//! `flatten` renames identifiers, so it does not commute with concurrent
+//! edits. The paper resolves this by giving edits precedence: a flatten is
+//! proposed to every replica, each replica votes "No" if it has observed an
+//! insert, delete or flatten inside the subtree since the proposal's base
+//! revision, and the flatten takes effect only if **all** replicas vote
+//! "Yes" ("Any distributed commitment protocol from the literature will do").
+//!
+//! This crate provides:
+//!
+//! * [`FlattenProposal`] — what is being agreed on (which subtree, against
+//!   which observed state);
+//! * [`FlattenParticipant`] — the per-replica voting/commit/abort behaviour,
+//!   implemented for [`Treedoc`](treedoc_core::Treedoc) by
+//!   [`TreedocParticipant`];
+//! * [`two_phase`] / [`three_phase`] — classic 2PC and 3PC coordinators with
+//!   message accounting, so the protocol cost the paper leaves unevaluated
+//!   ("We cannot yet evaluate the cost of a distributed flatten") can be
+//!   measured by the benchmark harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod participant;
+pub mod three_phase;
+pub mod two_phase;
+
+pub use participant::{FlattenParticipant, FlattenProposal, TreedocParticipant, Vote};
+pub use three_phase::run_three_phase;
+pub use two_phase::{run_two_phase, CommitOutcome, CommitStats};

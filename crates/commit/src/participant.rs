@@ -1,0 +1,167 @@
+//! Participants of the flatten commitment protocol.
+
+use serde::{Deserialize, Serialize};
+use treedoc_core::{Atom, Disambiguator, HasSource, Side, SiteId, Treedoc};
+
+/// A vote on a flatten proposal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Vote {
+    /// No conflicting activity observed: the flatten may proceed.
+    Yes,
+    /// A concurrent edit (or another flatten) touched the subtree: abort.
+    No,
+}
+
+/// A proposed structural clean-up: flatten the subtree rooted at `subtree`
+/// provided no replica has observed an edit in it after `base_revision`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlattenProposal {
+    /// Identifier of the proposing site.
+    pub proposer: SiteId,
+    /// Plain bit path of the subtree to compact (empty = whole document).
+    pub subtree: Vec<Side>,
+    /// The revision the proposer observed when selecting the subtree as
+    /// cold; a participant votes [`Vote::No`] if its replica has seen any
+    /// activity in the subtree after this revision.
+    pub base_revision: u64,
+    /// Transaction identifier (unique per proposal).
+    pub txn: u64,
+}
+
+/// The behaviour each replica contributes to the commitment protocol.
+pub trait FlattenParticipant {
+    /// Phase 1: vote on the proposal.
+    fn prepare(&mut self, proposal: &FlattenProposal) -> Vote;
+    /// Phase 2 (commit path): apply the flatten locally.
+    fn commit(&mut self, proposal: &FlattenProposal);
+    /// Phase 2 (abort path): discard any prepared state.
+    fn abort(&mut self, proposal: &FlattenProposal);
+}
+
+/// A [`FlattenParticipant`] wrapping a Treedoc replica: it votes "No"
+/// whenever the replica has observed activity in the proposed subtree after
+/// the proposal's base revision (edits take precedence over clean-up), and
+/// applies the deterministic flatten on commit.
+#[derive(Debug)]
+pub struct TreedocParticipant<'a, A: Atom, D: Disambiguator + HasSource> {
+    doc: &'a mut Treedoc<A, D>,
+    prepared: Option<u64>,
+    /// Number of flattens actually applied (for tests and metrics).
+    pub committed: usize,
+    /// Number of proposals aborted at this replica.
+    pub aborted: usize,
+}
+
+impl<'a, A: Atom, D: Disambiguator + HasSource> TreedocParticipant<'a, A, D> {
+    /// Wraps a replica.
+    pub fn new(doc: &'a mut Treedoc<A, D>) -> Self {
+        TreedocParticipant { doc, prepared: None, committed: 0, aborted: 0 }
+    }
+
+    /// The wrapped replica.
+    pub fn doc(&self) -> &Treedoc<A, D> {
+        &*self.doc
+    }
+}
+
+impl<A: Atom, D: Disambiguator + HasSource> FlattenParticipant for TreedocParticipant<'_, A, D> {
+    fn prepare(&mut self, proposal: &FlattenProposal) -> Vote {
+        let subtree = self.doc.tree().subtree(&proposal.subtree);
+        let vote = match subtree {
+            // The subtree does not even exist here (e.g. it was emptied by
+            // edits the proposer has not seen): conflicting activity.
+            None => Vote::No,
+            Some(node) => {
+                if node.hot_rev() > proposal.base_revision {
+                    Vote::No
+                } else {
+                    Vote::Yes
+                }
+            }
+        };
+        if vote == Vote::Yes {
+            self.prepared = Some(proposal.txn);
+        }
+        vote
+    }
+
+    fn commit(&mut self, proposal: &FlattenProposal) {
+        debug_assert_eq!(self.prepared, Some(proposal.txn), "commit without prepare");
+        // The flatten is deterministic and every participant holds the same
+        // subtree content (no replica observed a concurrent edit), so local
+        // application keeps the replicas convergent.
+        let _ = self.doc.flatten(&proposal.subtree);
+        self.prepared = None;
+        self.committed += 1;
+    }
+
+    fn abort(&mut self, _proposal: &FlattenProposal) {
+        self.prepared = None;
+        self.aborted += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treedoc_core::Sdis;
+
+    fn doc(site: u64, text: &str) -> Treedoc<char, Sdis> {
+        let mut d = Treedoc::new(SiteId::from_u64(site));
+        for (i, c) in text.chars().enumerate() {
+            d.local_insert(i, c).unwrap();
+        }
+        d
+    }
+
+    fn proposal(rev: u64) -> FlattenProposal {
+        FlattenProposal {
+            proposer: SiteId::from_u64(1),
+            subtree: Vec::new(),
+            base_revision: rev,
+            txn: 1,
+        }
+    }
+
+    #[test]
+    fn quiescent_replica_votes_yes_and_flattens_on_commit() {
+        let mut d = doc(1, "hello world");
+        let rev = d.revision();
+        let nodes_before = d.node_count();
+        let mut p = TreedocParticipant::new(&mut d);
+        let prop = proposal(rev);
+        assert_eq!(p.prepare(&prop), Vote::Yes);
+        p.commit(&prop);
+        assert_eq!(p.committed, 1);
+        assert!(d.node_count() <= nodes_before);
+        assert_eq!(d.to_string(), "hello world");
+    }
+
+    #[test]
+    fn replica_with_concurrent_edit_votes_no() {
+        let mut d = doc(1, "hello");
+        let base = d.revision();
+        // An edit after the proposal's base revision makes the subtree hot.
+        d.next_revision();
+        d.local_insert(0, '!').unwrap();
+        let mut p = TreedocParticipant::new(&mut d);
+        let prop = proposal(base);
+        assert_eq!(p.prepare(&prop), Vote::No);
+        p.abort(&prop);
+        assert_eq!(p.aborted, 1);
+        assert_eq!(d.to_string(), "!hello", "abort leaves the document untouched");
+    }
+
+    #[test]
+    fn missing_subtree_votes_no() {
+        let mut d = doc(1, "x");
+        let mut p = TreedocParticipant::new(&mut d);
+        let prop = FlattenProposal {
+            proposer: SiteId::from_u64(1),
+            subtree: vec![Side::Right, Side::Right, Side::Right, Side::Right],
+            base_revision: 10,
+            txn: 2,
+        };
+        assert_eq!(p.prepare(&prop), Vote::No);
+    }
+}

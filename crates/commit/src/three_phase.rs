@@ -1,0 +1,113 @@
+//! Three-phase commit: the non-blocking variant.
+//!
+//! 2PC blocks if the coordinator fails between the vote and the decision.
+//! 3PC inserts a *pre-commit* phase so that participants can deduce the
+//! decision among themselves; the paper merely notes that "any distributed
+//! commitment protocol from the literature will do" — this module provides
+//! the variant so the benchmark harness can compare their message costs.
+
+use crate::participant::{FlattenParticipant, FlattenProposal, Vote};
+use crate::two_phase::{CommitOutcome, CommitStats};
+
+/// Runs three-phase commit: vote, pre-commit, commit (or abort after the
+/// vote). Message accounting matches the structure of
+/// [`run_two_phase`](crate::run_two_phase) plus the extra round.
+pub fn run_three_phase<P: FlattenParticipant>(
+    proposal: &FlattenProposal,
+    participants: &mut [P],
+) -> (CommitOutcome, CommitStats) {
+    let mut stats = CommitStats::default();
+    // Phase 1: canCommit? / vote.
+    stats.phases += 1;
+    let mut no_votes = 0;
+    for p in participants.iter_mut() {
+        stats.coordinator_messages += 1;
+        if p.prepare(proposal) == Vote::No {
+            no_votes += 1;
+        }
+        stats.participant_messages += 1;
+    }
+    if no_votes > 0 {
+        stats.phases += 1;
+        for p in participants.iter_mut() {
+            stats.coordinator_messages += 1;
+            p.abort(proposal);
+            stats.participant_messages += 1;
+        }
+        return (CommitOutcome::Aborted { no_votes }, stats);
+    }
+    // Phase 2: preCommit — participants acknowledge that the decision is
+    // "commit" but do not apply it yet. With the in-process participant
+    // model this is a pure message-accounting round.
+    stats.phases += 1;
+    for _ in participants.iter() {
+        stats.coordinator_messages += 1;
+        stats.participant_messages += 1;
+    }
+    // Phase 3: doCommit.
+    stats.phases += 1;
+    for p in participants.iter_mut() {
+        stats.coordinator_messages += 1;
+        p.commit(proposal);
+        stats.participant_messages += 1;
+    }
+    (CommitOutcome::Committed, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::participant::TreedocParticipant;
+    use crate::two_phase::run_two_phase;
+    use treedoc_core::{Sdis, SiteId, Treedoc};
+
+    fn doc(site: u64, len: usize) -> Treedoc<char, Sdis> {
+        let mut d = Treedoc::new(SiteId::from_u64(site));
+        for i in 0..len {
+            d.local_insert(i, 'x').unwrap();
+        }
+        d
+    }
+
+    fn proposal() -> FlattenProposal {
+        FlattenProposal {
+            proposer: SiteId::from_u64(1),
+            subtree: Vec::new(),
+            base_revision: 0,
+            txn: 9,
+        }
+    }
+
+    #[test]
+    fn commits_when_everyone_votes_yes() {
+        let mut docs: Vec<_> = (1..=4).map(|s| doc(s, 16)).collect();
+        let mut participants: Vec<_> = docs.iter_mut().map(TreedocParticipant::new).collect();
+        let (outcome, stats) = run_three_phase(&proposal(), &mut participants);
+        assert_eq!(outcome, CommitOutcome::Committed);
+        assert_eq!(stats.phases, 3);
+        // 4 participants × 2 messages × 3 phases.
+        assert_eq!(stats.total_messages(), 24);
+    }
+
+    #[test]
+    fn aborts_after_the_vote_round() {
+        let mut docs: Vec<_> = (1..=4).map(|s| doc(s, 16)).collect();
+        docs[2].next_revision();
+        docs[2].local_delete(0).unwrap();
+        let mut participants: Vec<_> = docs.iter_mut().map(TreedocParticipant::new).collect();
+        let (outcome, stats) = run_three_phase(&proposal(), &mut participants);
+        assert_eq!(outcome, CommitOutcome::Aborted { no_votes: 1 });
+        assert_eq!(stats.phases, 2, "abort skips the pre-commit and commit rounds");
+    }
+
+    #[test]
+    fn three_phase_costs_more_messages_than_two_phase() {
+        let mut docs_a: Vec<_> = (1..=5).map(|s| doc(s, 8)).collect();
+        let mut docs_b: Vec<_> = (1..=5).map(|s| doc(s + 10, 8)).collect();
+        let mut pa: Vec<_> = docs_a.iter_mut().map(TreedocParticipant::new).collect();
+        let mut pb: Vec<_> = docs_b.iter_mut().map(TreedocParticipant::new).collect();
+        let (_, two) = run_two_phase(&proposal(), &mut pa);
+        let (_, three) = run_three_phase(&proposal(), &mut pb);
+        assert!(three.total_messages() > two.total_messages());
+    }
+}

@@ -1,0 +1,147 @@
+//! Two-phase commit over the flatten participants.
+
+use serde::{Deserialize, Serialize};
+
+use crate::participant::{FlattenParticipant, FlattenProposal, Vote};
+
+/// Result of a commitment round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommitOutcome {
+    /// Every participant voted "Yes": the flatten was applied everywhere.
+    Committed,
+    /// At least one participant voted "No": nothing changed anywhere.
+    Aborted {
+        /// How many participants voted "No".
+        no_votes: usize,
+    },
+}
+
+/// Message accounting of one protocol run, used by the benchmark harness to
+/// report the cost of a distributed flatten (which the paper leaves
+/// unevaluated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CommitStats {
+    /// Messages sent by the coordinator (requests).
+    pub coordinator_messages: usize,
+    /// Messages sent by participants (votes / acknowledgements).
+    pub participant_messages: usize,
+    /// Number of protocol phases executed.
+    pub phases: usize,
+}
+
+impl CommitStats {
+    /// Total messages exchanged.
+    pub fn total_messages(&self) -> usize {
+        self.coordinator_messages + self.participant_messages
+    }
+}
+
+/// Runs classic two-phase commit: a prepare round collecting votes, then a
+/// commit or abort round. The coordinator is assumed reliable (the paper
+/// defers fault tolerance to Gray & Lamport's protocol; see also
+/// [`run_three_phase`](crate::run_three_phase) for the non-blocking variant).
+pub fn run_two_phase<P: FlattenParticipant>(
+    proposal: &FlattenProposal,
+    participants: &mut [P],
+) -> (CommitOutcome, CommitStats) {
+    let mut stats = CommitStats::default();
+    // Phase 1: prepare / vote.
+    stats.phases += 1;
+    let mut no_votes = 0;
+    for p in participants.iter_mut() {
+        stats.coordinator_messages += 1;
+        let vote = p.prepare(proposal);
+        stats.participant_messages += 1;
+        if vote == Vote::No {
+            no_votes += 1;
+        }
+    }
+    // Phase 2: commit or abort.
+    stats.phases += 1;
+    if no_votes == 0 {
+        for p in participants.iter_mut() {
+            stats.coordinator_messages += 1;
+            p.commit(proposal);
+            stats.participant_messages += 1; // acknowledgement
+        }
+        (CommitOutcome::Committed, stats)
+    } else {
+        for p in participants.iter_mut() {
+            stats.coordinator_messages += 1;
+            p.abort(proposal);
+            stats.participant_messages += 1;
+        }
+        (CommitOutcome::Aborted { no_votes }, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::participant::TreedocParticipant;
+    use treedoc_core::{Sdis, SiteId, Treedoc};
+
+    fn doc(site: u64, len: usize) -> Treedoc<char, Sdis> {
+        let mut d = Treedoc::new(SiteId::from_u64(site));
+        for i in 0..len {
+            d.local_insert(i, 'x').unwrap();
+        }
+        d
+    }
+
+    fn proposal() -> FlattenProposal {
+        FlattenProposal {
+            proposer: SiteId::from_u64(1),
+            subtree: Vec::new(),
+            base_revision: 0,
+            txn: 7,
+        }
+    }
+
+    #[test]
+    fn all_yes_commits_everywhere() {
+        let mut docs: Vec<_> = (1..=3).map(|s| doc(s, 20)).collect();
+        let heights_before: Vec<_> = docs.iter().map(|d| d.height()).collect();
+        {
+            let mut participants: Vec<_> =
+                docs.iter_mut().map(TreedocParticipant::new).collect();
+            let (outcome, stats) = run_two_phase(&proposal(), &mut participants);
+            assert_eq!(outcome, CommitOutcome::Committed);
+            assert_eq!(stats.phases, 2);
+            // 3 prepares + 3 votes + 3 commits + 3 acks.
+            assert_eq!(stats.total_messages(), 12);
+        }
+        for (d, before) in docs.iter().zip(heights_before) {
+            assert!(d.height() < before, "every replica flattened");
+            assert_eq!(d.len(), 20);
+        }
+    }
+
+    #[test]
+    fn single_no_vote_aborts_everywhere() {
+        let mut docs: Vec<_> = (1..=3).map(|s| doc(s, 20)).collect();
+        // Replica 2 keeps editing the subtree after the proposal's base
+        // revision: it must veto the flatten.
+        docs[1].next_revision();
+        docs[1].local_insert(0, 'y').unwrap();
+        let heights_before: Vec<_> = docs.iter().map(|d| d.height()).collect();
+        {
+            let mut participants: Vec<_> =
+                docs.iter_mut().map(TreedocParticipant::new).collect();
+            let (outcome, stats) = run_two_phase(&proposal(), &mut participants);
+            assert_eq!(outcome, CommitOutcome::Aborted { no_votes: 1 });
+            assert_eq!(stats.total_messages(), 12);
+        }
+        for (d, before) in docs.iter().zip(heights_before) {
+            assert_eq!(d.height(), before, "abort leaves every replica untouched");
+        }
+    }
+
+    #[test]
+    fn empty_participant_set_commits_trivially() {
+        let mut participants: Vec<TreedocParticipant<'_, char, Sdis>> = Vec::new();
+        let (outcome, stats) = run_two_phase(&proposal(), &mut participants);
+        assert_eq!(outcome, CommitOutcome::Committed);
+        assert_eq!(stats.total_messages(), 0);
+    }
+}

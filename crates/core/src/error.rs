@@ -1,0 +1,96 @@
+//! Error type shared by the crate.
+
+use std::fmt;
+
+use crate::path::PosIdRepr;
+
+/// Result alias used throughout `treedoc-core`.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors produced by Treedoc operations.
+///
+/// The CRDT is designed so that *replayed* operations cannot fail at remote
+/// sites (§2.2 of the paper); errors therefore only arise from misuse of the
+/// local API (out-of-range indices, unknown identifiers) or from structural
+/// operations such as `flatten` that are allowed to abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An index-based edit referred to a position outside the document.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The number of (live) atoms in the document.
+        len: usize,
+    },
+    /// A delete or lookup referred to a position identifier that does not
+    /// name a live atom in this replica.
+    UnknownPosId {
+        /// Printable form of the identifier.
+        id: PosIdRepr,
+    },
+    /// An insert replay referred to an identifier that already holds a live
+    /// atom (identifier uniqueness would be violated).
+    DuplicatePosId {
+        /// Printable form of the identifier.
+        id: PosIdRepr,
+    },
+    /// A `flatten` was attempted on a subtree that does not exist.
+    NoSuchSubtree {
+        /// Bit path of the requested subtree root.
+        bits: Vec<u8>,
+    },
+    /// A `flatten` aborted because a concurrent edit touched the subtree
+    /// (edits take precedence over structural clean-up, §4.2.1).
+    FlattenAborted {
+        /// Human-readable reason recorded by the voting participant.
+        reason: String,
+    },
+    /// A stored document could not be decoded.
+    Corrupt(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for document of length {len}")
+            }
+            Error::UnknownPosId { id } => write!(f, "unknown position identifier {id}"),
+            Error::DuplicatePosId { id } => {
+                write!(f, "position identifier {id} already holds a live atom")
+            }
+            Error::NoSuchSubtree { bits } => {
+                write!(f, "no subtree rooted at bit path {bits:?}")
+            }
+            Error::FlattenAborted { reason } => write!(f, "flatten aborted: {reason}"),
+            Error::Corrupt(msg) => write!(f, "corrupt document encoding: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::IndexOutOfBounds { index: 7, len: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+
+        let e = Error::FlattenAborted { reason: "concurrent edit".into() };
+        assert!(e.to_string().contains("concurrent edit"));
+
+        let e = Error::NoSuchSubtree { bits: vec![0, 1] };
+        assert!(e.to_string().contains("[0, 1]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

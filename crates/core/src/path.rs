@@ -1,0 +1,696 @@
+//! Position identifiers: paths in the extended binary tree (§3.1).
+//!
+//! A [`PosId`] is a sequence of [`PathElem`]s. Each element carries one bit
+//! (left / right) and, optionally, a disambiguator:
+//!
+//! * an element **without** a disambiguator refers to the children of the
+//!   corresponding *major node* (the common, sequential-editing case);
+//! * an element **with** a disambiguator selects a specific *mini-node* of
+//!   that major node — either as the final element (the identified atom is
+//!   that mini-node) or as an interior element (the path descends through
+//!   that mini-node's own subtree, which only happens after inserts between
+//!   mini-siblings, Fig. 4 of the paper).
+//!
+//! # Ordering
+//!
+//! Identifiers are ordered by an infix walk of the extended tree: a major
+//! node's left child comes first, then its disambiguator-free atom slot (only
+//! present after a `flatten`), then its mini-nodes in disambiguator order
+//! (each mini-node surrounded by its own left and right subtrees), then the
+//! major node's right child. [`PosId::cmp`] implements exactly this order.
+//!
+//! The paper's formal rules (§3.1) compare path elements pairwise; taken
+//! literally they do not say how a disambiguator-free element compares with a
+//! disambiguated one referring to the same side (e.g. the paper's own example
+//! `Y = [1·0·(0:dY)]` versus `Z = [1·0·0·(1:dZ)]`, where `Z` must sort after
+//! `Y` because it is the right child of `Y`'s major node). We resolve this —
+//! as the example and the infix-walk definition require — by looking at which
+//! *region* of the shared major node each identifier falls in:
+//! `left subtree < plain atom slot < mini-nodes < right subtree`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::disambiguator::Disambiguator;
+
+/// One bit of a tree path: descend to the left or to the right child.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Side {
+    /// The `0` branch: everything below it precedes the current node.
+    Left = 0,
+    /// The `1` branch: everything below it follows the current node.
+    Right = 1,
+}
+
+impl Side {
+    /// Returns the bit value (0 or 1).
+    pub const fn bit(self) -> u8 {
+        match self {
+            Side::Left => 0,
+            Side::Right => 1,
+        }
+    }
+
+    /// Builds a side from a bit value.
+    pub const fn from_bit(bit: u8) -> Side {
+        if bit == 0 {
+            Side::Left
+        } else {
+            Side::Right
+        }
+    }
+
+    /// The opposite side.
+    pub const fn opposite(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+}
+
+/// One element of a position identifier: a branch bit plus an optional
+/// disambiguator.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PathElem<D> {
+    /// Which child of the current node the path descends to.
+    pub side: Side,
+    /// `Some(d)` selects mini-node `d` of the major node reached by `side`;
+    /// `None` refers to the major node itself (its plain atom slot or its
+    /// plain children).
+    pub dis: Option<D>,
+}
+
+impl<D> PathElem<D> {
+    /// A plain (disambiguator-free) element.
+    pub const fn plain(side: Side) -> Self {
+        PathElem { side, dis: None }
+    }
+
+    /// An element selecting mini-node `dis` on the `side` child.
+    pub const fn mini(side: Side, dis: D) -> Self {
+        PathElem { side, dis: Some(dis) }
+    }
+
+    /// Drops the disambiguator, keeping only the branch bit.
+    pub fn to_plain(&self) -> PathElem<D>
+    where
+        D: Clone,
+    {
+        PathElem { side: self.side, dis: None }
+    }
+}
+
+impl<D: fmt::Debug> fmt::Debug for PathElem<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.dis {
+            None => write!(f, "{}", self.side.bit()),
+            Some(d) => write!(f, "({}:{:?})", self.side.bit(), d),
+        }
+    }
+}
+
+/// The region of a major node an identifier falls in, in infix order.
+///
+/// Used internally by the comparison routine; exposed for tests and for the
+/// allocation logic which reasons about the same regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Region {
+    /// Inside the major node's plain left subtree.
+    LeftSubtree,
+    /// The major node's own (disambiguator-free) atom slot.
+    PlainSlot,
+    /// One of the mini-nodes or their subtrees (ordered by disambiguator
+    /// separately).
+    Minis,
+    /// Inside the major node's plain right subtree.
+    RightSubtree,
+}
+
+/// A position identifier: a path in the extended binary tree.
+///
+/// The empty path identifies the (plain slot of the) root major node.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PosId<D> {
+    elems: Vec<PathElem<D>>,
+}
+
+impl<D> Default for PosId<D> {
+    fn default() -> Self {
+        PosId { elems: Vec::new() }
+    }
+}
+
+impl<D> PosId<D> {
+    /// The identifier of the root position (empty path).
+    pub const fn root() -> Self {
+        PosId { elems: Vec::new() }
+    }
+
+    /// Builds an identifier from its elements.
+    pub fn from_elems(elems: Vec<PathElem<D>>) -> Self {
+        PosId { elems }
+    }
+
+    /// The path elements.
+    pub fn elems(&self) -> &[PathElem<D>] {
+        &self.elems
+    }
+
+    /// Number of path elements (= depth of the identified node, = number of
+    /// bits of the path).
+    pub fn depth(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// `true` for the root identifier.
+    pub fn is_root(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// The last element, if any.
+    pub fn last(&self) -> Option<&PathElem<D>> {
+        self.elems.last()
+    }
+
+    /// The sequence of branch bits, ignoring disambiguators.
+    pub fn bits(&self) -> impl Iterator<Item = Side> + '_ {
+        self.elems.iter().map(|e| e.side)
+    }
+
+    /// The branch bits as a vector of 0/1 values.
+    pub fn bit_vec(&self) -> Vec<u8> {
+        self.elems.iter().map(|e| e.side.bit()).collect()
+    }
+
+    /// Number of disambiguators carried by this identifier.
+    pub fn dis_count(&self) -> usize {
+        self.elems.iter().filter(|e| e.dis.is_some()).count()
+    }
+
+    /// The identifier of the parent node: the same path with the final
+    /// element removed (paper §3.1: `u / v` iff `id(v) = id(u)·p` or
+    /// `id(v) = id(u)·(p:d)`). Returns `None` for the root.
+    pub fn parent(&self) -> Option<PosId<D>>
+    where
+        D: Clone,
+    {
+        if self.elems.is_empty() {
+            None
+        } else {
+            Some(PosId { elems: self.elems[..self.elems.len() - 1].to_vec() })
+        }
+    }
+
+    /// Extends this identifier with one more element, producing a child
+    /// identifier.
+    pub fn child(&self, elem: PathElem<D>) -> PosId<D>
+    where
+        D: Clone,
+    {
+        let mut elems = self.elems.clone();
+        elems.push(elem);
+        PosId { elems }
+    }
+
+    /// Size of this identifier in bits: one bit per element plus the size of
+    /// each disambiguator it carries. This is the quantity reported in the
+    /// "PosID" columns of Table 1 and Table 4 of the paper.
+    pub fn size_bits(&self) -> usize
+    where
+        D: Disambiguator,
+    {
+        self.elems.len() + self.dis_count() * D::ACCOUNTED_BYTES * 8
+    }
+
+    /// Size of this identifier in bytes (rounded up), the unit used when the
+    /// identifier is shipped over the network.
+    pub fn size_bytes(&self) -> usize
+    where
+        D: Disambiguator,
+    {
+        self.size_bits().div_ceil(8)
+    }
+
+    /// `true` if `self`'s elements are a strict prefix of `other`'s elements
+    /// (the paper's ancestor relation `u /+ v`, applied element-wise).
+    pub fn is_strict_prefix_of(&self, other: &PosId<D>) -> bool
+    where
+        D: PartialEq,
+    {
+        self.elems.len() < other.elems.len()
+            && self.elems.iter().zip(&other.elems).all(|(a, b)| a == b)
+    }
+
+    /// The *compatible-ancestor* relation used by the allocation algorithm
+    /// (Algorithm 1): `self` is an ancestor of `other` if `other`'s path
+    /// passes through `self`'s position — either through `self`'s mini-node
+    /// explicitly, or through the plain slot of `self`'s major node.
+    ///
+    /// This is the reading under which, in the paper's running example, atom
+    /// `c` (id `[(1:dC)]`) is an ancestor of atom `d` (id `[1·(0:dD)]`): the
+    /// bits of `c` are a prefix of the bits of `d`, and `d` does not descend
+    /// through a *different* mini-node at `c`'s position.
+    pub fn is_ancestor_of(&self, other: &PosId<D>) -> bool
+    where
+        D: PartialEq,
+    {
+        let n = self.elems.len();
+        if n >= other.elems.len() {
+            return false;
+        }
+        // All but the last element must match exactly (same branch and same
+        // mini-node selection), because interior disambiguators denote a
+        // genuinely different subtree.
+        for i in 0..n.saturating_sub(1) {
+            if self.elems[i] != other.elems[i] {
+                return false;
+            }
+        }
+        if n == 0 {
+            return true;
+        }
+        // The element of `other` landing on `self`'s position must use the
+        // same branch and either the same mini-node or the plain slot.
+        let mine = &self.elems[n - 1];
+        let theirs = &other.elems[n - 1];
+        if mine.side != theirs.side {
+            return false;
+        }
+        match (&mine.dis, &theirs.dis) {
+            (_, None) => true,
+            (Some(a), Some(b)) => a == b,
+            (None, Some(_)) => false,
+        }
+    }
+
+    /// `true` if `self` and `other` are mini-siblings: mini-nodes of the same
+    /// major node (same branch bits, both carrying a final disambiguator,
+    /// with identical interior elements).
+    pub fn is_mini_sibling_of(&self, other: &PosId<D>) -> bool
+    where
+        D: PartialEq,
+    {
+        if self.elems.len() != other.elems.len() || self.elems.is_empty() {
+            return false;
+        }
+        let n = self.elems.len();
+        if self.elems[..n - 1] != other.elems[..n - 1] {
+            return false;
+        }
+        let (a, b) = (&self.elems[n - 1], &other.elems[n - 1]);
+        a.side == b.side && a.dis.is_some() && b.dis.is_some() && a.dis != b.dis
+    }
+
+    /// A copy of this identifier with the final disambiguator removed (the
+    /// `c1 … pn` prefix used by Algorithm 1 when allocating a child of the
+    /// *major* node rather than of the mini-node).
+    pub fn major_path(&self) -> PosId<D>
+    where
+        D: Clone,
+    {
+        let mut elems = self.elems.clone();
+        if let Some(last) = elems.last_mut() {
+            last.dis = None;
+        }
+        PosId { elems }
+    }
+
+    /// Human-readable rendering, used in error messages.
+    pub fn repr(&self) -> PosIdRepr
+    where
+        D: fmt::Debug,
+    {
+        PosIdRepr(format!("{self:?}"))
+    }
+
+    /// Region of the shared major node that this identifier falls in, when
+    /// its element at `idx` is known to share the branch bit with another
+    /// identifier's element at the same index.
+    fn region_at(&self, idx: usize) -> Region {
+        match self.elems.get(idx) {
+            None => unreachable!("region_at called past the end of the path"),
+            Some(e) if e.dis.is_some() => Region::Minis,
+            Some(_) => match self.elems.get(idx + 1) {
+                None => Region::PlainSlot,
+                Some(next) if next.side == Side::Left => Region::LeftSubtree,
+                Some(_) => Region::RightSubtree,
+            },
+        }
+    }
+}
+
+impl<D: Disambiguator> PosId<D> {
+    /// Compares two identifiers according to the infix-walk order of §3.1.
+    ///
+    /// See the module documentation for how the plain-versus-mini case is
+    /// resolved.
+    fn infix_cmp(&self, other: &PosId<D>) -> Ordering {
+        let n = self.elems.len().min(other.elems.len());
+        for i in 0..n {
+            let a = &self.elems[i];
+            let b = &other.elems[i];
+            if a.side != b.side {
+                return a.side.cmp(&b.side);
+            }
+            match (&a.dis, &b.dis) {
+                (None, None) => continue,
+                (Some(da), Some(db)) => {
+                    match da.cmp(db) {
+                        Ordering::Equal => continue,
+                        o => return o,
+                    }
+                }
+                // Same branch bit, one path goes through the major node's
+                // plain namespace, the other through a mini-node: order by
+                // region (left subtree < plain slot < minis < right subtree).
+                (None, Some(_)) => return self.region_at(i).cmp(&Region::Minis),
+                (Some(_), None) => return Region::Minis.cmp(&other.region_at(i)),
+            }
+        }
+        // One is an element-wise prefix of the other (or they are equal): the
+        // longer one sorts according to the branch it takes next.
+        match self.elems.len().cmp(&other.elems.len()) {
+            Ordering::Equal => Ordering::Equal,
+            Ordering::Less => {
+                // `self` is the prefix: `other` continues below it.
+                if other.elems[n].side == Side::Right {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+            Ordering::Greater => {
+                if self.elems[n].side == Side::Right {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+        }
+    }
+}
+
+impl<D: Disambiguator> PartialOrd for PosId<D> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<D: Disambiguator> Ord for PosId<D> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.infix_cmp(other)
+    }
+}
+
+impl<D: fmt::Debug> fmt::Debug for PosId<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for e in &self.elems {
+            write!(f, "{e:?}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<D: fmt::Debug> fmt::Display for PosId<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A pre-rendered position identifier, used in error values so that
+/// [`Error`](crate::Error) does not need to be generic over the
+/// disambiguator type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PosIdRepr(pub String);
+
+impl fmt::Display for PosIdRepr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disambiguator::{Sdis, Udis};
+    use crate::site::SiteId;
+
+    fn s(n: u64) -> Sdis {
+        Sdis::new(SiteId::from_u64(n))
+    }
+
+    /// Shorthand to build a `PosId<Sdis>` from a compact description:
+    /// `p(&[(0, None), (1, Some(3))])` = `[0·(1:s3)]`.
+    fn p(desc: &[(u8, Option<u64>)]) -> PosId<Sdis> {
+        PosId::from_elems(
+            desc.iter()
+                .map(|&(bit, dis)| PathElem {
+                    side: Side::from_bit(bit),
+                    dis: dis.map(s),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn root_is_empty() {
+        let r = PosId::<Sdis>::root();
+        assert!(r.is_root());
+        assert_eq!(r.depth(), 0);
+        assert_eq!(r.parent(), None);
+    }
+
+    #[test]
+    fn parent_strips_last_element() {
+        let id = p(&[(1, None), (0, Some(4))]);
+        assert_eq!(id.parent().unwrap(), p(&[(1, None)]));
+    }
+
+    #[test]
+    fn size_accounting() {
+        // Two elements, one disambiguator: 2 bits + 48 bits (6-byte SDIS).
+        let id = p(&[(1, None), (0, Some(4))]);
+        assert_eq!(id.size_bits(), 2 + 48);
+        assert_eq!(id.size_bytes(), (2 + 48 + 7) / 8);
+
+        // UDIS carries 10 bytes per disambiguator.
+        let u: PosId<Udis> = PosId::from_elems(vec![PathElem::mini(
+            Side::Left,
+            Udis::new(1, SiteId::from_u64(1)),
+        )]);
+        assert_eq!(u.size_bits(), 1 + 80);
+    }
+
+    #[test]
+    fn plain_bit_order() {
+        // Figure 1 layout: a[00] < b[0] < c[] < d[10] < e[1] < f[11].
+        let a = p(&[(0, None), (0, None)]);
+        let b = p(&[(0, None)]);
+        let c = p(&[]);
+        let d = p(&[(1, None), (0, None)]);
+        let e = p(&[(1, None)]);
+        let f = p(&[(1, None), (1, None)]);
+        let mut v = vec![f.clone(), d.clone(), b.clone(), e.clone(), c.clone(), a.clone()];
+        v.sort();
+        assert_eq!(v, vec![a, b, c, d, e, f]);
+    }
+
+    #[test]
+    fn paper_example_order_after_concurrent_inserts() {
+        // Figure 2–4 of the paper. In the Figure 1/2 tree, `c` is the root
+        // atom and `d` hangs below it at bit path "10"; ids as derived in
+        // §3.2:
+        //   c  = []                  (the root, ancestor of d)
+        //   d  = [1·(0:dD)]
+        //   W  = [1·0·(0:dW)]        concurrent insert between c and d
+        //   Y  = [1·0·(0:dY)]        concurrent insert between c and d
+        //   X  = [1·0·(0:dW)·(1:dX)] inserted between W and Y
+        //   Z  = [1·0·0·(1:dZ)]      inserted between Y and d
+        // With dW < dY the document must read … c W X Y Z d …
+        let c = p(&[]);
+        let d = p(&[(1, None), (0, Some(4))]);
+        let w = p(&[(1, None), (0, None), (0, Some(1))]);
+        let y = p(&[(1, None), (0, None), (0, Some(2))]);
+        let x = p(&[(1, None), (0, None), (0, Some(1)), (1, Some(5))]);
+        let z = p(&[(1, None), (0, None), (0, None), (1, Some(6))]);
+
+        let expected = vec![c.clone(), w.clone(), x.clone(), y.clone(), z.clone(), d.clone()];
+        let mut got = vec![d, z, x, w, y, c];
+        got.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn prefix_rule_orders_by_next_branch() {
+        let base = p(&[(1, None), (0, Some(4))]);
+        let left_child = p(&[(1, None), (0, None), (0, Some(9))]);
+        let right_child = p(&[(1, None), (0, None), (1, Some(9))]);
+        assert!(left_child < base);
+        assert!(base < right_child);
+    }
+
+    #[test]
+    fn plain_slot_sorts_before_minis_and_after_left_subtree() {
+        // Same major node (bit path "0"): its plain slot, a mini-node, its
+        // plain left subtree and its plain right subtree.
+        let plain_slot = p(&[(0, None)]);
+        let mini = p(&[(0, Some(2))]);
+        let left_sub = p(&[(0, None), (0, Some(1))]);
+        let right_sub = p(&[(0, None), (1, Some(1))]);
+        assert!(left_sub < plain_slot);
+        assert!(plain_slot < mini);
+        assert!(mini < right_sub);
+        assert!(left_sub < mini);
+        assert!(plain_slot < right_sub);
+    }
+
+    #[test]
+    fn mini_subtrees_sort_with_their_mini() {
+        // Minis d1 < d2 at the same major node; d1's right subtree must sort
+        // after d1 but before d2's left subtree.
+        let d1 = p(&[(0, Some(1))]);
+        let d1_right = p(&[(0, Some(1)), (1, Some(7))]);
+        let d2_left = p(&[(0, Some(2)), (0, Some(7))]);
+        let d2 = p(&[(0, Some(2))]);
+        assert!(d1 < d1_right);
+        assert!(d1_right < d2_left);
+        assert!(d2_left < d2);
+    }
+
+    #[test]
+    fn ancestor_relation_follows_paper_example() {
+        // c = [(1:dC)] is an ancestor of d = [1·(0:dD)] (the example in §3.2
+        // relies on this), even though the element forms differ.
+        let c = p(&[(1, Some(3))]);
+        let d = p(&[(1, None), (0, Some(4))]);
+        assert!(c.is_ancestor_of(&d));
+        assert!(!d.is_ancestor_of(&c));
+
+        // But a path descending through a *different* mini-node is not a
+        // descendant: W is not an ancestor of a node below Y.
+        let w = p(&[(1, None), (0, None), (0, Some(1))]);
+        let below_y = p(&[(1, None), (0, None), (0, Some(2)), (0, Some(9))]);
+        assert!(!w.is_ancestor_of(&below_y));
+        // ... while Y itself is.
+        let y = p(&[(1, None), (0, None), (0, Some(2))]);
+        assert!(y.is_ancestor_of(&below_y));
+    }
+
+    #[test]
+    fn root_is_ancestor_of_everything_but_itself() {
+        let root = PosId::<Sdis>::root();
+        let other = p(&[(0, Some(1))]);
+        assert!(root.is_ancestor_of(&other));
+        assert!(!root.is_ancestor_of(&PosId::root()));
+    }
+
+    #[test]
+    fn mini_siblings() {
+        let w = p(&[(1, None), (0, None), (0, Some(1))]);
+        let y = p(&[(1, None), (0, None), (0, Some(2))]);
+        let elsewhere = p(&[(1, None), (1, None), (0, Some(2))]);
+        assert!(w.is_mini_sibling_of(&y));
+        assert!(y.is_mini_sibling_of(&w));
+        assert!(!w.is_mini_sibling_of(&w.clone()));
+        assert!(!w.is_mini_sibling_of(&elsewhere));
+    }
+
+    #[test]
+    fn major_path_strips_final_disambiguator_only() {
+        let x = p(&[(1, None), (0, Some(1)), (1, Some(5))]);
+        assert_eq!(x.major_path(), p(&[(1, None), (0, Some(1)), (1, None)]));
+    }
+
+    #[test]
+    fn debug_rendering() {
+        let x = p(&[(1, None), (0, Some(1))]);
+        assert_eq!(format!("{x:?}"), "[1(0:s1)]");
+        assert_eq!(x.repr().to_string(), "[1(0:s1)]");
+    }
+
+    #[test]
+    fn ordering_is_consistent_with_equality() {
+        let a = p(&[(1, None), (0, Some(1))]);
+        let b = p(&[(1, None), (0, Some(1))]);
+        assert_eq!(a.cmp(&b), Ordering::Equal);
+        assert_eq!(a, b);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_elem() -> impl Strategy<Value = PathElem<Sdis>> {
+            (0u8..2, proptest::option::of(0u64..4)).prop_map(|(bit, dis)| PathElem {
+                side: Side::from_bit(bit),
+                dis: dis.map(s),
+            })
+        }
+
+        fn arb_posid() -> impl Strategy<Value = PosId<Sdis>> {
+            proptest::collection::vec(arb_elem(), 0..8).prop_map(PosId::from_elems)
+        }
+
+        proptest! {
+            /// Antisymmetry + totality: exactly one of <, =, > holds, and it
+            /// is the mirror of the reverse comparison.
+            #[test]
+            fn comparison_is_antisymmetric(a in arb_posid(), b in arb_posid()) {
+                let ab = a.cmp(&b);
+                let ba = b.cmp(&a);
+                prop_assert_eq!(ab, ba.reverse());
+                if ab == Ordering::Equal {
+                    prop_assert_eq!(&a, &b);
+                }
+            }
+
+            /// Transitivity, checked through sort consistency on triples.
+            #[test]
+            fn comparison_is_transitive(a in arb_posid(), b in arb_posid(), c in arb_posid()) {
+                if a <= b && b <= c {
+                    prop_assert!(a <= c, "{:?} <= {:?} <= {:?} but not {:?} <= {:?}", a, b, c, a, c);
+                }
+                if a >= b && b >= c {
+                    prop_assert!(a >= c);
+                }
+            }
+
+            /// A node sorts after everything in its left subtree and before
+            /// everything in its right subtree.
+            #[test]
+            fn children_sort_around_parent(base in arb_posid(), tail in arb_posid(), d in 0u64..4) {
+                let left_first = base.child(PathElem::mini(Side::Left, s(d)));
+                let right_first = base.child(PathElem::mini(Side::Right, s(d)));
+                // Arbitrary deeper descendants keep the relation.
+                let mut deep_left = left_first.clone();
+                let mut deep_right = right_first.clone();
+                for e in tail.elems() {
+                    deep_left = deep_left.child(e.clone());
+                    deep_right = deep_right.child(e.clone());
+                }
+                if base.last().map(|e| e.dis.is_some()).unwrap_or(true) {
+                    // `base` names an actual atom slot (mini or root plain slot).
+                    prop_assert!(left_first < base);
+                    prop_assert!(base < right_first);
+                }
+                prop_assert!(left_first < right_first);
+                prop_assert!(deep_left < deep_right || left_first == right_first);
+            }
+
+            /// Sorting is stable under shuffling (i.e. the order is total and
+            /// deterministic).
+            #[test]
+            fn sort_is_deterministic(mut ids in proptest::collection::vec(arb_posid(), 0..12)) {
+                let mut once = ids.clone();
+                once.sort();
+                ids.reverse();
+                ids.sort();
+                prop_assert_eq!(once, ids);
+            }
+        }
+    }
+}

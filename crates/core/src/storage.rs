@@ -1,0 +1,211 @@
+//! Mixed array / tree storage (§4.2).
+//!
+//! The paper observes that the identifier tree is only needed where the
+//! document is actively being edited; quiescent documents (or regions) can be
+//! stored as a plain atom array with *zero* metadata overhead, and converted
+//! back to tree form lazily ("Array storage is converted to tree storage when
+//! necessary, e.g., when applying a path to an array. Therefore we can
+//! eliminate explicit explode operations").
+//!
+//! [`Representation`] implements exactly this switch: it is either an
+//! [`Array`](StorageKind::Array) of atoms or a full identifier
+//! [`Tree`](StorageKind::Tree). Reading works on both; any operation that
+//! needs identifiers promotes the array to the canonical `explode` tree
+//! first, and [`Representation::compact`] demotes a metadata-free tree back
+//! to an array.
+
+use serde::{Deserialize, Serialize};
+
+use crate::atom::Atom;
+use crate::disambiguator::Disambiguator;
+use crate::flatten::explode;
+use crate::stats::DocStats;
+use crate::tree::Tree;
+
+/// Which representation currently backs the document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StorageKind {
+    /// A plain atom array: no identifiers stored at all.
+    Array,
+    /// The extended binary tree with explicit identifiers.
+    Tree,
+}
+
+/// A document region stored either as a plain array or as an identifier tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Representation<A, D> {
+    /// Array storage: the atoms in document order, nothing else.
+    Array(Vec<A>),
+    /// Tree storage: the full edit-oriented structure.
+    Tree(Tree<A, D>),
+}
+
+impl<A: Atom, D: Disambiguator> Default for Representation<A, D> {
+    fn default() -> Self {
+        Representation::Array(Vec::new())
+    }
+}
+
+impl<A: Atom, D: Disambiguator> Representation<A, D> {
+    /// Creates array storage from a sequence of atoms.
+    pub fn from_atoms(atoms: Vec<A>) -> Self {
+        Representation::Array(atoms)
+    }
+
+    /// Which representation is currently in use.
+    pub fn kind(&self) -> StorageKind {
+        match self {
+            Representation::Array(_) => StorageKind::Array,
+            Representation::Tree(_) => StorageKind::Tree,
+        }
+    }
+
+    /// Number of live atoms.
+    pub fn len(&self) -> usize {
+        match self {
+            Representation::Array(a) => a.len(),
+            Representation::Tree(t) => t.live_len(),
+        }
+    }
+
+    /// `true` when the document holds no atom.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The atoms in document order (clones; both representations support it).
+    pub fn to_vec(&self) -> Vec<A> {
+        match self {
+            Representation::Array(a) => a.clone(),
+            Representation::Tree(t) => t.to_vec(),
+        }
+    }
+
+    /// The atom at `index`, if any.
+    pub fn get(&self, index: usize) -> Option<A> {
+        match self {
+            Representation::Array(a) => a.get(index).cloned(),
+            Representation::Tree(t) => t.atom_at(index).cloned(),
+        }
+    }
+
+    /// Promotes array storage to tree storage (implicit `explode`); a no-op
+    /// if the document is already tree-backed. Returns the tree.
+    pub fn ensure_tree(&mut self) -> &mut Tree<A, D> {
+        if let Representation::Array(atoms) = self {
+            let tree = explode(atoms);
+            *self = Representation::Tree(tree);
+        }
+        match self {
+            Representation::Tree(t) => t,
+            Representation::Array(_) => unreachable!("just promoted"),
+        }
+    }
+
+    /// Demotes tree storage back to a plain array when it carries no
+    /// metadata any more (no tombstones, no ghosts, no disambiguators) —
+    /// i.e. right after a full flatten. Returns `true` if the representation
+    /// changed.
+    pub fn compact(&mut self) -> bool {
+        let Representation::Tree(tree) = self else { return false };
+        let stats = DocStats::measure(tree);
+        let metadata_free = stats.total_nodes == stats.live_atoms
+            && stats.pos_ids.total_bits == plain_bits_total(tree);
+        if metadata_free {
+            *self = Representation::Array(tree.to_vec());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Metadata overhead in bytes: zero for array storage, the identifier
+    /// bytes for tree storage.
+    pub fn metadata_bytes(&self) -> usize {
+        match self {
+            Representation::Array(_) => 0,
+            Representation::Tree(t) => DocStats::measure(t).pos_ids.total_bits.div_ceil(8),
+        }
+    }
+}
+
+/// Total identifier size the tree would have if every slot were plain (pure
+/// bit paths): used to detect that a tree carries no disambiguators.
+fn plain_bits_total<A: Atom, D: Disambiguator>(tree: &Tree<A, D>) -> usize {
+    let mut total = 0;
+    tree.for_each_slot(|slot| {
+        total += slot.bits.len();
+    });
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disambiguator::Sdis;
+    use crate::path::{PathElem, PosId, Side};
+    use crate::site::SiteId;
+
+    fn sd(n: u64) -> Sdis {
+        Sdis::new(SiteId::from_u64(n))
+    }
+
+    #[test]
+    fn array_storage_has_zero_overhead() {
+        let atoms: Vec<String> = (0..20).map(|i| format!("l{i}")).collect();
+        let rep: Representation<String, Sdis> = Representation::from_atoms(atoms.clone());
+        assert_eq!(rep.kind(), StorageKind::Array);
+        assert_eq!(rep.len(), 20);
+        assert_eq!(rep.to_vec(), atoms);
+        assert_eq!(rep.metadata_bytes(), 0);
+        assert_eq!(rep.get(3).as_deref(), Some("l3"));
+        assert_eq!(rep.get(25), None);
+    }
+
+    #[test]
+    fn promotion_preserves_content() {
+        let atoms: Vec<String> = (0..20).map(|i| format!("l{i}")).collect();
+        let mut rep: Representation<String, Sdis> = Representation::from_atoms(atoms.clone());
+        rep.ensure_tree();
+        assert_eq!(rep.kind(), StorageKind::Tree);
+        assert_eq!(rep.to_vec(), atoms);
+        assert_eq!(rep.get(7).as_deref(), Some("l7"));
+        // The promoted tree is canonical, so it still compacts back.
+        assert!(rep.compact());
+        assert_eq!(rep.kind(), StorageKind::Array);
+        assert_eq!(rep.to_vec(), atoms);
+    }
+
+    #[test]
+    fn edited_tree_does_not_compact_until_flattened() {
+        let mut rep: Representation<char, Sdis> = Representation::from_atoms(vec!['a', 'b', 'c']);
+        {
+            let tree = rep.ensure_tree();
+            // Insert an atom with a disambiguated identifier, then delete one
+            // leaving a tombstone: the tree now carries metadata.
+            let last = tree.id_of_live_index(2).unwrap();
+            let id = last.child(PathElem::mini(Side::Right, sd(1)));
+            tree.insert(&id, 'd', 1).unwrap();
+            let first: PosId<Sdis> = tree.id_of_live_index(0).unwrap();
+            tree.delete(&first, 2).unwrap();
+        }
+        assert!(!rep.compact(), "tombstone + disambiguator must block compaction");
+        assert!(rep.metadata_bytes() > 0);
+        // A full flatten removes the metadata and compaction succeeds again.
+        {
+            let tree = rep.ensure_tree();
+            crate::flatten::flatten_subtree(tree, &[]).unwrap();
+        }
+        assert!(rep.compact());
+        assert_eq!(rep.kind(), StorageKind::Array);
+        assert_eq!(rep.to_vec(), vec!['b', 'c', 'd']);
+        assert_eq!(rep.metadata_bytes(), 0);
+    }
+
+    #[test]
+    fn default_is_empty_array() {
+        let rep: Representation<char, Sdis> = Representation::default();
+        assert!(rep.is_empty());
+        assert_eq!(rep.kind(), StorageKind::Array);
+    }
+}

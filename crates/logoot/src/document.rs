@@ -1,0 +1,447 @@
+//! The Logoot document replica.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::position::{Component, Position, MAX_DIGIT, MIN_DIGIT};
+use crate::strategy::AllocationStrategy;
+
+/// An edit operation exchanged between Logoot replicas.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LogootOp<A> {
+    /// Insert `atom` at the freshly allocated `position`.
+    Insert {
+        /// The new position identifier.
+        position: Position,
+        /// The inserted atom.
+        atom: A,
+    },
+    /// Remove the atom at `position`.
+    Delete {
+        /// The position of the atom to remove.
+        position: Position,
+    },
+}
+
+impl<A> LogootOp<A> {
+    /// The position the operation refers to.
+    pub fn position(&self) -> &Position {
+        match self {
+            LogootOp::Insert { position, .. } | LogootOp::Delete { position } => position,
+        }
+    }
+}
+
+/// Identifier-size statistics of a Logoot replica (the quantities compared
+/// with Treedoc in Table 5 of the Treedoc paper).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LogootStats {
+    /// Number of live atoms.
+    pub atoms: usize,
+    /// Sum of identifier sizes, in bytes.
+    pub total_id_bytes: usize,
+    /// Largest identifier, in bytes.
+    pub max_id_bytes: usize,
+    /// Sum of identifier depths (components).
+    pub total_components: usize,
+}
+
+impl LogootStats {
+    /// Average identifier size in bytes.
+    pub fn avg_id_bytes(&self) -> f64 {
+        if self.atoms == 0 {
+            0.0
+        } else {
+            self.total_id_bytes as f64 / self.atoms as f64
+        }
+    }
+
+    /// Average identifier size in bits (for direct comparison with Treedoc's
+    /// PosID columns).
+    pub fn avg_id_bits(&self) -> f64 {
+        self.avg_id_bytes() * 8.0
+    }
+}
+
+/// One replica of a Logoot-managed sequence.
+///
+/// Atoms are kept in a sorted list of `(Position, atom)` pairs; deletes
+/// remove entries immediately (Logoot does not need tombstones because every
+/// position is globally unique and never reused).
+#[derive(Debug, Clone)]
+pub struct LogootDoc<A> {
+    site: u64,
+    entries: Vec<(Position, A)>,
+    strategy: AllocationStrategy,
+    /// Largest digit value the allocator hands out per level (the per-level
+    /// base). Smaller bases exhaust a level sooner and force extra layers —
+    /// the original Logoot design uses a much smaller per-level space than a
+    /// full 32-bit word, which is what makes its identifiers grow.
+    digit_span: u32,
+    rng: StdRng,
+}
+
+impl<A: Clone> LogootDoc<A> {
+    /// Creates an empty replica for `site` (must be non-zero; zero is
+    /// reserved for the virtual document boundaries).
+    pub fn new(site: u64) -> Self {
+        Self::with_strategy(site, AllocationStrategy::default())
+    }
+
+    /// Creates an empty replica with an explicit allocation strategy.
+    pub fn with_strategy(site: u64, strategy: AllocationStrategy) -> Self {
+        Self::with_params(site, strategy, MAX_DIGIT)
+    }
+
+    /// Creates an empty replica with an explicit allocation strategy and
+    /// per-level digit span.
+    pub fn with_params(site: u64, strategy: AllocationStrategy, digit_span: u32) -> Self {
+        assert!(site != 0, "site 0 is reserved for the document boundaries");
+        assert!(digit_span >= 4, "the per-level digit space must leave room to allocate");
+        LogootDoc {
+            site,
+            entries: Vec::new(),
+            strategy,
+            digit_span,
+            // Seed from the site so runs are reproducible per replica.
+            rng: StdRng::seed_from_u64(site ^ 0x10607),
+        }
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the document is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The atoms in document order.
+    pub fn to_vec(&self) -> Vec<A> {
+        self.entries.iter().map(|(_, a)| a.clone()).collect()
+    }
+
+    /// The atom at `index`.
+    pub fn get(&self, index: usize) -> Option<&A> {
+        self.entries.get(index).map(|(_, a)| a)
+    }
+
+    /// The position identifier of the atom at `index`.
+    pub fn position_at(&self, index: usize) -> Option<&Position> {
+        self.entries.get(index).map(|(p, _)| p)
+    }
+
+    /// The owning site.
+    pub fn site(&self) -> u64 {
+        self.site
+    }
+
+    /// Inserts `atom` so it becomes the `index`-th atom; returns the
+    /// operation to broadcast, or `None` if `index` is out of range.
+    pub fn local_insert(&mut self, index: usize, atom: A) -> Option<LogootOp<A>> {
+        if index > self.entries.len() {
+            return None;
+        }
+        let before = if index == 0 {
+            Position::begin()
+        } else {
+            self.entries[index - 1].0.clone()
+        };
+        let after = if index == self.entries.len() {
+            Position::end()
+        } else {
+            self.entries[index].0.clone()
+        };
+        let position = self.allocate_between(&before, &after);
+        debug_assert!(before < position && position < after);
+        self.entries.insert(index, (position.clone(), atom.clone()));
+        Some(LogootOp::Insert { position, atom })
+    }
+
+    /// Deletes the `index`-th atom; returns the operation to broadcast, or
+    /// `None` if `index` is out of range.
+    pub fn local_delete(&mut self, index: usize) -> Option<LogootOp<A>> {
+        if index >= self.entries.len() {
+            return None;
+        }
+        let (position, _) = self.entries.remove(index);
+        Some(LogootOp::Delete { position })
+    }
+
+    /// Replays an operation received from another replica. Both variants are
+    /// idempotent, so re-delivery is harmless.
+    pub fn apply(&mut self, op: &LogootOp<A>) {
+        match op {
+            LogootOp::Insert { position, atom } => {
+                match self.entries.binary_search_by(|(p, _)| p.cmp(position)) {
+                    Ok(_) => {} // already present (duplicate delivery)
+                    Err(i) => self.entries.insert(i, (position.clone(), atom.clone())),
+                }
+            }
+            LogootOp::Delete { position } => {
+                if let Ok(i) = self.entries.binary_search_by(|(p, _)| p.cmp(position)) {
+                    self.entries.remove(i);
+                }
+            }
+        }
+    }
+
+    /// Identifier-size statistics (Table 5 of the Treedoc paper).
+    pub fn stats(&self) -> LogootStats {
+        let mut stats = LogootStats { atoms: self.entries.len(), ..Default::default() };
+        for (p, _) in &self.entries {
+            let bytes = p.size_bytes();
+            stats.total_id_bytes += bytes;
+            stats.max_id_bytes = stats.max_id_bytes.max(bytes);
+            stats.total_components += p.depth();
+        }
+        stats
+    }
+
+    /// Allocates a fresh position strictly between `before` and `after`
+    /// (which must satisfy `before < after`): the free-digit search of the
+    /// Logoot paper, extending the left position with an extra layer when no
+    /// room exists at the current depth.
+    fn allocate_between(&mut self, before: &Position, after: &Position) -> Position {
+        debug_assert!(before < after, "{before} !< {after}");
+        let mut prefix: Vec<Component> = Vec::new();
+        // While the prefix built so far equals `after`'s prefix, `after`
+        // bounds the digit from above; once they diverge (the prefix is then
+        // strictly smaller), any digit up to the per-level span works.
+        let mut bounded_by_after = true;
+        for depth in 0.. {
+            let low = before.get(depth).map(|c| c.digit).unwrap_or(MIN_DIGIT);
+            let high = if bounded_by_after {
+                after
+                    .get(depth)
+                    .map(|c| c.digit)
+                    .unwrap_or(self.digit_span)
+                    .min(self.digit_span.max(low.saturating_add(2)))
+            } else {
+                self.digit_span.max(low.saturating_add(2))
+            };
+            if high > low + 1 {
+                let digit = self.strategy.pick(low, high, &mut self.rng);
+                prefix.push(Component::new(digit, self.site));
+                return Position::new(prefix);
+            }
+            // No room at this depth: copy the left neighbour's component (or
+            // a sentinel if it is exhausted) and descend one layer.
+            let copied = before.get(depth).copied().unwrap_or_else(Component::sentinel);
+            if bounded_by_after {
+                bounded_by_after = after.get(depth) == Some(&copied);
+            }
+            prefix.push(copied);
+        }
+        unreachable!("the digit space is dense: a free digit always exists at some depth")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(site: u64) -> LogootDoc<char> {
+        LogootDoc::new(site)
+    }
+
+    #[test]
+    fn sequential_editing_matches_a_vector() {
+        let mut d = doc(1);
+        let mut model = Vec::new();
+        for (i, c) in "hello world".chars().enumerate() {
+            d.local_insert(i, c).unwrap();
+            model.insert(i, c);
+        }
+        assert_eq!(d.to_vec(), model);
+        d.local_delete(5).unwrap();
+        model.remove(5);
+        assert_eq!(d.to_vec(), model);
+        assert_eq!(d.get(0), Some(&'h'));
+        assert_eq!(d.len(), model.len());
+    }
+
+    #[test]
+    fn out_of_range_edits_return_none() {
+        let mut d = doc(1);
+        assert!(d.local_insert(1, 'x').is_none());
+        assert!(d.local_delete(0).is_none());
+    }
+
+    #[test]
+    fn positions_are_strictly_increasing() {
+        let mut d = doc(1);
+        for i in 0..200 {
+            d.local_insert(i, 'x').unwrap();
+        }
+        for w in d.entries.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn replay_converges() {
+        let mut a = doc(1);
+        let mut b = doc(2);
+        let ops: Vec<_> = "treedoc".chars().enumerate().map(|(i, c)| a.local_insert(i, c).unwrap()).collect();
+        for op in &ops {
+            b.apply(op);
+        }
+        assert_eq!(a.to_vec(), b.to_vec());
+        // Concurrent inserts at the same place commute.
+        let oa = a.local_insert(3, 'X').unwrap();
+        let ob = b.local_insert(3, 'Y').unwrap();
+        a.apply(&ob);
+        b.apply(&oa);
+        assert_eq!(a.to_vec(), b.to_vec());
+        // Concurrent delete/delete of the same atom is idempotent.
+        let da = a.local_delete(0).unwrap();
+        let db = b.local_delete(0).unwrap();
+        assert_eq!(da.position(), db.position());
+        a.apply(&db);
+        b.apply(&da);
+        assert_eq!(a.to_vec(), b.to_vec());
+    }
+
+    #[test]
+    fn duplicate_delivery_is_idempotent() {
+        let mut a = doc(1);
+        let mut b = doc(2);
+        let op = a.local_insert(0, 'x').unwrap();
+        b.apply(&op);
+        b.apply(&op);
+        assert_eq!(b.len(), 1);
+        let del = a.local_delete(0).unwrap();
+        b.apply(&del);
+        b.apply(&del);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn prepend_heavy_editing_extends_layers() {
+        // Repeatedly inserting at the beginning exhausts the room below the
+        // first digit and forces extra layers — identifiers grow, unlike
+        // appends with the boundary strategy.
+        let mut d = LogootDoc::<char>::with_strategy(1, AllocationStrategy::Boundary(4));
+        for _ in 0..100 {
+            d.local_insert(0, 'x').unwrap();
+        }
+        let stats = d.stats();
+        assert!(stats.max_id_bytes > 10, "prepends should have deepened identifiers");
+        assert_eq!(stats.atoms, 100);
+    }
+
+    #[test]
+    fn stats_accounting() {
+        let mut d = doc(1);
+        for i in 0..10 {
+            d.local_insert(i, 'x').unwrap();
+        }
+        let stats = d.stats();
+        assert_eq!(stats.atoms, 10);
+        assert_eq!(stats.total_id_bytes, stats.total_components * 10);
+        assert!(stats.avg_id_bytes() >= 10.0);
+        assert!((stats.avg_id_bits() - stats.avg_id_bytes() * 8.0).abs() < f64::EPSILON);
+        assert!(stats.max_id_bytes >= 10);
+    }
+
+    #[test]
+    fn deletes_leave_no_residue() {
+        let mut d = doc(1);
+        for i in 0..50 {
+            d.local_insert(i, 'x').unwrap();
+        }
+        for _ in 0..50 {
+            d.local_delete(0).unwrap();
+        }
+        assert!(d.is_empty());
+        assert_eq!(d.stats().total_id_bytes, 0, "no tombstones in Logoot");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone)]
+        enum Edit {
+            Insert(usize, char),
+            Delete(usize),
+        }
+
+        fn arb_edits(n: usize) -> impl Strategy<Value = Vec<Edit>> {
+            proptest::collection::vec(
+                prop_oneof![
+                    (any::<usize>(), proptest::char::range('a', 'z'))
+                        .prop_map(|(i, c)| Edit::Insert(i, c)),
+                    any::<usize>().prop_map(Edit::Delete),
+                ],
+                0..n,
+            )
+        }
+
+        fn run(doc: &mut LogootDoc<char>, edits: &[Edit]) -> Vec<LogootOp<char>> {
+            let mut ops = Vec::new();
+            for e in edits {
+                match e {
+                    Edit::Insert(i, c) => {
+                        let idx = i % (doc.len() + 1);
+                        ops.push(doc.local_insert(idx, *c).unwrap());
+                    }
+                    Edit::Delete(i) => {
+                        if doc.len() > 0 {
+                            let idx = i % doc.len();
+                            ops.push(doc.local_delete(idx).unwrap());
+                        }
+                    }
+                }
+            }
+            ops
+        }
+
+        proptest! {
+            /// The local API matches plain vector semantics.
+            #[test]
+            fn matches_vector_semantics(edits in arb_edits(40)) {
+                let mut d = LogootDoc::<char>::new(1);
+                let mut model: Vec<char> = Vec::new();
+                for e in &edits {
+                    match e {
+                        Edit::Insert(i, c) => {
+                            let idx = i % (model.len() + 1);
+                            model.insert(idx, *c);
+                            d.local_insert(idx, *c).unwrap();
+                        }
+                        Edit::Delete(i) => {
+                            if !model.is_empty() {
+                                let idx = i % model.len();
+                                model.remove(idx);
+                                d.local_delete(idx).unwrap();
+                            }
+                        }
+                    }
+                }
+                prop_assert_eq!(d.to_vec(), model);
+            }
+
+            /// Replicas exchanging concurrent batches converge.
+            #[test]
+            fn concurrent_batches_converge(edits_a in arb_edits(15), edits_b in arb_edits(15)) {
+                let mut a = LogootDoc::<char>::new(1);
+                let mut b = LogootDoc::<char>::new(2);
+                // Common prefix so the batches actually interleave.
+                let seed: Vec<_> = "base text".chars().enumerate()
+                    .map(|(i, c)| a.local_insert(i, c).unwrap())
+                    .collect();
+                for op in &seed { b.apply(op); }
+                let ops_a = run(&mut a, &edits_a);
+                let ops_b = run(&mut b, &edits_b);
+                for op in &ops_b { a.apply(op); }
+                for op in &ops_a { b.apply(op); }
+                prop_assert_eq!(a.to_vec(), b.to_vec());
+            }
+        }
+    }
+}

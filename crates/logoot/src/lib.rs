@@ -1,0 +1,42 @@
+//! # logoot
+//!
+//! A from-scratch implementation of the **Logoot** sequence CRDT
+//! (Weiss, Urso, Molli — ICDCS 2009), used by the Treedoc paper (§5.3) as the
+//! baseline its identifier sizes are compared against.
+//!
+//! Logoot identifies every atom with a *position*: a list of fixed-size
+//! unique components ordered lexicographically. To insert between two atoms
+//! it allocates a free component value between the neighbouring positions if
+//! one exists at some depth, otherwise it extends the left position with an
+//! additional layer. Deleted atoms are removed immediately (no tombstones),
+//! but — unlike Treedoc — Logoot never restructures, so identifiers only ever
+//! grow.
+//!
+//! The component layout follows the comparison set-up of the Treedoc paper:
+//! a 4-byte digit plus a 6-byte site identifier, i.e. 10 bytes per component
+//! ("We use the same size for UDIS and Logoot unique identifiers (10
+//! bytes)").
+//!
+//! ```
+//! use logoot::{LogootDoc, AllocationStrategy};
+//!
+//! let mut left = LogootDoc::<char>::new(1);
+//! let mut right = LogootDoc::<char>::new(2);
+//! let ops: Vec<_> = "abc".chars().enumerate()
+//!     .map(|(i, c)| left.local_insert(i, c).unwrap())
+//!     .collect();
+//! for op in &ops { right.apply(op); }
+//! assert_eq!(left.to_vec(), right.to_vec());
+//! # let _ = AllocationStrategy::Boundary(16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod document;
+pub mod position;
+pub mod strategy;
+
+pub use document::{LogootDoc, LogootOp, LogootStats};
+pub use position::{Component, Position, COMPONENT_BYTES, MAX_DIGIT, MIN_DIGIT};
+pub use strategy::AllocationStrategy;

@@ -1,0 +1,177 @@
+//! Logoot positions: lists of fixed-size components ordered
+//! lexicographically.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Size of the digit part of a component, in bytes.
+pub const DIGIT_BYTES: usize = 4;
+/// Size of the site part of a component, in bytes (same as Treedoc's site
+/// identifiers).
+pub const SITE_BYTES: usize = 6;
+/// Size of one component: 10 bytes, matching the Treedoc paper's comparison
+/// set-up (§5.3).
+pub const COMPONENT_BYTES: usize = DIGIT_BYTES + SITE_BYTES;
+
+/// Smallest digit value (reserved for the virtual beginning-of-document
+/// position).
+pub const MIN_DIGIT: u32 = 0;
+/// Largest digit value (reserved for the virtual end-of-document position).
+pub const MAX_DIGIT: u32 = u32::MAX;
+
+/// One component of a Logoot position: a digit and the site that created it.
+///
+/// Site number 0 is reserved for the virtual document boundaries and the
+/// sentinel components pushed while descending during allocation; real
+/// replicas must use non-zero site numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Component {
+    /// The digit, compared first.
+    pub digit: u32,
+    /// The creating site, compared second.
+    pub site: u64,
+}
+
+impl Component {
+    /// Creates a component.
+    pub const fn new(digit: u32, site: u64) -> Self {
+        Component { digit, site }
+    }
+
+    /// The sentinel component used when extending past the end of a shorter
+    /// position during allocation.
+    pub const fn sentinel() -> Self {
+        Component { digit: MIN_DIGIT, site: 0 }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.digit, self.site)
+    }
+}
+
+/// A Logoot position identifier.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Position {
+    components: Vec<Component>,
+}
+
+impl Position {
+    /// Builds a position from components.
+    pub fn new(components: Vec<Component>) -> Self {
+        Position { components }
+    }
+
+    /// The virtual position before the first atom.
+    pub fn begin() -> Self {
+        Position { components: vec![Component::new(MIN_DIGIT, 0)] }
+    }
+
+    /// The virtual position after the last atom.
+    pub fn end() -> Self {
+        Position { components: vec![Component::new(MAX_DIGIT, 0)] }
+    }
+
+    /// The components.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Number of components (layers).
+    pub fn depth(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Size of this identifier in bytes (10 bytes per component), the
+    /// quantity compared in Table 5 of the Treedoc paper.
+    pub fn size_bytes(&self) -> usize {
+        self.components.len() * COMPONENT_BYTES
+    }
+
+    /// Component at `depth`, if present.
+    pub fn get(&self, depth: usize) -> Option<&Component> {
+        self.components.get(depth)
+    }
+
+    /// Extends this position with an extra component, returning the child
+    /// position.
+    pub fn extended(&self, component: Component) -> Position {
+        let mut components = self.components.clone();
+        components.push(component);
+        Position { components }
+    }
+}
+
+impl PartialOrd for Position {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Position {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Lexicographic order; a strict prefix sorts before its extensions.
+        self.components.cmp(&other.components)
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ":")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_order_is_digit_then_site() {
+        assert!(Component::new(1, 9) < Component::new(2, 1));
+        assert!(Component::new(1, 1) < Component::new(1, 2));
+        assert_eq!(Component::new(3, 3), Component::new(3, 3));
+    }
+
+    #[test]
+    fn position_order_is_lexicographic() {
+        let a = Position::new(vec![Component::new(1, 1)]);
+        let b = Position::new(vec![Component::new(1, 1), Component::new(5, 2)]);
+        let c = Position::new(vec![Component::new(2, 1)]);
+        assert!(a < b, "a prefix sorts before its extension");
+        assert!(b < c);
+        assert!(Position::begin() < a);
+        assert!(c < Position::end());
+    }
+
+    #[test]
+    fn size_accounting_is_ten_bytes_per_component() {
+        let p = Position::new(vec![Component::new(1, 1), Component::new(2, 2)]);
+        assert_eq!(p.size_bytes(), 20);
+        assert_eq!(p.depth(), 2);
+        assert_eq!(COMPONENT_BYTES, 10);
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = Position::new(vec![Component::new(1, 1), Component::new(2, 2)]);
+        assert_eq!(p.to_string(), "<1.1:2.2>");
+    }
+
+    #[test]
+    fn extended_appends() {
+        let p = Position::new(vec![Component::new(1, 1)]);
+        let q = p.extended(Component::new(7, 3));
+        assert_eq!(q.depth(), 2);
+        assert!(p < q);
+    }
+}

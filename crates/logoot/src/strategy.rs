@@ -1,0 +1,96 @@
+//! Digit allocation strategies.
+//!
+//! When a gap exists between the neighbouring digits at some depth, Logoot
+//! must pick a digit inside it. The choice does not affect correctness, only
+//! how quickly the digit space is consumed (and therefore how soon extra
+//! layers are needed). The Logoot paper's *boundary* strategy allocates close
+//! to the left neighbour, leaving room for the common append-at-the-end
+//! pattern; a uniformly random choice is also provided.
+
+use rand::Rng;
+
+use serde::{Deserialize, Serialize};
+
+/// How to pick a digit inside an available gap `(low, high)` (exclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocationStrategy {
+    /// Pick uniformly at random in the whole gap.
+    Random,
+    /// Pick within at most `boundary` of the left edge (the Logoot paper's
+    /// strategy, good for mostly-sequential editing).
+    Boundary(u32),
+}
+
+impl Default for AllocationStrategy {
+    fn default() -> Self {
+        // The Logoot paper uses a boundary of 1 000 000 for its evaluation;
+        // any positive value works.
+        AllocationStrategy::Boundary(1_000_000)
+    }
+}
+
+impl AllocationStrategy {
+    /// Picks a digit strictly between `low` and `high` (both exclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `high <= low + 1` (no free digit exists); callers must check
+    /// the gap first.
+    pub fn pick(&self, low: u32, high: u32, rng: &mut impl Rng) -> u32 {
+        assert!(high > low + 1, "no free digit between {low} and {high}");
+        let span = high - low - 1;
+        match self {
+            AllocationStrategy::Random => low + 1 + rng.gen_range(0..span),
+            AllocationStrategy::Boundary(boundary) => {
+                let span = span.min((*boundary).max(1));
+                low + 1 + rng.gen_range(0..span)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn picks_stay_inside_the_gap() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for strategy in [AllocationStrategy::Random, AllocationStrategy::Boundary(10)] {
+            for _ in 0..200 {
+                let d = strategy.pick(10, 1000, &mut rng);
+                assert!(d > 10 && d < 1000, "{d} outside (10, 1000) for {strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_stays_close_to_the_left_edge() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let strategy = AllocationStrategy::Boundary(5);
+        for _ in 0..100 {
+            let d = strategy.pick(100, u32::MAX, &mut rng);
+            assert!(d > 100 && d <= 105);
+        }
+    }
+
+    #[test]
+    fn minimal_gap_is_usable() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(AllocationStrategy::Random.pick(4, 6, &mut rng), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no free digit")]
+    fn empty_gap_panics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        AllocationStrategy::Random.pick(4, 5, &mut rng);
+    }
+
+    #[test]
+    fn default_is_the_paper_boundary() {
+        assert_eq!(AllocationStrategy::default(), AllocationStrategy::Boundary(1_000_000));
+    }
+}

@@ -1,0 +1,35 @@
+//! # treedoc-replication
+//!
+//! The happened-before delivery substrate the Treedoc CRDT relies on (§1 and
+//! §2.2 of the paper): operations initiated at one site must be replayed at
+//! every other site in an order compatible with Lamport's happened-before
+//! relation — concurrent operations may arrive in any order, which is exactly
+//! the case the CRDT design makes harmless.
+//!
+//! The crate provides:
+//!
+//! * [`VectorClock`] — the causality-tracking clock each replica maintains;
+//! * [`CausalMessage`] / [`CausalBuffer`] — causal broadcast: messages carry
+//!   the sender's clock and a hold-back queue delivers them only once their
+//!   causal predecessors have been delivered;
+//! * [`SimNetwork`] — a deterministic discrete-event network simulator with
+//!   per-link latency, reordering and partitions, used by the test suite, the
+//!   `treedoc-sim` scenarios and the flatten commitment protocol;
+//! * [`Replica`] — glue that owns a document, stamps locally initiated
+//!   operations and replays remote ones in causal order, for any document
+//!   type implementing [`ReplicatedDocument`] (provided here for
+//!   [`Treedoc`](treedoc_core::Treedoc) and implementable for any other CRDT,
+//!   e.g. the Logoot baseline).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod causal;
+pub mod clock;
+pub mod network;
+pub mod replica;
+
+pub use causal::{CausalBuffer, CausalMessage};
+pub use clock::{ClockOrdering, VectorClock};
+pub use network::{LinkConfig, NetworkEvent, SimNetwork};
+pub use replica::{Replica, ReplicatedDocument};

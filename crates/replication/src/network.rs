@@ -1,0 +1,311 @@
+//! A deterministic discrete-event network simulator.
+//!
+//! The paper evaluates Treedoc by replaying serialised edit histories; to
+//! exercise the *distributed* behaviour (concurrent edits, delayed and
+//! reordered delivery, partitions, the flatten commitment protocol) this
+//! crate provides a small discrete-event simulator: messages are enqueued
+//! with a delivery time drawn from a per-link latency model, and the
+//! simulation advances by repeatedly delivering the earliest message.
+//! Everything is seeded, so runs are reproducible.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use treedoc_core::SiteId;
+
+/// Latency model of a link (or of the whole network when no per-link
+/// override is registered).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Minimum one-way latency in simulated milliseconds.
+    pub min_latency_ms: u64,
+    /// Maximum one-way latency in simulated milliseconds.
+    pub max_latency_ms: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig { min_latency_ms: 5, max_latency_ms: 50 }
+    }
+}
+
+impl LinkConfig {
+    /// A fixed-latency link.
+    pub fn fixed(latency_ms: u64) -> Self {
+        LinkConfig { min_latency_ms: latency_ms, max_latency_ms: latency_ms }
+    }
+}
+
+/// A message in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkEvent<T> {
+    /// Simulated delivery time in milliseconds.
+    pub deliver_at: u64,
+    /// Sending site.
+    pub from: SiteId,
+    /// Receiving site.
+    pub to: SiteId,
+    /// The payload.
+    pub payload: T,
+    /// Monotonic sequence number used to break ties deterministically.
+    seq: u64,
+}
+
+impl<T: Eq> Ord for NetworkEvent<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+impl<T: Eq> PartialOrd for NetworkEvent<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulated network.
+#[derive(Debug)]
+pub struct SimNetwork<T> {
+    now_ms: u64,
+    next_seq: u64,
+    default_link: LinkConfig,
+    in_flight: BinaryHeap<Reverse<NetworkEvent<T>>>,
+    /// Ordered pairs `(from, to)` that are currently partitioned: messages
+    /// between them are queued but not delivered until the partition heals.
+    partitions: BTreeSet<(SiteId, SiteId)>,
+    held: Vec<NetworkEvent<T>>,
+    rng: StdRng,
+    delivered_count: u64,
+    sent_count: u64,
+}
+
+impl<T: Eq> SimNetwork<T> {
+    /// Creates a network with the given default link model and RNG seed.
+    pub fn new(default_link: LinkConfig, seed: u64) -> Self {
+        SimNetwork {
+            now_ms: 0,
+            next_seq: 0,
+            default_link,
+            in_flight: BinaryHeap::new(),
+            partitions: BTreeSet::new(),
+            held: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            delivered_count: 0,
+            sent_count: 0,
+        }
+    }
+
+    /// Current simulated time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Number of messages handed to the network so far.
+    pub fn sent_count(&self) -> u64 {
+        self.sent_count
+    }
+
+    /// Number of messages delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered_count
+    }
+
+    /// Number of messages still in flight (including ones blocked by a
+    /// partition).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len() + self.held.len()
+    }
+
+    /// Sends `payload` from `from` to `to`; it will be delivered after a
+    /// link-dependent delay (unless a partition holds it back longer).
+    pub fn send(&mut self, from: SiteId, to: SiteId, payload: T) {
+        let latency = self.sample_latency();
+        let event = NetworkEvent {
+            deliver_at: self.now_ms + latency,
+            from,
+            to,
+            payload,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.sent_count += 1;
+        if self.partitions.contains(&(from, to)) {
+            self.held.push(event);
+        } else {
+            self.in_flight.push(Reverse(event));
+        }
+    }
+
+    /// Broadcasts `payload` from `from` to every site in `recipients` except
+    /// the sender itself.
+    pub fn broadcast(&mut self, from: SiteId, recipients: &[SiteId], payload: T)
+    where
+        T: Clone,
+    {
+        for &to in recipients {
+            if to != from {
+                self.send(from, to, payload.clone());
+            }
+        }
+    }
+
+    /// Cuts the directed link `from → to`.
+    pub fn partition(&mut self, from: SiteId, to: SiteId) {
+        self.partitions.insert((from, to));
+    }
+
+    /// Cuts both directions between two sites.
+    pub fn partition_both(&mut self, a: SiteId, b: SiteId) {
+        self.partition(a, b);
+        self.partition(b, a);
+    }
+
+    /// Heals the directed link `from → to`; messages held during the
+    /// partition are released (with fresh latency from the current time).
+    pub fn heal(&mut self, from: SiteId, to: SiteId) {
+        self.partitions.remove(&(from, to));
+        let (release, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut self.held)
+            .into_iter()
+            .partition(|e| e.from == from && e.to == to);
+        self.held = keep;
+        for mut event in release {
+            let latency = self.sample_latency();
+            event.deliver_at = self.now_ms + latency;
+            self.in_flight.push(Reverse(event));
+        }
+    }
+
+    /// Heals both directions between two sites.
+    pub fn heal_both(&mut self, a: SiteId, b: SiteId) {
+        self.heal(a, b);
+        self.heal(b, a);
+    }
+
+    /// Delivers the next message (earliest delivery time), advancing the
+    /// simulated clock. Returns `None` when nothing is deliverable (the
+    /// network is idle or everything is blocked behind partitions).
+    pub fn step(&mut self) -> Option<NetworkEvent<T>> {
+        let Reverse(event) = self.in_flight.pop()?;
+        self.now_ms = self.now_ms.max(event.deliver_at);
+        self.delivered_count += 1;
+        Some(event)
+    }
+
+    fn sample_latency(&mut self) -> u64 {
+        let LinkConfig { min_latency_ms, max_latency_ms } = self.default_link;
+        if max_latency_ms <= min_latency_ms {
+            min_latency_ms
+        } else {
+            self.rng.gen_range(min_latency_ms..=max_latency_ms)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(n: u64) -> SiteId {
+        SiteId::from_u64(n)
+    }
+
+    #[test]
+    fn messages_are_delivered_in_time_order() {
+        let mut net: SimNetwork<u32> = SimNetwork::new(LinkConfig::default(), 42);
+        for i in 0..20 {
+            net.send(site(1), site(2), i);
+        }
+        assert_eq!(net.in_flight(), 20);
+        let mut last_time = 0;
+        let mut count = 0;
+        while let Some(ev) = net.step() {
+            assert!(ev.deliver_at >= last_time);
+            last_time = ev.deliver_at;
+            count += 1;
+        }
+        assert_eq!(count, 20);
+        assert_eq!(net.delivered_count(), 20);
+        assert_eq!(net.sent_count(), 20);
+    }
+
+    #[test]
+    fn variable_latency_reorders_messages() {
+        let mut net: SimNetwork<u32> = SimNetwork::new(
+            LinkConfig { min_latency_ms: 1, max_latency_ms: 500 },
+            7,
+        );
+        for i in 0..50 {
+            net.send(site(1), site(2), i);
+        }
+        let mut order = Vec::new();
+        while let Some(ev) = net.step() {
+            order.push(ev.payload);
+        }
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(order, sorted, "with a wide latency range some reordering must occur");
+    }
+
+    #[test]
+    fn fixed_latency_preserves_order() {
+        let mut net: SimNetwork<u32> = SimNetwork::new(LinkConfig::fixed(10), 7);
+        for i in 0..10 {
+            net.send(site(1), site(2), i);
+        }
+        let mut order = Vec::new();
+        while let Some(ev) = net.step() {
+            order.push(ev.payload);
+        }
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_the_sender() {
+        let sites = [site(1), site(2), site(3)];
+        let mut net: SimNetwork<u32> = SimNetwork::new(LinkConfig::fixed(1), 7);
+        net.broadcast(site(1), &sites, 9);
+        let mut recipients = Vec::new();
+        while let Some(ev) = net.step() {
+            recipients.push(ev.to);
+        }
+        assert_eq!(recipients.len(), 2);
+        assert!(recipients.contains(&site(2)) && recipients.contains(&site(3)));
+    }
+
+    #[test]
+    fn partitions_hold_messages_until_healed() {
+        let mut net: SimNetwork<u32> = SimNetwork::new(LinkConfig::fixed(1), 7);
+        net.partition_both(site(1), site(2));
+        net.send(site(1), site(2), 1);
+        net.send(site(2), site(1), 2);
+        assert!(net.step().is_none(), "both messages are stuck behind the partition");
+        assert_eq!(net.in_flight(), 2);
+        net.heal_both(site(1), site(2));
+        let mut payloads = Vec::new();
+        while let Some(ev) = net.step() {
+            payloads.push(ev.payload);
+        }
+        payloads.sort_unstable();
+        assert_eq!(payloads, vec![1, 2]);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let run = |seed| {
+            let mut net: SimNetwork<u32> = SimNetwork::new(LinkConfig::default(), seed);
+            for i in 0..30 {
+                net.send(site(1), site(2), i);
+            }
+            let mut order = Vec::new();
+            while let Some(ev) = net.step() {
+                order.push(ev.payload);
+            }
+            order
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+}

@@ -1,0 +1,26 @@
+//! # treedoc-sim
+//!
+//! A multi-site cooperative-editing simulator.
+//!
+//! The paper's evaluation replays serialised edit histories on a single
+//! replica; this crate exercises the *distributed* claim — convergence of
+//! concurrently edited replicas under happened-before delivery — by driving
+//! several [`Replica`](treedoc_replication::Replica)s over the seeded
+//! discrete-event network of `treedoc-replication`:
+//!
+//! * every site performs random local edits (seeded, reproducible),
+//! * operations are broadcast through the simulated network (latency,
+//!   reordering, optional partitions),
+//! * causal delivery is enforced by each replica's hold-back buffer,
+//! * at the end the scenario drains the network and asserts convergence.
+//!
+//! [`Scenario`] describes a run; [`run`] executes it and returns the
+//! [`SimReport`] used by the integration tests, the examples and the
+//! benchmark ablations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scenario;
+
+pub use scenario::{run, Scenario, SimReport};

@@ -1,0 +1,224 @@
+//! Randomised cooperative-editing scenarios.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use treedoc_core::{Op, Sdis, SiteId, Treedoc, TreedocConfig};
+use treedoc_replication::{CausalMessage, LinkConfig, Replica, SimNetwork};
+
+/// Description of one simulated editing session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Number of replicas (sites).
+    pub sites: usize,
+    /// Local edits initiated per site.
+    pub edits_per_site: usize,
+    /// Probability that an edit is a delete rather than an insert.
+    pub delete_ratio: f64,
+    /// How many edits a site performs before its batch is broadcast
+    /// (1 = every edit is broadcast immediately).
+    pub burst: usize,
+    /// Whether the §4.1 balancing strategies are enabled.
+    pub balancing: bool,
+    /// Simulate a temporary partition of the first site for the middle third
+    /// of the run.
+    pub partition_first_site: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            sites: 3,
+            edits_per_site: 100,
+            delete_ratio: 0.3,
+            burst: 5,
+            balancing: false,
+            partition_first_site: false,
+            seed: 42,
+        }
+    }
+}
+
+/// What a scenario run measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Whether every replica ended with identical content.
+    pub converged: bool,
+    /// Final document length.
+    pub final_len: usize,
+    /// Total operations generated across all sites.
+    pub ops_generated: usize,
+    /// Total messages delivered by the network.
+    pub messages_delivered: u64,
+    /// Largest causal hold-back queue observed across replicas.
+    pub max_pending: usize,
+    /// Total network payload bytes (identifiers + atoms), the §5.2 network
+    /// cost estimate.
+    pub network_bytes: usize,
+    /// Final simulated time in milliseconds.
+    pub sim_time_ms: u64,
+}
+
+type Doc = Treedoc<String, Sdis>;
+type Msg = CausalMessage<Op<String, Sdis>>;
+
+/// Runs a scenario to completion (all messages delivered) and checks
+/// convergence.
+pub fn run(scenario: &Scenario) -> SimReport {
+    assert!(scenario.sites >= 2, "a cooperative session needs at least two sites");
+    let mut rng = StdRng::seed_from_u64(scenario.seed);
+    let site_ids: Vec<SiteId> = (1..=scenario.sites as u64).map(SiteId::from_u64).collect();
+    let config = if scenario.balancing {
+        TreedocConfig::balanced()
+    } else {
+        TreedocConfig::default()
+    };
+
+    // Everyone starts from the same exploded seed document.
+    let seed_doc: Vec<String> = (0..10).map(|i| format!("seed line {i}")).collect();
+    let mut replicas: Vec<Replica<Doc>> = site_ids
+        .iter()
+        .map(|&s| Replica::new(s, Doc::from_atoms_with_config(s, &seed_doc, config)))
+        .collect();
+
+    let mut net: SimNetwork<Msg> = SimNetwork::new(LinkConfig::default(), scenario.seed);
+    let mut ops_generated = 0usize;
+    let mut network_bytes = 0usize;
+    let mut max_pending = 0usize;
+
+    let total_rounds = scenario.edits_per_site.div_ceil(scenario.burst.max(1));
+    for round in 0..total_rounds {
+        // Optional partition of the first site for the middle third.
+        if scenario.partition_first_site && scenario.sites >= 2 {
+            if round == total_rounds / 3 {
+                for &other in &site_ids[1..] {
+                    net.partition_both(site_ids[0], other);
+                }
+            }
+            if round == (2 * total_rounds) / 3 {
+                for &other in &site_ids[1..] {
+                    net.heal_both(site_ids[0], other);
+                }
+            }
+        }
+
+        // Each site performs a burst of local edits and broadcasts them.
+        for i in 0..replicas.len() {
+            for _ in 0..scenario.burst.max(1) {
+                let op = {
+                    let replica = &mut replicas[i];
+                    let doc = replica.doc_mut();
+                    let len = doc.len();
+                    if len > 1 && rng.gen_bool(scenario.delete_ratio) {
+                        let idx = rng.gen_range(0..len);
+                        doc.local_delete(idx).expect("index in range")
+                    } else {
+                        let idx = rng.gen_range(0..=len);
+                        let text = format!("site{} round{} {}", i + 1, round, rng.gen::<u32>());
+                        doc.local_insert(idx, text).expect("index in range")
+                    }
+                };
+                ops_generated += 1;
+                network_bytes += op.network_bytes() * (scenario.sites - 1);
+                let msg = replicas[i].stamp(op);
+                net.broadcast(site_ids[i], &site_ids, msg);
+            }
+        }
+
+        // Let some of the traffic flow between rounds (not all of it, so
+        // concurrency actually happens).
+        let deliver_now = net.in_flight() / 2;
+        for _ in 0..deliver_now {
+            let Some(event) = net.step() else { break };
+            let idx = site_ids.iter().position(|&s| s == event.to).expect("known site");
+            replicas[idx].receive(event.payload);
+            max_pending = max_pending.max(replicas[idx].pending());
+        }
+    }
+
+    // Heal any remaining partition and drain the network.
+    if scenario.partition_first_site {
+        for &other in &site_ids[1..] {
+            net.heal_both(site_ids[0], other);
+        }
+    }
+    while let Some(event) = net.step() {
+        let idx = site_ids.iter().position(|&s| s == event.to).expect("known site");
+        replicas[idx].receive(event.payload);
+        max_pending = max_pending.max(replicas[idx].pending());
+    }
+
+    let reference = replicas[0].doc().to_vec();
+    let converged = replicas.iter().all(|r| r.doc().to_vec() == reference)
+        && replicas.iter().all(|r| r.pending() == 0);
+
+    SimReport {
+        converged,
+        final_len: reference.len(),
+        ops_generated,
+        messages_delivered: net.delivered_count(),
+        max_pending,
+        network_bytes,
+        sim_time_ms: net.now_ms(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scenario_converges() {
+        let report = run(&Scenario::default());
+        assert!(report.converged, "replicas must converge: {report:?}");
+        assert!(report.ops_generated >= 300);
+        assert!(report.messages_delivered > 0);
+        assert!(report.network_bytes > 0);
+    }
+
+    #[test]
+    fn many_sites_converge() {
+        let report = run(&Scenario { sites: 6, edits_per_site: 40, ..Default::default() });
+        assert!(report.converged);
+        assert_eq!(report.ops_generated, 6 * 40);
+    }
+
+    #[test]
+    fn convergence_survives_a_partition() {
+        let report = run(&Scenario {
+            sites: 4,
+            edits_per_site: 60,
+            partition_first_site: true,
+            ..Default::default()
+        });
+        assert!(report.converged, "partitioned-then-healed replicas must still converge");
+    }
+
+    #[test]
+    fn balancing_does_not_affect_convergence() {
+        let plain = run(&Scenario { seed: 7, ..Default::default() });
+        let balanced = run(&Scenario { seed: 7, balancing: true, ..Default::default() });
+        assert!(plain.converged && balanced.converged);
+        assert_eq!(plain.final_len, balanced.final_len, "same seed, same edits, same length");
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let a = run(&Scenario::default());
+        let b = run(&Scenario::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn delete_heavy_sessions_converge() {
+        let report = run(&Scenario {
+            delete_ratio: 0.7,
+            edits_per_site: 80,
+            ..Default::default()
+        });
+        assert!(report.converged);
+    }
+}

@@ -1,0 +1,34 @@
+//! # treedoc-storage
+//!
+//! The on-disk format described in §5.2 of the Treedoc paper:
+//!
+//! > "In order to store a Treedoc on disk, we use a modified version of the
+//! > well-known technique that represents a binary heap of depth *i* as an
+//! > array of size 2^*i*. Nodes are stored from top to bottom, line by line,
+//! > and nodes on the same line are stored left to right. Each array entry
+//! > contains a disambiguator and a reference to the corresponding atom
+//! > (stored in a separate file). For every node that has only a single
+//! > descendant or no descendants, we fill the places with a special marker.
+//! > To save space, we compress sequences of markers with run-length
+//! > encoding."
+//!
+//! [`DiskImage::encode`] serialises a [`Tree`](treedoc_core::Tree) into
+//! exactly that layout: a breadth-first *structure file* (entries = optional
+//! disambiguator + atom reference, holes = run-length-encoded markers) plus a
+//! separate *atom file*. The size of the structure file is the "On-disk
+//! overhead" column of Table 1. [`DiskImage::decode`] reads the image back.
+//!
+//! Mini-node children live in their own namespaces and therefore do not fit
+//! the plain positional array (the paper notes the case "does not occur in
+//! our tests" because SVN and Wikipedia serialise their edits); they are
+//! stored in an explicit overflow section so that round-tripping is always
+//! lossless.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod heap;
+pub mod rle;
+
+pub use heap::{DisCodec, DiskImage, EncodeStats};
+pub use rle::{rle_compress, rle_decompress};

@@ -1,0 +1,186 @@
+//! Run-length encoding of marker runs.
+//!
+//! The breadth-first array contains long runs of "no node here" markers
+//! (positions of the complete binary tree that hold no Treedoc node); the
+//! paper compresses those runs with run-length encoding. The scheme used
+//! here encodes a byte stream as a sequence of records:
+//!
+//! * `0x00, varint(n)` — a run of `n` marker bytes (`0xFF`),
+//! * `0x01, varint(len), bytes…` — a literal chunk.
+//!
+//! Varints are LEB128 (7 bits per byte, high bit = continuation).
+
+/// The marker byte standing for "no node at this position".
+pub const MARKER: u8 = 0xFF;
+
+const RUN_TAG: u8 = 0x00;
+const LITERAL_TAG: u8 = 0x01;
+
+/// Appends a LEB128 varint.
+fn push_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint, advancing `pos`. Returns `None` on truncated input.
+fn read_varint(data: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(*pos)?;
+        *pos += 1;
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+/// Compresses `data`, replacing runs of [`MARKER`] bytes by run records.
+pub fn rle_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 4 + 16);
+    let mut i = 0;
+    while i < data.len() {
+        if data[i] == MARKER {
+            let start = i;
+            while i < data.len() && data[i] == MARKER {
+                i += 1;
+            }
+            out.push(RUN_TAG);
+            push_varint(&mut out, (i - start) as u64);
+        } else {
+            let start = i;
+            while i < data.len() && data[i] != MARKER {
+                i += 1;
+            }
+            out.push(LITERAL_TAG);
+            push_varint(&mut out, (i - start) as u64);
+            out.extend_from_slice(&data[start..i]);
+        }
+    }
+    out
+}
+
+/// Decompresses a stream produced by [`rle_compress`]. Returns `None` if the
+/// stream is malformed or truncated.
+pub fn rle_decompress(data: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    let mut pos = 0;
+    while pos < data.len() {
+        let tag = data[pos];
+        pos += 1;
+        match tag {
+            RUN_TAG => {
+                let n = read_varint(data, &mut pos)? as usize;
+                out.resize(out.len() + n, MARKER);
+            }
+            LITERAL_TAG => {
+                let n = read_varint(data, &mut pos)? as usize;
+                if pos + n > data.len() {
+                    return None;
+                }
+                out.extend_from_slice(&data[pos..pos + n]);
+                pos += n;
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_simple() {
+        let data = vec![1, 2, 3, MARKER, MARKER, MARKER, 4, MARKER, 5];
+        let packed = rle_compress(&data);
+        assert_eq!(rle_decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn long_marker_runs_shrink_dramatically() {
+        let mut data = vec![7u8; 10];
+        data.extend(std::iter::repeat(MARKER).take(10_000));
+        data.extend([9u8; 5]);
+        let packed = rle_compress(&data);
+        assert!(packed.len() < 40, "10k markers must pack into a few bytes, got {}", packed.len());
+        assert_eq!(rle_decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(rle_compress(&[]).is_empty());
+        assert_eq!(rle_decompress(&[]).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn all_markers_and_no_markers() {
+        let markers = vec![MARKER; 300];
+        assert_eq!(rle_decompress(&rle_compress(&markers)).unwrap(), markers);
+        let plain: Vec<u8> = (0u8..200).collect();
+        assert_eq!(rle_decompress(&rle_compress(&plain)).unwrap(), plain);
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert!(rle_decompress(&[9]).is_none(), "unknown tag");
+        assert!(rle_decompress(&[LITERAL_TAG, 5, 1, 2]).is_none(), "truncated literal");
+        assert!(rle_decompress(&[RUN_TAG]).is_none(), "missing run length");
+        assert!(rle_decompress(&[RUN_TAG, 0x80]).is_none(), "truncated varint");
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for n in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64] {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, n);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Some(n));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Compression round-trips on arbitrary byte strings (markers
+            /// included, since 0xFF can occur in payload bytes too).
+            #[test]
+            fn round_trips(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+                let packed = rle_compress(&data);
+                prop_assert_eq!(rle_decompress(&packed).unwrap(), data);
+            }
+
+            /// Marker-heavy inputs never expand by more than a small constant
+            /// factor and shrink when runs dominate.
+            #[test]
+            fn marker_runs_compress(runs in proptest::collection::vec((any::<u8>(), 1usize..200), 1..20)) {
+                let mut data = Vec::new();
+                for (byte, len) in &runs {
+                    if byte % 2 == 0 {
+                        data.extend(std::iter::repeat(MARKER).take(*len));
+                    } else {
+                        data.extend(std::iter::repeat(*byte).take(*len));
+                    }
+                }
+                let packed = rle_compress(&data);
+                prop_assert_eq!(rle_decompress(&packed).unwrap(), data);
+            }
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Synthetic twins of the documents studied in the paper.
+//!
+//! The paper's evaluation replays the revision histories of three Wikipedia
+//! pages (paragraph-granularity atoms) and three LaTeX source files
+//! (line-granularity atoms); Table 1 and Table 2 give their sizes, byte
+//! counts and revision counts. Those repositories are not redistributable, so
+//! this module generates *deterministic synthetic histories* with the same
+//! published characteristics:
+//!
+//! * initial and final number of atoms, final byte size, revision count
+//!   (Table 1 captions / Table 2);
+//! * localized edits around moving hot spots, appends, and modifications
+//!   (delete + insert of the same position);
+//! * for wiki documents, occasional vandalism episodes — a large fraction of
+//!   the page is deleted and restored in the following revision — which the
+//!   paper singles out as the cause of the unusually high delete counts.
+//!
+//! Every measured quantity in the paper (identifier length, node counts,
+//! tombstone fraction, on-disk size) is a function of the *positions* of the
+//! replayed inserts and deletes only, so reproducing these statistics is what
+//! matters for the shape of the results, not the actual prose.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::history::{History, Revision};
+
+/// The two document families studied in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DocumentKind {
+    /// Wikipedia page: paragraph atoms, vandalism episodes.
+    Wiki,
+    /// LaTeX (or source-code) file: line atoms, no vandalism.
+    Latex,
+}
+
+/// Parameters of one synthetic document twin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DocumentSpec {
+    /// Document name as used in Table 1.
+    pub name: String,
+    /// Document family.
+    pub kind: DocumentKind,
+    /// Atoms in the first revision.
+    pub initial_units: usize,
+    /// Atoms in the final revision.
+    pub final_units: usize,
+    /// Number of revisions in the history.
+    pub revisions: usize,
+    /// Approximate byte size of the final revision.
+    pub target_bytes: usize,
+    /// Whether vandalism episodes occur (wiki pages only).
+    pub vandalism: bool,
+    /// RNG seed (fixed per document so every run regenerates the same twin).
+    pub seed: u64,
+}
+
+impl DocumentSpec {
+    /// Average atom size needed to hit the byte target.
+    fn unit_bytes(&self) -> usize {
+        (self.target_bytes / self.final_units.max(1)).max(8)
+    }
+
+    /// Generates the synthetic history for this specification.
+    pub fn generate(&self) -> History {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let unit_bytes = self.unit_bytes();
+        let mut counter = 0usize;
+        let mut fresh_unit = |rng: &mut StdRng, rev: usize| -> String {
+            counter += 1;
+            synth_unit(rng, rev, counter, unit_bytes)
+        };
+
+        let mut revisions: Vec<Revision> = Vec::with_capacity(self.revisions);
+        let mut current: Revision =
+            (0..self.initial_units).map(|_| fresh_unit(&mut rng, 0)).collect();
+        revisions.push(current.clone());
+
+        // Net growth needed per revision to reach the final size.
+        let steps = self.revisions.saturating_sub(1).max(1);
+        let growth_per_rev =
+            (self.final_units as f64 - self.initial_units as f64) / steps as f64;
+
+        let mut hot_spot = current.len() / 2;
+        let mut pre_vandalism: Option<Revision> = None;
+
+        for rev in 1..self.revisions {
+            // A vandalised revision is followed by a restore of the previous
+            // content (plus nothing else), as on real wiki pages.
+            if let Some(saved) = pre_vandalism.take() {
+                current = saved;
+                revisions.push(current.clone());
+                continue;
+            }
+
+            if self.vandalism && current.len() > 20 && rng.gen_bool(0.012) {
+                // Vandalism: blank out a large fraction of the page.
+                pre_vandalism = Some(current.clone());
+                let keep = current.len() / rng.gen_range(4..10);
+                current.truncate(keep.max(1));
+                revisions.push(current.clone());
+                continue;
+            }
+
+            // Ordinary revision: a burst of localized edits. Source-code
+            // commits touch many more lines per revision than wiki edits
+            // touch paragraphs (compare the node counts of Table 1: ~36
+            // inserts per revision for the LaTeX files versus ~3 for the
+            // Wikipedia pages).
+            let expected_len =
+                self.initial_units as f64 + growth_per_rev * rev as f64;
+            let deficit = expected_len - current.len() as f64;
+            let inserts = if deficit > 0.0 {
+                deficit.ceil() as usize + rng.gen_range(0..=2usize)
+            } else {
+                rng.gen_range(0..=1usize)
+            };
+            let modifications = match self.kind {
+                DocumentKind::Wiki => rng.gen_range(0..=2usize),
+                DocumentKind::Latex => rng.gen_range(18..=40usize),
+            };
+            // Delete whatever would overshoot the expected length curve.
+            let deletions =
+                ((current.len() + inserts) as f64 - expected_len).max(0.0).round() as usize;
+
+            // Move the hot spot occasionally; most edits cluster around it.
+            if rng.gen_bool(0.3) || hot_spot >= current.len() {
+                hot_spot = if current.is_empty() { 0 } else { rng.gen_range(0..current.len()) };
+            }
+
+            for _ in 0..modifications {
+                if current.is_empty() {
+                    break;
+                }
+                let idx = clamp_near(&mut rng, hot_spot, current.len());
+                current[idx] = fresh_unit(&mut rng, rev);
+            }
+            for _ in 0..deletions {
+                if current.len() <= 2 {
+                    break;
+                }
+                let idx = clamp_near(&mut rng, hot_spot, current.len());
+                current.remove(idx);
+            }
+            for _ in 0..inserts {
+                // Appends are common in practice (both wiki pages and LaTeX
+                // files mostly grow at the end); mix appends and hot-spot
+                // inserts.
+                let idx = if rng.gen_bool(0.4) {
+                    current.len()
+                } else {
+                    clamp_near(&mut rng, hot_spot, current.len() + 1)
+                };
+                let unit = fresh_unit(&mut rng, rev);
+                current.insert(idx.min(current.len()), unit);
+            }
+
+            revisions.push(current.clone());
+        }
+
+        History::new(self.name.clone(), revisions)
+    }
+}
+
+/// A pseudo-random index near `center`, clamped to `len`.
+fn clamp_near(rng: &mut StdRng, center: usize, len: usize) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let spread = (len / 8).max(2);
+    let offset = rng.gen_range(0..=spread * 2) as isize - spread as isize;
+    let idx = center as isize + offset;
+    idx.clamp(0, len as isize - 1) as usize
+}
+
+/// A synthetic atom (line or paragraph) of roughly `bytes` bytes whose text
+/// is unique to this (revision, counter) pair, so modified atoms never
+/// collide with the text they replace.
+fn synth_unit(rng: &mut StdRng, rev: usize, counter: usize, bytes: usize) -> String {
+    let mut s = format!("r{rev} u{counter}");
+    const WORDS: [&str; 12] = [
+        "replica", "commute", "identifier", "buffer", "editing", "tree", "atom", "merge",
+        "concurrent", "site", "path", "convergence",
+    ];
+    while s.len() < bytes {
+        s.push(' ');
+        s.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    s.truncate(bytes.max(4));
+    s
+}
+
+/// The six documents of Table 1, with the sizes and revision counts the paper
+/// reports (wiki sizes are in paragraphs, LaTeX sizes in lines).
+pub fn paper_corpus() -> Vec<DocumentSpec> {
+    vec![
+        DocumentSpec {
+            name: "Distributed Computing".into(),
+            kind: DocumentKind::Wiki,
+            initial_units: 9,
+            final_units: 171,
+            revisions: 870,
+            target_bytes: 19_686,
+            vandalism: true,
+            seed: 0xD15C0,
+        },
+        DocumentSpec {
+            name: "IBM POWER".into(),
+            kind: DocumentKind::Wiki,
+            initial_units: 28,
+            final_units: 184,
+            revisions: 401,
+            target_bytes: 24_651,
+            vandalism: true,
+            seed: 0x1B4,
+        },
+        DocumentSpec {
+            name: "Grey Owl".into(),
+            kind: DocumentKind::Wiki,
+            initial_units: 18,
+            final_units: 110,
+            revisions: 242,
+            target_bytes: 12_388,
+            vandalism: true,
+            seed: 0x62E7,
+        },
+        DocumentSpec {
+            name: "acf.tex".into(),
+            kind: DocumentKind::Latex,
+            initial_units: 99,
+            final_units: 332,
+            revisions: 51,
+            target_bytes: 14_048,
+            vandalism: false,
+            seed: 0xACF,
+        },
+        DocumentSpec {
+            name: "algorithms.tex".into(),
+            kind: DocumentKind::Latex,
+            initial_units: 121,
+            final_units: 396,
+            revisions: 58,
+            target_bytes: 15_186,
+            vandalism: false,
+            seed: 0xA160,
+        },
+        DocumentSpec {
+            name: "propagation.tex".into(),
+            kind: DocumentKind::Latex,
+            initial_units: 150,
+            final_units: 481,
+            revisions: 68,
+            target_bytes: 22_170,
+            vandalism: false,
+            seed: 0x9209,
+        },
+    ]
+}
+
+/// The LaTeX subset of the corpus (Tables 3 and 4 report on LaTeX documents
+/// only).
+pub fn latex_corpus() -> Vec<DocumentSpec> {
+    paper_corpus()
+        .into_iter()
+        .filter(|s| s.kind == DocumentKind::Latex)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_matches_published_characteristics() {
+        for spec in paper_corpus() {
+            let history = spec.generate();
+            assert_eq!(history.revision_count(), spec.revisions, "{}", spec.name);
+            assert_eq!(history.initial_len(), spec.initial_units, "{}", spec.name);
+            let final_len = history.final_len();
+            let tolerance = (spec.final_units as f64 * 0.25).max(12.0) as usize;
+            assert!(
+                final_len.abs_diff(spec.final_units) <= tolerance,
+                "{}: final size {} too far from target {}",
+                spec.name,
+                final_len,
+                spec.final_units
+            );
+            let bytes = history.final_bytes();
+            assert!(
+                bytes.abs_diff(spec.target_bytes) <= spec.target_bytes / 2,
+                "{}: final bytes {} too far from target {}",
+                spec.name,
+                bytes,
+                spec.target_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = &paper_corpus()[3];
+        assert_eq!(spec.generate(), spec.generate());
+    }
+
+    #[test]
+    fn different_documents_differ() {
+        let corpus = paper_corpus();
+        assert_ne!(corpus[3].generate().revisions, corpus[4].generate().revisions);
+    }
+
+    #[test]
+    fn wiki_documents_contain_vandalism_episodes() {
+        let spec = paper_corpus()
+            .into_iter()
+            .find(|s| s.name == "Distributed Computing")
+            .unwrap();
+        let history = spec.generate();
+        // A vandalism episode shows up as a revision dramatically smaller
+        // than its predecessor, followed by a restore.
+        let mut found = false;
+        for w in history.revisions.windows(3) {
+            if w[1].len() * 2 < w[0].len() && w[2].len() >= w[0].len() {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "expected at least one vandalism + restore episode");
+    }
+
+    #[test]
+    fn latex_corpus_is_the_latex_subset() {
+        let latex = latex_corpus();
+        assert_eq!(latex.len(), 3);
+        assert!(latex.iter().all(|s| s.kind == DocumentKind::Latex));
+    }
+
+    #[test]
+    fn table2_summary_shape_holds() {
+        // Table 2: the most active document has many revisions and grows from
+        // a small start; the least active one has few revisions.
+        let corpus = paper_corpus();
+        let revisions: Vec<usize> = corpus.iter().map(|s| s.revisions).collect();
+        assert_eq!(*revisions.iter().max().unwrap(), 870);
+        assert_eq!(*revisions.iter().min().unwrap(), 51);
+    }
+}

@@ -1,0 +1,258 @@
+//! Line diff between two consecutive revisions.
+//!
+//! The paper's methodology (§5): "for each revision, we compute the
+//! differences from the previous version, and execute an equivalent sequence
+//! of insert and delete operations". This module computes a longest-common-
+//! subsequence diff and expresses it as hunks that a replay harness can apply
+//! with a single forward cursor: `Keep(n)` advances over unchanged atoms,
+//! `Delete(n)` removes the next `n` atoms, `Insert(lines)` inserts a run of
+//! new atoms at the cursor. Modified atoms therefore show up as a delete
+//! followed by an insert, exactly as the paper models them.
+
+use std::collections::HashMap;
+
+/// One hunk of a diff, relative to a forward cursor over the document being
+/// transformed from the old to the new revision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffHunk {
+    /// The next `n` atoms are unchanged: advance the cursor.
+    Keep(usize),
+    /// Delete the next `n` atoms at the cursor.
+    Delete(usize),
+    /// Insert these atoms at the cursor (the cursor ends up after them).
+    Insert(Vec<String>),
+}
+
+/// Computes the diff from `old` to `new` as a sequence of hunks.
+///
+/// The result always satisfies: applying the hunks to `old` yields `new`,
+/// and `Keep` hunks only cover positions where both sides are identical.
+pub fn diff_lines(old: &[String], new: &[String]) -> Vec<DiffHunk> {
+    // Intern lines first so the LCS table compares small integers instead of
+    // whole strings.
+    let mut interner: HashMap<&str, u32> = HashMap::new();
+    let old_ids: Vec<u32> = old.iter().map(|s| intern(&mut interner, s)).collect();
+    let new_ids: Vec<u32> = new.iter().map(|s| intern(&mut interner, s)).collect();
+
+    let lcs = lcs_table(&old_ids, &new_ids);
+    let mut hunks: Vec<DiffHunk> = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    let n = old_ids.len();
+    let m = new_ids.len();
+    while i < n && j < m {
+        if old_ids[i] == new_ids[j] {
+            push_keep(&mut hunks, 1);
+            i += 1;
+            j += 1;
+        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
+            push_delete(&mut hunks, 1);
+            i += 1;
+        } else {
+            push_insert(&mut hunks, new[j].clone());
+            j += 1;
+        }
+    }
+    if i < n {
+        push_delete(&mut hunks, n - i);
+    }
+    while j < m {
+        push_insert(&mut hunks, new[j].clone());
+        j += 1;
+    }
+    hunks
+}
+
+/// Applies a diff to a vector (reference implementation used by tests and by
+/// consumers that only need the resulting content).
+pub fn apply_diff(old: &[String], hunks: &[DiffHunk]) -> Vec<String> {
+    let mut out: Vec<String> = old.to_vec();
+    let mut cursor = 0usize;
+    for hunk in hunks {
+        match hunk {
+            DiffHunk::Keep(n) => cursor += n,
+            DiffHunk::Delete(n) => {
+                out.drain(cursor..cursor + n);
+            }
+            DiffHunk::Insert(lines) => {
+                for (k, line) in lines.iter().enumerate() {
+                    out.insert(cursor + k, line.clone());
+                }
+                cursor += lines.len();
+            }
+        }
+    }
+    out
+}
+
+/// Counts the edit operations a diff will generate (inserts, deletes).
+pub fn op_counts(hunks: &[DiffHunk]) -> (usize, usize) {
+    let mut inserts = 0;
+    let mut deletes = 0;
+    for hunk in hunks {
+        match hunk {
+            DiffHunk::Keep(_) => {}
+            DiffHunk::Delete(n) => deletes += n,
+            DiffHunk::Insert(lines) => inserts += lines.len(),
+        }
+    }
+    (inserts, deletes)
+}
+
+fn push_keep(hunks: &mut Vec<DiffHunk>, n: usize) {
+    if let Some(DiffHunk::Keep(k)) = hunks.last_mut() {
+        *k += n;
+    } else {
+        hunks.push(DiffHunk::Keep(n));
+    }
+}
+
+fn push_delete(hunks: &mut Vec<DiffHunk>, n: usize) {
+    if let Some(DiffHunk::Delete(k)) = hunks.last_mut() {
+        *k += n;
+    } else {
+        hunks.push(DiffHunk::Delete(n));
+    }
+}
+
+fn push_insert(hunks: &mut Vec<DiffHunk>, line: String) {
+    if let Some(DiffHunk::Insert(lines)) = hunks.last_mut() {
+        lines.push(line);
+    } else {
+        hunks.push(DiffHunk::Insert(vec![line]));
+    }
+}
+
+/// LCS length table: `lcs[i][j]` = length of the LCS of `old[i..]` and
+/// `new[j..]`.
+fn lcs_table(old: &[u32], new: &[u32]) -> Vec<Vec<u32>> {
+    let n = old.len();
+    let m = new.len();
+    let mut table = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            table[i][j] = if old[i] == new[j] {
+                table[i + 1][j + 1] + 1
+            } else {
+                table[i + 1][j].max(table[i][j + 1])
+            };
+        }
+    }
+    table
+}
+
+/// Maps each distinct line to a small integer.
+fn intern<'a>(map: &mut HashMap<&'a str, u32>, line: &'a str) -> u32 {
+    if let Some(&id) = map.get(line) {
+        return id;
+    }
+    let id = map.len() as u32;
+    map.insert(line, id);
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn identical_revisions_produce_only_keeps() {
+        let a = lines(&["x", "y", "z"]);
+        let hunks = diff_lines(&a, &a);
+        assert_eq!(hunks, vec![DiffHunk::Keep(3)]);
+        assert_eq!(op_counts(&hunks), (0, 0));
+    }
+
+    #[test]
+    fn pure_insert_and_pure_delete() {
+        let a = lines(&["x", "y"]);
+        let b = lines(&["x", "new", "y"]);
+        let hunks = diff_lines(&a, &b);
+        assert_eq!(apply_diff(&a, &hunks), b);
+        assert_eq!(op_counts(&hunks), (1, 0));
+
+        let hunks = diff_lines(&b, &a);
+        assert_eq!(apply_diff(&b, &hunks), a);
+        assert_eq!(op_counts(&hunks), (0, 1));
+    }
+
+    #[test]
+    fn modification_is_delete_plus_insert() {
+        let a = lines(&["keep", "old line", "keep2"]);
+        let b = lines(&["keep", "new line", "keep2"]);
+        let hunks = diff_lines(&a, &b);
+        assert_eq!(apply_diff(&a, &hunks), b);
+        let (ins, del) = op_counts(&hunks);
+        assert_eq!((ins, del), (1, 1), "a modified atom costs one delete and one insert");
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let empty: Vec<String> = Vec::new();
+        let a = lines(&["x"]);
+        assert_eq!(apply_diff(&empty, &diff_lines(&empty, &a)), a);
+        assert_eq!(apply_diff(&a, &diff_lines(&a, &empty)), empty);
+        assert!(diff_lines(&empty, &empty).is_empty());
+    }
+
+    #[test]
+    fn repeated_lines_are_handled() {
+        let a = lines(&["dup", "dup", "x", "dup"]);
+        let b = lines(&["dup", "x", "dup", "dup", "y"]);
+        let hunks = diff_lines(&a, &b);
+        assert_eq!(apply_diff(&a, &hunks), b);
+    }
+
+    #[test]
+    fn keeps_are_maximised_for_large_common_parts() {
+        let a: Vec<String> = (0..100).map(|i| format!("line {i}")).collect();
+        let mut b = a.clone();
+        b[50] = "changed".to_string();
+        b.insert(80, "inserted".to_string());
+        let hunks = diff_lines(&a, &b);
+        assert_eq!(apply_diff(&a, &hunks), b);
+        let (ins, del) = op_counts(&hunks);
+        assert_eq!((ins, del), (2, 1));
+        let kept: usize = hunks
+            .iter()
+            .map(|h| if let DiffHunk::Keep(n) = h { *n } else { 0 })
+            .sum();
+        assert_eq!(kept, 99);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_doc() -> impl Strategy<Value = Vec<String>> {
+            proptest::collection::vec("[a-d]{0,3}", 0..40)
+        }
+
+        proptest! {
+            /// Applying the diff always reproduces the target revision.
+            #[test]
+            fn patch_reconstructs_target(old in arb_doc(), new in arb_doc()) {
+                let hunks = diff_lines(&old, &new);
+                prop_assert_eq!(apply_diff(&old, &hunks), new);
+            }
+
+            /// The diff of a document with itself performs no edits.
+            #[test]
+            fn self_diff_is_empty(doc in arb_doc()) {
+                let hunks = diff_lines(&doc, &doc);
+                prop_assert_eq!(op_counts(&hunks), (0, 0));
+            }
+
+            /// Edit counts are bounded by the document sizes.
+            #[test]
+            fn op_counts_are_bounded(old in arb_doc(), new in arb_doc()) {
+                let (ins, del) = op_counts(&diff_lines(&old, &new));
+                prop_assert!(ins <= new.len());
+                prop_assert!(del <= old.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Revision histories.
+
+use serde::{Deserialize, Serialize};
+
+/// One version of a document: its atoms (lines for LaTeX / source code,
+/// paragraphs for wiki pages) in order.
+pub type Revision = Vec<String>;
+
+/// A whole edit history: the successive versions of one document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct History {
+    /// Document name (e.g. `acf.tex`).
+    pub name: String,
+    /// The successive versions, oldest first.
+    pub revisions: Vec<Revision>,
+}
+
+impl History {
+    /// Creates a history.
+    pub fn new(name: impl Into<String>, revisions: Vec<Revision>) -> Self {
+        History { name: name.into(), revisions }
+    }
+
+    /// Number of revisions (versions) in the history.
+    pub fn revision_count(&self) -> usize {
+        self.revisions.len()
+    }
+
+    /// Number of atoms in the first version.
+    pub fn initial_len(&self) -> usize {
+        self.revisions.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Number of atoms in the last version.
+    pub fn final_len(&self) -> usize {
+        self.revisions.last().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Size in bytes of the final version's content.
+    pub fn final_bytes(&self) -> usize {
+        self.revisions
+            .last()
+            .map(|r| r.iter().map(String::len).sum())
+            .unwrap_or(0)
+    }
+
+    /// The summary row of Table 2 of the paper: revisions, initial and final
+    /// number of atoms.
+    pub fn summary(&self) -> (usize, usize, usize) {
+        (self.revision_count(), self.initial_len(), self.final_len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_reports_revisions_and_sizes() {
+        let h = History::new(
+            "doc",
+            vec![
+                vec!["a".into(), "b".into()],
+                vec!["a".into(), "b".into(), "c".into()],
+                vec!["a".into(), "c".into()],
+            ],
+        );
+        assert_eq!(h.revision_count(), 3);
+        assert_eq!(h.initial_len(), 2);
+        assert_eq!(h.final_len(), 2);
+        assert_eq!(h.final_bytes(), 2);
+        assert_eq!(h.summary(), (3, 2, 2));
+    }
+
+    #[test]
+    fn empty_history() {
+        let h = History::new("empty", vec![]);
+        assert_eq!(h.summary(), (0, 0, 0));
+        assert_eq!(h.final_bytes(), 0);
+    }
+}

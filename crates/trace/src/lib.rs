@@ -1,0 +1,38 @@
+//! # treedoc-trace
+//!
+//! The edit-trace substrate used by the evaluation (§5 of the paper).
+//!
+//! The paper replays co-operative edit sessions extracted from existing
+//! repositories (Wikipedia page histories, KDE SVN C++ files, private SVN
+//! LaTeX/Java files). Those repositories are not available offline, so this
+//! crate provides:
+//!
+//! * [`history`] — revision histories as plain data (`Vec` of versions, each
+//!   a list of lines or paragraphs);
+//! * [`diff`] — an LCS line diff that converts two consecutive revisions into
+//!   the insert/delete operations the paper's methodology prescribes (a
+//!   modified atom is modelled as a delete followed by an insert);
+//! * [`corpus`] — deterministic synthetic *twins* of the six documents the
+//!   paper reports on, parameterised to match their published size, revision
+//!   count and edit behaviour (Table 1 / Table 2), including Wikipedia-style
+//!   vandalism episodes;
+//! * [`replay`] — the measurement harness: replays a history against a
+//!   Treedoc replica (SDIS or UDIS, balancing on or off, flatten heuristics)
+//!   or against the Logoot baseline, recording the per-revision node counts
+//!   (Figure 6) and the final overhead statistics (Tables 1, 3, 4, 5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod diff;
+pub mod history;
+pub mod replay;
+
+pub use corpus::{latex_corpus, paper_corpus, DocumentKind, DocumentSpec};
+pub use diff::{diff_lines, DiffHunk};
+pub use history::{History, Revision};
+pub use replay::{
+    replay_logoot, replay_logoot_with, replay_treedoc, DisChoice, LogootParams, LogootReport,
+    ReplayConfig, ReplayReport, RevisionPoint,
+};

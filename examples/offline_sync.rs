@@ -1,0 +1,82 @@
+//! Offline editing and re-synchronisation, plus an agreed structural
+//! clean-up: a laptop edits while disconnected, reconnects, both sides
+//! converge, and then the replicas run the §4.2.1 commitment protocol to
+//! flatten the document (which aborts if anyone is still editing).
+//!
+//! Run with `cargo run --example offline_sync`.
+
+use treedoc_repro::commit::{run_two_phase, CommitOutcome, FlattenProposal, TreedocParticipant};
+use treedoc_repro::prelude::*;
+
+fn main() {
+    let seed: Vec<String> = (1..=8).map(|i| format!("section {i}")).collect();
+    let mut desktop: Treedoc<String, Udis> = Treedoc::from_atoms(SiteId::from_u64(1), &seed);
+    let mut laptop: Treedoc<String, Udis> = Treedoc::from_atoms(SiteId::from_u64(2), &seed);
+
+    // The laptop goes offline and keeps editing; the desktop edits too.
+    let mut laptop_outbox = Vec::new();
+    for k in 0..5 {
+        laptop_outbox.push(laptop.local_insert(3 + k, format!("offline note {k}")).unwrap());
+    }
+    laptop_outbox.push(laptop.local_delete(0).unwrap());
+
+    let mut desktop_outbox = Vec::new();
+    desktop_outbox.push(desktop.local_insert(8, "online appendix".to_string()).unwrap());
+    desktop_outbox.push(desktop.local_delete(1).unwrap());
+
+    println!("desktop before sync: {} atoms", desktop.len());
+    println!("laptop  before sync: {} atoms", laptop.len());
+
+    // Reconnection: exchange the buffered operations (any order works, the
+    // operations were concurrent).
+    for op in &laptop_outbox {
+        desktop.apply(op).unwrap();
+    }
+    for op in &desktop_outbox {
+        laptop.apply(op).unwrap();
+    }
+    assert_eq!(desktop.to_vec(), laptop.to_vec());
+    println!("after sync, both replicas hold {} atoms and identical content", desktop.len());
+
+    // Now that the session is quiescent, agree on a flatten with 2PC.
+    let proposal = FlattenProposal {
+        proposer: SiteId::from_u64(1),
+        subtree: Vec::new(),
+        base_revision: desktop.revision(),
+        txn: 1,
+    };
+    let nodes_before = desktop.node_count();
+    {
+        let mut docs = [&mut desktop, &mut laptop];
+        let mut participants: Vec<_> =
+            docs.iter_mut().map(|d| TreedocParticipant::new(d)).collect();
+        let (outcome, stats) = run_two_phase(&proposal, &mut participants);
+        println!(
+            "flatten commitment: {outcome:?} in {} messages over {} phases",
+            stats.total_messages(),
+            stats.phases
+        );
+        assert_eq!(outcome, CommitOutcome::Committed);
+    }
+    assert_eq!(desktop.to_vec(), laptop.to_vec());
+    println!(
+        "flatten compacted {} -> {} stored nodes; documents still identical",
+        nodes_before,
+        desktop.node_count()
+    );
+
+    // A second proposal while someone is editing gets vetoed.
+    let stale = FlattenProposal {
+        proposer: SiteId::from_u64(1),
+        subtree: Vec::new(),
+        base_revision: desktop.revision(),
+        txn: 2,
+    };
+    laptop.next_revision();
+    laptop.local_insert(0, "still typing...".to_string()).unwrap();
+    let mut docs = [&mut desktop, &mut laptop];
+    let mut participants: Vec<_> = docs.iter_mut().map(|d| TreedocParticipant::new(d)).collect();
+    let (outcome, _) = run_two_phase(&stale, &mut participants);
+    println!("flatten proposed during active editing: {outcome:?} (edits take precedence)");
+    assert!(matches!(outcome, CommitOutcome::Aborted { .. }));
+}

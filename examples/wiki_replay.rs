@@ -1,0 +1,52 @@
+//! Replays the synthetic twin of a Wikipedia revision history against
+//! Treedoc (with and without flattening) and against the Logoot baseline,
+//! printing the §5-style overhead measurements — a miniature of the paper's
+//! evaluation that runs in a couple of seconds.
+//!
+//! Run with `cargo run --release --example wiki_replay`.
+
+use treedoc_repro::trace::{
+    paper_corpus, replay_logoot, replay_treedoc, DisChoice, ReplayConfig,
+};
+
+fn main() {
+    let spec = paper_corpus()
+        .into_iter()
+        .find(|s| s.name == "Grey Owl")
+        .expect("corpus contains the Grey Owl twin");
+    println!(
+        "Replaying the '{}' twin: {} revisions, ~{} paragraphs, ~{} bytes",
+        spec.name, spec.revisions, spec.final_units, spec.target_bytes
+    );
+    let history = spec.generate();
+
+    for config in [
+        ReplayConfig { dis: DisChoice::Sdis, balancing: false, flatten_every: None },
+        ReplayConfig { dis: DisChoice::Sdis, balancing: false, flatten_every: Some(2) },
+        ReplayConfig { dis: DisChoice::Udis, balancing: false, flatten_every: None },
+        ReplayConfig { dis: DisChoice::Sdis, balancing: true, flatten_every: Some(2) },
+    ] {
+        let report = replay_treedoc(&history, config);
+        println!(
+            "  {:<22} nodes: {:>5}  live: {:>4}  max/avg PosID: {:>4}/{:>6.1} bits  mem ovhd: {:>5.2}x  disk: {:>6} B  ({:?})",
+            config.label(),
+            report.final_stats.total_nodes,
+            report.final_stats.live_atoms,
+            report.final_stats.pos_ids.max_bits,
+            report.avg_pos_id_bits(),
+            report.memory_overhead_ratio(),
+            report.disk_overhead_bytes,
+            report.elapsed,
+        );
+    }
+
+    let logoot = replay_logoot(&history);
+    println!(
+        "  {:<22} atoms: {:>5}  total id bytes: {:>6}  avg id: {:>5.1} bytes  ({:?})",
+        "Logoot baseline",
+        logoot.final_stats.atoms,
+        logoot.total_id_bytes(),
+        logoot.final_stats.avg_id_bytes(),
+        logoot.elapsed,
+    );
+}

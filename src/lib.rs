@@ -1,0 +1,40 @@
+//! # treedoc-repro
+//!
+//! Umbrella crate of the reproduction of *"A Commutative Replicated Data Type
+//! for Cooperative Editing"* (Preguiça, Marquès, Shapiro, Leția — ICDCS
+//! 2009).
+//!
+//! It re-exports every sub-crate of the workspace so the examples and
+//! integration tests can reach the whole system through a single dependency:
+//!
+//! * [`core`] (`treedoc-core`) — the Treedoc CRDT itself,
+//! * [`replication`] (`treedoc-replication`) — vector clocks, causal
+//!   delivery, the simulated network,
+//! * [`commit`] (`treedoc-commit`) — 2PC/3PC agreement for `flatten`,
+//! * [`storage`] (`treedoc-storage`) — the on-disk heap-array format,
+//! * [`trace`] (`treedoc-trace`) — diffs, synthetic corpora and the replay
+//!   harness behind the paper's evaluation,
+//! * [`sim`] (`treedoc-sim`) — multi-site cooperative-editing scenarios,
+//! * [`logoot`] — the Logoot baseline CRDT of §5.3.
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for the reproduction of
+//! every table and figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use logoot;
+pub use treedoc_commit as commit;
+pub use treedoc_core as core;
+pub use treedoc_replication as replication;
+pub use treedoc_sim as sim;
+pub use treedoc_storage as storage;
+pub use treedoc_trace as trace;
+
+/// Convenience prelude with the types most programs need.
+pub mod prelude {
+    pub use treedoc_core::{
+        Op, PosId, Sdis, SiteId, Treedoc, TreedocConfig, Udis,
+    };
+    pub use treedoc_replication::{CausalMessage, Replica};
+}

@@ -1,0 +1,140 @@
+//! Integration tests for the structural clean-up path: flatten agreed via
+//! distributed commitment, aborts under concurrent edits, and storage
+//! round-trips of flattened and unflattened replicas.
+
+use treedoc_repro::commit::{
+    run_three_phase, run_two_phase, CommitOutcome, FlattenProposal, TreedocParticipant,
+};
+use treedoc_repro::core::{Sdis, SiteId, Treedoc};
+use treedoc_repro::storage::DiskImage;
+
+type Doc = Treedoc<String, Sdis>;
+
+fn site(n: u64) -> SiteId {
+    SiteId::from_u64(n)
+}
+
+/// Builds `n` convergent replicas holding the same edited (tombstone-laden)
+/// document.
+fn convergent_replicas(n: u64) -> Vec<Doc> {
+    let mut author = Doc::new(site(100));
+    let mut ops = Vec::new();
+    for k in 0..60 {
+        ops.push(author.local_insert(k, format!("line {k}")).unwrap());
+    }
+    for _ in 0..20 {
+        ops.push(author.local_delete(10).unwrap());
+    }
+    (1..=n)
+        .map(|s| {
+            let mut d = Doc::new(site(s));
+            for op in &ops {
+                d.apply(op).unwrap();
+            }
+            d
+        })
+        .collect()
+}
+
+#[test]
+fn committed_flatten_keeps_replicas_convergent_and_removes_tombstones() {
+    let mut docs = convergent_replicas(4);
+    let proposal = FlattenProposal {
+        proposer: site(1),
+        subtree: Vec::new(),
+        base_revision: docs[0].revision(),
+        txn: 1,
+    };
+    let before: Vec<String> = docs[0].to_vec();
+    {
+        let mut participants: Vec<_> = docs.iter_mut().map(TreedocParticipant::new).collect();
+        let (outcome, stats) = run_two_phase(&proposal, &mut participants);
+        assert_eq!(outcome, CommitOutcome::Committed);
+        assert_eq!(stats.phases, 2);
+    }
+    let reference = docs[0].to_vec();
+    assert_eq!(reference, before, "flatten must not change the content");
+    for d in &docs {
+        assert_eq!(d.to_vec(), reference);
+        assert_eq!(d.stats().tombstones, 0);
+        assert_eq!(d.node_count(), d.len());
+        d.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn flatten_aborts_when_any_replica_keeps_editing() {
+    let mut docs = convergent_replicas(3);
+    let base = docs[0].revision();
+    // Replica 2 edits after the proposal was taken.
+    docs[2].next_revision();
+    docs[2].local_insert(0, "late edit".to_string()).unwrap();
+    let proposal =
+        FlattenProposal { proposer: site(1), subtree: Vec::new(), base_revision: base, txn: 2 };
+    let nodes_before: Vec<usize> = docs.iter().map(|d| d.node_count()).collect();
+    {
+        let mut participants: Vec<_> = docs.iter_mut().map(TreedocParticipant::new).collect();
+        let (outcome, _) = run_two_phase(&proposal, &mut participants);
+        assert!(matches!(outcome, CommitOutcome::Aborted { no_votes: 1 }));
+    }
+    for (d, before) in docs.iter().zip(nodes_before) {
+        assert_eq!(d.node_count(), before, "an aborted flatten leaves no side effects");
+    }
+    // Once the editor is done, a fresh proposal (with an up-to-date base
+    // revision) commits — including under 3PC.
+    let base = docs.iter().map(|d| d.revision()).max().unwrap();
+    for d in docs.iter_mut() {
+        while d.revision() < base {
+            d.next_revision();
+        }
+    }
+    let proposal =
+        FlattenProposal { proposer: site(1), subtree: Vec::new(), base_revision: base, txn: 3 };
+    let mut participants: Vec<_> = docs.iter_mut().map(TreedocParticipant::new).collect();
+    let (outcome, stats) = run_three_phase(&proposal, &mut participants);
+    assert_eq!(outcome, CommitOutcome::Committed);
+    assert_eq!(stats.phases, 3);
+}
+
+#[test]
+fn flattened_and_unflattened_replicas_persist_and_reload() {
+    let docs = convergent_replicas(2);
+    for doc in &docs {
+        let image = DiskImage::encode(doc.tree());
+        let reloaded = image.decode::<Sdis>().expect("image decodes");
+        assert_eq!(reloaded.to_vec(), doc.to_vec());
+        assert_eq!(reloaded.node_count(), doc.node_count());
+    }
+    // Flattening shrinks the on-disk structure.
+    let mut doc = convergent_replicas(1).remove(0);
+    let before = DiskImage::encode(doc.tree()).structure_bytes();
+    doc.flatten_all().unwrap();
+    let after = DiskImage::encode(doc.tree()).structure_bytes();
+    assert!(after < before, "flatten must shrink the on-disk structure ({after} vs {before})");
+}
+
+#[test]
+fn flatten_then_continue_editing_and_reconverge() {
+    let mut docs = convergent_replicas(2);
+    let proposal = FlattenProposal {
+        proposer: site(1),
+        subtree: Vec::new(),
+        base_revision: docs[0].revision(),
+        txn: 9,
+    };
+    {
+        let mut participants: Vec<_> = docs.iter_mut().map(TreedocParticipant::new).collect();
+        let (outcome, _) = run_two_phase(&proposal, &mut participants);
+        assert_eq!(outcome, CommitOutcome::Committed);
+    }
+    // Editing continues on the renamed (plain) identifiers and still
+    // converges.
+    let (left, right) = docs.split_at_mut(1);
+    let a = &mut left[0];
+    let b = &mut right[0];
+    let op_a = a.local_insert(5, "post-flatten A".to_string()).unwrap();
+    let op_b = b.local_insert(20, "post-flatten B".to_string()).unwrap();
+    a.apply(&op_b).unwrap();
+    b.apply(&op_a).unwrap();
+    assert_eq!(a.to_vec(), b.to_vec());
+}
