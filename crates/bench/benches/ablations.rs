@@ -129,7 +129,13 @@ fn bench_simulation(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.bench_function("three_sites_300_ops", |b| {
-        b.iter(|| run(&Scenario { sites: 3, edits_per_site: 100, ..Default::default() }))
+        b.iter(|| {
+            run(&Scenario {
+                sites: 3,
+                edits_per_site: 100,
+                ..Default::default()
+            })
+        })
     });
     group.finish();
 }

@@ -15,7 +15,11 @@ fn bench_replay_speed(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
 
     // The least active LaTeX document: quick, gives a stable baseline.
-    let acf = paper_corpus().into_iter().find(|s| s.name == "acf.tex").unwrap().generate();
+    let acf = paper_corpus()
+        .into_iter()
+        .find(|s| s.name == "acf.tex")
+        .unwrap()
+        .generate();
     group.bench_function("acf_tex_sdis_no_flatten", |b| {
         b.iter(|| replay_treedoc(&acf, ReplayConfig::default()))
     });
@@ -23,7 +27,10 @@ fn bench_replay_speed(c: &mut Criterion) {
         b.iter(|| {
             replay_treedoc(
                 &acf,
-                ReplayConfig { flatten_every: Some(2), ..ReplayConfig::default() },
+                ReplayConfig {
+                    flatten_every: Some(2),
+                    ..ReplayConfig::default()
+                },
             )
         })
     });
@@ -38,7 +45,11 @@ fn bench_replay_speed(c: &mut Criterion) {
         b.iter(|| {
             replay_treedoc(
                 &dc,
-                ReplayConfig { dis: DisChoice::Sdis, balancing: false, flatten_every: None },
+                ReplayConfig {
+                    dis: DisChoice::Sdis,
+                    balancing: false,
+                    flatten_every: None,
+                },
             )
         })
     });

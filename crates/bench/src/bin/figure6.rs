@@ -12,7 +12,10 @@ fn main() {
     let flatten = match args.iter().position(|a| a == "--flatten") {
         Some(i) => match args.get(i + 1).map(String::as_str) {
             Some("none") => None,
-            Some(k) => Some(k.parse::<usize>().expect("--flatten takes a number or 'none'")),
+            Some(k) => Some(
+                k.parse::<usize>()
+                    .expect("--flatten takes a number or 'none'"),
+            ),
             None => Some(2),
         },
         None => Some(2),
@@ -32,8 +35,17 @@ fn main() {
             Some(k) => format!("flatten every {k} revisions"),
         }
     );
-    println!("{:>8} {:>12} {:>16}", "revision", "total nodes", "non-tombstones");
-    let max_nodes = report.timeline.iter().map(|p| p.total_nodes).max().unwrap_or(1).max(1);
+    println!(
+        "{:>8} {:>12} {:>16}",
+        "revision", "total nodes", "non-tombstones"
+    );
+    let max_nodes = report
+        .timeline
+        .iter()
+        .map(|p| p.total_nodes)
+        .max()
+        .unwrap_or(1)
+        .max(1);
     for p in &report.timeline {
         let bar_len = (p.total_nodes * 40) / max_nodes;
         let live_len = (p.live_nodes * 40) / max_nodes;
@@ -47,7 +59,10 @@ fn main() {
                 ' '
             });
         }
-        println!("{:>8} {:>12} {:>16}  |{}|", p.revision, p.total_nodes, p.live_nodes, bar);
+        println!(
+            "{:>8} {:>12} {:>16}  |{}|",
+            p.revision, p.total_nodes, p.live_nodes, bar
+        );
     }
     println!();
     println!("'#' = live atoms, '.' = tombstones; drops in the '.' region are flatten rounds.");

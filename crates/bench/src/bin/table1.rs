@@ -9,7 +9,10 @@ fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let rows = bench::table1();
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serializable rows")
+        );
         return;
     }
     println!("Table 1. Measurements (SDIS, no balancing). Paper: ICDCS'09, §5.");

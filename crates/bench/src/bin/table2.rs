@@ -7,11 +7,17 @@ fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let rows = bench::table2();
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serializable rows")
+        );
         return;
     }
     println!("Table 2. Summary of documents studied (synthetic twins of the paper's corpus).");
-    println!("{:<24} {:>10} {:>10} {:>10}", "Document", "revisions", "initial", "final");
+    println!(
+        "{:<24} {:>10} {:>10} {:>10}",
+        "Document", "revisions", "initial", "final"
+    );
     for row in rows {
         println!(
             "{:<24} {:>10} {:>10} {:>10}",

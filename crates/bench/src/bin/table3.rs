@@ -8,7 +8,10 @@ fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let cells = bench::table3();
     if json {
-        println!("{}", serde_json::to_string_pretty(&cells).expect("serializable cells"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&cells).expect("serializable cells")
+        );
         return;
     }
     println!("Table 3. Fraction of tombstones (LaTeX documents, SDIS).");
@@ -21,6 +24,11 @@ fn main() {
                 .map(|c| c.tombstone_fraction * 100.0)
                 .unwrap_or(f64::NAN)
         };
-        println!("{:<12} {:>15.1}% {:>15.1}%", flatten, pick(false), pick(true));
+        println!(
+            "{:<12} {:>15.1}% {:>15.1}%",
+            flatten,
+            pick(false),
+            pick(true)
+        );
     }
 }

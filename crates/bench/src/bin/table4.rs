@@ -8,7 +8,10 @@ fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let cells = bench::table4();
     if json {
-        println!("{}", serde_json::to_string_pretty(&cells).expect("serializable cells"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&cells).expect("serializable cells")
+        );
         return;
     }
     println!("Table 4. SDIS vs. UDIS (LaTeX documents); sizes in bits.");
@@ -31,7 +34,11 @@ fn main() {
         ];
         let fmt = |f: &dyn Fn(&bench::GridCell) -> f64| {
             cols.iter()
-                .map(|c| c.as_ref().map(|c| format!("{:>12.1}", f(c))).unwrap_or_else(|| format!("{:>12}", "-")))
+                .map(|c| {
+                    c.as_ref()
+                        .map(|c| format!("{:>12.1}", f(c)))
+                        .unwrap_or_else(|| format!("{:>12}", "-"))
+                })
                 .collect::<Vec<_>>()
                 .join(" ")
         };

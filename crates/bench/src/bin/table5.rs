@@ -7,7 +7,10 @@ fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let rows = bench::table5();
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serializable rows")
+        );
         return;
     }
     println!("Table 5. Comparing Treedoc (UDIS, no flatten) vs. Logoot: PosID sizes.");

@@ -67,7 +67,11 @@ pub fn table1() -> Vec<Table1Row> {
     for spec in paper_corpus() {
         let history = spec.generate();
         for flatten in TABLE1_FLATTEN {
-            let config = ReplayConfig { dis: DisChoice::Sdis, balancing: false, flatten_every: flatten };
+            let config = ReplayConfig {
+                dis: DisChoice::Sdis,
+                balancing: false,
+                flatten_every: flatten,
+            };
             let report = replay_treedoc(&history, config);
             rows.push(table1_row(&spec, flatten, &report));
         }
@@ -180,7 +184,11 @@ fn grid(dis: DisChoice) -> Vec<GridCell> {
     let mut cells = Vec::new();
     for flatten in TABLE34_FLATTEN {
         for balancing in [false, true] {
-            let config = ReplayConfig { dis, balancing, flatten_every: flatten };
+            let config = ReplayConfig {
+                dis,
+                balancing,
+                flatten_every: flatten,
+            };
             let mut total_nodes = 0usize;
             let mut live = 0usize;
             let mut total_bits = 0usize;
@@ -239,7 +247,11 @@ pub fn table5() -> Vec<Table5Row> {
         let history = spec.generate();
         let treedoc = replay_treedoc(
             &history,
-            ReplayConfig { dis: DisChoice::Udis, balancing: false, flatten_every: None },
+            ReplayConfig {
+                dis: DisChoice::Udis,
+                balancing: false,
+                flatten_every: None,
+            },
         );
         let logoot = replay_logoot(&history);
         let treedoc_bytes = treedoc.live_pos_id_bytes();
@@ -268,7 +280,11 @@ pub fn figure6(flatten_every: Option<usize>) -> ReplayReport {
     let history = spec.generate();
     replay_treedoc(
         &history,
-        ReplayConfig { dis: DisChoice::Sdis, balancing: false, flatten_every },
+        ReplayConfig {
+            dis: DisChoice::Sdis,
+            balancing: false,
+            flatten_every,
+        },
     )
 }
 

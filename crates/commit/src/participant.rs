@@ -55,7 +55,12 @@ pub struct TreedocParticipant<'a, A: Atom, D: Disambiguator + HasSource> {
 impl<'a, A: Atom, D: Disambiguator + HasSource> TreedocParticipant<'a, A, D> {
     /// Wraps a replica.
     pub fn new(doc: &'a mut Treedoc<A, D>) -> Self {
-        TreedocParticipant { doc, prepared: None, committed: 0, aborted: 0 }
+        TreedocParticipant {
+            doc,
+            prepared: None,
+            committed: 0,
+            aborted: 0,
+        }
     }
 
     /// The wrapped replica.
@@ -149,7 +154,11 @@ mod tests {
         assert_eq!(p.prepare(&prop), Vote::No);
         p.abort(&prop);
         assert_eq!(p.aborted, 1);
-        assert_eq!(d.to_string(), "!hello", "abort leaves the document untouched");
+        assert_eq!(
+            d.to_string(),
+            "!hello",
+            "abort leaves the document untouched"
+        );
     }
 
     #[test]

@@ -97,7 +97,10 @@ mod tests {
         let mut participants: Vec<_> = docs.iter_mut().map(TreedocParticipant::new).collect();
         let (outcome, stats) = run_three_phase(&proposal(), &mut participants);
         assert_eq!(outcome, CommitOutcome::Aborted { no_votes: 1 });
-        assert_eq!(stats.phases, 2, "abort skips the pre-commit and commit rounds");
+        assert_eq!(
+            stats.phases, 2,
+            "abort skips the pre-commit and commit rounds"
+        );
     }
 
     #[test]

@@ -103,8 +103,7 @@ mod tests {
         let mut docs: Vec<_> = (1..=3).map(|s| doc(s, 20)).collect();
         let heights_before: Vec<_> = docs.iter().map(|d| d.height()).collect();
         {
-            let mut participants: Vec<_> =
-                docs.iter_mut().map(TreedocParticipant::new).collect();
+            let mut participants: Vec<_> = docs.iter_mut().map(TreedocParticipant::new).collect();
             let (outcome, stats) = run_two_phase(&proposal(), &mut participants);
             assert_eq!(outcome, CommitOutcome::Committed);
             assert_eq!(stats.phases, 2);
@@ -126,8 +125,7 @@ mod tests {
         docs[1].local_insert(0, 'y').unwrap();
         let heights_before: Vec<_> = docs.iter().map(|d| d.height()).collect();
         {
-            let mut participants: Vec<_> =
-                docs.iter_mut().map(TreedocParticipant::new).collect();
+            let mut participants: Vec<_> = docs.iter_mut().map(TreedocParticipant::new).collect();
             let (outcome, stats) = run_two_phase(&proposal(), &mut participants);
             assert_eq!(outcome, CommitOutcome::Aborted { no_votes: 1 });
             assert_eq!(stats.total_messages(), 12);

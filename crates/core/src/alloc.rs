@@ -141,7 +141,9 @@ pub fn balanced_append<D: Disambiguator>(last: &PosId<D>, height: usize) -> Grow
     // Root of the grown subtree: the right child position of the last atom's
     // major node.
     let root = last.major_path().child(PathElem::plain(Side::Right));
-    GrownSlots { slots: complete_subtree_positions(&root, levels) }
+    GrownSlots {
+        slots: complete_subtree_positions(&root, levels),
+    }
 }
 
 /// The positions of a complete binary subtree of `depth` levels rooted at
@@ -155,9 +157,17 @@ pub fn complete_subtree_positions<D: Disambiguator>(
         if levels_left == 0 {
             return;
         }
-        rec(&node.child(PathElem::plain(Side::Left)), levels_left - 1, out);
+        rec(
+            &node.child(PathElem::plain(Side::Left)),
+            levels_left - 1,
+            out,
+        );
         out.push(node.clone());
-        rec(&node.child(PathElem::plain(Side::Right)), levels_left - 1, out);
+        rec(
+            &node.child(PathElem::plain(Side::Right)),
+            levels_left - 1,
+            out,
+        );
     }
     rec(root, depth, &mut out);
     out
@@ -194,7 +204,9 @@ pub fn batch_subtree_ids<D: Disambiguator>(
     for (i, pos) in positions.into_iter().take(n).enumerate() {
         let elems = pos.elems().to_vec();
         let mut elems = elems;
-        let last = elems.last_mut().expect("subtree positions are never the root");
+        let last = elems
+            .last_mut()
+            .expect("subtree positions are never the root");
         last.dis = Some(if i == 0 {
             anchor
                 .last()
@@ -221,7 +233,10 @@ mod tests {
     fn p(desc: &[(u8, Option<u64>)]) -> PosId<Sdis> {
         PosId::from_elems(
             desc.iter()
-                .map(|&(bit, dis)| PathElem { side: Side::from_bit(bit), dis: dis.map(d) })
+                .map(|&(bit, dis)| PathElem {
+                    side: Side::from_bit(bit),
+                    dis: dis.map(d),
+                })
                 .collect(),
         )
     }
@@ -343,14 +358,10 @@ mod tests {
         let before = p(&[(0, Some(1))]);
         let after = p(&[(1, Some(1))]);
         let mut counter = 10u64;
-        let ids = batch_subtree_ids(
-            Neighbours::new(Some(&before), Some(&after)),
-            5,
-            move || {
-                counter += 1;
-                d(counter)
-            },
-        );
+        let ids = batch_subtree_ids(Neighbours::new(Some(&before), Some(&after)), 5, move || {
+            counter += 1;
+            d(counter)
+        });
         assert_eq!(ids.len(), 5);
         for w in ids.windows(2) {
             assert!(w[0] < w[1], "{:?} < {:?}", w[0], w[1]);

@@ -14,9 +14,7 @@ use serde::{de::DeserializeOwned, Serialize};
 ///
 /// Blanket-implemented for every type meeting the bounds, so plain `char`,
 /// `String`, `Vec<u8>` and user types all work.
-pub trait Atom:
-    Clone + Eq + Debug + Send + Sync + Serialize + DeserializeOwned + 'static
-{
+pub trait Atom: Clone + Eq + Debug + Send + Sync + Serialize + DeserializeOwned + 'static {
     /// Size of the atom's *content* in bytes, used when relating metadata
     /// overhead to document size (Table 1 reports overhead relative to the
     /// document size in bytes).

@@ -30,19 +30,13 @@ use crate::stats::DocStats;
 use crate::tree::Tree;
 
 /// Tuning knobs for a replica.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TreedocConfig {
     /// Enable the §4.1 balancing strategies: grown append subtrees and
     /// minimal subtrees for batch inserts. Without it, identifiers are
     /// allocated exactly as by Algorithm 1 (which degenerates into long
     /// paths for append-heavy workloads).
     pub balancing: bool,
-}
-
-impl Default for TreedocConfig {
-    fn default() -> Self {
-        TreedocConfig { balancing: false }
-    }
 }
 
 impl TreedocConfig {
@@ -240,7 +234,10 @@ impl<A: Atom, D: Disambiguator + HasSource> Treedoc<A, D> {
         let id = self
             .tree
             .id_of_live_index(index)
-            .ok_or(Error::IndexOutOfBounds { index, len: self.len() })?;
+            .ok_or(Error::IndexOutOfBounds {
+                index,
+                len: self.len(),
+            })?;
         self.tree.delete(&id, self.revision)?;
         Ok(Op::Delete { id })
     }
@@ -441,11 +438,20 @@ mod tests {
     #[test]
     fn out_of_bounds_edits_error() {
         let mut doc = SDoc::new(site(1));
-        assert!(matches!(doc.local_insert(1, 'x'), Err(Error::IndexOutOfBounds { .. })));
-        assert!(matches!(doc.local_delete(0), Err(Error::IndexOutOfBounds { .. })));
+        assert!(matches!(
+            doc.local_insert(1, 'x'),
+            Err(Error::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            doc.local_delete(0),
+            Err(Error::IndexOutOfBounds { .. })
+        ));
         doc.local_insert(0, 'a').unwrap();
         assert!(doc.local_insert(1, 'b').is_ok());
-        assert!(matches!(doc.local_delete(5), Err(Error::IndexOutOfBounds { .. })));
+        assert!(matches!(
+            doc.local_delete(5),
+            Err(Error::IndexOutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -544,7 +550,10 @@ mod tests {
         assert_eq!(doc.to_string(), "abcdefghij");
         let stats = doc.stats();
         assert_eq!(stats.total_nodes, stats.live_atoms);
-        assert_eq!(stats.pos_ids.max_bits, 3, "plain paths of a 10-atom complete tree");
+        assert_eq!(
+            stats.pos_ids.max_bits, 3,
+            "plain paths of a 10-atom complete tree"
+        );
         // Two replicas built from the same atoms interoperate directly.
         let mut a = SDoc::from_atoms(site(1), &atoms);
         let mut b = SDoc::from_atoms(site(2), &atoms);
@@ -570,7 +579,11 @@ mod tests {
             doc.local_insert(i, 'x').unwrap();
         }
         // Without balancing each append deepens the right spine.
-        assert!(doc.height() >= 64, "height {} should be linear", doc.height());
+        assert!(
+            doc.height() >= 64,
+            "height {} should be linear",
+            doc.height()
+        );
     }
 
     #[test]
@@ -605,8 +618,18 @@ mod tests {
         doc.check_invariants().unwrap();
         // Replaying the batch elsewhere produces the same document.
         let mut other = SDoc::new(site(2));
-        other.apply(&Op::Insert { id: doc.id_at(0).unwrap(), atom: 'a' }).unwrap();
-        other.apply(&Op::Insert { id: doc.id_at(13).unwrap(), atom: 'z' }).unwrap();
+        other
+            .apply(&Op::Insert {
+                id: doc.id_at(0).unwrap(),
+                atom: 'a',
+            })
+            .unwrap();
+        other
+            .apply(&Op::Insert {
+                id: doc.id_at(13).unwrap(),
+                atom: 'z',
+            })
+            .unwrap();
         for op in &ops {
             other.apply(op).unwrap();
         }
@@ -649,10 +672,16 @@ mod tests {
         let before_nodes = doc.node_count();
         let before_height = doc.height();
         let outcomes = doc.flatten_cold(0, 2);
-        assert!(!outcomes.is_empty(), "some cold region should have been found");
+        assert!(
+            !outcomes.is_empty(),
+            "some cold region should have been found"
+        );
         assert_eq!(doc.len(), 40, "content unchanged");
         assert!(doc.node_count() <= before_nodes);
-        assert!(doc.height() < before_height, "the cold spine should have been compacted");
+        assert!(
+            doc.height() < before_height,
+            "the cold spine should have been compacted"
+        );
         doc.check_invariants().unwrap();
     }
 
@@ -696,7 +725,7 @@ mod tests {
                         ops.push(doc.local_insert(idx, *c).unwrap());
                     }
                     Edit::Delete(i) => {
-                        if doc.len() > 0 {
+                        if !doc.is_empty() {
                             ops.push(doc.local_delete(i % doc.len()).unwrap());
                         }
                     }

@@ -54,7 +54,10 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::IndexOutOfBounds { index, len } => {
-                write!(f, "index {index} out of bounds for document of length {len}")
+                write!(
+                    f,
+                    "index {index} out of bounds for document of length {len}"
+                )
             }
             Error::UnknownPosId { id } => write!(f, "unknown position identifier {id}"),
             Error::DuplicatePosId { id } => {
@@ -81,7 +84,9 @@ mod tests {
         assert!(e.to_string().contains('7'));
         assert!(e.to_string().contains('3'));
 
-        let e = Error::FlattenAborted { reason: "concurrent edit".into() };
+        let e = Error::FlattenAborted {
+            reason: "concurrent edit".into(),
+        };
         assert!(e.to_string().contains("concurrent edit"));
 
         let e = Error::NoSuchSubtree { bits: vec![0, 1] };

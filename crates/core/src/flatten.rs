@@ -128,7 +128,10 @@ pub fn flatten_subtree<A: Atom, D: Disambiguator>(
     }
     let new_root = explode_node(&atoms);
     tree.replace_subtree(bits, new_root)?;
-    Ok(FlattenOutcome::Flattened { nodes_before, nodes_after: atoms.len() })
+    Ok(FlattenOutcome::Flattened {
+        nodes_before,
+        nodes_after: atoms.len(),
+    })
 }
 
 fn subtree_has_minis<A, D: Disambiguator>(node: &MajorNode<A, D>) -> bool {
@@ -155,7 +158,10 @@ mod tests {
     fn sid(desc: &[(u8, Option<u64>)]) -> PosId<Sdis> {
         PosId::from_elems(
             desc.iter()
-                .map(|&(bit, dis)| PathElem { side: Side::from_bit(bit), dis: dis.map(sd) })
+                .map(|&(bit, dis)| PathElem {
+                    side: Side::from_bit(bit),
+                    dis: dis.map(sd),
+                })
                 .collect(),
         )
     }
@@ -210,14 +216,21 @@ mod tests {
         let mut tree: Tree<char, Sdis> = Tree::new();
         tree.insert(&sid(&[]), 'c', 1).unwrap();
         tree.insert(&sid(&[(0, Some(1))]), 'b', 1).unwrap();
-        tree.insert(&sid(&[(0, None), (0, Some(1))]), 'a', 1).unwrap();
+        tree.insert(&sid(&[(0, None), (0, Some(1))]), 'a', 1)
+            .unwrap();
         tree.insert(&sid(&[(1, Some(2))]), 'd', 1).unwrap();
         tree.delete(&sid(&[(0, Some(1))]), 2).unwrap();
         assert_eq!(tree.to_vec(), vec!['a', 'c', 'd']);
         assert_eq!(tree.node_count(), 4, "one tombstone still stored");
 
         let outcome = flatten_subtree(&mut tree, &[]).unwrap();
-        assert_eq!(outcome, FlattenOutcome::Flattened { nodes_before: 4, nodes_after: 3 });
+        assert_eq!(
+            outcome,
+            FlattenOutcome::Flattened {
+                nodes_before: 4,
+                nodes_after: 3
+            }
+        );
         assert_eq!(tree.to_vec(), vec!['a', 'c', 'd']);
         assert_eq!(tree.node_count(), 3);
         tree.for_each_slot(|s| assert_eq!(s.dis_count, 0));
@@ -230,8 +243,10 @@ mod tests {
         tree.insert(&sid(&[]), 'm', 1).unwrap();
         // Build an unbalanced right spine: m < p < q < r.
         tree.insert(&sid(&[(1, Some(1))]), 'p', 1).unwrap();
-        tree.insert(&sid(&[(1, None), (1, Some(1))]), 'q', 1).unwrap();
-        tree.insert(&sid(&[(1, None), (1, None), (1, Some(1))]), 'r', 1).unwrap();
+        tree.insert(&sid(&[(1, None), (1, Some(1))]), 'q', 1)
+            .unwrap();
+        tree.insert(&sid(&[(1, None), (1, None), (1, Some(1))]), 'r', 1)
+            .unwrap();
         // And something on the left that must stay untouched.
         tree.insert(&sid(&[(0, Some(2))]), 'a', 1).unwrap();
         assert_eq!(tree.to_vec(), vec!['a', 'm', 'p', 'q', 'r']);

@@ -101,7 +101,14 @@ impl<A, D: Disambiguator> MiniNode<A, D> {
     pub fn new(dis: D, content: Content<A>) -> Self {
         let live = usize::from(content.is_live());
         let total = usize::from(content.is_present());
-        MiniNode { dis, content, left: None, right: None, live, total }
+        MiniNode {
+            dis,
+            content,
+            left: None,
+            right: None,
+            live,
+            total,
+        }
     }
 
     /// The disambiguator.
@@ -149,10 +156,10 @@ impl<A, D: Disambiguator> MiniNode<A, D> {
 
     /// Recomputes the cached counters from the children's counters.
     pub(crate) fn recount(&mut self) {
-        let child_live = self.left.as_ref().map_or(0, |c| c.live)
-            + self.right.as_ref().map_or(0, |c| c.live);
-        let child_total = self.left.as_ref().map_or(0, |c| c.total)
-            + self.right.as_ref().map_or(0, |c| c.total);
+        let child_live =
+            self.left.as_ref().map_or(0, |c| c.live) + self.right.as_ref().map_or(0, |c| c.live);
+        let child_total =
+            self.left.as_ref().map_or(0, |c| c.total) + self.right.as_ref().map_or(0, |c| c.total);
         self.live = child_live + usize::from(self.content.is_live());
         self.total = child_total + usize::from(self.content.is_present());
     }
@@ -276,7 +283,8 @@ impl<A, D: Disambiguator> MajorNode<A, D> {
         match self.minis.binary_search_by(|m| m.dis.cmp(dis)) {
             Ok(i) => &mut self.minis[i],
             Err(i) => {
-                self.minis.insert(i, MiniNode::new(dis.clone(), Content::Ghost));
+                self.minis
+                    .insert(i, MiniNode::new(dis.clone(), Content::Ghost));
                 &mut self.minis[i]
             }
         }
@@ -456,7 +464,10 @@ mod tests {
         major.prune();
         assert!(major.left.is_none(), "empty child should be pruned");
         assert!(major.right.is_some(), "non-empty child must stay");
-        assert!(major.minis.is_empty(), "childless ghost mini should be pruned");
+        assert!(
+            major.minis.is_empty(),
+            "childless ghost mini should be pruned"
+        );
     }
 
     #[test]

@@ -79,7 +79,10 @@ impl<A, D: Disambiguator> Op<A, D> {
     /// deletes refer to the identifier of the *deleted* atom, so the answer
     /// is the inserting site, not the deleting one).
     pub fn inserting_site(&self) -> Option<SiteId> {
-        self.id().last().and_then(|e| e.dis.as_ref()).map(|d| d.site())
+        self.id()
+            .last()
+            .and_then(|e| e.dis.as_ref())
+            .map(|d| d.site())
     }
 
     /// Size in bytes of the operation when shipped over the network: the
@@ -114,12 +117,18 @@ mod tests {
     use crate::site::SiteId;
 
     fn id(site: u64) -> PosId<Sdis> {
-        PosId::from_elems(vec![PathElem::mini(Side::Left, Sdis::new(SiteId::from_u64(site)))])
+        PosId::from_elems(vec![PathElem::mini(
+            Side::Left,
+            Sdis::new(SiteId::from_u64(site)),
+        )])
     }
 
     #[test]
     fn accessors() {
-        let ins: Op<char, Sdis> = Op::Insert { id: id(1), atom: 'x' };
+        let ins: Op<char, Sdis> = Op::Insert {
+            id: id(1),
+            atom: 'x',
+        };
         let del: Op<char, Sdis> = Op::Delete { id: id(1) };
         assert_eq!(ins.kind(), OpKind::Insert);
         assert_eq!(del.kind(), OpKind::Delete);
@@ -131,7 +140,10 @@ mod tests {
 
     #[test]
     fn network_cost_counts_id_and_atom() {
-        let ins: Op<String, Sdis> = Op::Insert { id: id(1), atom: "hello".into() };
+        let ins: Op<String, Sdis> = Op::Insert {
+            id: id(1),
+            atom: "hello".into(),
+        };
         let del: Op<String, Sdis> = Op::Delete { id: id(1) };
         // id: 1 bit + 48-bit SDIS → 7 bytes; insert adds the 5 content bytes.
         assert_eq!(del.network_bytes(), 7);
@@ -140,7 +152,10 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let ins: Op<String, Sdis> = Op::Insert { id: id(3), atom: "line".into() };
+        let ins: Op<String, Sdis> = Op::Insert {
+            id: id(3),
+            atom: "line".into(),
+        };
         let json = serde_json::to_string(&ins).unwrap();
         let back: Op<String, Sdis> = serde_json::from_str(&json).unwrap();
         assert_eq!(ins, back);

@@ -91,7 +91,10 @@ impl<D> PathElem<D> {
 
     /// An element selecting mini-node `dis` on the `side` child.
     pub const fn mini(side: Side, dis: D) -> Self {
-        PathElem { side, dis: Some(dis) }
+        PathElem {
+            side,
+            dis: Some(dis),
+        }
     }
 
     /// Drops the disambiguator, keeping only the branch bit.
@@ -99,7 +102,10 @@ impl<D> PathElem<D> {
     where
         D: Clone,
     {
-        PathElem { side: self.side, dis: None }
+        PathElem {
+            side: self.side,
+            dis: None,
+        }
     }
 }
 
@@ -200,7 +206,9 @@ impl<D> PosId<D> {
         if self.elems.is_empty() {
             None
         } else {
-            Some(PosId { elems: self.elems[..self.elems.len() - 1].to_vec() })
+            Some(PosId {
+                elems: self.elems[..self.elems.len() - 1].to_vec(),
+            })
         }
     }
 
@@ -357,12 +365,10 @@ impl<D: Disambiguator> PosId<D> {
             }
             match (&a.dis, &b.dis) {
                 (None, None) => continue,
-                (Some(da), Some(db)) => {
-                    match da.cmp(db) {
-                        Ordering::Equal => continue,
-                        o => return o,
-                    }
-                }
+                (Some(da), Some(db)) => match da.cmp(db) {
+                    Ordering::Equal => continue,
+                    o => return o,
+                },
                 // Same branch bit, one path goes through the major node's
                 // plain namespace, the other through a mini-node: order by
                 // region (left subtree < plain slot < minis < right subtree).
@@ -475,7 +481,7 @@ mod tests {
         // Two elements, one disambiguator: 2 bits + 48 bits (6-byte SDIS).
         let id = p(&[(1, None), (0, Some(4))]);
         assert_eq!(id.size_bits(), 2 + 48);
-        assert_eq!(id.size_bytes(), (2 + 48 + 7) / 8);
+        assert_eq!(id.size_bytes(), (2usize + 48).div_ceil(8));
 
         // UDIS carries 10 bytes per disambiguator.
         let u: PosId<Udis> = PosId::from_elems(vec![PathElem::mini(
@@ -494,7 +500,14 @@ mod tests {
         let d = p(&[(1, None), (0, None)]);
         let e = p(&[(1, None)]);
         let f = p(&[(1, None), (1, None)]);
-        let mut v = vec![f.clone(), d.clone(), b.clone(), e.clone(), c.clone(), a.clone()];
+        let mut v = vec![
+            f.clone(),
+            d.clone(),
+            b.clone(),
+            e.clone(),
+            c.clone(),
+            a.clone(),
+        ];
         v.sort();
         assert_eq!(v, vec![a, b, c, d, e, f]);
     }
@@ -518,7 +531,14 @@ mod tests {
         let x = p(&[(1, None), (0, None), (0, Some(1)), (1, Some(5))]);
         let z = p(&[(1, None), (0, None), (0, None), (1, Some(6))]);
 
-        let expected = vec![c.clone(), w.clone(), x.clone(), y.clone(), z.clone(), d.clone()];
+        let expected = vec![
+            c.clone(),
+            w.clone(),
+            x.clone(),
+            y.clone(),
+            z.clone(),
+            d.clone(),
+        ];
         let mut got = vec![d, z, x, w, y, c];
         got.sort();
         assert_eq!(got, expected);

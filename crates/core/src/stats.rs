@@ -208,7 +208,10 @@ mod tests {
     fn sid(desc: &[(u8, Option<u64>)]) -> PosId<Sdis> {
         PosId::from_elems(
             desc.iter()
-                .map(|&(bit, dis)| PathElem { side: Side::from_bit(bit), dis: dis.map(sd) })
+                .map(|&(bit, dis)| PathElem {
+                    side: Side::from_bit(bit),
+                    dis: dis.map(sd),
+                })
                 .collect(),
         )
     }
@@ -225,7 +228,10 @@ mod tests {
         // Plain bit paths only: at most ⌈log₂ 51⌉ = 6 bits each.
         assert!(stats.pos_ids.max_bits <= 6);
         assert!(stats.pos_ids.avg_bits() <= 6.0);
-        assert_eq!(stats.document_bytes, atoms.iter().map(|a| a.len()).sum::<usize>());
+        assert_eq!(
+            stats.document_bytes,
+            atoms.iter().map(|a| a.len()).sum::<usize>()
+        );
     }
 
     #[test]
@@ -233,7 +239,8 @@ mod tests {
         let mut tree: Tree<char, Sdis> = Tree::new();
         tree.insert(&sid(&[]), 'a', 1).unwrap();
         tree.insert(&sid(&[(1, Some(1))]), 'b', 1).unwrap();
-        tree.insert(&sid(&[(1, None), (1, Some(1))]), 'c', 1).unwrap();
+        tree.insert(&sid(&[(1, None), (1, Some(1))]), 'c', 1)
+            .unwrap();
         tree.delete(&sid(&[(1, Some(1))]), 2).unwrap();
         let stats = DocStats::measure(&tree);
         assert_eq!(stats.live_atoms, 2);
@@ -247,7 +254,9 @@ mod tests {
     fn pos_id_sizes_follow_disambiguator_size() {
         // One atom with an SDIS identifier of depth 2: 2 bits + 48 bits.
         let mut stree: Tree<char, Sdis> = Tree::new();
-        stree.insert(&sid(&[(1, None), (0, Some(1))]), 'x', 1).unwrap();
+        stree
+            .insert(&sid(&[(1, None), (0, Some(1))]), 'x', 1)
+            .unwrap();
         let s = DocStats::measure(&stree);
         assert_eq!(s.pos_ids.max_bits, 50);
 
@@ -280,7 +289,10 @@ mod tests {
         let atoms: Vec<String> = (0..10).map(|i| format!("{i}")).collect();
         let tree: Tree<String, Sdis> = explode(&atoms);
         let stats = DocStats::measure(&tree);
-        assert_eq!(stats.memory_bytes::<Sdis>(MemoryModel::PaperTreeNode), 10 * 26);
+        assert_eq!(
+            stats.memory_bytes::<Sdis>(MemoryModel::PaperTreeNode),
+            10 * 26
+        );
         // The couple-list model charges only identifier bytes; plain ids of a
         // 10-atom exploded tree are at most 4 bits each.
         assert!(stats.memory_bytes::<Sdis>(MemoryModel::CoupleList) <= 10);
@@ -297,6 +309,9 @@ mod tests {
         assert_eq!(stats.non_tombstone_fraction(), 1.0);
         assert_eq!(stats.tombstone_fraction(), 0.0);
         assert_eq!(stats.pos_ids.avg_bits(), 0.0);
-        assert_eq!(stats.memory_overhead_ratio::<Sdis>(MemoryModel::PaperTreeNode), 0.0);
+        assert_eq!(
+            stats.memory_overhead_ratio::<Sdis>(MemoryModel::PaperTreeNode),
+            0.0
+        );
     }
 }

@@ -107,7 +107,9 @@ impl<A: Atom, D: Disambiguator> Representation<A, D> {
     /// i.e. right after a full flatten. Returns `true` if the representation
     /// changed.
     pub fn compact(&mut self) -> bool {
-        let Representation::Tree(tree) = self else { return false };
+        let Representation::Tree(tree) = self else {
+            return false;
+        };
         let stats = DocStats::measure(tree);
         let metadata_free = stats.total_nodes == stats.live_atoms
             && stats.pos_ids.total_bits == plain_bits_total(tree);
@@ -189,7 +191,10 @@ mod tests {
             let first: PosId<Sdis> = tree.id_of_live_index(0).unwrap();
             tree.delete(&first, 2).unwrap();
         }
-        assert!(!rep.compact(), "tombstone + disambiguator must block compaction");
+        assert!(
+            !rep.compact(),
+            "tombstone + disambiguator must block compaction"
+        );
         assert!(rep.metadata_bytes() > 0);
         // A full flatten removes the metadata and compaction succeeds again.
         {

@@ -62,7 +62,9 @@ impl<A: Atom, D: Disambiguator> Default for Tree<A, D> {
 impl<A: Atom, D: Disambiguator> Tree<A, D> {
     /// Creates an empty tree.
     pub fn new() -> Self {
-        Tree { root: MajorNode::empty() }
+        Tree {
+            root: MajorNode::empty(),
+        }
     }
 
     /// Builds a tree directly from a prepared root node (used by `explode`).
@@ -265,9 +267,9 @@ impl<A: Atom, D: Disambiguator> Tree<A, D> {
     /// Live atoms of the subtree rooted at the given plain bit path, in
     /// document order.
     pub fn subtree_live_atoms(&self, bits: &[Side]) -> Result<Vec<A>> {
-        let node = self
-            .subtree(bits)
-            .ok_or_else(|| Error::NoSuchSubtree { bits: bits.iter().map(|s| s.bit()).collect() })?;
+        let node = self.subtree(bits).ok_or_else(|| Error::NoSuchSubtree {
+            bits: bits.iter().map(|s| s.bit()).collect(),
+        })?;
         let mut out = Vec::with_capacity(node.live_count());
         let mut scratch: Vec<Side> = bits.to_vec();
         let mut collect = |slot: SlotView<'_, A, D>| {
@@ -436,7 +438,9 @@ fn insert_below<A: Atom, D: Disambiguator>(
     rev: u64,
     full_id: &PosId<D>,
 ) -> Result<()> {
-    let (elem, rest) = elems.split_first().expect("insert_below requires a non-empty path");
+    let (elem, rest) = elems
+        .split_first()
+        .expect("insert_below requires a non-empty path");
     let child = parent.child_or_create(elem.side);
     child.hot_rev = child.hot_rev.max(rev);
     let result = match &elem.dis {
@@ -479,7 +483,9 @@ fn delete_below<A: Atom, D: Disambiguator>(
     elems: &[PathElem<D>],
     rev: u64,
 ) -> Option<A> {
-    let (elem, rest) = elems.split_first().expect("delete_below requires a non-empty path");
+    let (elem, rest) = elems
+        .split_first()
+        .expect("delete_below requires a non-empty path");
     let child = parent.child_mut(elem.side)?;
     child.hot_rev = child.hot_rev.max(rev);
     let removed = match &elem.dis {
@@ -537,7 +543,10 @@ pub(crate) fn recount_deep<A: Atom, D: Disambiguator>(node: &mut MajorNode<A, D>
         }
     }
     for mini in &mut node.minis {
-        for child in [mini.left.as_deref_mut(), mini.right.as_deref_mut()].into_iter().flatten() {
+        for child in [mini.left.as_deref_mut(), mini.right.as_deref_mut()]
+            .into_iter()
+            .flatten()
+        {
             recount_deep(child);
         }
         mini.recount();
@@ -605,7 +614,9 @@ fn locate_live_major<A, D: Disambiguator + Clone>(
         if index < mini.live {
             // Select this mini: the element landing on this major node must
             // carry its disambiguator.
-            let last = path.last_mut().expect("root major node cannot hold mini-nodes");
+            let last = path
+                .last_mut()
+                .expect("root major node cannot hold mini-nodes");
             last.dis = Some(mini.dis.clone());
             locate_live_mini(mini, path, index);
             return;
@@ -648,7 +659,9 @@ fn locate_live_mini<A, D: Disambiguator + Clone>(
 /// `major_path` (whose last element is plain).
 fn mini_id<D: Disambiguator>(major_path: &PosId<D>, dis: &D) -> PosId<D> {
     let mut elems = major_path.elems().to_vec();
-    let last = elems.last_mut().expect("the root major node cannot hold mini-nodes");
+    let last = elems
+        .last_mut()
+        .expect("the root major node cannot hold mini-nodes");
     last.dis = Some(dis.clone());
     PosId::from_elems(elems)
 }
@@ -817,7 +830,12 @@ fn visit_major<A, D: Disambiguator>(
         bits.pop();
     }
     if node.plain.is_present() {
-        f(SlotView { bits, dis: None, dis_count, content: &node.plain });
+        f(SlotView {
+            bits,
+            dis: None,
+            dis_count,
+            content: &node.plain,
+        });
     }
     for mini in &node.minis {
         if let Some(left) = mini.child(Side::Left) {
@@ -826,7 +844,12 @@ fn visit_major<A, D: Disambiguator>(
             bits.pop();
         }
         if mini.content.is_present() {
-            f(SlotView { bits, dis: Some(&mini.dis), dis_count: dis_count + 1, content: &mini.content });
+            f(SlotView {
+                bits,
+                dis: Some(&mini.dis),
+                dis_count: dis_count + 1,
+                content: &mini.content,
+            });
         }
         if let Some(right) = mini.child(Side::Right) {
             bits.push(Side::Right);
@@ -903,7 +926,10 @@ mod tests {
     fn sid(desc: &[(u8, Option<u64>)]) -> PosId<Sdis> {
         PosId::from_elems(
             desc.iter()
-                .map(|&(bit, dis)| PathElem { side: Side::from_bit(bit), dis: dis.map(sd) })
+                .map(|&(bit, dis)| PathElem {
+                    side: Side::from_bit(bit),
+                    dis: dis.map(sd),
+                })
                 .collect(),
         )
     }
@@ -951,7 +977,10 @@ mod tests {
         let mut t = STree::new();
         let id = sid(&[(0, Some(1))]);
         t.insert(&id, 'x', 1).unwrap();
-        assert!(matches!(t.insert(&id, 'y', 2), Err(Error::DuplicatePosId { .. })));
+        assert!(matches!(
+            t.insert(&id, 'y', 2),
+            Err(Error::DuplicatePosId { .. })
+        ));
     }
 
     #[test]
@@ -961,14 +990,26 @@ mod tests {
         t.insert(&sid(&[(1, None), (0, Some(4))]), 'd', 1).unwrap();
         // Two concurrent inserts between c and d land on the same position
         // with different disambiguators (Figure 3).
-        t.insert(&sid(&[(1, None), (0, None), (0, Some(2))]), 'Y', 2).unwrap();
-        t.insert(&sid(&[(1, None), (0, None), (0, Some(1))]), 'W', 2).unwrap();
+        t.insert(&sid(&[(1, None), (0, None), (0, Some(2))]), 'Y', 2)
+            .unwrap();
+        t.insert(&sid(&[(1, None), (0, None), (0, Some(1))]), 'W', 2)
+            .unwrap();
         assert_eq!(t.to_vec(), vec!['c', 'W', 'Y', 'd']);
         // Insert between the mini-siblings (Figure 4).
-        t.insert(&sid(&[(1, None), (0, None), (0, Some(1)), (1, Some(5))]), 'X', 3).unwrap();
+        t.insert(
+            &sid(&[(1, None), (0, None), (0, Some(1)), (1, Some(5))]),
+            'X',
+            3,
+        )
+        .unwrap();
         assert_eq!(t.to_vec(), vec!['c', 'W', 'X', 'Y', 'd']);
         // And after Y, as the plain right child of the shared major node.
-        t.insert(&sid(&[(1, None), (0, None), (0, None), (1, Some(6))]), 'Z', 3).unwrap();
+        t.insert(
+            &sid(&[(1, None), (0, None), (0, None), (1, Some(6))]),
+            'Z',
+            3,
+        )
+        .unwrap();
         assert_eq!(t.to_vec(), vec!['c', 'W', 'X', 'Y', 'Z', 'd']);
         t.check_invariants().unwrap();
     }
@@ -993,7 +1034,11 @@ mod tests {
         let id = PosId::from_elems(vec![PathElem::mini(Side::Left, ud(0, 1))]);
         t.insert(&id, 'x', 1).unwrap();
         assert_eq!(t.delete(&id, 2).unwrap(), Some('x'));
-        assert_eq!(t.node_count(), 0, "UDIS discards deleted leaves immediately");
+        assert_eq!(
+            t.node_count(),
+            0,
+            "UDIS discards deleted leaves immediately"
+        );
         assert_eq!(t.get(&id), None);
         // Deleting a discarded node is still a no-op, not an error.
         assert_eq!(t.delete(&id, 3).unwrap(), None);
@@ -1115,7 +1160,12 @@ mod tests {
         }
         assert_eq!(slots.len(), t.node_count());
         for pair in slots.windows(2) {
-            assert!(pair[0] < pair[1], "{:?} should precede {:?}", pair[0], pair[1]);
+            assert!(
+                pair[0] < pair[1],
+                "{:?} should precede {:?}",
+                pair[0],
+                pair[1]
+            );
         }
         // And it matches the traversal order.
         let mut visited = Vec::new();
@@ -1131,9 +1181,16 @@ mod tests {
         let mut t = STree::new();
         t.insert(&sid(&[]), 'c', 1).unwrap();
         t.insert(&sid(&[(1, None), (0, Some(4))]), 'd', 1).unwrap();
-        t.insert(&sid(&[(1, None), (0, None), (0, Some(1))]), 'W', 2).unwrap();
-        t.insert(&sid(&[(1, None), (0, None), (0, Some(2))]), 'Y', 2).unwrap();
-        t.insert(&sid(&[(1, None), (0, None), (0, Some(1)), (1, Some(5))]), 'X', 3).unwrap();
+        t.insert(&sid(&[(1, None), (0, None), (0, Some(1))]), 'W', 2)
+            .unwrap();
+        t.insert(&sid(&[(1, None), (0, None), (0, Some(2))]), 'Y', 2)
+            .unwrap();
+        t.insert(
+            &sid(&[(1, None), (0, None), (0, Some(1)), (1, Some(5))]),
+            'X',
+            3,
+        )
+        .unwrap();
         // c W X Y d : successor of W is X (inside W's own right subtree),
         // successor of X is Y (the next mini-sibling), successor of Y is d.
         let w = sid(&[(1, None), (0, None), (0, Some(1))]);
@@ -1155,7 +1212,10 @@ mod tests {
         t.insert(&sid(&[(1, None), (0, Some(2))]), 'd', 1).unwrap();
         let pairs = t.to_identified_vec();
         assert_eq!(pairs.len(), 4);
-        assert_eq!(pairs.iter().map(|(_, a)| *a).collect::<Vec<_>>(), vec!['b', 'c', 'd', 'e']);
+        assert_eq!(
+            pairs.iter().map(|(_, a)| *a).collect::<Vec<_>>(),
+            vec!['b', 'c', 'd', 'e']
+        );
         for w in pairs.windows(2) {
             assert!(w[0].0 < w[1].0);
         }
@@ -1216,7 +1276,10 @@ mod tests {
     fn root_plain_insert_and_delete() {
         let mut t = STree::new();
         t.insert(&sid(&[]), 'x', 1).unwrap();
-        assert!(matches!(t.insert(&sid(&[]), 'y', 1), Err(Error::DuplicatePosId { .. })));
+        assert!(matches!(
+            t.insert(&sid(&[]), 'y', 1),
+            Err(Error::DuplicatePosId { .. })
+        ));
         assert_eq!(t.delete(&sid(&[]), 2).unwrap(), Some('x'));
         assert_eq!(t.live_len(), 0);
         assert_eq!(t.node_count(), 1, "SDIS tombstone at the root");

@@ -98,7 +98,10 @@ impl<A: Clone> LogootDoc<A> {
     /// per-level digit span.
     pub fn with_params(site: u64, strategy: AllocationStrategy, digit_span: u32) -> Self {
         assert!(site != 0, "site 0 is reserved for the document boundaries");
-        assert!(digit_span >= 4, "the per-level digit space must leave room to allocate");
+        assert!(
+            digit_span >= 4,
+            "the per-level digit space must leave room to allocate"
+        );
         LogootDoc {
             site,
             entries: Vec::new(),
@@ -191,7 +194,10 @@ impl<A: Clone> LogootDoc<A> {
 
     /// Identifier-size statistics (Table 5 of the Treedoc paper).
     pub fn stats(&self) -> LogootStats {
-        let mut stats = LogootStats { atoms: self.entries.len(), ..Default::default() };
+        let mut stats = LogootStats {
+            atoms: self.entries.len(),
+            ..Default::default()
+        };
         for (p, _) in &self.entries {
             let bytes = p.size_bytes();
             stats.total_id_bytes += bytes;
@@ -230,7 +236,10 @@ impl<A: Clone> LogootDoc<A> {
             }
             // No room at this depth: copy the left neighbour's component (or
             // a sentinel if it is exhausted) and descend one layer.
-            let copied = before.get(depth).copied().unwrap_or_else(Component::sentinel);
+            let copied = before
+                .get(depth)
+                .copied()
+                .unwrap_or_else(Component::sentinel);
             if bounded_by_after {
                 bounded_by_after = after.get(depth) == Some(&copied);
             }
@@ -286,7 +295,11 @@ mod tests {
     fn replay_converges() {
         let mut a = doc(1);
         let mut b = doc(2);
-        let ops: Vec<_> = "treedoc".chars().enumerate().map(|(i, c)| a.local_insert(i, c).unwrap()).collect();
+        let ops: Vec<_> = "treedoc"
+            .chars()
+            .enumerate()
+            .map(|(i, c)| a.local_insert(i, c).unwrap())
+            .collect();
         for op in &ops {
             b.apply(op);
         }
@@ -330,7 +343,10 @@ mod tests {
             d.local_insert(0, 'x').unwrap();
         }
         let stats = d.stats();
-        assert!(stats.max_id_bytes > 10, "prepends should have deepened identifiers");
+        assert!(
+            stats.max_id_bytes > 10,
+            "prepends should have deepened identifiers"
+        );
         assert_eq!(stats.atoms, 100);
     }
 
@@ -391,7 +407,7 @@ mod tests {
                         ops.push(doc.local_insert(idx, *c).unwrap());
                     }
                     Edit::Delete(i) => {
-                        if doc.len() > 0 {
+                        if !doc.is_empty() {
                             let idx = i % doc.len();
                             ops.push(doc.local_delete(idx).unwrap());
                         }

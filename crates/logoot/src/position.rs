@@ -43,7 +43,10 @@ impl Component {
     /// The sentinel component used when extending past the end of a shorter
     /// position during allocation.
     pub const fn sentinel() -> Self {
-        Component { digit: MIN_DIGIT, site: 0 }
+        Component {
+            digit: MIN_DIGIT,
+            site: 0,
+        }
     }
 }
 
@@ -67,12 +70,16 @@ impl Position {
 
     /// The virtual position before the first atom.
     pub fn begin() -> Self {
-        Position { components: vec![Component::new(MIN_DIGIT, 0)] }
+        Position {
+            components: vec![Component::new(MIN_DIGIT, 0)],
+        }
     }
 
     /// The virtual position after the last atom.
     pub fn end() -> Self {
-        Position { components: vec![Component::new(MAX_DIGIT, 0)] }
+        Position {
+            components: vec![Component::new(MAX_DIGIT, 0)],
+        }
     }
 
     /// The components.

@@ -61,7 +61,10 @@ mod tests {
         for strategy in [AllocationStrategy::Random, AllocationStrategy::Boundary(10)] {
             for _ in 0..200 {
                 let d = strategy.pick(10, 1000, &mut rng);
-                assert!(d > 10 && d < 1000, "{d} outside (10, 1000) for {strategy:?}");
+                assert!(
+                    d > 10 && d < 1000,
+                    "{d} outside (10, 1000) for {strategy:?}"
+                );
             }
         }
     }
@@ -91,6 +94,9 @@ mod tests {
 
     #[test]
     fn default_is_the_paper_boundary() {
-        assert_eq!(AllocationStrategy::default(), AllocationStrategy::Boundary(1_000_000));
+        assert_eq!(
+            AllocationStrategy::default(),
+            AllocationStrategy::Boundary(1_000_000)
+        );
     }
 }

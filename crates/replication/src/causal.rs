@@ -114,7 +114,11 @@ mod tests {
     /// Builds the message a sender with clock `clock` would emit.
     fn msg(sender: SiteId, clock: &mut VectorClock, payload: u32) -> CausalMessage<u32> {
         clock.increment(sender);
-        CausalMessage { sender, clock: clock.clone(), payload }
+        CausalMessage {
+            sender,
+            clock: clock.clone(),
+            payload,
+        }
     }
 
     #[test]
@@ -176,7 +180,10 @@ mod tests {
         let mut buf = CausalBuffer::new();
         assert!(buf.receive(m2.clone()).is_empty());
         let delivered = buf.receive(m1);
-        assert_eq!(delivered.iter().map(|m| m.payload).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(
+            delivered.iter().map(|m| m.payload).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
     }
 
     #[test]

@@ -27,14 +27,20 @@ pub struct LinkConfig {
 
 impl Default for LinkConfig {
     fn default() -> Self {
-        LinkConfig { min_latency_ms: 5, max_latency_ms: 50 }
+        LinkConfig {
+            min_latency_ms: 5,
+            max_latency_ms: 50,
+        }
     }
 }
 
 impl LinkConfig {
     /// A fixed-latency link.
     pub fn fixed(latency_ms: u64) -> Self {
-        LinkConfig { min_latency_ms: latency_ms, max_latency_ms: latency_ms }
+        LinkConfig {
+            min_latency_ms: latency_ms,
+            max_latency_ms: latency_ms,
+        }
     }
 }
 
@@ -194,7 +200,10 @@ impl<T: Eq> SimNetwork<T> {
     }
 
     fn sample_latency(&mut self) -> u64 {
-        let LinkConfig { min_latency_ms, max_latency_ms } = self.default_link;
+        let LinkConfig {
+            min_latency_ms,
+            max_latency_ms,
+        } = self.default_link;
         if max_latency_ms <= min_latency_ms {
             min_latency_ms
         } else {
@@ -233,7 +242,10 @@ mod tests {
     #[test]
     fn variable_latency_reorders_messages() {
         let mut net: SimNetwork<u32> = SimNetwork::new(
-            LinkConfig { min_latency_ms: 1, max_latency_ms: 500 },
+            LinkConfig {
+                min_latency_ms: 1,
+                max_latency_ms: 500,
+            },
             7,
         );
         for i in 0..50 {
@@ -246,7 +258,10 @@ mod tests {
         let mut sorted = order.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(order, sorted, "with a wide latency range some reordering must occur");
+        assert_ne!(
+            order, sorted,
+            "with a wide latency range some reordering must occur"
+        );
     }
 
     #[test]
@@ -281,7 +296,10 @@ mod tests {
         net.partition_both(site(1), site(2));
         net.send(site(1), site(2), 1);
         net.send(site(2), site(1), 2);
-        assert!(net.step().is_none(), "both messages are stuck behind the partition");
+        assert!(
+            net.step().is_none(),
+            "both messages are stuck behind the partition"
+        );
         assert_eq!(net.in_flight(), 2);
         net.heal_both(site(1), site(2));
         let mut payloads = Vec::new();

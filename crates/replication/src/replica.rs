@@ -34,7 +34,8 @@ where
         // Replay of a CRDT operation cannot fail under causal delivery; a
         // failure here indicates a broken delivery layer, which the
         // simulator's tests want to hear about loudly.
-        self.apply(op).expect("causally delivered operation must replay cleanly");
+        self.apply(op)
+            .expect("causally delivered operation must replay cleanly");
     }
 
     fn digest(&self) -> u64 {
@@ -60,7 +61,13 @@ pub struct Replica<Doc: ReplicatedDocument> {
 impl<Doc: ReplicatedDocument> Replica<Doc> {
     /// Wraps a document.
     pub fn new(site: SiteId, doc: Doc) -> Self {
-        Replica { site, doc, buffer: CausalBuffer::new(), ops_sent: 0, ops_applied: 0 }
+        Replica {
+            site,
+            doc,
+            buffer: CausalBuffer::new(),
+            ops_sent: 0,
+            ops_applied: 0,
+        }
     }
 
     /// The replica's site.
@@ -100,7 +107,11 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
     pub fn stamp(&mut self, op: Doc::Op) -> CausalMessage<Doc::Op> {
         let clock = self.buffer.record_local(self.site);
         self.ops_sent += 1;
-        CausalMessage { sender: self.site, clock, payload: op }
+        CausalMessage {
+            sender: self.site,
+            clock,
+            payload: op,
+        }
     }
 
     /// Receives a message from the network; buffered messages that become
@@ -180,7 +191,10 @@ mod tests {
         let mut messages = Vec::new();
         for (i, r) in replicas.iter_mut().enumerate() {
             for (j, c) in "abc".chars().enumerate() {
-                let op = r.doc_mut().local_insert(j, char::from(b'a' + (i as u8 * 3) + j as u8)).unwrap();
+                let op = r
+                    .doc_mut()
+                    .local_insert(j, char::from(b'a' + (i as u8 * 3) + j as u8))
+                    .unwrap();
                 let _ = c;
                 messages.push((r.site(), r.stamp(op)));
             }

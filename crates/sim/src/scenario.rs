@@ -68,7 +68,10 @@ type Msg = CausalMessage<Op<String, Sdis>>;
 /// Runs a scenario to completion (all messages delivered) and checks
 /// convergence.
 pub fn run(scenario: &Scenario) -> SimReport {
-    assert!(scenario.sites >= 2, "a cooperative session needs at least two sites");
+    assert!(
+        scenario.sites >= 2,
+        "a cooperative session needs at least two sites"
+    );
     let mut rng = StdRng::seed_from_u64(scenario.seed);
     let site_ids: Vec<SiteId> = (1..=scenario.sites as u64).map(SiteId::from_u64).collect();
     let config = if scenario.balancing {
@@ -133,7 +136,10 @@ pub fn run(scenario: &Scenario) -> SimReport {
         let deliver_now = net.in_flight() / 2;
         for _ in 0..deliver_now {
             let Some(event) = net.step() else { break };
-            let idx = site_ids.iter().position(|&s| s == event.to).expect("known site");
+            let idx = site_ids
+                .iter()
+                .position(|&s| s == event.to)
+                .expect("known site");
             replicas[idx].receive(event.payload);
             max_pending = max_pending.max(replicas[idx].pending());
         }
@@ -146,7 +152,10 @@ pub fn run(scenario: &Scenario) -> SimReport {
         }
     }
     while let Some(event) = net.step() {
-        let idx = site_ids.iter().position(|&s| s == event.to).expect("known site");
+        let idx = site_ids
+            .iter()
+            .position(|&s| s == event.to)
+            .expect("known site");
         replicas[idx].receive(event.payload);
         max_pending = max_pending.max(replicas[idx].pending());
     }
@@ -181,7 +190,11 @@ mod tests {
 
     #[test]
     fn many_sites_converge() {
-        let report = run(&Scenario { sites: 6, edits_per_site: 40, ..Default::default() });
+        let report = run(&Scenario {
+            sites: 6,
+            edits_per_site: 40,
+            ..Default::default()
+        });
         assert!(report.converged);
         assert_eq!(report.ops_generated, 6 * 40);
     }
@@ -194,15 +207,28 @@ mod tests {
             partition_first_site: true,
             ..Default::default()
         });
-        assert!(report.converged, "partitioned-then-healed replicas must still converge");
+        assert!(
+            report.converged,
+            "partitioned-then-healed replicas must still converge"
+        );
     }
 
     #[test]
     fn balancing_does_not_affect_convergence() {
-        let plain = run(&Scenario { seed: 7, ..Default::default() });
-        let balanced = run(&Scenario { seed: 7, balancing: true, ..Default::default() });
+        let plain = run(&Scenario {
+            seed: 7,
+            ..Default::default()
+        });
+        let balanced = run(&Scenario {
+            seed: 7,
+            balancing: true,
+            ..Default::default()
+        });
         assert!(plain.converged && balanced.converged);
-        assert_eq!(plain.final_len, balanced.final_len, "same seed, same edits, same length");
+        assert_eq!(
+            plain.final_len, balanced.final_len,
+            "same seed, same edits, same length"
+        );
     }
 
     #[test]

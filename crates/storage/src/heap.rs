@@ -125,7 +125,14 @@ impl<A: Atom> DiskImage<A> {
 
         // The root record, followed level by level by the two child places of
         // every node emitted at the previous level.
-        encode_major(tree.root(), &PosId::root(), &mut heap, &mut overflow, &mut atoms, &mut stats);
+        encode_major(
+            tree.root(),
+            &PosId::root(),
+            &mut heap,
+            &mut overflow,
+            &mut atoms,
+            &mut stats,
+        );
         let mut parents: Vec<(&MajorNode<A, D>, PosId<D>)> = vec![(tree.root(), PosId::root())];
         while !parents.is_empty() {
             let mut children: Vec<(&MajorNode<A, D>, PosId<D>)> = Vec::new();
@@ -134,7 +141,14 @@ impl<A: Atom> DiskImage<A> {
                     match node.child(side) {
                         Some(child) => {
                             let child_pos = pos.child(PathElem::plain(side));
-                            encode_major(child, &child_pos, &mut heap, &mut overflow, &mut atoms, &mut stats);
+                            encode_major(
+                                child,
+                                &child_pos,
+                                &mut heap,
+                                &mut overflow,
+                                &mut atoms,
+                                &mut stats,
+                            );
                             children.push((child, child_pos));
                         }
                         None => {
@@ -153,7 +167,11 @@ impl<A: Atom> DiskImage<A> {
         stream.extend_from_slice(&overflow);
         stats.uncompressed_bytes = stream.len();
         let structure = rle_compress(&stream);
-        DiskImage { structure, atoms, stats }
+        DiskImage {
+            structure,
+            atoms,
+            stats,
+        }
     }
 
     /// Reads a tree back from its serialised form. Returns `None` when the
@@ -254,20 +272,34 @@ fn collect_overflow<A: Atom, D: DisCodec>(
         stats.overflow_slots += 1;
     }
     for mini in node.minis() {
-        let Some(mini_id) = mini_pos(pos, mini.dis()) else { continue };
+        let Some(mini_id) = mini_pos(pos, mini.dis()) else {
+            continue;
+        };
         if mini.content().is_present() {
             encode_overflow_record(&mini_id, mini.content(), overflow, atoms);
             stats.overflow_slots += 1;
         }
         for side in [Side::Left, Side::Right] {
             if let Some(child) = mini.child(side) {
-                collect_overflow(child, &mini_id.child(PathElem::plain(side)), overflow, atoms, stats);
+                collect_overflow(
+                    child,
+                    &mini_id.child(PathElem::plain(side)),
+                    overflow,
+                    atoms,
+                    stats,
+                );
             }
         }
     }
     for side in [Side::Left, Side::Right] {
         if let Some(child) = node.child(side) {
-            collect_overflow(child, &pos.child(PathElem::plain(side)), overflow, atoms, stats);
+            collect_overflow(
+                child,
+                &pos.child(PathElem::plain(side)),
+                overflow,
+                atoms,
+                stats,
+            );
         }
     }
 }
@@ -377,8 +409,16 @@ fn decode_overflow_record<A: Atom, D: DisCodec>(
             return None;
         }
         let flags = input.get_u8();
-        let side = if flags & 0x01 == 0 { Side::Left } else { Side::Right };
-        let dis = if flags & 0x02 != 0 { Some(D::decode_dis(input)?) } else { None };
+        let side = if flags & 0x01 == 0 {
+            Side::Left
+        } else {
+            Side::Right
+        };
+        let dis = if flags & 0x02 != 0 {
+            Some(D::decode_dis(input)?)
+        } else {
+            None
+        };
         elems.push(PathElem { side, dis });
     }
     let content = decode_content(input, atoms)?;
@@ -397,7 +437,10 @@ mod tests {
     fn slots<A: Atom, D: Disambiguator>(tree: &Tree<A, D>) -> Vec<(Vec<u8>, bool)> {
         let mut out = Vec::new();
         tree.for_each_slot(|s| {
-            out.push((s.bits.iter().map(|b| b.bit()).collect(), s.content.is_live()));
+            out.push((
+                s.bits.iter().map(|b| b.bit()).collect(),
+                s.content.is_live(),
+            ));
         });
         out
     }
@@ -424,7 +467,11 @@ mod tests {
         let image = DiskImage::encode(doc.tree());
         let back: Tree<String, Sdis> = image.decode().unwrap();
         assert_eq!(back.to_vec(), doc.to_vec());
-        assert_eq!(back.node_count(), doc.node_count(), "tombstones survive the round trip");
+        assert_eq!(
+            back.node_count(),
+            doc.node_count(),
+            "tombstones survive the round trip"
+        );
         assert_eq!(slots(&back), slots(doc.tree()));
     }
 
@@ -471,7 +518,9 @@ mod tests {
 
     #[test]
     fn flattened_storage_is_small() {
-        let atoms: Vec<String> = (0..200).map(|i| format!("some document line number {i}")).collect();
+        let atoms: Vec<String> = (0..200)
+            .map(|i| format!("some document line number {i}"))
+            .collect();
         let doc: Treedoc<String, Sdis> = Treedoc::from_atoms(site(1), &atoms);
         let image = DiskImage::encode(doc.tree());
         // A flattened document stores no disambiguators: a few bytes per node
@@ -483,7 +532,10 @@ mod tests {
             atoms.len()
         );
         assert!(image.overhead_ratio() < 0.5);
-        assert_eq!(image.atom_bytes(), atoms.iter().map(|a| a.len()).sum::<usize>());
+        assert_eq!(
+            image.atom_bytes(),
+            atoms.iter().map(|a| a.len()).sum::<usize>()
+        );
         assert_eq!(image.stats.overflow_slots, 0);
     }
 

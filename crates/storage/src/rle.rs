@@ -113,10 +113,14 @@ mod tests {
     #[test]
     fn long_marker_runs_shrink_dramatically() {
         let mut data = vec![7u8; 10];
-        data.extend(std::iter::repeat(MARKER).take(10_000));
+        data.extend(std::iter::repeat_n(MARKER, 10_000));
         data.extend([9u8; 5]);
         let packed = rle_compress(&data);
-        assert!(packed.len() < 40, "10k markers must pack into a few bytes, got {}", packed.len());
+        assert!(
+            packed.len() < 40,
+            "10k markers must pack into a few bytes, got {}",
+            packed.len()
+        );
         assert_eq!(rle_decompress(&packed).unwrap(), data);
     }
 
@@ -137,9 +141,15 @@ mod tests {
     #[test]
     fn malformed_input_is_rejected() {
         assert!(rle_decompress(&[9]).is_none(), "unknown tag");
-        assert!(rle_decompress(&[LITERAL_TAG, 5, 1, 2]).is_none(), "truncated literal");
+        assert!(
+            rle_decompress(&[LITERAL_TAG, 5, 1, 2]).is_none(),
+            "truncated literal"
+        );
         assert!(rle_decompress(&[RUN_TAG]).is_none(), "missing run length");
-        assert!(rle_decompress(&[RUN_TAG, 0x80]).is_none(), "truncated varint");
+        assert!(
+            rle_decompress(&[RUN_TAG, 0x80]).is_none(),
+            "truncated varint"
+        );
     }
 
     #[test]
@@ -173,9 +183,9 @@ mod tests {
                 let mut data = Vec::new();
                 for (byte, len) in &runs {
                     if byte % 2 == 0 {
-                        data.extend(std::iter::repeat(MARKER).take(*len));
+                        data.extend(std::iter::repeat_n(MARKER, *len));
                     } else {
-                        data.extend(std::iter::repeat(*byte).take(*len));
+                        data.extend(std::iter::repeat_n(*byte, *len));
                     }
                 }
                 let packed = rle_compress(&data);

@@ -73,14 +73,14 @@ impl DocumentSpec {
         };
 
         let mut revisions: Vec<Revision> = Vec::with_capacity(self.revisions);
-        let mut current: Revision =
-            (0..self.initial_units).map(|_| fresh_unit(&mut rng, 0)).collect();
+        let mut current: Revision = (0..self.initial_units)
+            .map(|_| fresh_unit(&mut rng, 0))
+            .collect();
         revisions.push(current.clone());
 
         // Net growth needed per revision to reach the final size.
         let steps = self.revisions.saturating_sub(1).max(1);
-        let growth_per_rev =
-            (self.final_units as f64 - self.initial_units as f64) / steps as f64;
+        let growth_per_rev = (self.final_units as f64 - self.initial_units as f64) / steps as f64;
 
         let mut hot_spot = current.len() / 2;
         let mut pre_vandalism: Option<Revision> = None;
@@ -108,8 +108,7 @@ impl DocumentSpec {
             // touch paragraphs (compare the node counts of Table 1: ~36
             // inserts per revision for the LaTeX files versus ~3 for the
             // Wikipedia pages).
-            let expected_len =
-                self.initial_units as f64 + growth_per_rev * rev as f64;
+            let expected_len = self.initial_units as f64 + growth_per_rev * rev as f64;
             let deficit = expected_len - current.len() as f64;
             let inserts = if deficit > 0.0 {
                 deficit.ceil() as usize + rng.gen_range(0..=2usize)
@@ -121,12 +120,17 @@ impl DocumentSpec {
                 DocumentKind::Latex => rng.gen_range(18..=40usize),
             };
             // Delete whatever would overshoot the expected length curve.
-            let deletions =
-                ((current.len() + inserts) as f64 - expected_len).max(0.0).round() as usize;
+            let deletions = ((current.len() + inserts) as f64 - expected_len)
+                .max(0.0)
+                .round() as usize;
 
             // Move the hot spot occasionally; most edits cluster around it.
             if rng.gen_bool(0.3) || hot_spot >= current.len() {
-                hot_spot = if current.is_empty() { 0 } else { rng.gen_range(0..current.len()) };
+                hot_spot = if current.is_empty() {
+                    0
+                } else {
+                    rng.gen_range(0..current.len())
+                };
             }
 
             for _ in 0..modifications {
@@ -180,8 +184,18 @@ fn clamp_near(rng: &mut StdRng, center: usize, len: usize) -> usize {
 fn synth_unit(rng: &mut StdRng, rev: usize, counter: usize, bytes: usize) -> String {
     let mut s = format!("r{rev} u{counter}");
     const WORDS: [&str; 12] = [
-        "replica", "commute", "identifier", "buffer", "editing", "tree", "atom", "merge",
-        "concurrent", "site", "path", "convergence",
+        "replica",
+        "commute",
+        "identifier",
+        "buffer",
+        "editing",
+        "tree",
+        "atom",
+        "merge",
+        "concurrent",
+        "site",
+        "path",
+        "convergence",
     ];
     while s.len() < bytes {
         s.push(' ');
@@ -306,7 +320,10 @@ mod tests {
     #[test]
     fn different_documents_differ() {
         let corpus = paper_corpus();
-        assert_ne!(corpus[3].generate().revisions, corpus[4].generate().revisions);
+        assert_ne!(
+            corpus[3].generate().revisions,
+            corpus[4].generate().revisions
+        );
     }
 
     #[test]

@@ -186,7 +186,11 @@ mod tests {
         let hunks = diff_lines(&a, &b);
         assert_eq!(apply_diff(&a, &hunks), b);
         let (ins, del) = op_counts(&hunks);
-        assert_eq!((ins, del), (1, 1), "a modified atom costs one delete and one insert");
+        assert_eq!(
+            (ins, del),
+            (1, 1),
+            "a modified atom costs one delete and one insert"
+        );
     }
 
     #[test]

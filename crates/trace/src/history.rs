@@ -18,7 +18,10 @@ pub struct History {
 impl History {
     /// Creates a history.
     pub fn new(name: impl Into<String>, revisions: Vec<Revision>) -> Self {
-        History { name: name.into(), revisions }
+        History {
+            name: name.into(),
+            revisions,
+        }
     }
 
     /// Number of revisions (versions) in the history.

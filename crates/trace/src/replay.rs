@@ -47,7 +47,11 @@ pub struct ReplayConfig {
 
 impl Default for ReplayConfig {
     fn default() -> Self {
-        ReplayConfig { dis: DisChoice::Sdis, balancing: false, flatten_every: None }
+        ReplayConfig {
+            dis: DisChoice::Sdis,
+            balancing: false,
+            flatten_every: None,
+        }
     }
 }
 
@@ -185,8 +189,7 @@ fn replay_generic<D: Disambiguator + HasSource + DisCodec>(
     };
     let empty: Vec<String> = Vec::new();
     let initial = history.revisions.first().unwrap_or(&empty);
-    let mut doc: Treedoc<String, D> =
-        Treedoc::from_atoms_with_config(site, initial, doc_config);
+    let mut doc: Treedoc<String, D> = Treedoc::from_atoms_with_config(site, initial, doc_config);
 
     let mut report = ReplayReport {
         name: history.name.clone(),
@@ -220,7 +223,11 @@ fn replay_generic<D: Disambiguator + HasSource + DisCodec>(
         }
 
         record_point(&mut report, revision, &doc);
-        debug_assert_eq!(doc.to_vec(), window[1], "replayed content must match the revision");
+        debug_assert_eq!(
+            doc.to_vec(),
+            window[1],
+            "replayed content must match the revision"
+        );
     }
 
     report.final_stats = doc.stats();
@@ -247,7 +254,8 @@ fn apply_hunks<D: Disambiguator + HasSource>(
                 }
             }
             DiffHunk::Insert(lines) => {
-                doc.local_insert_batch(cursor, lines).expect("diff cursor within bounds");
+                doc.local_insert_batch(cursor, lines)
+                    .expect("diff cursor within bounds");
                 report.inserts += lines.len();
                 cursor += lines.len();
             }
@@ -289,7 +297,10 @@ pub struct LogootParams {
 
 impl Default for LogootParams {
     fn default() -> Self {
-        LogootParams { strategy: AllocationStrategy::Boundary(16), digit_span: 4096 }
+        LogootParams {
+            strategy: AllocationStrategy::Boundary(16),
+            digit_span: 4096,
+        }
     }
 }
 
@@ -324,8 +335,7 @@ pub fn replay_logoot(history: &History) -> LogootReport {
 /// Replays `history` on a Logoot replica with explicit allocation parameters.
 pub fn replay_logoot_with(history: &History, params: LogootParams) -> LogootReport {
     let start = Instant::now();
-    let mut doc: LogootDoc<String> =
-        LogootDoc::with_params(1, params.strategy, params.digit_span);
+    let mut doc: LogootDoc<String> = LogootDoc::with_params(1, params.strategy, params.digit_span);
     let empty: Vec<String> = Vec::new();
     let initial = history.revisions.first().unwrap_or(&empty);
     for (i, line) in initial.iter().enumerate() {
@@ -348,7 +358,8 @@ pub fn replay_logoot_with(history: &History, params: LogootParams) -> LogootRepo
                 }
                 DiffHunk::Insert(lines) => {
                     for (k, line) in lines.iter().enumerate() {
-                        doc.local_insert(cursor + k, line.clone()).expect("cursor within bounds");
+                        doc.local_insert(cursor + k, line.clone())
+                            .expect("cursor within bounds");
                         inserts += 1;
                     }
                     cursor += lines.len();
@@ -390,9 +401,20 @@ mod tests {
         let history = small_spec().generate();
         for config in [
             ReplayConfig::default(),
-            ReplayConfig { dis: DisChoice::Udis, ..Default::default() },
-            ReplayConfig { balancing: true, flatten_every: Some(2), ..Default::default() },
-            ReplayConfig { dis: DisChoice::Udis, balancing: true, flatten_every: Some(1) },
+            ReplayConfig {
+                dis: DisChoice::Udis,
+                ..Default::default()
+            },
+            ReplayConfig {
+                balancing: true,
+                flatten_every: Some(2),
+                ..Default::default()
+            },
+            ReplayConfig {
+                dis: DisChoice::Udis,
+                balancing: true,
+                flatten_every: Some(1),
+            },
         ] {
             let report = replay_treedoc(&history, config);
             assert_eq!(
@@ -419,7 +441,10 @@ mod tests {
         let history = small_spec().generate();
         let report = replay_treedoc(
             &history,
-            ReplayConfig { dis: DisChoice::Udis, ..Default::default() },
+            ReplayConfig {
+                dis: DisChoice::Udis,
+                ..Default::default()
+            },
         );
         assert_eq!(report.final_stats.tombstones, 0);
     }
@@ -430,7 +455,10 @@ mod tests {
         let none = replay_treedoc(&history, ReplayConfig::default());
         let aggressive = replay_treedoc(
             &history,
-            ReplayConfig { flatten_every: Some(1), ..Default::default() },
+            ReplayConfig {
+                flatten_every: Some(1),
+                ..Default::default()
+            },
         );
         assert!(aggressive.flattens > 0);
         assert!(
@@ -446,7 +474,10 @@ mod tests {
         let plain = replay_treedoc(&history, ReplayConfig::default());
         let balanced = replay_treedoc(
             &history,
-            ReplayConfig { balancing: true, ..Default::default() },
+            ReplayConfig {
+                balancing: true,
+                ..Default::default()
+            },
         );
         assert!(
             balanced.final_stats.pos_ids.max_bits <= plain.final_stats.pos_ids.max_bits,
@@ -485,7 +516,11 @@ mod tests {
         // Treedoc with balancing keeps the same burst logarithmic.
         let treedoc = replay_treedoc(
             &history,
-            ReplayConfig { dis: DisChoice::Udis, balancing: true, flatten_every: None },
+            ReplayConfig {
+                dis: DisChoice::Udis,
+                balancing: true,
+                flatten_every: None,
+            },
         );
         assert!(
             (treedoc.live_pos_id_bytes() as f64) < logoot.total_id_bytes() as f64,
@@ -512,21 +547,31 @@ mod tests {
         let history = History::new("cold-prefix", revisions);
         let report = replay_treedoc(
             &history,
-            ReplayConfig { flatten_every: Some(2), ..Default::default() },
+            ReplayConfig {
+                flatten_every: Some(2),
+                ..Default::default()
+            },
         );
         let drops = report
             .timeline
             .windows(2)
             .filter(|w| w[1].total_nodes < w[0].total_nodes)
             .count();
-        assert!(drops > 0, "expected at least one compaction drop in the timeline");
+        assert!(
+            drops > 0,
+            "expected at least one compaction drop in the timeline"
+        );
         assert!(report.flattens > 0);
     }
 
     #[test]
     fn config_labels_are_readable() {
         assert_eq!(ReplayConfig::default().label(), "SDIS/no-flatten");
-        let c = ReplayConfig { dis: DisChoice::Udis, balancing: true, flatten_every: Some(8) };
+        let c = ReplayConfig {
+            dis: DisChoice::Udis,
+            balancing: true,
+            flatten_every: Some(8),
+        };
         assert_eq!(c.label(), "UDIS+bal/flatten-8");
     }
 

@@ -8,10 +8,22 @@ use treedoc_repro::sim::{run, Scenario};
 
 fn main() {
     let scenarios = [
-        ("3 sites, fully connected", Scenario { sites: 3, edits_per_site: 200, ..Default::default() }),
+        (
+            "3 sites, fully connected",
+            Scenario {
+                sites: 3,
+                edits_per_site: 200,
+                ..Default::default()
+            },
+        ),
         (
             "5 sites, delete-heavy",
-            Scenario { sites: 5, edits_per_site: 120, delete_ratio: 0.5, ..Default::default() },
+            Scenario {
+                sites: 5,
+                edits_per_site: 120,
+                delete_ratio: 0.5,
+                ..Default::default()
+            },
         ),
         (
             "4 sites, one partitioned for a third of the session",
@@ -24,7 +36,12 @@ fn main() {
         ),
         (
             "3 sites with balanced identifier allocation",
-            Scenario { sites: 3, edits_per_site: 200, balancing: true, ..Default::default() },
+            Scenario {
+                sites: 3,
+                edits_per_site: 200,
+                balancing: true,
+                ..Default::default()
+            },
         ),
     ];
 

@@ -16,12 +16,17 @@ fn main() {
     // The laptop goes offline and keeps editing; the desktop edits too.
     let mut laptop_outbox = Vec::new();
     for k in 0..5 {
-        laptop_outbox.push(laptop.local_insert(3 + k, format!("offline note {k}")).unwrap());
+        laptop_outbox.push(
+            laptop
+                .local_insert(3 + k, format!("offline note {k}"))
+                .unwrap(),
+        );
     }
     laptop_outbox.push(laptop.local_delete(0).unwrap());
 
-    let mut desktop_outbox = Vec::new();
-    desktop_outbox.push(desktop.local_insert(8, "online appendix".to_string()).unwrap());
+    let mut desktop_outbox = vec![desktop
+        .local_insert(8, "online appendix".to_string())
+        .unwrap()];
     desktop_outbox.push(desktop.local_delete(1).unwrap());
 
     println!("desktop before sync: {} atoms", desktop.len());
@@ -36,7 +41,10 @@ fn main() {
         laptop.apply(op).unwrap();
     }
     assert_eq!(desktop.to_vec(), laptop.to_vec());
-    println!("after sync, both replicas hold {} atoms and identical content", desktop.len());
+    println!(
+        "after sync, both replicas hold {} atoms and identical content",
+        desktop.len()
+    );
 
     // Now that the session is quiescent, agree on a flatten with 2PC.
     let proposal = FlattenProposal {
@@ -48,8 +56,10 @@ fn main() {
     let nodes_before = desktop.node_count();
     {
         let mut docs = [&mut desktop, &mut laptop];
-        let mut participants: Vec<_> =
-            docs.iter_mut().map(|d| TreedocParticipant::new(d)).collect();
+        let mut participants: Vec<_> = docs
+            .iter_mut()
+            .map(|d| TreedocParticipant::new(d))
+            .collect();
         let (outcome, stats) = run_two_phase(&proposal, &mut participants);
         println!(
             "flatten commitment: {outcome:?} in {} messages over {} phases",
@@ -73,9 +83,14 @@ fn main() {
         txn: 2,
     };
     laptop.next_revision();
-    laptop.local_insert(0, "still typing...".to_string()).unwrap();
+    laptop
+        .local_insert(0, "still typing...".to_string())
+        .unwrap();
     let mut docs = [&mut desktop, &mut laptop];
-    let mut participants: Vec<_> = docs.iter_mut().map(|d| TreedocParticipant::new(d)).collect();
+    let mut participants: Vec<_> = docs
+        .iter_mut()
+        .map(|d| TreedocParticipant::new(d))
+        .collect();
     let (outcome, _) = run_two_phase(&stale, &mut participants);
     println!("flatten proposed during active editing: {outcome:?} (edits take precedence)");
     assert!(matches!(outcome, CommitOutcome::Aborted { .. }));

@@ -5,9 +5,7 @@
 //!
 //! Run with `cargo run --release --example wiki_replay`.
 
-use treedoc_repro::trace::{
-    paper_corpus, replay_logoot, replay_treedoc, DisChoice, ReplayConfig,
-};
+use treedoc_repro::trace::{paper_corpus, replay_logoot, replay_treedoc, DisChoice, ReplayConfig};
 
 fn main() {
     let spec = paper_corpus()
@@ -21,10 +19,26 @@ fn main() {
     let history = spec.generate();
 
     for config in [
-        ReplayConfig { dis: DisChoice::Sdis, balancing: false, flatten_every: None },
-        ReplayConfig { dis: DisChoice::Sdis, balancing: false, flatten_every: Some(2) },
-        ReplayConfig { dis: DisChoice::Udis, balancing: false, flatten_every: None },
-        ReplayConfig { dis: DisChoice::Sdis, balancing: true, flatten_every: Some(2) },
+        ReplayConfig {
+            dis: DisChoice::Sdis,
+            balancing: false,
+            flatten_every: None,
+        },
+        ReplayConfig {
+            dis: DisChoice::Sdis,
+            balancing: false,
+            flatten_every: Some(2),
+        },
+        ReplayConfig {
+            dis: DisChoice::Udis,
+            balancing: false,
+            flatten_every: None,
+        },
+        ReplayConfig {
+            dis: DisChoice::Sdis,
+            balancing: true,
+            flatten_every: Some(2),
+        },
     ] {
         let report = replay_treedoc(&history, config);
         println!(

@@ -33,8 +33,6 @@ pub use treedoc_trace as trace;
 
 /// Convenience prelude with the types most programs need.
 pub mod prelude {
-    pub use treedoc_core::{
-        Op, PosId, Sdis, SiteId, Treedoc, TreedocConfig, Udis,
-    };
+    pub use treedoc_core::{Op, PosId, Sdis, SiteId, Treedoc, TreedocConfig, Udis};
     pub use treedoc_replication::{CausalMessage, Replica};
 }

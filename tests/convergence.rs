@@ -21,11 +21,17 @@ fn two_replicas_converge_after_interleaved_editing() {
     let mut ops_a: Vec<Op<String, Sdis>> = Vec::new();
     let mut ops_b: Vec<Op<String, Sdis>> = Vec::new();
     for round in 0..30 {
-        ops_a.push(a.local_insert(round % (a.len() + 1), format!("a{round}")).unwrap());
+        ops_a.push(
+            a.local_insert(round % (a.len() + 1), format!("a{round}"))
+                .unwrap(),
+        );
         if b.len() > 2 {
             ops_b.push(b.local_delete(round % b.len()).unwrap());
         }
-        ops_b.push(b.local_insert(round % (b.len() + 1), format!("b{round}")).unwrap());
+        ops_b.push(
+            b.local_insert(round % (b.len() + 1), format!("b{round}"))
+                .unwrap(),
+        );
     }
     for op in &ops_b {
         a.apply(op).unwrap();
@@ -61,7 +67,7 @@ fn udis_and_sdis_replicas_agree_on_content_order() {
                 u.local_insert(i, text).unwrap();
             }
             None => {
-                if s.len() > 0 {
+                if !s.is_empty() {
                     let i = idx % s.len();
                     s.local_delete(i).unwrap();
                     u.local_delete(i).unwrap();
@@ -71,7 +77,10 @@ fn udis_and_sdis_replicas_agree_on_content_order() {
     }
     assert_eq!(s.to_vec(), u.to_vec());
     assert_eq!(u.stats().tombstones, 0, "UDIS never stores tombstones");
-    assert!(s.stats().tombstones > 0, "SDIS keeps tombstones until a flatten");
+    assert!(
+        s.stats().tombstones > 0,
+        "SDIS keeps tombstones until a flatten"
+    );
 }
 
 #[test]
@@ -82,10 +91,16 @@ fn causal_delivery_handles_out_of_order_messages_across_three_sites() {
 
     // Site 1 creates content, site 2 reacts to it, site 3 receives
     // everything in the *wrong* order and must hold messages back.
-    let op1 = replicas[0].doc_mut().local_insert(0, "root".to_string()).unwrap();
+    let op1 = replicas[0]
+        .doc_mut()
+        .local_insert(0, "root".to_string())
+        .unwrap();
     let m1 = replicas[0].stamp(op1);
     replicas[1].receive(m1.clone());
-    let op2 = replicas[1].doc_mut().local_insert(1, "reply".to_string()).unwrap();
+    let op2 = replicas[1]
+        .doc_mut()
+        .local_insert(1, "reply".to_string())
+        .unwrap();
     let m2 = replicas[1].stamp(op2);
     let op3 = replicas[1].doc_mut().local_delete(0).unwrap();
     let m3 = replicas[1].stamp(op3);
@@ -93,7 +108,11 @@ fn causal_delivery_handles_out_of_order_messages_across_three_sites() {
     // Deliver to site 3 in reverse causal order.
     assert_eq!(replicas[2].receive(m3.clone()), 0);
     assert_eq!(replicas[2].receive(m2.clone()), 0);
-    assert_eq!(replicas[2].receive(m1.clone()), 3, "the whole chain flushes at once");
+    assert_eq!(
+        replicas[2].receive(m1.clone()),
+        3,
+        "the whole chain flushes at once"
+    );
     // And to site 1 (which already has its own op).
     replicas[0].receive(m2);
     replicas[0].receive(m3);
@@ -136,7 +155,11 @@ fn balanced_and_unbalanced_replicas_interoperate() {
     let mut ops_b = Vec::new();
     for k in 0..40 {
         ops_a.push(plain.local_insert(plain.len(), format!("p{k}")).unwrap());
-        ops_b.push(balanced.local_insert(balanced.len(), format!("b{k}")).unwrap());
+        ops_b.push(
+            balanced
+                .local_insert(balanced.len(), format!("b{k}"))
+                .unwrap(),
+        );
     }
     for op in &ops_b {
         plain.apply(op).unwrap();

@@ -69,8 +69,12 @@ fn flatten_aborts_when_any_replica_keeps_editing() {
     // Replica 2 edits after the proposal was taken.
     docs[2].next_revision();
     docs[2].local_insert(0, "late edit".to_string()).unwrap();
-    let proposal =
-        FlattenProposal { proposer: site(1), subtree: Vec::new(), base_revision: base, txn: 2 };
+    let proposal = FlattenProposal {
+        proposer: site(1),
+        subtree: Vec::new(),
+        base_revision: base,
+        txn: 2,
+    };
     let nodes_before: Vec<usize> = docs.iter().map(|d| d.node_count()).collect();
     {
         let mut participants: Vec<_> = docs.iter_mut().map(TreedocParticipant::new).collect();
@@ -78,7 +82,11 @@ fn flatten_aborts_when_any_replica_keeps_editing() {
         assert!(matches!(outcome, CommitOutcome::Aborted { no_votes: 1 }));
     }
     for (d, before) in docs.iter().zip(nodes_before) {
-        assert_eq!(d.node_count(), before, "an aborted flatten leaves no side effects");
+        assert_eq!(
+            d.node_count(),
+            before,
+            "an aborted flatten leaves no side effects"
+        );
     }
     // Once the editor is done, a fresh proposal (with an up-to-date base
     // revision) commits — including under 3PC.
@@ -88,8 +96,12 @@ fn flatten_aborts_when_any_replica_keeps_editing() {
             d.next_revision();
         }
     }
-    let proposal =
-        FlattenProposal { proposer: site(1), subtree: Vec::new(), base_revision: base, txn: 3 };
+    let proposal = FlattenProposal {
+        proposer: site(1),
+        subtree: Vec::new(),
+        base_revision: base,
+        txn: 3,
+    };
     let mut participants: Vec<_> = docs.iter_mut().map(TreedocParticipant::new).collect();
     let (outcome, stats) = run_three_phase(&proposal, &mut participants);
     assert_eq!(outcome, CommitOutcome::Committed);
@@ -110,7 +122,10 @@ fn flattened_and_unflattened_replicas_persist_and_reload() {
     let before = DiskImage::encode(doc.tree()).structure_bytes();
     doc.flatten_all().unwrap();
     let after = DiskImage::encode(doc.tree()).structure_bytes();
-    assert!(after < before, "flatten must shrink the on-disk structure ({after} vs {before})");
+    assert!(
+        after < before,
+        "flatten must shrink the on-disk structure ({after} vs {before})"
+    );
 }
 
 #[test]

@@ -42,7 +42,11 @@ fn replay_is_lossless_for_every_configuration() {
         for dis in [DisChoice::Sdis, DisChoice::Udis] {
             for balancing in [false, true] {
                 for flatten in [None, Some(1), Some(8)] {
-                    let config = ReplayConfig { dis, balancing, flatten_every: flatten };
+                    let config = ReplayConfig {
+                        dis,
+                        balancing,
+                        flatten_every: flatten,
+                    };
                     let report = replay_treedoc(&history, config);
                     assert_eq!(
                         report.final_stats.live_atoms,
@@ -66,11 +70,17 @@ fn flattening_reduces_tombstones_and_identifier_sizes() {
     let none = replay_treedoc(&history, ReplayConfig::default());
     let every8 = replay_treedoc(
         &history,
-        ReplayConfig { flatten_every: Some(8), ..ReplayConfig::default() },
+        ReplayConfig {
+            flatten_every: Some(8),
+            ..ReplayConfig::default()
+        },
     );
     let every1 = replay_treedoc(
         &history,
-        ReplayConfig { flatten_every: Some(1), ..ReplayConfig::default() },
+        ReplayConfig {
+            flatten_every: Some(1),
+            ..ReplayConfig::default()
+        },
     );
     assert!(none.final_stats.tombstones > 0);
     assert!(every1.final_stats.total_nodes <= every8.final_stats.total_nodes);
@@ -89,7 +99,10 @@ fn udis_stores_fewer_nodes_but_bigger_identifiers_per_node() {
     let sdis = replay_treedoc(&history, ReplayConfig::default());
     let udis = replay_treedoc(
         &history,
-        ReplayConfig { dis: DisChoice::Udis, ..ReplayConfig::default() },
+        ReplayConfig {
+            dis: DisChoice::Udis,
+            ..ReplayConfig::default()
+        },
     );
     assert!(udis.final_stats.total_nodes < sdis.final_stats.total_nodes);
     assert_eq!(udis.final_stats.tombstones, 0);
@@ -112,18 +125,28 @@ fn balancing_helps_identifier_sizes() {
     let plain = replay_treedoc(&history, ReplayConfig::default());
     let balanced = replay_treedoc(
         &history,
-        ReplayConfig { balancing: true, ..ReplayConfig::default() },
+        ReplayConfig {
+            balancing: true,
+            ..ReplayConfig::default()
+        },
     );
     assert!(balanced.avg_pos_id_bits() <= plain.avg_pos_id_bits());
     assert!(balanced.final_stats.pos_ids.max_bits <= plain.final_stats.pos_ids.max_bits);
 
     let flat = replay_treedoc(
         &history,
-        ReplayConfig { flatten_every: Some(2), ..ReplayConfig::default() },
+        ReplayConfig {
+            flatten_every: Some(2),
+            ..ReplayConfig::default()
+        },
     );
     let flat_bal = replay_treedoc(
         &history,
-        ReplayConfig { flatten_every: Some(2), balancing: true, ..ReplayConfig::default() },
+        ReplayConfig {
+            flatten_every: Some(2),
+            balancing: true,
+            ..ReplayConfig::default()
+        },
     );
     assert!(flat_bal.avg_pos_id_bits() <= flat.avg_pos_id_bits() * 1.15);
 }

@@ -1,0 +1,537 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the strategy combinators this workspace's property tests use —
+//! integer/char ranges, tuples, `prop_map`, `collection::vec`, `option::of`,
+//! `any`, a tiny character-class regex for string strategies, `prop_oneof!`
+//! and the `proptest!` / `prop_assert*` / `prop_assume!` macros. Each test
+//! runs a fixed number of random cases from a deterministic seed; there is no
+//! shrinking, so a failure reports the raw counterexample via the assertion
+//! message.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::Range;
+
+/// Number of random cases run per property.
+pub const CASES: u64 = 128;
+
+/// The generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The case did not meet a `prop_assume!` precondition; it is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "property failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+        }
+    }
+}
+
+/// Runs `case` [`CASES`] times with deterministic seeds, panicking on the
+/// first failure. Rejections (`prop_assume!`) are skipped.
+pub fn run_cases<F: FnMut(&mut TestRng) -> Result<(), TestCaseError>>(name: &str, mut case: F) {
+    for case_index in 0..CASES {
+        let mut rng = TestRng::seed_from_u64(0x70726F70 ^ case_index);
+        match case(&mut rng) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(message)) => {
+                panic!("proptest `{name}` failed at case {case_index}: {message}");
+            }
+        }
+    }
+}
+
+/// A generator of random values, mirroring `proptest::strategy::Strategy`
+/// (without shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `map`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map {
+            strategy: self,
+            map,
+        }
+    }
+
+    /// Erases the strategy type (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    map: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.strategy.generate(rng))
+    }
+}
+
+impl<T: rand::SampleUniform + 'static> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// A `&str` strategy interprets the string as a (tiny) regex and generates
+/// matching strings. Supported: literal characters, `[a-z0-9]`-style classes
+/// and `{m}` / `{m,n}` / `*` / `+` / `?` quantifiers.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_regex(self, rng)
+    }
+}
+
+/// Uniform values over a type's whole domain, from [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Strategy producing uniformly distributed values of `T`, mirroring
+/// `proptest::prelude::any`.
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies, mirroring `proptest::collection`.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Output of [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies, mirroring `proptest::option`.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy yielding `None` half the time and `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Output of [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.5) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod char {
+    //! Character strategies, mirroring `proptest::char`.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Uniform characters in `[lo, hi]` (by code point).
+    pub fn range(lo: ::core::primitive::char, hi: ::core::primitive::char) -> CharRange {
+        CharRange { lo, hi }
+    }
+
+    /// Output of [`range`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct CharRange {
+        lo: ::core::primitive::char,
+        hi: ::core::primitive::char,
+    }
+
+    impl Strategy for CharRange {
+        type Value = ::core::primitive::char;
+
+        fn generate(&self, rng: &mut TestRng) -> ::core::primitive::char {
+            loop {
+                let code = rng.gen_range(self.lo as u32..=self.hi as u32);
+                if let Some(c) = ::core::primitive::char::from_u32(code) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Strategy plumbing, mirroring `proptest::strategy`.
+
+    use super::{BoxedStrategy, Strategy, TestRng};
+    use rand::Rng;
+
+    /// Uniform choice between boxed alternatives (built by `prop_oneof!`).
+    pub struct Union<T> {
+        alternatives: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> std::fmt::Debug for Union<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Union({} alternatives)", self.alternatives.len())
+        }
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `alternatives` (must be non-empty).
+        pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!alternatives.is_empty(), "prop_oneof! needs alternatives");
+            Union { alternatives }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let pick = rng.gen_range(0..self.alternatives.len());
+            self.alternatives[pick].generate(rng)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tiny regex generator for `&str` strategies
+// ---------------------------------------------------------------------------
+
+fn generate_from_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a character class or a literal character.
+        let atom: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unclosed `[` in regex strategy")
+                    + i;
+                let class = expand_class(&chars[i + 1..close]);
+                i = close + 1;
+                class
+            }
+            '\\' => {
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c => {
+                assert!(
+                    !"(){}|.^$*+?".contains(c),
+                    "unsupported regex syntax `{c}` in strategy pattern"
+                );
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unclosed `{` in regex strategy")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("bad repetition bound"),
+                        hi.parse().expect("bad repetition bound"),
+                    ),
+                    None => {
+                        let n: usize = body.parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        let count = rng.gen_range(min..=max);
+        for _ in 0..count {
+            let pick = rng.gen_range(0..atom.len());
+            out.push(atom[pick]);
+        }
+    }
+    out
+}
+
+fn expand_class(body: &[char]) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+            for code in lo..=hi {
+                if let Some(c) = char::from_u32(code) {
+                    set.push(c);
+                }
+            }
+            i += 3;
+        } else {
+            set.push(body[i]);
+            i += 1;
+        }
+    }
+    assert!(!set.is_empty(), "empty character class in regex strategy");
+    set
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::Union;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+    pub use crate::{BoxedStrategy, Strategy, TestCaseError};
+}
+
+/// Declares property tests. Each function body runs for many random cases;
+/// the user-supplied attributes (including `#[test]`) are passed through.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |rng| {
+                    $(let $pat = $crate::Strategy::generate(&($strategy), rng);)+
+                    (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($alternative:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::Strategy::boxed($alternative)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// directly) so the harness can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "{:?} != {:?} ({} != {})",
+            left,
+            right,
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Skips cases that do not meet a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_strategy_matches_class() {
+        super::run_cases("regex", |rng| {
+            let s = super::Strategy::generate(&"[a-d]{0,3}", rng);
+            prop_assert!(s.len() <= 3);
+            prop_assert!(s.chars().all(|c| ('a'..='d').contains(&c)));
+            Ok(())
+        });
+    }
+
+    proptest! {
+        #[test]
+        fn macro_round_trip(x in 0u32..10, maybe in crate::option::of(0u8..3)) {
+            prop_assert!(x < 10);
+            if let Some(m) = maybe {
+                prop_assert!(m < 3);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_tuples(v in crate::collection::vec(
+            prop_oneof![
+                (any::<usize>(), crate::char::range('a', 'c')).prop_map(|(_, c)| c),
+                crate::char::range('x', 'z'),
+            ],
+            0..10,
+        )) {
+            prop_assert!(v.iter().all(|c| "abcxyz".contains(*c)));
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Deserialization helpers mirroring `serde::de`.
+
+pub use crate::Deserialize;
+
+/// Marker for types that deserialize without borrowing, mirroring
+/// `serde::de::DeserializeOwned`. The shim's [`Deserialize`] is always owned,
+/// so every implementor qualifies.
+pub trait DeserializeOwned: Deserialize {}
+
+impl<T: Deserialize> DeserializeOwned for T {}

@@ -1,0 +1,67 @@
+//! The self-describing value tree the [`Serialize`](crate::Serialize) /
+//! [`Deserialize`](crate::Deserialize) traits convert through.
+
+/// A dynamically typed value, the common currency between `Serialize`,
+/// `Deserialize` and `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Ordered map with string keys (a JSON object). Insertion order is kept.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns the contained map entries if this is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained items if this is a [`Value::Array`].
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained string if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Shared `null` used for absent struct fields, so that `Option` fields
+/// tolerate missing keys the way `#[serde(default)]` would.
+pub static NULL: Value = Value::Null;
+
+/// Looks up `key` in a map body, falling back to [`NULL`] when absent.
+pub fn get_field<'a>(map: &'a [(String, Value)], key: &str) -> &'a Value {
+    map.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL)
+}

@@ -1,0 +1,655 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable in this container, so the derives parse the
+//! item declaration straight from the [`proc_macro::TokenStream`] with a small
+//! hand-rolled recogniser. It understands the shapes this workspace uses:
+//! unit/tuple/named structs and enums whose variants are unit, tuple or named,
+//! all with optional generic parameters (bounds are copied verbatim and the
+//! relevant serde trait bound is appended to every type parameter).
+//!
+//! The generated impls target the vendored `serde` shim's value-tree model:
+//! named structs become maps, tuple structs become arrays (newtypes collapse
+//! to their inner value) and enums are externally tagged, matching serde-json
+//! conventions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim's `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives the shim's `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed representation
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    params: Vec<Param>,
+    where_clause: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Param {
+    Lifetime(String),
+    Const { decl: String, name: String },
+    Type { name: String, bounds: String },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (`#[...]`, including doc comments) and visibility.
+    let is_enum = loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // `#` + bracketed group
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                i += 1;
+                break false;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                i += 1;
+                break true;
+            }
+            other => panic!("serde_derive: unexpected token before item keyword: {other}"),
+        }
+    };
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other}"),
+    };
+    i += 1;
+
+    let params = if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        parse_generics(&tokens, &mut i)
+    } else {
+        Vec::new()
+    };
+
+    // Everything between the generics and the body is either a where clause,
+    // a tuple-struct field list, or the terminating `;` of a unit struct.
+    let mut where_clause = String::new();
+    let mut tuple_group: Option<TokenStream> = None;
+    let mut body_group: Option<TokenStream> = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                body_group = Some(g.stream());
+                i += 1;
+                break;
+            }
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Parenthesis && tuple_group.is_none() =>
+            {
+                tuple_group = Some(g.stream());
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => {
+                i += 1;
+                break;
+            }
+            other => {
+                if !where_clause.is_empty() {
+                    where_clause.push(' ');
+                }
+                where_clause.push_str(&other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let _ = i;
+
+    let shape = if is_enum {
+        let body = body_group.expect("serde_derive: enum without body");
+        Shape::Enum(parse_variants(body))
+    } else if let Some(body) = body_group {
+        Shape::Struct(Fields::Named(parse_named_fields(body)))
+    } else if let Some(fields) = tuple_group {
+        Shape::Struct(Fields::Tuple(count_tuple_fields(fields)))
+    } else {
+        Shape::Struct(Fields::Unit)
+    };
+
+    Item {
+        name,
+        params,
+        where_clause,
+        shape,
+    }
+}
+
+/// Parses the generic parameter list, starting just after the opening `<`.
+/// Leaves `i` pointing past the matching `>`.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<Param> {
+    let mut params = Vec::new();
+    loop {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                *i += 1;
+                return params;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                *i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                // Lifetime parameter: `'a` (+ optional bounds, unsupported).
+                *i += 1;
+                let lt = match &tokens[*i] {
+                    TokenTree::Ident(id) => format!("'{id}"),
+                    other => panic!("serde_derive: expected lifetime name, found {other}"),
+                };
+                *i += 1;
+                params.push(Param::Lifetime(lt));
+            }
+            TokenTree::Ident(id) if id.to_string() == "const" => {
+                // `const N: usize`
+                let mut decl = String::from("const");
+                *i += 1;
+                let name = match &tokens[*i] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => panic!("serde_derive: expected const param name, found {other}"),
+                };
+                decl.push(' ');
+                decl.push_str(&name);
+                *i += 1;
+                decl.push_str(&collect_until_param_end(tokens, i));
+                params.push(Param::Const { decl, name });
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                *i += 1;
+                let mut bounds = String::new();
+                if matches!(&tokens[*i], TokenTree::Punct(p) if p.as_char() == ':') {
+                    *i += 1;
+                    bounds = collect_until_param_end(tokens, i);
+                    bounds = bounds.trim_start_matches(':').trim().to_string();
+                    // Strip a default (`= Foo`) if one trails the bounds.
+                    if let Some(pos) = bounds.find('=') {
+                        bounds.truncate(pos);
+                        bounds = bounds.trim().to_string();
+                    }
+                }
+                params.push(Param::Type { name, bounds });
+            }
+            other => panic!("serde_derive: unexpected token in generics: {other}"),
+        }
+    }
+}
+
+/// Collects tokens until a top-level `,` or the closing `>` of the parameter
+/// list, tracking `<`/`>` nesting. Leaves `i` at the delimiter.
+fn collect_until_param_end(tokens: &[TokenTree], i: &mut usize) -> String {
+    let mut out = String::new();
+    let mut depth = 0usize;
+    let mut prev_dash = false;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                out.push('<');
+                prev_dash = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                if prev_dash {
+                    out.push('>'); // part of `->`
+                } else if depth == 0 {
+                    return out;
+                } else {
+                    depth -= 1;
+                    out.push('>');
+                }
+                prev_dash = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                return out;
+            }
+            other => {
+                prev_dash = matches!(other, TokenTree::Punct(p) if p.as_char() == '-');
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(&other.to_string());
+            }
+        }
+        *i += 1;
+    }
+    out
+}
+
+/// Parses `ident: Type, ...` bodies, returning the field names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // attribute
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                assert!(
+                    matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+                    "serde_derive: expected `:` after field name"
+                );
+                i += 1;
+                skip_type(&tokens, &mut i);
+            }
+            other => panic!("serde_derive: unexpected token in fields: {other}"),
+        }
+    }
+    fields
+}
+
+/// Skips a type expression up to (and including) the next top-level comma.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0usize;
+    let mut prev_dash = false;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                prev_dash = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                if !prev_dash {
+                    depth -= 1;
+                }
+                prev_dash = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            other => {
+                prev_dash = matches!(other, TokenTree::Punct(p) if p.as_char() == '-');
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0usize;
+    let mut prev_dash = false;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                prev_dash = false;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                if !prev_dash {
+                    depth -= 1;
+                }
+                prev_dash = false;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+                prev_dash = false;
+            }
+            other => {
+                prev_dash = matches!(other, TokenTree::Punct(p) if p.as_char() == '-');
+                trailing_comma = false;
+            }
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // attribute
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let fields = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                        i += 1;
+                        f
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let f = Fields::Named(parse_named_fields(g.stream()));
+                        i += 1;
+                        f
+                    }
+                    _ => Fields::Unit,
+                };
+                // Skip an explicit discriminant (`= expr`) if present.
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    i += 1;
+                    skip_type(&tokens, &mut i);
+                }
+                variants.push(Variant { name, fields });
+            }
+            other => panic!("serde_derive: unexpected token in enum body: {other}"),
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// Renders `impl<...>` generics, appending `extra_bound` to each type param.
+fn impl_generics(params: &[Param], extra_bound: &str) -> String {
+    if params.is_empty() {
+        return String::new();
+    }
+    let rendered: Vec<String> = params
+        .iter()
+        .map(|p| match p {
+            Param::Lifetime(lt) => lt.clone(),
+            Param::Const { decl, .. } => decl.clone(),
+            Param::Type { name, bounds } => {
+                if bounds.is_empty() {
+                    format!("{name}: {extra_bound}")
+                } else {
+                    format!("{name}: {bounds} + {extra_bound}")
+                }
+            }
+        })
+        .collect();
+    format!("<{}>", rendered.join(", "))
+}
+
+/// Renders the `<A, B, N>` argument list for the implemented type.
+fn type_args(params: &[Param]) -> String {
+    if params.is_empty() {
+        return String::new();
+    }
+    let rendered: Vec<String> = params
+        .iter()
+        .map(|p| match p {
+            Param::Lifetime(lt) => lt.clone(),
+            Param::Const { name, .. } => name.clone(),
+            Param::Type { name, .. } => name.clone(),
+        })
+        .collect();
+    format!("<{}>", rendered.join(", "))
+}
+
+fn named_fields_to_map(fields: &[String], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_value(&{access_prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let ig = impl_generics(&item.params, "::serde::Serialize");
+    let ta = type_args(&item.params);
+    let name = &item.name;
+    let wc = &item.where_clause;
+
+    let body = match &item.shape {
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Serialize::to_value(&self.{idx})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Struct(Fields::Named(fields)) => named_fields_to_map(fields, "self."),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), \
+                             ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|idx| format!("f{idx}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|idx| format!("::serde::Serialize::to_value(f{idx})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Array(::std::vec![{}]))]),",
+                                binders.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let inner = named_fields_to_map(fields, "");
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), {inner})]),",
+                                fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+
+    format!(
+        "impl{ig} ::serde::Serialize for {name}{ta} {wc} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn named_fields_from_map(type_path: &str, fields: &[String], map_expr: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\
+                 ::serde::value::get_field({map_expr}, \"{f}\"))?"
+            )
+        })
+        .collect();
+    format!(
+        "::std::result::Result::Ok({type_path} {{ {} }})",
+        inits.join(", ")
+    )
+}
+
+fn tuple_fields_from_array(type_path: &str, n: usize, value_expr: &str, label: &str) -> String {
+    let inits: Vec<String> = (0..n)
+        .map(|idx| format!("::serde::Deserialize::from_value(&arr[{idx}])?"))
+        .collect();
+    format!(
+        "{{ let arr = {value_expr}.as_array()\
+          .ok_or_else(|| ::serde::Error::custom(\"expected array for `{label}`\"))?;\n\
+          if arr.len() != {n} {{\n\
+          return ::std::result::Result::Err(::serde::Error::custom(\
+          \"wrong tuple arity for `{label}`\"));\n\
+          }}\n\
+          ::std::result::Result::Ok({type_path}({}))\n\
+          }}",
+        inits.join(", ")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let ig = impl_generics(&item.params, "::serde::Deserialize");
+    let ta = type_args(&item.params);
+    let name = &item.name;
+    let wc = &item.where_clause;
+
+    let body = match &item.shape {
+        Shape::Struct(Fields::Unit) => {
+            format!("{{ let _ = value; ::std::result::Result::Ok({name}) }}")
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Shape::Struct(Fields::Tuple(n)) => tuple_fields_from_array(name, *n, "value", name),
+        Shape::Struct(Fields::Named(fields)) => format!(
+            "{{ let map = value.as_map()\
+             .ok_or_else(|| ::serde::Error::custom(\"expected map for `{name}`\"))?;\n\
+             {} }}",
+            named_fields_from_map(name, fields, "map")
+        ),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    let build = match &v.fields {
+                        Fields::Unit => unreachable!(),
+                        Fields::Tuple(1) => format!(
+                            "::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(inner)?))"
+                        ),
+                        Fields::Tuple(n) => tuple_fields_from_array(
+                            &format!("{name}::{vname}"),
+                            *n,
+                            "inner",
+                            &format!("{name}::{vname}"),
+                        ),
+                        Fields::Named(fields) => format!(
+                            "{{ let vmap = inner.as_map()\
+                             .ok_or_else(|| ::serde::Error::custom(\
+                             \"expected map for `{name}::{vname}`\"))?;\n\
+                             {} }}",
+                            named_fields_from_map(&format!("{name}::{vname}"), fields, "vmap")
+                        ),
+                    };
+                    format!("\"{vname}\" => {build},")
+                })
+                .collect();
+
+            let mut arms = String::new();
+            if !unit_arms.is_empty() {
+                arms.push_str(&format!(
+                    "::serde::Value::Str(s) => match s.as_str() {{\n{}\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"unknown `{name}` variant `{{other}}`\"))),\n}},\n",
+                    unit_arms.join("\n")
+                ));
+            }
+            if !payload_arms.is_empty() {
+                arms.push_str(&format!(
+                    "::serde::Value::Map(pairs) if pairs.len() == 1 => {{\n\
+                     let (tag, inner) = &pairs[0];\n\
+                     match tag.as_str() {{\n{}\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"unknown `{name}` variant `{{other}}`\"))),\n}}\n}},\n",
+                    payload_arms.join("\n")
+                ));
+            }
+            format!(
+                "match value {{\n{arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"invalid `{name}` value {{other:?}}\"))),\n}}"
+            )
+        }
+    };
+
+    format!(
+        "impl{ig} ::serde::Deserialize for {name}{ta} {wc} {{\n\
+         fn from_value(value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
