@@ -1,0 +1,77 @@
+//! Hold-back queue throughput under a faulty network.
+//!
+//! Measures the causal delivery layer in isolation (per-sender queues vs the
+//! adversarial schedule: 10% loss recovered by retransmission, 10%
+//! duplication, full shuffle) and the end-to-end faulty scenario, so
+//! regressions in either the data structure or the at-least-once recovery
+//! loop show up as replay-speed regressions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use treedoc_replication::testkit::{emit_history, faulty_schedule};
+use treedoc_replication::{CausalBuffer, CausalMessage};
+use treedoc_sim::{run, Scenario};
+
+/// Builds `senders × per_sender` causally stamped messages and a faulty
+/// delivery schedule over them, followed by the retransmission pass that
+/// recovers the losses (and re-offers everything else as duplicates,
+/// exercising the discard path).
+fn schedule_with_retransmission(
+    senders: usize,
+    per_sender: usize,
+    seed: u64,
+) -> Vec<CausalMessage<u64>> {
+    let history = emit_history(seed, senders, per_sender, 0.2);
+    let mut schedule = faulty_schedule(&history, seed, 0.1, 0.1);
+    schedule.extend(history);
+    schedule
+}
+
+fn bench_holdback_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("holdback_faulty");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (label, senders, per_sender) in [("4x500", 4usize, 500usize), ("8x250", 8, 250)] {
+        let schedule = schedule_with_retransmission(senders, per_sender, 0xFA017);
+        let total = senders * per_sender;
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                CausalBuffer::new,
+                |mut buf| {
+                    let mut delivered = 0usize;
+                    for m in &schedule {
+                        delivered += buf.receive(m.clone()).len();
+                    }
+                    assert_eq!(delivered, total);
+                    assert_eq!(buf.pending_len(), 0);
+                    buf
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_faulty_scenario(c: &mut Criterion) {
+    let mut group = c.benchmark_group("holdback_scenario");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let scenario = Scenario {
+        sites: 4,
+        edits_per_site: 40,
+        ..Scenario::faulty()
+    };
+    group.bench_function("4_sites_10pct_loss_dup", |b| {
+        b.iter(|| {
+            let report = run(&scenario);
+            assert!(report.converged);
+            report
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_holdback_throughput, bench_faulty_scenario);
+criterion_main!(benches);

@@ -7,9 +7,22 @@
 //! remote sites may be replayed as soon as received, as long as
 //! happened-before order is satisfied"). The [`CausalBuffer`] implements the
 //! classic vector-clock hold-back queue that provides exactly that guarantee
-//! on top of an unreliable-ordering (but reliable-delivery) network.
+//! on top of an unreliable-ordering network.
+//!
+//! Unlike the textbook version, this buffer is **duplicate-safe**: real
+//! transports provide reliable delivery through retransmission, which means
+//! the same message can arrive more than once. A message whose clock is
+//! already covered by `delivered` (or that is already buffered) is discarded
+//! on receipt and counted in [`BufferStats::duplicates_discarded`] instead of
+//! sitting in the hold-back queue forever.
+//!
+//! Internally messages are held in **per-sender FIFO queues keyed by the
+//! sender's own sequence number**. Delivery only ever inspects each sender's
+//! next-expected message, so a receive costs O(active senders) instead of the
+//! O(n²) full-queue re-sweep a flat pending list needs under heavy
+//! reordering.
 
-use std::collections::VecDeque;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use treedoc_core::SiteId;
@@ -28,15 +41,78 @@ pub struct CausalMessage<T> {
     pub payload: T,
 }
 
+impl<T> CausalMessage<T> {
+    /// The sender's sequence number for this message (its own entry in the
+    /// message clock): message `n` is the `n`-th event the sender produced.
+    pub fn seq(&self) -> u64 {
+        self.clock.get(self.sender)
+    }
+}
+
+/// What happened to the message offered to [`CausalBuffer::receive`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Receipt {
+    /// The message was fresh: it was either delivered (possibly releasing
+    /// buffered successors) or buffered until its predecessors arrive.
+    Fresh,
+    /// The message was already delivered, or an identical sequence number
+    /// from the same sender is already buffered; it was discarded.
+    Duplicate,
+}
+
+/// The outcome of one [`CausalBuffer::receive`] call: the messages released
+/// in causal order, plus what happened to the offered message itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Deliveries<T> {
+    /// Messages that became deliverable, in causal order.
+    pub messages: Vec<CausalMessage<T>>,
+    /// Whether the offered message was fresh or a discarded duplicate.
+    pub receipt: Receipt,
+}
+
+impl<T> Deliveries<T> {
+    /// `true` when no message became deliverable.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Number of messages released by this receive.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+}
+
+impl<T> IntoIterator for Deliveries<T> {
+    type Item = CausalMessage<T>;
+    type IntoIter = std::vec::IntoIter<CausalMessage<T>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.messages.into_iter()
+    }
+}
+
+/// Running counters of a [`CausalBuffer`]'s activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferStats {
+    /// Total messages delivered (released in causal order).
+    pub delivered: u64,
+    /// Stale or duplicate messages discarded on receipt.
+    pub duplicates_discarded: u64,
+}
+
 /// A hold-back queue that releases messages in causal order.
 #[derive(Debug, Clone, Default)]
 pub struct CausalBuffer<T> {
     /// What this replica has already delivered.
     delivered: VectorClock,
-    /// Messages waiting for their causal predecessors.
-    pending: VecDeque<CausalMessage<T>>,
+    /// Per-sender hold-back queues keyed by the sender's sequence number.
+    pending: BTreeMap<SiteId, BTreeMap<u64, CausalMessage<T>>>,
+    /// Total messages across all per-sender queues.
+    pending_total: usize,
     /// Highest number of simultaneously buffered messages (for diagnostics).
     high_water_mark: usize,
+    /// Delivery / discard counters.
+    stats: BufferStats,
 }
 
 impl<T> CausalBuffer<T> {
@@ -44,8 +120,10 @@ impl<T> CausalBuffer<T> {
     pub fn new() -> Self {
         CausalBuffer {
             delivered: VectorClock::new(),
-            pending: VecDeque::new(),
+            pending: BTreeMap::new(),
+            pending_total: 0,
             high_water_mark: 0,
+            stats: BufferStats::default(),
         }
     }
 
@@ -56,12 +134,17 @@ impl<T> CausalBuffer<T> {
 
     /// Number of messages currently held back.
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        self.pending_total
     }
 
     /// Largest number of messages ever held back at once.
     pub fn high_water_mark(&self) -> usize {
         self.high_water_mark
+    }
+
+    /// Delivery and duplicate-discard counters.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
     }
 
     /// Records a locally generated event so that later remote messages that
@@ -73,33 +156,91 @@ impl<T> CausalBuffer<T> {
 
     /// Offers a received message; returns every message (the new one and any
     /// previously buffered ones) that becomes deliverable, in causal order.
-    pub fn receive(&mut self, message: CausalMessage<T>) -> Vec<CausalMessage<T>> {
-        self.pending.push_back(message);
-        self.high_water_mark = self.high_water_mark.max(self.pending.len());
-        let mut deliverable = Vec::new();
-        // Repeatedly sweep the hold-back queue until no more progress.
+    ///
+    /// Stale messages (already delivered) and duplicates of buffered messages
+    /// are discarded and counted, so retransmissions never wedge the queue.
+    pub fn receive(&mut self, message: CausalMessage<T>) -> Deliveries<T> {
+        let sender = message.sender;
+        let seq = message.seq();
+        // Stale: the sender's seq is already covered by what we delivered
+        // (seq 0 would be a clock that does not even include the sender's own
+        // event — treat it as stale rather than buffering it unreleasably).
+        if seq <= self.delivered.get(sender) {
+            self.stats.duplicates_discarded += 1;
+            return Deliveries {
+                messages: Vec::new(),
+                receipt: Receipt::Duplicate,
+            };
+        }
+        let queue = self.pending.entry(sender).or_default();
+        // Duplicate of a message already waiting in the hold-back queue.
+        if queue.contains_key(&seq) {
+            self.stats.duplicates_discarded += 1;
+            return Deliveries {
+                messages: Vec::new(),
+                receipt: Receipt::Duplicate,
+            };
+        }
+        // A message that merely joins the hold-back queue changes nothing for
+        // any other sender, so the cross-sender drain only runs when the
+        // arrival itself is deliverable right now.
+        let deliverable_now = self.delivered.is_next_deliverable(sender, &message.clock);
+        queue.insert(seq, message);
+        self.pending_total += 1;
+        self.high_water_mark = self.high_water_mark.max(self.pending_total);
+        Deliveries {
+            messages: if deliverable_now {
+                self.drain_deliverable()
+            } else {
+                Vec::new()
+            },
+            receipt: Receipt::Fresh,
+        }
+    }
+
+    /// Releases every message that has become deliverable, in causal order.
+    ///
+    /// Only each sender's next-expected message (by sequence number) is ever
+    /// examined; delivering one message may unlock other senders, so passes
+    /// repeat until a pass makes no progress.
+    fn drain_deliverable(&mut self) -> Vec<CausalMessage<T>> {
+        let mut released = Vec::new();
         loop {
             let mut progressed = false;
-            let mut i = 0;
-            while i < self.pending.len() {
-                let ready = {
-                    let m = &self.pending[i];
-                    self.delivered.is_next_deliverable(m.sender, &m.clock)
-                };
-                if ready {
-                    let m = self.pending.remove(i).expect("index in range");
-                    self.delivered.merge(&m.clock);
-                    deliverable.push(m);
+            let senders: Vec<SiteId> = self.pending.keys().copied().collect();
+            for sender in senders {
+                while let Some(message) = self.take_next_from(sender) {
+                    self.delivered.merge(&message.clock);
+                    self.stats.delivered += 1;
+                    released.push(message);
                     progressed = true;
-                } else {
-                    i += 1;
                 }
             }
             if !progressed {
                 break;
             }
         }
-        deliverable
+        released
+    }
+
+    /// Removes and returns `sender`'s next-expected message if it is present
+    /// and all its cross-sender dependencies are satisfied.
+    fn take_next_from(&mut self, sender: SiteId) -> Option<CausalMessage<T>> {
+        let next_seq = self.delivered.get(sender) + 1;
+        let queue = self.pending.get_mut(&sender)?;
+        let ready = {
+            let head = queue.get(&next_seq)?;
+            self.delivered.is_next_deliverable(sender, &head.clock)
+        };
+        if !ready {
+            return None;
+        }
+        let message = queue.remove(&next_seq).expect("head just observed");
+        if queue.is_empty() {
+            self.pending.remove(&sender);
+        }
+        self.pending_total -= 1;
+        Some(message)
     }
 }
 
@@ -128,9 +269,12 @@ mod tests {
         for i in 0..5 {
             let delivered = buf.receive(msg(site(1), &mut sender, i));
             assert_eq!(delivered.len(), 1);
-            assert_eq!(delivered[0].payload, i);
+            assert_eq!(delivered.messages[0].payload, i);
+            assert_eq!(delivered.receipt, Receipt::Fresh);
         }
         assert_eq!(buf.pending_len(), 0);
+        assert_eq!(buf.stats().delivered, 5);
+        assert_eq!(buf.stats().duplicates_discarded, 0);
     }
 
     #[test]
@@ -146,7 +290,11 @@ mod tests {
         assert_eq!(buf.pending_len(), 2);
         let delivered = buf.receive(m1);
         assert_eq!(
-            delivered.iter().map(|m| m.payload).collect::<Vec<_>>(),
+            delivered
+                .messages
+                .iter()
+                .map(|m| m.payload)
+                .collect::<Vec<_>>(),
             vec![1, 2, 3],
             "releasing the missing prefix flushes the whole chain in order"
         );
@@ -181,7 +329,11 @@ mod tests {
         assert!(buf.receive(m2.clone()).is_empty());
         let delivered = buf.receive(m1);
         assert_eq!(
-            delivered.iter().map(|m| m.payload).collect::<Vec<_>>(),
+            delivered
+                .messages
+                .iter()
+                .map(|m| m.payload)
+                .collect::<Vec<_>>(),
             vec![1, 2]
         );
     }
@@ -199,5 +351,77 @@ mod tests {
         remote.merge(&clock);
         let m = msg(site(2), &mut remote, 7);
         assert_eq!(buf.receive(m).len(), 1);
+    }
+
+    #[test]
+    fn redelivered_message_is_discarded_not_buffered() {
+        // The headline bug: a duplicate of an already-delivered message used
+        // to sit in `pending` forever. It must be dropped and counted.
+        let mut sender = VectorClock::new();
+        let m1 = msg(site(1), &mut sender, 1);
+        let mut buf = CausalBuffer::new();
+        assert_eq!(buf.receive(m1.clone()).len(), 1);
+
+        let dup = buf.receive(m1);
+        assert!(dup.is_empty());
+        assert_eq!(dup.receipt, Receipt::Duplicate);
+        assert_eq!(buf.pending_len(), 0, "duplicate must not be buffered");
+        assert_eq!(buf.stats().duplicates_discarded, 1);
+        assert_eq!(buf.high_water_mark(), 1);
+    }
+
+    #[test]
+    fn duplicate_of_a_pending_message_is_discarded() {
+        let mut sender = VectorClock::new();
+        let _m1 = msg(site(1), &mut sender, 1);
+        let m2 = msg(site(1), &mut sender, 2);
+        let mut buf = CausalBuffer::new();
+        assert!(buf.receive(m2.clone()).is_empty(), "m2 waits for m1");
+        assert_eq!(buf.pending_len(), 1);
+
+        let dup = buf.receive(m2);
+        assert_eq!(dup.receipt, Receipt::Duplicate);
+        assert_eq!(buf.pending_len(), 1, "still exactly one copy buffered");
+        assert_eq!(buf.stats().duplicates_discarded, 1);
+    }
+
+    #[test]
+    fn locally_recorded_events_make_remote_copies_stale() {
+        let mut buf = CausalBuffer::<u32>::new();
+        let clock = buf.record_local(site(1));
+        // A (bounced) copy of our own event must be recognised as stale.
+        let echo = CausalMessage {
+            sender: site(1),
+            clock,
+            payload: 0,
+        };
+        let d = buf.receive(echo);
+        assert_eq!(d.receipt, Receipt::Duplicate);
+        assert_eq!(buf.pending_len(), 0);
+    }
+
+    #[test]
+    fn heavy_reordering_with_duplicates_drains_completely() {
+        // 3 senders × 40 messages, delivered interleaved in reverse per-sender
+        // order with every message sent twice: everything must drain and every
+        // duplicate must be counted.
+        let sites: Vec<SiteId> = (1..=3).map(site).collect();
+        let mut clocks: Vec<VectorClock> = sites.iter().map(|_| VectorClock::new()).collect();
+        let mut emitted: Vec<CausalMessage<u32>> = Vec::new();
+        for k in 0..40u32 {
+            for (i, &s) in sites.iter().enumerate() {
+                emitted.push(msg(s, &mut clocks[i], k));
+            }
+        }
+        let mut buf = CausalBuffer::new();
+        let mut delivered = 0usize;
+        for m in emitted.iter().rev() {
+            delivered += buf.receive(m.clone()).len();
+            delivered += buf.receive(m.clone()).len(); // immediate duplicate
+        }
+        assert_eq!(delivered, emitted.len());
+        assert_eq!(buf.pending_len(), 0);
+        assert_eq!(buf.stats().duplicates_discarded, emitted.len() as u64);
+        assert_eq!(buf.stats().delivered, emitted.len() as u64);
     }
 }

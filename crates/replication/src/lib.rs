@@ -10,16 +10,20 @@
 //!
 //! * [`VectorClock`] — the causality-tracking clock each replica maintains;
 //! * [`CausalMessage`] / [`CausalBuffer`] — causal broadcast: messages carry
-//!   the sender's clock and a hold-back queue delivers them only once their
-//!   causal predecessors have been delivered;
+//!   the sender's clock and a duplicate-safe hold-back queue (per-sender FIFO
+//!   queues keyed by next-expected sequence number) delivers them only once
+//!   their causal predecessors have been delivered, discarding stale copies;
 //! * [`SimNetwork`] — a deterministic discrete-event network simulator with
-//!   per-link latency, reordering and partitions, used by the test suite, the
-//!   `treedoc-sim` scenarios and the flatten commitment protocol;
+//!   per-link latency, drop/duplicate/reorder-burst fault injection and
+//!   partitions, used by the test suite, the `treedoc-sim` scenarios and the
+//!   flatten commitment protocol;
 //! * [`Replica`] — glue that owns a document, stamps locally initiated
 //!   operations and replays remote ones in causal order, for any document
 //!   type implementing [`ReplicatedDocument`] (provided here for
 //!   [`Treedoc`](treedoc_core::Treedoc) and implementable for any other CRDT,
-//!   e.g. the Logoot baseline).
+//!   e.g. the Logoot baseline). Its at-least-once mode logs stamped messages
+//!   and retransmits them until peers acknowledge via [`Envelope::Ack`],
+//!   making convergence hold on lossy links too.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,8 +32,9 @@ pub mod causal;
 pub mod clock;
 pub mod network;
 pub mod replica;
+pub mod testkit;
 
-pub use causal::{CausalBuffer, CausalMessage};
+pub use causal::{BufferStats, CausalBuffer, CausalMessage, Deliveries, Receipt};
 pub use clock::{ClockOrdering, VectorClock};
 pub use network::{LinkConfig, NetworkEvent, SimNetwork};
-pub use replica::{Replica, ReplicatedDocument};
+pub use replica::{Envelope, Replica, ReplicatedDocument};

@@ -1,4 +1,4 @@
-//! A deterministic discrete-event network simulator.
+//! A deterministic discrete-event network simulator with fault injection.
 //!
 //! The paper evaluates Treedoc by replaying serialised edit histories; to
 //! exercise the *distributed* behaviour (concurrent edits, delayed and
@@ -6,23 +6,41 @@
 //! crate provides a small discrete-event simulator: messages are enqueued
 //! with a delivery time drawn from a per-link latency model, and the
 //! simulation advances by repeatedly delivering the earliest message.
-//! Everything is seeded, so runs are reproducible.
+//!
+//! Real transports are lossier than a latency model: §3/§5.2 assume causal
+//! delivery, which transports implement with retransmission — implying
+//! duplicates, loss and heavy reordering. [`LinkConfig`] therefore also
+//! carries per-link **drop**, **duplicate** and **reorder-burst**
+//! probabilities, and [`SimNetwork`] applies them at send time from its
+//! seeded RNG, so every faulty run is reproducible.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use treedoc_core::SiteId;
 
-/// Latency model of a link (or of the whole network when no per-link
-/// override is registered).
+/// Latency and fault model of a link (or of the whole network when no
+/// per-link override is registered).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkConfig {
     /// Minimum one-way latency in simulated milliseconds.
     pub min_latency_ms: u64,
     /// Maximum one-way latency in simulated milliseconds.
     pub max_latency_ms: u64,
+    /// Probability that a message is silently lost at send time.
+    pub drop_prob: f64,
+    /// Probability that a message is delivered twice (the copy gets its own
+    /// independently sampled latency).
+    pub duplicate_prob: f64,
+    /// Probability that a message is delayed by an extra
+    /// [`reorder_burst_ms`](Self::reorder_burst_ms), overtaking later
+    /// traffic and producing heavy reordering.
+    pub reorder_burst_prob: f64,
+    /// Extra delay applied to reorder-burst victims, in simulated
+    /// milliseconds.
+    pub reorder_burst_ms: u64,
 }
 
 impl Default for LinkConfig {
@@ -30,17 +48,49 @@ impl Default for LinkConfig {
         LinkConfig {
             min_latency_ms: 5,
             max_latency_ms: 50,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            reorder_burst_prob: 0.0,
+            reorder_burst_ms: 250,
         }
     }
 }
 
 impl LinkConfig {
-    /// A fixed-latency link.
+    /// A fixed-latency, fault-free link.
     pub fn fixed(latency_ms: u64) -> Self {
         LinkConfig {
             min_latency_ms: latency_ms,
             max_latency_ms: latency_ms,
+            ..LinkConfig::default()
         }
+    }
+
+    /// Sets the drop probability.
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop_prob out of range");
+        self.drop_prob = p;
+        self
+    }
+
+    /// Sets the duplication probability.
+    pub fn with_duplicate_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "duplicate_prob out of range");
+        self.duplicate_prob = p;
+        self
+    }
+
+    /// Sets the reorder-burst probability and extra delay.
+    pub fn with_reorder_burst(mut self, p: f64, extra_ms: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "reorder_burst_prob out of range");
+        self.reorder_burst_prob = p;
+        self.reorder_burst_ms = extra_ms;
+        self
+    }
+
+    /// `true` when the link can drop, duplicate or burst-reorder messages.
+    pub fn is_faulty(&self) -> bool {
+        self.drop_prob > 0.0 || self.duplicate_prob > 0.0 || self.reorder_burst_prob > 0.0
     }
 }
 
@@ -77,6 +127,8 @@ pub struct SimNetwork<T> {
     now_ms: u64,
     next_seq: u64,
     default_link: LinkConfig,
+    /// Per-link overrides of the default link model.
+    links: BTreeMap<(SiteId, SiteId), LinkConfig>,
     in_flight: BinaryHeap<Reverse<NetworkEvent<T>>>,
     /// Ordered pairs `(from, to)` that are currently partitioned: messages
     /// between them are queued but not delivered until the partition heals.
@@ -85,6 +137,8 @@ pub struct SimNetwork<T> {
     rng: StdRng,
     delivered_count: u64,
     sent_count: u64,
+    dropped_count: u64,
+    duplicated_count: u64,
 }
 
 impl<T: Eq> SimNetwork<T> {
@@ -94,12 +148,15 @@ impl<T: Eq> SimNetwork<T> {
             now_ms: 0,
             next_seq: 0,
             default_link,
+            links: BTreeMap::new(),
             in_flight: BinaryHeap::new(),
             partitions: BTreeSet::new(),
             held: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             delivered_count: 0,
             sent_count: 0,
+            dropped_count: 0,
+            duplicated_count: 0,
         }
     }
 
@@ -108,14 +165,25 @@ impl<T: Eq> SimNetwork<T> {
         self.now_ms
     }
 
-    /// Number of messages handed to the network so far.
+    /// Number of messages handed to the network so far (dropped ones
+    /// included, injected duplicates excluded).
     pub fn sent_count(&self) -> u64 {
         self.sent_count
     }
 
-    /// Number of messages delivered so far.
+    /// Number of messages delivered so far (injected duplicates included).
     pub fn delivered_count(&self) -> u64 {
         self.delivered_count
+    }
+
+    /// Number of messages silently dropped by fault injection.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped_count
+    }
+
+    /// Number of extra copies created by fault injection.
+    pub fn duplicated_count(&self) -> u64 {
+        self.duplicated_count
     }
 
     /// Number of messages still in flight (including ones blocked by a
@@ -124,10 +192,54 @@ impl<T: Eq> SimNetwork<T> {
         self.in_flight.len() + self.held.len()
     }
 
+    /// Overrides the link model for the directed link `from → to`.
+    pub fn set_link(&mut self, from: SiteId, to: SiteId, config: LinkConfig) {
+        self.links.insert((from, to), config);
+    }
+
+    /// Overrides the link model in both directions between two sites.
+    pub fn set_link_both(&mut self, a: SiteId, b: SiteId, config: LinkConfig) {
+        self.set_link(a, b, config);
+        self.set_link(b, a, config);
+    }
+
+    /// The effective link model for `from → to`.
+    pub fn link(&self, from: SiteId, to: SiteId) -> LinkConfig {
+        self.links
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default_link)
+    }
+
     /// Sends `payload` from `from` to `to`; it will be delivered after a
-    /// link-dependent delay (unless a partition holds it back longer).
-    pub fn send(&mut self, from: SiteId, to: SiteId, payload: T) {
-        let latency = self.sample_latency();
+    /// link-dependent delay (unless a partition holds it back longer), and
+    /// may be dropped, duplicated or burst-delayed according to the link's
+    /// fault model.
+    pub fn send(&mut self, from: SiteId, to: SiteId, payload: T)
+    where
+        T: Clone,
+    {
+        let link = self.link(from, to);
+        self.sent_count += 1;
+        if link.drop_prob > 0.0 && self.rng.gen_bool(link.drop_prob) {
+            self.dropped_count += 1;
+            return;
+        }
+        let duplicate = link.duplicate_prob > 0.0 && self.rng.gen_bool(link.duplicate_prob);
+        self.enqueue(from, to, payload.clone(), &link);
+        if duplicate {
+            self.duplicated_count += 1;
+            self.enqueue(from, to, payload, &link);
+        }
+    }
+
+    /// Enqueues one copy with a freshly sampled latency (plus an optional
+    /// reorder burst).
+    fn enqueue(&mut self, from: SiteId, to: SiteId, payload: T, link: &LinkConfig) {
+        let mut latency = self.sample_latency(link);
+        if link.reorder_burst_prob > 0.0 && self.rng.gen_bool(link.reorder_burst_prob) {
+            latency += link.reorder_burst_ms;
+        }
         let event = NetworkEvent {
             deliver_at: self.now_ms + latency,
             from,
@@ -136,7 +248,6 @@ impl<T: Eq> SimNetwork<T> {
             seq: self.next_seq,
         };
         self.next_seq += 1;
-        self.sent_count += 1;
         if self.partitions.contains(&(from, to)) {
             self.held.push(event);
         } else {
@@ -177,7 +288,8 @@ impl<T: Eq> SimNetwork<T> {
             .partition(|e| e.from == from && e.to == to);
         self.held = keep;
         for mut event in release {
-            let latency = self.sample_latency();
+            let link = self.link(from, to);
+            let latency = self.sample_latency(&link);
             event.deliver_at = self.now_ms + latency;
             self.in_flight.push(Reverse(event));
         }
@@ -199,11 +311,12 @@ impl<T: Eq> SimNetwork<T> {
         Some(event)
     }
 
-    fn sample_latency(&mut self) -> u64 {
+    fn sample_latency(&mut self, link: &LinkConfig) -> u64 {
         let LinkConfig {
             min_latency_ms,
             max_latency_ms,
-        } = self.default_link;
+            ..
+        } = *link;
         if max_latency_ms <= min_latency_ms {
             min_latency_ms
         } else {
@@ -237,6 +350,8 @@ mod tests {
         assert_eq!(count, 20);
         assert_eq!(net.delivered_count(), 20);
         assert_eq!(net.sent_count(), 20);
+        assert_eq!(net.dropped_count(), 0);
+        assert_eq!(net.duplicated_count(), 0);
     }
 
     #[test]
@@ -245,6 +360,7 @@ mod tests {
             LinkConfig {
                 min_latency_ms: 1,
                 max_latency_ms: 500,
+                ..LinkConfig::default()
             },
             7,
         );
@@ -325,5 +441,99 @@ mod tests {
         };
         assert_eq!(run(3), run(3));
         assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn drops_lose_roughly_the_configured_fraction() {
+        let mut net: SimNetwork<u32> =
+            SimNetwork::new(LinkConfig::fixed(1).with_drop_prob(0.3), 11);
+        for i in 0..1000 {
+            net.send(site(1), site(2), i);
+        }
+        let dropped = net.dropped_count();
+        assert!(
+            (200..400).contains(&(dropped as usize)),
+            "expected ~300 drops, got {dropped}"
+        );
+        let mut delivered = 0;
+        while net.step().is_some() {
+            delivered += 1;
+        }
+        assert_eq!(delivered + dropped, 1000);
+        assert_eq!(net.sent_count(), 1000);
+    }
+
+    #[test]
+    fn duplicates_add_extra_copies() {
+        let mut net: SimNetwork<u32> =
+            SimNetwork::new(LinkConfig::fixed(1).with_duplicate_prob(0.5), 13);
+        for i in 0..500 {
+            net.send(site(1), site(2), i);
+        }
+        let duplicated = net.duplicated_count();
+        assert!(
+            (150..350).contains(&(duplicated as usize)),
+            "expected ~250 duplicates, got {duplicated}"
+        );
+        let mut delivered = 0u64;
+        while net.step().is_some() {
+            delivered += 1;
+        }
+        assert_eq!(delivered, 500 + duplicated);
+    }
+
+    #[test]
+    fn reorder_bursts_delay_some_messages_past_later_traffic() {
+        let mut net: SimNetwork<u32> =
+            SimNetwork::new(LinkConfig::fixed(1).with_reorder_burst(0.2, 10_000), 17);
+        for i in 0..200 {
+            net.send(site(1), site(2), i);
+        }
+        let mut order = Vec::new();
+        while let Some(ev) = net.step() {
+            order.push(ev.payload);
+        }
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..200).collect::<Vec<_>>());
+        assert_ne!(order, sorted, "bursts must reorder fixed-latency traffic");
+    }
+
+    #[test]
+    fn per_link_overrides_apply_only_to_their_link() {
+        let mut net: SimNetwork<u32> = SimNetwork::new(LinkConfig::fixed(1), 19);
+        net.set_link(site(1), site(3), LinkConfig::fixed(1).with_drop_prob(1.0));
+        for i in 0..50 {
+            net.send(site(1), site(2), i);
+            net.send(site(1), site(3), i);
+        }
+        assert_eq!(net.dropped_count(), 50, "every 1→3 message is dropped");
+        let mut to_2 = 0;
+        while let Some(ev) = net.step() {
+            assert_eq!(ev.to, site(2));
+            to_2 += 1;
+        }
+        assert_eq!(to_2, 50);
+    }
+
+    #[test]
+    fn faulty_runs_are_reproducible() {
+        let run = |seed| {
+            let link = LinkConfig::default()
+                .with_drop_prob(0.1)
+                .with_duplicate_prob(0.1)
+                .with_reorder_burst(0.1, 300);
+            let mut net: SimNetwork<u32> = SimNetwork::new(link, seed);
+            for i in 0..100 {
+                net.send(site(1), site(2), i);
+            }
+            let mut order = Vec::new();
+            while let Some(ev) = net.step() {
+                order.push(ev.payload);
+            }
+            (order, net.dropped_count(), net.duplicated_count())
+        };
+        assert_eq!(run(23), run(23));
+        assert_ne!(run(23), run(24));
     }
 }

@@ -4,7 +4,18 @@
 //! the operations it initiates with the replica's vector clock, and replays
 //! remote operations through a [`CausalBuffer`] so that happened-before order
 //! is always respected — the only delivery requirement the CRDT needs (§2.2).
+//!
+//! On a lossy transport causal delivery must be built from **at-least-once**
+//! delivery: the replica keeps a log of the messages it stamped, peers
+//! acknowledge cumulatively (an [`Envelope::Ack`] carrying their delivered
+//! clock), and anything a peer has not acknowledged can be retransmitted with
+//! [`Replica::unacked_for`]. The duplicate-safe [`CausalBuffer`] discards the
+//! redundant copies this produces, so the pair yields exactly-once *delivery*
+//! on top of at-least-once *transmission*.
 
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
 use treedoc_core::{Atom, Disambiguator, HasSource, Op, SiteId, Treedoc};
 
 use crate::causal::{CausalBuffer, CausalMessage};
@@ -48,6 +59,58 @@ where
     }
 }
 
+/// Wire format between replicas when at-least-once delivery is enabled:
+/// either an operation (possibly a retransmission) or a cumulative
+/// acknowledgement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Envelope<Op> {
+    /// A (possibly retransmitted) causally stamped operation.
+    Op(CausalMessage<Op>),
+    /// Cumulative acknowledgement: `from` has delivered everything described
+    /// by `clock` (in particular, `clock.get(receiver)` messages of the
+    /// receiving replica).
+    Ack {
+        /// The acknowledging site.
+        from: SiteId,
+        /// Its delivered clock at acknowledgement time.
+        clock: VectorClock,
+    },
+}
+
+/// The sender-side retransmission state of at-least-once mode.
+#[derive(Debug)]
+struct AtLeastOnce<Op> {
+    /// Every stamped-but-not-fully-acknowledged message, keyed by this
+    /// replica's own sequence number.
+    send_log: BTreeMap<u64, CausalMessage<Op>>,
+    /// Highest sequence number of ours each peer has cumulatively
+    /// acknowledged.
+    peer_acked: BTreeMap<SiteId, u64>,
+    /// Messages handed out again via [`Replica::unacked_for`].
+    retransmissions: u64,
+}
+
+impl<Op> AtLeastOnce<Op> {
+    fn new(site: SiteId, peers: &[SiteId]) -> Self {
+        AtLeastOnce {
+            send_log: BTreeMap::new(),
+            peer_acked: peers
+                .iter()
+                .copied()
+                .filter(|&p| p != site)
+                .map(|p| (p, 0))
+                .collect(),
+            retransmissions: 0,
+        }
+    }
+
+    /// Drops log entries every peer has acknowledged.
+    fn prune(&mut self) {
+        let fully_acked = self.peer_acked.values().copied().min().unwrap_or(0);
+        self.send_log = self.send_log.split_off(&(fully_acked + 1));
+    }
+}
+
 /// A document plus the machinery to exchange its operations causally.
 #[derive(Debug)]
 pub struct Replica<Doc: ReplicatedDocument> {
@@ -56,6 +119,7 @@ pub struct Replica<Doc: ReplicatedDocument> {
     buffer: CausalBuffer<Doc::Op>,
     ops_sent: u64,
     ops_applied: u64,
+    at_least_once: Option<AtLeastOnce<Doc::Op>>,
 }
 
 impl<Doc: ReplicatedDocument> Replica<Doc> {
@@ -67,6 +131,7 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
             buffer: CausalBuffer::new(),
             ops_sent: 0,
             ops_applied: 0,
+            at_least_once: None,
         }
     }
 
@@ -102,20 +167,120 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
         self.ops_applied
     }
 
-    /// Stamps a locally initiated operation with this replica's clock,
-    /// producing the message to broadcast.
-    pub fn stamp(&mut self, op: Doc::Op) -> CausalMessage<Doc::Op> {
-        let clock = self.buffer.record_local(self.site);
-        self.ops_sent += 1;
-        CausalMessage {
-            sender: self.site,
-            clock,
-            payload: op,
+    /// Stale or duplicate messages the causal buffer discarded.
+    pub fn duplicates_discarded(&self) -> u64 {
+        self.buffer.stats().duplicates_discarded
+    }
+
+    /// Largest hold-back queue observed so far.
+    pub fn high_water_mark(&self) -> usize {
+        self.buffer.high_water_mark()
+    }
+
+    /// Switches the replica to at-least-once mode: every message stamped from
+    /// now on is kept in a send log until all `peers` (the sender itself is
+    /// ignored if listed) have acknowledged it, and can be retransmitted with
+    /// [`unacked_for`](Self::unacked_for).
+    pub fn enable_at_least_once(&mut self, peers: &[SiteId]) {
+        self.at_least_once = Some(AtLeastOnce::new(self.site, peers));
+    }
+
+    /// `true` when at-least-once mode is on.
+    pub fn at_least_once_enabled(&self) -> bool {
+        self.at_least_once.is_some()
+    }
+
+    /// Messages handed out for retransmission so far.
+    pub fn retransmissions(&self) -> u64 {
+        self.at_least_once
+            .as_ref()
+            .map_or(0, |alo| alo.retransmissions)
+    }
+
+    /// `true` while some stamped message has not been acknowledged by every
+    /// peer (always `false` outside at-least-once mode).
+    pub fn has_unacked(&self) -> bool {
+        self.at_least_once
+            .as_ref()
+            .is_some_and(|alo| !alo.send_log.is_empty())
+    }
+
+    /// The acknowledgement envelope this replica would broadcast right now.
+    pub fn ack_envelope(&self) -> Envelope<Doc::Op> {
+        Envelope::Ack {
+            from: self.site,
+            clock: self.buffer.delivered_clock().clone(),
         }
     }
 
+    /// Records a peer's cumulative acknowledgement (its delivered clock) and
+    /// prunes the send log of everything all peers have now seen.
+    ///
+    /// The peer set is fixed by
+    /// [`enable_at_least_once`](Self::enable_at_least_once):
+    /// acknowledgements from sites outside it are ignored, because the send
+    /// log is pruned against the registered peers only — honouring an
+    /// unregistered peer here would pretend the log can still serve it
+    /// after pruning already discarded entries it never acknowledged.
+    pub fn record_ack(&mut self, peer: SiteId, clock: &VectorClock) {
+        let acked = clock.get(self.site);
+        if let Some(alo) = self.at_least_once.as_mut() {
+            if let Some(entry) = alo.peer_acked.get_mut(&peer) {
+                *entry = (*entry).max(acked);
+                alo.prune();
+            }
+        }
+    }
+
+    /// Clones every logged message `peer` has not acknowledged yet, counting
+    /// them as retransmissions. Returns an empty vector outside
+    /// at-least-once mode.
+    ///
+    /// # Panics
+    ///
+    /// If `peer` was not registered in
+    /// [`enable_at_least_once`](Self::enable_at_least_once): the send log
+    /// is pruned by the registered peers' acknowledgements alone, so it
+    /// cannot be relied on to still hold what an unregistered peer is
+    /// missing — silently returning a partial log would lose messages.
+    pub fn unacked_for(&mut self, peer: SiteId) -> Vec<CausalMessage<Doc::Op>> {
+        let Some(alo) = self.at_least_once.as_mut() else {
+            return Vec::new();
+        };
+        let acked = alo
+            .peer_acked
+            .get(&peer)
+            .copied()
+            .unwrap_or_else(|| panic!("site {peer} is not a registered at-least-once peer"));
+        let missing: Vec<CausalMessage<Doc::Op>> = alo
+            .send_log
+            .range(acked + 1..)
+            .map(|(_, m)| m.clone())
+            .collect();
+        alo.retransmissions += missing.len() as u64;
+        missing
+    }
+
+    /// Stamps a locally initiated operation with this replica's clock,
+    /// producing the message to broadcast. In at-least-once mode the message
+    /// is also retained for retransmission until every peer acknowledges it.
+    pub fn stamp(&mut self, op: Doc::Op) -> CausalMessage<Doc::Op> {
+        let clock = self.buffer.record_local(self.site);
+        self.ops_sent += 1;
+        let message = CausalMessage {
+            sender: self.site,
+            clock,
+            payload: op,
+        };
+        if let Some(alo) = self.at_least_once.as_mut() {
+            alo.send_log.insert(message.seq(), message.clone());
+        }
+        message
+    }
+
     /// Receives a message from the network; buffered messages that become
-    /// deliverable are replayed immediately, in causal order.
+    /// deliverable are replayed immediately, in causal order. Duplicates are
+    /// discarded (see [`Replica::duplicates_discarded`]).
     pub fn receive(&mut self, message: CausalMessage<Doc::Op>) -> usize {
         let deliverable = self.buffer.receive(message);
         let count = deliverable.len();
@@ -124,6 +289,19 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
             self.ops_applied += 1;
         }
         count
+    }
+
+    /// Handles a full [`Envelope`]: operations go through causal delivery,
+    /// acknowledgements update the retransmission state. Returns the number
+    /// of operations applied.
+    pub fn receive_envelope(&mut self, envelope: Envelope<Doc::Op>) -> usize {
+        match envelope {
+            Envelope::Op(message) => self.receive(message),
+            Envelope::Ack { from, clock } => {
+                self.record_ack(from, &clock);
+                0
+            }
+        }
     }
 
     /// Number of messages still waiting for causal predecessors.
@@ -211,5 +389,154 @@ mod tests {
         let d0 = replicas[0].digest();
         assert!(replicas.iter().all(|r| r.digest() == d0));
         assert_eq!(replicas[0].doc().len(), 9);
+    }
+
+    #[test]
+    fn redelivered_messages_are_applied_once() {
+        let mut a = replica(1);
+        let mut b = replica(2);
+        let op = a.doc_mut().local_insert(0, 'x').unwrap();
+        let msg = a.stamp(op);
+        assert_eq!(b.receive(msg.clone()), 1);
+        assert_eq!(b.receive(msg.clone()), 0, "duplicate must not re-apply");
+        assert_eq!(b.receive(msg), 0);
+        assert_eq!(b.ops_applied(), 1);
+        assert_eq!(b.duplicates_discarded(), 2);
+        assert_eq!(b.pending(), 0, "duplicates must not linger in pending");
+        assert_eq!(b.doc().to_string(), "x");
+    }
+
+    #[test]
+    fn at_least_once_retransmits_until_acked() {
+        let sites = [site(1), site(2)];
+        let mut a = replica(1);
+        let mut b = replica(2);
+        a.enable_at_least_once(&sites);
+
+        let op = a.doc_mut().local_insert(0, 'x').unwrap();
+        let _lost = a.stamp(op);
+        assert!(a.has_unacked());
+
+        // The first transmission is "lost": b never sees it. A later
+        // retransmission round recovers it.
+        let again = a.unacked_for(site(2));
+        assert_eq!(again.len(), 1);
+        assert_eq!(a.retransmissions(), 1);
+        for m in again {
+            b.receive(m);
+        }
+        assert_eq!(b.doc().to_string(), "x");
+
+        // b acknowledges; a prunes its log and stops retransmitting.
+        let ack = b.ack_envelope();
+        assert_eq!(a.receive_envelope(ack), 0);
+        assert!(!a.has_unacked());
+        assert!(a.unacked_for(site(2)).is_empty());
+        assert_eq!(a.retransmissions(), 1);
+    }
+
+    #[test]
+    fn acks_are_cumulative_and_per_peer() {
+        let sites = [site(1), site(2), site(3)];
+        let mut a = replica(1);
+        let mut b = replica(2);
+        let mut c = replica(3);
+        a.enable_at_least_once(&sites);
+
+        let mut msgs = Vec::new();
+        for ch in ['x', 'y', 'z'] {
+            let len = a.doc().len();
+            let op = a.doc_mut().local_insert(len, ch).unwrap();
+            msgs.push(a.stamp(op));
+        }
+        // b gets everything, c only the first message.
+        for m in &msgs {
+            b.receive(m.clone());
+        }
+        c.receive(msgs[0].clone());
+
+        a.receive_envelope(b.ack_envelope());
+        a.receive_envelope(c.ack_envelope());
+        assert!(a.has_unacked(), "c still misses two messages");
+        assert!(a.unacked_for(site(2)).is_empty());
+        let for_c = a.unacked_for(site(3));
+        assert_eq!(for_c.len(), 2);
+        for m in for_c {
+            c.receive(m);
+        }
+        a.receive_envelope(c.ack_envelope());
+        assert!(!a.has_unacked());
+        assert_eq!(a.digest(), c.digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a registered at-least-once peer")]
+    fn retransmitting_to_an_unregistered_peer_is_rejected() {
+        // The send log is pruned by registered peers' acks only, so it could
+        // already be missing what an unregistered peer needs — asking for
+        // such a peer's backlog must fail loudly, not return a partial log.
+        let mut a = replica(1);
+        a.enable_at_least_once(&[site(1), site(2)]);
+        let op = a.doc_mut().local_insert(0, 'x').unwrap();
+        let _ = a.stamp(op);
+        let _ = a.unacked_for(site(3));
+    }
+
+    #[test]
+    fn acks_from_unregistered_sites_do_not_unblock_pruning() {
+        let mut a = replica(1);
+        let mut b = replica(2);
+        let mut c = replica(3);
+        a.enable_at_least_once(&[site(1), site(2), site(3)]);
+        let op = a.doc_mut().local_insert(0, 'x').unwrap();
+        let msg = a.stamp(op);
+        b.receive(msg.clone());
+        c.receive(msg);
+
+        // An ack from an unknown site 9 must not shrink the prune floor or
+        // widen the peer set.
+        let mut stranger = VectorClock::new();
+        stranger.observe(site(1), 1);
+        a.record_ack(site(9), &stranger);
+        assert!(a.has_unacked(), "registered peers have not acked yet");
+
+        a.receive_envelope(b.ack_envelope());
+        assert!(a.has_unacked(), "site 3 is still missing its ack");
+        a.receive_envelope(c.ack_envelope());
+        assert!(!a.has_unacked());
+    }
+
+    #[test]
+    fn lost_then_retransmitted_with_duplicates_converges() {
+        let sites = [site(1), site(2)];
+        let mut a = replica(1);
+        let mut b = replica(2);
+        a.enable_at_least_once(&sites);
+
+        let mut msgs = Vec::new();
+        for k in 0..5u8 {
+            let len = a.doc().len();
+            let op = a.doc_mut().local_insert(len, char::from(b'a' + k)).unwrap();
+            msgs.push(a.stamp(op));
+        }
+        // Only messages 0 and 3 arrive, 3 twice (a network duplicate).
+        b.receive(msgs[0].clone());
+        b.receive(msgs[3].clone());
+        b.receive(msgs[3].clone());
+        assert_eq!(b.pending(), 1);
+        a.receive_envelope(b.ack_envelope());
+
+        // Retransmit whatever b has not acknowledged (messages 2..=5 by
+        // cumulative ack, including the buffered one, which b discards).
+        let again = a.unacked_for(site(2));
+        assert_eq!(again.len(), 4);
+        for m in again {
+            b.receive(m);
+        }
+        a.receive_envelope(b.ack_envelope());
+        assert!(!a.has_unacked());
+        assert_eq!(b.pending(), 0);
+        assert_eq!(b.doc().to_string(), "abcde");
+        assert!(b.duplicates_discarded() >= 2);
     }
 }

@@ -1,0 +1,79 @@
+//! Deterministic generators of causally stamped message histories and
+//! faulty delivery schedules, shared by the crate's property tests and the
+//! workspace benchmarks (so the stamping rules live in one place).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use treedoc_core::SiteId;
+
+use crate::causal::CausalMessage;
+use crate::clock::VectorClock;
+
+/// Builds an emission history for `senders` sites, `per_sender` messages
+/// each, payloads numbered in emission order. With probability
+/// `observe_prob` a sender first observes a random earlier message (merging
+/// its clock), so later messages can causally depend on other senders'
+/// messages — the cross-sender dependencies the hold-back queue exists for.
+pub fn emit_history(
+    seed: u64,
+    senders: usize,
+    per_sender: usize,
+    observe_prob: f64,
+) -> Vec<CausalMessage<u64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut clocks: Vec<(SiteId, VectorClock)> = (1..=senders as u64)
+        .map(|n| (SiteId::from_u64(n), VectorClock::new()))
+        .collect();
+    let mut remaining: Vec<usize> = vec![per_sender; senders];
+    let mut emitted: Vec<CausalMessage<u64>> = Vec::new();
+    let mut payload = 0u64;
+    while remaining.iter().any(|&r| r > 0) {
+        let pick = rng.gen_range(0..senders);
+        if remaining[pick] == 0 {
+            continue;
+        }
+        if !emitted.is_empty() && rng.gen_bool(observe_prob) {
+            let seen = &emitted[rng.gen_range(0..emitted.len())];
+            if seen.sender != clocks[pick].0 {
+                let clock = seen.clock.clone();
+                clocks[pick].1.merge(&clock);
+            }
+        }
+        let (site, clock) = &mut clocks[pick];
+        clock.increment(*site);
+        emitted.push(CausalMessage {
+            sender: *site,
+            clock: clock.clone(),
+            payload,
+        });
+        payload += 1;
+        remaining[pick] -= 1;
+    }
+    emitted
+}
+
+/// Scrambles an emission history into a faulty delivery schedule: every
+/// message is dropped with probability `drop_prob` (so only a later
+/// retransmission carries it), duplicated with probability `duplicate_prob`,
+/// and the surviving copies are fully shuffled.
+pub fn faulty_schedule(
+    history: &[CausalMessage<u64>],
+    seed: u64,
+    drop_prob: f64,
+    duplicate_prob: f64,
+) -> Vec<CausalMessage<u64>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let mut schedule = Vec::with_capacity(history.len() * 2);
+    for m in history {
+        if rng.gen_bool(drop_prob) {
+            continue;
+        }
+        schedule.push(m.clone());
+        if rng.gen_bool(duplicate_prob) {
+            schedule.push(m.clone());
+        }
+    }
+    schedule.shuffle(&mut rng);
+    schedule
+}

@@ -10,17 +10,23 @@
 //!
 //! * every site performs random local edits (seeded, reproducible),
 //! * operations are broadcast through the simulated network (latency,
-//!   reordering, optional partitions),
-//! * causal delivery is enforced by each replica's hold-back buffer,
-//! * at the end the scenario drains the network and asserts convergence.
+//!   reordering, optional partitions, and seeded drop/duplicate/reorder-burst
+//!   fault injection),
+//! * causal delivery is enforced by each replica's duplicate-safe hold-back
+//!   buffer; on lossy links the at-least-once ack/retransmit protocol
+//!   recovers dropped messages,
+//! * at the end the scenario drains the network, runs recovery rounds until
+//!   every send log is acknowledged, and asserts convergence.
 //!
 //! [`Scenario`] describes a run; [`run`] executes it and returns the
 //! [`SimReport`] used by the integration tests, the examples and the
-//! benchmark ablations.
+//! benchmark ablations. [`ScenarioMatrix`] expands a cross-product of fault
+//! axes (loss × duplication × partition × burst × balancing) into scenarios
+//! and runs them all.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod scenario;
 
-pub use scenario::{run, Scenario, SimReport};
+pub use scenario::{run, Scenario, ScenarioMatrix, SimReport};

@@ -1,11 +1,11 @@
-//! Randomised cooperative-editing scenarios.
+//! Randomised cooperative-editing scenarios, including faulty-network runs.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use treedoc_core::{Op, Sdis, SiteId, Treedoc, TreedocConfig};
-use treedoc_replication::{CausalMessage, LinkConfig, Replica, SimNetwork};
+use treedoc_replication::{CausalMessage, Envelope, LinkConfig, NetworkEvent, Replica, SimNetwork};
 
 /// Description of one simulated editing session.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -24,6 +24,17 @@ pub struct Scenario {
     /// Simulate a temporary partition of the first site for the middle third
     /// of the run.
     pub partition_first_site: bool,
+    /// Probability that the network silently drops a message. Requires
+    /// [`retransmit`](Self::retransmit) to still converge.
+    pub drop_prob: f64,
+    /// Probability that the network delivers a message twice.
+    pub duplicate_prob: f64,
+    /// Probability that a message is delayed by a reorder burst, overtaking
+    /// later traffic.
+    pub reorder_burst_prob: f64,
+    /// Enables at-least-once delivery: replicas log stamped messages,
+    /// exchange cumulative acks and retransmit whatever peers miss.
+    pub retransmit: bool,
     /// RNG seed.
     pub seed: u64,
 }
@@ -37,7 +48,25 @@ impl Default for Scenario {
             burst: 5,
             balancing: false,
             partition_first_site: false,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            reorder_burst_prob: 0.0,
+            retransmit: false,
             seed: 42,
+        }
+    }
+}
+
+impl Scenario {
+    /// A lossy at-least-once session: 10% drops, 10% duplicates, 10% reorder
+    /// bursts, recovered by retransmission.
+    pub fn faulty() -> Self {
+        Scenario {
+            drop_prob: 0.1,
+            duplicate_prob: 0.1,
+            reorder_burst_prob: 0.1,
+            retransmit: true,
+            ..Scenario::default()
         }
     }
 }
@@ -45,7 +74,8 @@ impl Default for Scenario {
 /// What a scenario run measured.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
-    /// Whether every replica ended with identical content.
+    /// Whether every replica ended with identical content, a drained
+    /// hold-back queue and (in at-least-once mode) a fully acknowledged log.
     pub converged: bool,
     /// Final document length.
     pub final_len: usize,
@@ -53,24 +83,64 @@ pub struct SimReport {
     pub ops_generated: usize,
     /// Total messages delivered by the network.
     pub messages_delivered: u64,
+    /// Messages silently dropped by fault injection.
+    pub messages_dropped: u64,
+    /// Extra copies injected by network duplication.
+    pub messages_duplicated: u64,
+    /// Stale or duplicate messages the replicas' hold-back queues discarded.
+    pub duplicates_discarded: u64,
+    /// Messages re-sent by the at-least-once recovery protocol.
+    pub retransmissions: u64,
+    /// Operation payload bytes of those re-sends (already included in
+    /// [`network_bytes`](Self::network_bytes)).
+    pub retransmission_bytes: usize,
     /// Largest causal hold-back queue observed across replicas.
     pub max_pending: usize,
-    /// Total network payload bytes (identifiers + atoms), the §5.2 network
-    /// cost estimate.
+    /// Total operation payload bytes handed to the network (identifiers +
+    /// atoms, initial broadcasts plus retransmissions), the §5.2 network
+    /// cost estimate. Copies injected by network-level duplication are not
+    /// visible to the application and are excluded.
     pub network_bytes: usize,
     /// Final simulated time in milliseconds.
     pub sim_time_ms: u64,
 }
 
 type Doc = Treedoc<String, Sdis>;
+type Env = Envelope<Op<String, Sdis>>;
 type Msg = CausalMessage<Op<String, Sdis>>;
 
-/// Runs a scenario to completion (all messages delivered) and checks
-/// convergence.
+/// Maximum recovery rounds (ack exchange + retransmission) the drain phase
+/// attempts before declaring the run wedged. With independent per-message
+/// drop probability < 1 the expected number of rounds is tiny; hitting the
+/// cap means the protocol, not the dice, is broken.
+const MAX_RECOVERY_ROUNDS: usize = 1000;
+
+/// Delivers one network event to its addressee and tracks the hold-back
+/// high-water mark across replicas.
+fn deliver(
+    replicas: &mut [Replica<Doc>],
+    site_ids: &[SiteId],
+    event: NetworkEvent<Env>,
+    max_pending: &mut usize,
+) {
+    let idx = site_ids
+        .iter()
+        .position(|&s| s == event.to)
+        .expect("known site");
+    replicas[idx].receive_envelope(event.payload);
+    *max_pending = (*max_pending).max(replicas[idx].pending());
+}
+
+/// Runs a scenario to completion (all messages delivered, all losses
+/// recovered when retransmission is on) and checks convergence.
 pub fn run(scenario: &Scenario) -> SimReport {
     assert!(
         scenario.sites >= 2,
         "a cooperative session needs at least two sites"
+    );
+    assert!(
+        scenario.drop_prob == 0.0 || scenario.retransmit,
+        "a lossy network cannot converge without retransmission"
     );
     let mut rng = StdRng::seed_from_u64(scenario.seed);
     let site_ids: Vec<SiteId> = (1..=scenario.sites as u64).map(SiteId::from_u64).collect();
@@ -86,10 +156,20 @@ pub fn run(scenario: &Scenario) -> SimReport {
         .iter()
         .map(|&s| Replica::new(s, Doc::from_atoms_with_config(s, &seed_doc, config)))
         .collect();
+    if scenario.retransmit {
+        for r in replicas.iter_mut() {
+            r.enable_at_least_once(&site_ids);
+        }
+    }
 
-    let mut net: SimNetwork<Msg> = SimNetwork::new(LinkConfig::default(), scenario.seed);
+    let link = LinkConfig::default()
+        .with_drop_prob(scenario.drop_prob)
+        .with_duplicate_prob(scenario.duplicate_prob)
+        .with_reorder_burst(scenario.reorder_burst_prob, 250);
+    let mut net: SimNetwork<Env> = SimNetwork::new(link, scenario.seed);
     let mut ops_generated = 0usize;
     let mut network_bytes = 0usize;
+    let mut retransmission_bytes = 0usize;
     let mut max_pending = 0usize;
 
     let total_rounds = scenario.edits_per_site.div_ceil(scenario.burst.max(1));
@@ -127,7 +207,7 @@ pub fn run(scenario: &Scenario) -> SimReport {
                 ops_generated += 1;
                 network_bytes += op.network_bytes() * (scenario.sites - 1);
                 let msg = replicas[i].stamp(op);
-                net.broadcast(site_ids[i], &site_ids, msg);
+                net.broadcast(site_ids[i], &site_ids, Envelope::Op(msg));
             }
         }
 
@@ -136,12 +216,7 @@ pub fn run(scenario: &Scenario) -> SimReport {
         let deliver_now = net.in_flight() / 2;
         for _ in 0..deliver_now {
             let Some(event) = net.step() else { break };
-            let idx = site_ids
-                .iter()
-                .position(|&s| s == event.to)
-                .expect("known site");
-            replicas[idx].receive(event.payload);
-            max_pending = max_pending.max(replicas[idx].pending());
+            deliver(&mut replicas, &site_ids, event, &mut max_pending);
         }
     }
 
@@ -151,27 +226,150 @@ pub fn run(scenario: &Scenario) -> SimReport {
             net.heal_both(site_ids[0], other);
         }
     }
-    while let Some(event) = net.step() {
-        let idx = site_ids
+    let mut recovery_rounds = 0usize;
+    loop {
+        while let Some(event) = net.step() {
+            deliver(&mut replicas, &site_ids, event, &mut max_pending);
+        }
+        if !scenario.retransmit {
+            break;
+        }
+        // Recovered when every send log is fully acknowledged and every
+        // hold-back queue has drained.
+        if replicas
             .iter()
-            .position(|&s| s == event.to)
-            .expect("known site");
-        replicas[idx].receive(event.payload);
-        max_pending = max_pending.max(replicas[idx].pending());
+            .all(|r| !r.has_unacked() && r.pending() == 0)
+        {
+            break;
+        }
+        recovery_rounds += 1;
+        assert!(
+            recovery_rounds <= MAX_RECOVERY_ROUNDS,
+            "at-least-once recovery failed to converge"
+        );
+        // Cumulative ack exchange (acks can themselves be dropped; the next
+        // round simply repeats them).
+        for i in 0..replicas.len() {
+            let ack = replicas[i].ack_envelope();
+            net.broadcast(site_ids[i], &site_ids, ack);
+        }
+        while let Some(event) = net.step() {
+            deliver(&mut replicas, &site_ids, event, &mut max_pending);
+        }
+        // Retransmit everything still unacknowledged, per peer. Each re-send
+        // crosses the network with the full operation payload, so it counts
+        // towards the §5.2 byte cost like the initial broadcast did.
+        for i in 0..replicas.len() {
+            let from = site_ids[i];
+            for &peer in &site_ids {
+                if peer == from {
+                    continue;
+                }
+                let missing: Vec<Msg> = replicas[i].unacked_for(peer);
+                for m in missing {
+                    retransmission_bytes += m.payload.network_bytes();
+                    net.send(from, peer, Envelope::Op(m));
+                }
+            }
+        }
     }
 
     let reference = replicas[0].doc().to_vec();
     let converged = replicas.iter().all(|r| r.doc().to_vec() == reference)
-        && replicas.iter().all(|r| r.pending() == 0);
+        && replicas.iter().all(|r| r.pending() == 0)
+        && replicas.iter().all(|r| !r.has_unacked());
 
     SimReport {
         converged,
         final_len: reference.len(),
         ops_generated,
         messages_delivered: net.delivered_count(),
+        messages_dropped: net.dropped_count(),
+        messages_duplicated: net.duplicated_count(),
+        duplicates_discarded: replicas.iter().map(|r| r.duplicates_discarded()).sum(),
+        retransmissions: replicas.iter().map(|r| r.retransmissions()).sum(),
+        retransmission_bytes,
         max_pending,
-        network_bytes,
+        network_bytes: network_bytes + retransmission_bytes,
         sim_time_ms: net.now_ms(),
+    }
+}
+
+/// A cross-product of scenario axes: loss × duplication × partition × edit
+/// burst × balancing, every combination sharing the remaining parameters of
+/// [`base`](Self::base).
+///
+/// The swept axes **shadow** the corresponding fields of `base`: a
+/// `drop_prob`, `duplicate_prob`, `burst`, `partition_first_site` or
+/// `balancing` set on `base` never runs — only the values listed in the
+/// axis vectors do. Put sweep values in the axes, and everything else
+/// (sites, edits, seed, `reorder_burst_prob`, …) in `base`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioMatrix {
+    /// Parameters shared by every cell (sites, edits, seed, …). Fields
+    /// covered by an axis vector are ignored — see the type-level note.
+    pub base: Scenario,
+    /// Drop probabilities to sweep; cells with loss enable retransmission.
+    pub drop_probs: Vec<f64>,
+    /// Duplication probabilities to sweep.
+    pub duplicate_probs: Vec<f64>,
+    /// Edit burst sizes to sweep.
+    pub bursts: Vec<usize>,
+    /// Whether to run with and/or without the mid-run partition.
+    pub partition: Vec<bool>,
+    /// Whether to run with and/or without §4.1 balancing.
+    pub balancing: Vec<bool>,
+}
+
+impl ScenarioMatrix {
+    /// The default convergence matrix: fault-free and 10%-faulty cells along
+    /// every axis.
+    pub fn faulty(base: Scenario) -> Self {
+        ScenarioMatrix {
+            base,
+            drop_probs: vec![0.0, 0.1],
+            duplicate_probs: vec![0.0, 0.1],
+            bursts: vec![1, 5],
+            partition: vec![false, true],
+            balancing: vec![false],
+        }
+    }
+
+    /// Expands the axes into concrete scenarios. Cells with `drop_prob > 0`
+    /// get `retransmit = true` (a lossy network cannot converge otherwise).
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for &drop_prob in &self.drop_probs {
+            for &duplicate_prob in &self.duplicate_probs {
+                for &burst in &self.bursts {
+                    for &partition_first_site in &self.partition {
+                        for &balancing in &self.balancing {
+                            out.push(Scenario {
+                                drop_prob,
+                                duplicate_prob,
+                                burst,
+                                partition_first_site,
+                                balancing,
+                                retransmit: self.base.retransmit || drop_prob > 0.0,
+                                ..self.base
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs every cell, returning each scenario with its report.
+    pub fn run(&self) -> Vec<(Scenario, SimReport)> {
+        self.scenarios()
+            .into_iter()
+            .map(|scenario| {
+                let report = run(&scenario);
+                (scenario, report)
+            })
+            .collect()
     }
 }
 
@@ -186,6 +384,8 @@ mod tests {
         assert!(report.ops_generated >= 300);
         assert!(report.messages_delivered > 0);
         assert!(report.network_bytes > 0);
+        assert_eq!(report.messages_dropped, 0);
+        assert_eq!(report.retransmissions, 0);
     }
 
     #[test]
@@ -246,5 +446,90 @@ mod tests {
             ..Default::default()
         });
         assert!(report.converged);
+    }
+
+    #[test]
+    fn duplication_alone_converges_without_retransmission() {
+        let report = run(&Scenario {
+            duplicate_prob: 0.2,
+            reorder_burst_prob: 0.1,
+            edits_per_site: 60,
+            ..Default::default()
+        });
+        assert!(report.converged, "{report:?}");
+        assert!(report.messages_duplicated > 0);
+        assert!(
+            report.duplicates_discarded >= report.messages_duplicated,
+            "every injected duplicate must be discarded by some hold-back \
+             queue: {report:?}"
+        );
+    }
+
+    #[test]
+    fn lossy_network_converges_with_retransmission() {
+        let report = run(&Scenario {
+            edits_per_site: 60,
+            ..Scenario::faulty()
+        });
+        assert!(report.converged, "{report:?}");
+        assert!(report.messages_dropped > 0, "{report:?}");
+        assert!(report.messages_duplicated > 0, "{report:?}");
+        assert!(report.retransmissions > 0, "{report:?}");
+        assert!(report.duplicates_discarded > 0, "{report:?}");
+
+        // Loss recovery is not free, and the report says by how much: the
+        // re-sent payload bytes are tracked and folded into the total.
+        assert!(report.retransmission_bytes > 0, "{report:?}");
+        assert!(
+            report.network_bytes > report.retransmission_bytes,
+            "the total must also cover the initial broadcasts: {report:?}"
+        );
+    }
+
+    #[test]
+    fn faulty_runs_are_reproducible() {
+        let scenario = Scenario {
+            edits_per_site: 40,
+            ..Scenario::faulty()
+        };
+        assert_eq!(run(&scenario), run(&scenario));
+    }
+
+    #[test]
+    #[should_panic(expected = "lossy network cannot converge")]
+    fn loss_without_retransmission_is_rejected() {
+        run(&Scenario {
+            drop_prob: 0.1,
+            retransmit: false,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn matrix_covers_the_cross_product() {
+        let matrix = ScenarioMatrix::faulty(Scenario::default());
+        let cells = matrix.scenarios();
+        assert_eq!(cells.len(), 2 * 2 * 2 * 2);
+        assert!(cells.iter().any(|s| s.drop_prob > 0.0 && s.retransmit));
+        assert!(cells
+            .iter()
+            .any(|s| s.drop_prob == 0.0 && s.duplicate_prob == 0.0));
+    }
+
+    #[test]
+    fn small_matrix_converges_in_every_cell() {
+        // `burst` is a swept axis, so it belongs in the matrix, not in base.
+        let matrix = ScenarioMatrix::faulty(Scenario {
+            sites: 3,
+            edits_per_site: 20,
+            ..Default::default()
+        });
+        for (scenario, report) in matrix.run() {
+            assert!(report.converged, "cell {scenario:?} diverged: {report:?}");
+            assert_eq!(
+                report.ops_generated,
+                scenario.sites * scenario.edits_per_site.div_ceil(scenario.burst) * scenario.burst
+            );
+        }
     }
 }

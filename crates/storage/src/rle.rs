@@ -191,6 +191,29 @@ mod tests {
                 let packed = rle_compress(&data);
                 prop_assert_eq!(rle_decompress(&packed).unwrap(), data);
             }
+
+            /// Round-trips hold when the input is assembled from chunks whose
+            /// boundaries fall inside, at the start and at the end of MARKER
+            /// runs — the layout the heap-array writer produces when a run of
+            /// empty positions straddles its fixed-size chunks.
+            #[test]
+            fn marker_runs_at_chunk_boundaries(
+                chunks in proptest::collection::vec(
+                    (proptest::collection::vec(any::<u8>(), 0..32), 0usize..48),
+                    1..12,
+                ),
+            ) {
+                let mut data = Vec::new();
+                for (literal, run_len) in &chunks {
+                    // Each chunk ends in a marker run, so consecutive chunks
+                    // merge runs across the boundary; literals may themselves
+                    // contain 0xFF, splitting and re-joining runs arbitrarily.
+                    data.extend_from_slice(literal);
+                    data.extend(std::iter::repeat_n(MARKER, *run_len));
+                }
+                let packed = rle_compress(&data);
+                prop_assert_eq!(rle_decompress(&packed).unwrap(), data);
+            }
         }
     }
 }

@@ -34,5 +34,8 @@ pub use treedoc_trace as trace;
 /// Convenience prelude with the types most programs need.
 pub mod prelude {
     pub use treedoc_core::{Op, PosId, Sdis, SiteId, Treedoc, TreedocConfig, Udis};
-    pub use treedoc_replication::{CausalMessage, Replica};
+    pub use treedoc_replication::{
+        CausalBuffer, CausalMessage, Envelope, LinkConfig, Replica, SimNetwork, VectorClock,
+    };
+    pub use treedoc_sim::{Scenario, ScenarioMatrix, SimReport};
 }

@@ -99,6 +99,27 @@ pub trait Rng: RngCore {
 
 impl<T: RngCore> Rng for T {}
 
+pub mod seq {
+    //! Sequence-related extensions, mirroring `rand::seq`.
+
+    use super::Rng;
+
+    /// Slice extensions, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
 /// Types samplable uniformly over their whole domain (the shim's analogue of
 /// the `Standard` distribution).
 pub trait Standard: Sized {
@@ -245,5 +266,23 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         assert!(!rng.gen_bool(0.0));
         assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_permutes_deterministically() {
+        use crate::seq::SliceRandom;
+        let shuffled = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut v: Vec<u32> = (0..100).collect();
+            v.shuffle(&mut rng);
+            v
+        };
+        let a = shuffled(7);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>(), "still a permutation");
+        assert_ne!(a, sorted, "100 elements virtually never shuffle to sorted");
+        assert_eq!(a, shuffled(7));
+        assert_ne!(a, shuffled(8));
     }
 }
