@@ -1,0 +1,48 @@
+//! Benchmarks the distributed flatten commitment protocol — the cost the
+//! paper could not evaluate ("We cannot yet evaluate the cost of a
+//! distributed flatten") — as carried over the faulty simulated network:
+//! full scenario runs per protocol, and the scripted coordinator-partition
+//! schedule that contrasts blocked 2PC with non-blocking 3PC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use treedoc_commit::CommitProtocol;
+use treedoc_sim::partitioned_commit_demo;
+
+fn bench_flatten_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flatten_commit_scenario");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for protocol in [CommitProtocol::TwoPhase, CommitProtocol::ThreePhase] {
+        let scenario = bench::flatten_scenario(protocol, 40);
+        group.bench_function(protocol.label(), |b| {
+            b.iter(|| {
+                let report = bench::run_flatten_scenario(&scenario);
+                assert!(report.converged);
+                assert!(report.flatten_commits >= 1);
+                report
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioned_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flatten_commit_partition");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for protocol in [CommitProtocol::TwoPhase, CommitProtocol::ThreePhase] {
+        group.bench_function(protocol.label(), |b| {
+            b.iter(|| {
+                let report = partitioned_commit_demo(protocol, 4, 2026);
+                assert!(report.converged);
+                report
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flatten_scenarios, bench_partitioned_commit);
+criterion_main!(benches);

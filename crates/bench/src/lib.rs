@@ -13,6 +13,8 @@ use std::time::Duration;
 
 use serde::Serialize;
 
+use treedoc_commit::CommitProtocol;
+use treedoc_sim::{partitioned_commit_demo, run as run_scenario, Scenario, ScenarioMatrix};
 use treedoc_trace::{
     latex_corpus, paper_corpus, replay_logoot, replay_treedoc, DisChoice, DocumentSpec,
     ReplayConfig, ReplayReport,
@@ -299,9 +301,110 @@ pub fn replay_most_active() -> ReplayReport {
     replay_treedoc(&history, ReplayConfig::default())
 }
 
+/// One row of the distributed-flatten cost experiment: the protocol cost of
+/// §4.2.1's commitment, which the paper could not evaluate ("We cannot yet
+/// evaluate the cost of a distributed flatten").
+#[derive(Debug, Clone, Serialize)]
+pub struct FlattenCostRow {
+    /// Protocol label (`2pc` / `3pc`).
+    pub protocol: String,
+    /// Loss probability of the cell.
+    pub drop_prob: f64,
+    /// Whether the mid-run coordinator partition was active.
+    pub partition: bool,
+    /// Proposals initiated.
+    pub proposals: usize,
+    /// Proposals committed.
+    pub commits: usize,
+    /// Proposals aborted (concurrent edits, missing votes).
+    pub aborts: usize,
+    /// Commitment messages on the wire (retransmissions included).
+    pub protocol_messages: u64,
+    /// Estimated bytes of that traffic.
+    pub protocol_bytes: usize,
+    /// Coordinator protocol rounds summed over proposals.
+    pub commit_rounds: u64,
+    /// Ticks replicas spent locked in the prepared state.
+    pub blocked_rounds: u64,
+    /// 3PC unilateral terminations while the coordinator was unreachable.
+    pub unilateral_commits: u64,
+    /// Whether every replica converged (content, epoch, locks, queues).
+    pub converged: bool,
+}
+
+/// Runs the distributed-flatten cost grid: loss × partition × protocol over
+/// the faulty simulated network, one row per cell.
+pub fn distributed_flatten_grid(sites: usize, edits_per_site: usize) -> Vec<FlattenCostRow> {
+    let matrix = ScenarioMatrix::flatten_commitment(Scenario {
+        sites,
+        edits_per_site,
+        ..Scenario::default()
+    });
+    matrix
+        .run()
+        .into_iter()
+        .map(|(scenario, report)| FlattenCostRow {
+            protocol: scenario.flatten_protocol.label().to_string(),
+            drop_prob: scenario.drop_prob,
+            partition: scenario.partition_first_site,
+            proposals: report.flatten_proposals,
+            commits: report.flatten_commits,
+            aborts: report.flatten_aborts,
+            protocol_messages: report.protocol_messages,
+            protocol_bytes: report.protocol_bytes,
+            commit_rounds: report.commit_rounds,
+            blocked_rounds: report.flatten_blocked_rounds,
+            unilateral_commits: report.unilateral_commits,
+            converged: report.converged,
+        })
+        .collect()
+}
+
+/// The scripted coordinator-partition comparison (blocked 2PC versus
+/// non-blocking 3PC), re-exported for the `flatten_commit` binary and bench.
+pub fn partition_comparison(sites: usize, seed: u64) -> Vec<treedoc_sim::PartitionedCommitReport> {
+    [CommitProtocol::TwoPhase, CommitProtocol::ThreePhase]
+        .into_iter()
+        .map(|protocol| partitioned_commit_demo(protocol, sites, seed))
+        .collect()
+}
+
+/// One faulty flatten-commitment scenario, exposed for the Criterion bench.
+pub fn flatten_scenario(protocol: CommitProtocol, edits_per_site: usize) -> Scenario {
+    Scenario {
+        sites: 4,
+        edits_per_site,
+        ..Scenario::flatten_faulty(protocol)
+    }
+}
+
+/// Runs one scenario (re-export of [`treedoc_sim::run`] so the bench harness
+/// only needs this crate).
+pub fn run_flatten_scenario(scenario: &Scenario) -> treedoc_sim::SimReport {
+    run_scenario(scenario)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn distributed_flatten_grid_converges_and_reports_costs() {
+        let rows = distributed_flatten_grid(3, 20);
+        assert_eq!(rows.len(), 8);
+        for row in &rows {
+            assert!(row.converged, "{row:?}");
+            assert!(row.commits >= 1, "{row:?}");
+            assert!(row.protocol_messages > 0, "{row:?}");
+        }
+        let msgs = |p: &str| -> u64 {
+            rows.iter()
+                .filter(|r| r.protocol == p)
+                .map(|r| r.protocol_messages)
+                .sum()
+        };
+        assert!(msgs("2pc") > 0 && msgs("3pc") > 0);
+    }
 
     #[test]
     fn labels() {

@@ -29,6 +29,8 @@ pub mod participant;
 pub mod three_phase;
 pub mod two_phase;
 
-pub use participant::{FlattenParticipant, FlattenProposal, TreedocParticipant, Vote};
+pub use participant::{
+    CommitProtocol, FlattenParticipant, FlattenProposal, TreedocParticipant, Vote,
+};
 pub use three_phase::run_three_phase;
 pub use two_phase::{run_two_phase, CommitOutcome, CommitStats};

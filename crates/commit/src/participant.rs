@@ -12,6 +12,29 @@ pub enum Vote {
     No,
 }
 
+/// Which commitment protocol a distributed flatten runs under ("any
+/// distributed commitment protocol from the literature will do", §4.2.1).
+/// The two classic choices trade message cost against blocking behaviour:
+/// 2PC blocks prepared participants while the coordinator is unreachable,
+/// 3PC adds a pre-commit round that lets them terminate on their own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommitProtocol {
+    /// Classic two-phase commit: vote, then decide.
+    TwoPhase,
+    /// Three-phase commit: vote, pre-commit, then decide (non-blocking).
+    ThreePhase,
+}
+
+impl CommitProtocol {
+    /// Short label used in reports and benchmark output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CommitProtocol::TwoPhase => "2pc",
+            CommitProtocol::ThreePhase => "3pc",
+        }
+    }
+}
+
 /// A proposed structural clean-up: flatten the subtree rooted at `subtree`
 /// provided no replica has observed an edit in it after `base_revision`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

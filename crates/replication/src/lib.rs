@@ -30,11 +30,16 @@
 
 pub mod causal;
 pub mod clock;
+pub mod flatten;
 pub mod network;
 pub mod replica;
 pub mod testkit;
 
 pub use causal::{BufferStats, CausalBuffer, CausalMessage, Deliveries, Receipt};
 pub use clock::{ClockOrdering, VectorClock};
+pub use flatten::{
+    CoordinatorStats, DecisionKind, FlattenCoordinator, FlattenDecision, FlattenPropose,
+    FlattenVote, VoteStage,
+};
 pub use network::{LinkConfig, NetworkEvent, SimNetwork};
-pub use replica::{Envelope, Replica, ReplicatedDocument};
+pub use replica::{Envelope, FlattenDocument, Replica, ReplicatedDocument};

@@ -16,10 +16,12 @@
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
-use treedoc_core::{Atom, Disambiguator, HasSource, Op, SiteId, Treedoc};
+use treedoc_commit::{CommitProtocol, FlattenProposal, Vote};
+use treedoc_core::{Atom, Disambiguator, HasSource, Op, Side, SiteId, Treedoc};
 
 use crate::causal::{CausalBuffer, CausalMessage};
 use crate::clock::VectorClock;
+use crate::flatten::{DecisionKind, FlattenDecision, FlattenPropose, FlattenVote, VoteStage};
 
 /// A document type that can be driven by a [`Replica`].
 pub trait ReplicatedDocument {
@@ -59,13 +61,23 @@ where
     }
 }
 
-/// Wire format between replicas when at-least-once delivery is enabled:
-/// either an operation (possibly a retransmission) or a cumulative
-/// acknowledgement.
+/// Wire format between replicas: causally stamped operations (tagged with
+/// the sender's flatten epoch), cumulative acknowledgements for at-least-once
+/// delivery, and the three flatten-commitment messages of §4.2.1 (see
+/// [`crate::flatten`]).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Envelope<Op> {
     /// A (possibly retransmitted) causally stamped operation.
-    Op(CausalMessage<Op>),
+    Op {
+        /// The sender's flatten epoch when the operation was stamped. A
+        /// receiver in an older epoch holds the message back until its own
+        /// flatten commits; a receiver in a newer epoch counts it as late
+        /// pre-flatten traffic (always a duplicate — see the module docs of
+        /// [`crate::flatten`]) and lets the causal buffer discard it.
+        epoch: u64,
+        /// The stamped operation.
+        msg: CausalMessage<Op>,
+    },
     /// Cumulative acknowledgement: `from` has delivered everything described
     /// by `clock` (in particular, `clock.get(receiver)` messages of the
     /// receiving replica).
@@ -75,14 +87,122 @@ pub enum Envelope<Op> {
         /// Its delivered clock at acknowledgement time.
         clock: VectorClock,
     },
+    /// Coordinator → participant: vote request for a flatten proposal.
+    FlattenPropose(FlattenPropose),
+    /// Participant → coordinator: a vote or phase acknowledgement.
+    FlattenVote(FlattenVote),
+    /// Coordinator → participant: pre-commit, commit or abort.
+    FlattenDecision(FlattenDecision),
+}
+
+impl<Op> Envelope<Op> {
+    /// Estimated wire size of a flatten-commitment message; `None` for
+    /// operation and acknowledgement envelopes (whose payload cost is
+    /// accounted separately via
+    /// [`Op::network_bytes`](treedoc_core::Op::network_bytes)).
+    pub fn flatten_wire_bytes(&self) -> Option<usize> {
+        match self {
+            Envelope::FlattenPropose(p) => Some(p.wire_bytes()),
+            Envelope::FlattenVote(v) => Some(v.wire_bytes()),
+            Envelope::FlattenDecision(d) => Some(d.wire_bytes()),
+            Envelope::Op { .. } | Envelope::Ack { .. } => None,
+        }
+    }
+}
+
+/// The per-replica participant role of the flatten commitment protocol (see
+/// [`crate::flatten`]): voting, the prepared lock, epoch tracking and the
+/// counters the simulator reports.
+#[derive(Debug, Default)]
+struct FlattenRole {
+    /// Number of flattens committed at this replica so far; every operation
+    /// envelope is tagged with the epoch it was stamped in.
+    epoch: u64,
+    /// The proposal this replica has voted Yes on and not yet seen decided.
+    prepared: Option<PreparedFlatten>,
+    /// Votes already cast, per transaction (re-answered idempotently when a
+    /// proposal is retransmitted). Retained for the replica's lifetime: one
+    /// small entry per proposal ever observed, bounded by the run length
+    /// (a long-lived deployment would prune entries from settled epochs).
+    voted: BTreeMap<u64, Vote>,
+    /// Concluded transactions (`true` = committed), for idempotent decision
+    /// handling under network duplication. Same retention as `voted`.
+    decided: BTreeMap<u64, bool>,
+    /// Local transaction counter for proposals initiated here.
+    next_txn: u64,
+    commits: u64,
+    aborts: u64,
+    votes_cast: u64,
+    unilateral_commits: u64,
+    blocked_ticks: u64,
+    late_epoch_ops: u64,
+}
+
+/// State of a proposal this replica has voted Yes on: the replica is locked
+/// (no edits in the subtree) until the decision arrives.
+#[derive(Debug)]
+struct PreparedFlatten {
+    txn: u64,
+    proposal: FlattenProposal,
+    /// 3PC only: the pre-commit round was acknowledged, so the decision is
+    /// known to be commit and the replica may terminate unilaterally.
+    pre_committed: bool,
+    /// Ticks spent waiting since preparing (reset by the pre-commit).
+    ticks_waiting: u64,
+}
+
+/// A document that can take part in distributed flatten commitment: it can
+/// vote on a proposal and apply a committed one. Implemented for
+/// [`Treedoc`]; the clock-equality half of the vote lives on
+/// [`Replica`] itself.
+pub trait FlattenDocument: ReplicatedDocument {
+    /// Votes on the proposal from the document's point of view: No when the
+    /// subtree is missing or has activity after the proposal's base
+    /// revision.
+    ///
+    /// Note that revisions are **local bookkeeping** (nothing in the wire
+    /// path advances them), so in distributed runs this guard only rejects
+    /// missing subtrees — the live concurrency veto there is the
+    /// clock-equality test on [`Replica`]. The revision check matters for
+    /// in-process use, where [`Treedoc::next_revision`] is driven by the
+    /// embedding application (see `treedoc-commit`'s participants).
+    fn flatten_vote(&self, proposal: &FlattenProposal) -> Vote;
+    /// Applies a committed flatten (deterministic, so every committing
+    /// replica produces the same structure).
+    fn apply_flatten(&mut self, proposal: &FlattenProposal);
+    /// The revision a proposal initiated at this replica is based on.
+    fn base_revision(&self) -> u64;
+}
+
+impl<A, D> FlattenDocument for Treedoc<A, D>
+where
+    A: Atom + std::hash::Hash,
+    D: Disambiguator + HasSource,
+{
+    fn flatten_vote(&self, proposal: &FlattenProposal) -> Vote {
+        match self.tree().subtree(&proposal.subtree) {
+            None => Vote::No,
+            Some(node) if node.hot_rev() > proposal.base_revision => Vote::No,
+            Some(_) => Vote::Yes,
+        }
+    }
+
+    fn apply_flatten(&mut self, proposal: &FlattenProposal) {
+        let _ = self.flatten(&proposal.subtree);
+    }
+
+    fn base_revision(&self) -> u64 {
+        self.revision()
+    }
 }
 
 /// The sender-side retransmission state of at-least-once mode.
 #[derive(Debug)]
 struct AtLeastOnce<Op> {
     /// Every stamped-but-not-fully-acknowledged message, keyed by this
-    /// replica's own sequence number.
-    send_log: BTreeMap<u64, CausalMessage<Op>>,
+    /// replica's own sequence number, together with the flatten epoch it was
+    /// stamped in (so retransmissions keep their original epoch tag).
+    send_log: BTreeMap<u64, (u64, CausalMessage<Op>)>,
     /// Highest sequence number of ours each peer has cumulatively
     /// acknowledged.
     peer_acked: BTreeMap<SiteId, u64>,
@@ -104,6 +224,16 @@ impl<Op> AtLeastOnce<Op> {
         }
     }
 
+    /// Registers additional peers without touching acknowledgements already
+    /// received (see [`Replica::enable_at_least_once`]).
+    fn add_peers(&mut self, site: SiteId, peers: &[SiteId]) {
+        for &p in peers {
+            if p != site {
+                self.peer_acked.entry(p).or_insert(0);
+            }
+        }
+    }
+
     /// Drops log entries every peer has acknowledged.
     fn prune(&mut self) {
         let fully_acked = self.peer_acked.values().copied().min().unwrap_or(0);
@@ -120,6 +250,11 @@ pub struct Replica<Doc: ReplicatedDocument> {
     ops_sent: u64,
     ops_applied: u64,
     at_least_once: Option<AtLeastOnce<Doc::Op>>,
+    flatten: FlattenRole,
+    /// Operations stamped in a flatten epoch this replica has not reached
+    /// yet (their identifiers live in the post-flatten tree), held back until
+    /// the local flatten commits.
+    epoch_held: Vec<(u64, CausalMessage<Doc::Op>)>,
 }
 
 impl<Doc: ReplicatedDocument> Replica<Doc> {
@@ -132,6 +267,8 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
             ops_sent: 0,
             ops_applied: 0,
             at_least_once: None,
+            flatten: FlattenRole::default(),
+            epoch_held: Vec::new(),
         }
     }
 
@@ -181,8 +318,18 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
     /// now on is kept in a send log until all `peers` (the sender itself is
     /// ignored if listed) have acknowledged it, and can be retransmitted with
     /// [`unacked_for`](Self::unacked_for).
+    ///
+    /// Calling this again is **idempotent and merging**: peers already
+    /// registered keep the acknowledgements they have sent (so nothing
+    /// already acked is spuriously retransmitted), and peers new to the set
+    /// are registered from zero. A peer added mid-run is only guaranteed the
+    /// log entries that have not yet been pruned by the original peer set's
+    /// acknowledgements.
     pub fn enable_at_least_once(&mut self, peers: &[SiteId]) {
-        self.at_least_once = Some(AtLeastOnce::new(self.site, peers));
+        match self.at_least_once.as_mut() {
+            Some(alo) => alo.add_peers(self.site, peers),
+            None => self.at_least_once = Some(AtLeastOnce::new(self.site, peers)),
+        }
     }
 
     /// `true` when at-least-once mode is on.
@@ -244,6 +391,20 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
     /// cannot be relied on to still hold what an unregistered peer is
     /// missing — silently returning a partial log would lose messages.
     pub fn unacked_for(&mut self, peer: SiteId) -> Vec<CausalMessage<Doc::Op>> {
+        self.unacked_envelopes_for(peer)
+            .into_iter()
+            .map(|env| match env {
+                Envelope::Op { msg, .. } => msg,
+                _ => unreachable!("the send log only holds operations"),
+            })
+            .collect()
+    }
+
+    /// Like [`unacked_for`](Self::unacked_for), but returns full envelopes
+    /// carrying the flatten epoch each message was **stamped** in, so a
+    /// pre-flatten operation retransmitted after a committed flatten is
+    /// still recognisable as late pre-flatten traffic by the receiver.
+    pub fn unacked_envelopes_for(&mut self, peer: SiteId) -> Vec<Envelope<Doc::Op>> {
         let Some(alo) = self.at_least_once.as_mut() else {
             return Vec::new();
         };
@@ -252,10 +413,13 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
             .get(&peer)
             .copied()
             .unwrap_or_else(|| panic!("site {peer} is not a registered at-least-once peer"));
-        let missing: Vec<CausalMessage<Doc::Op>> = alo
+        let missing: Vec<Envelope<Doc::Op>> = alo
             .send_log
             .range(acked + 1..)
-            .map(|(_, m)| m.clone())
+            .map(|(_, (epoch, m))| Envelope::Op {
+                epoch: *epoch,
+                msg: m.clone(),
+            })
             .collect();
         alo.retransmissions += missing.len() as u64;
         missing
@@ -273,9 +437,21 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
             payload: op,
         };
         if let Some(alo) = self.at_least_once.as_mut() {
-            alo.send_log.insert(message.seq(), message.clone());
+            alo.send_log
+                .insert(message.seq(), (self.flatten.epoch, message.clone()));
         }
         message
+    }
+
+    /// Stamps a locally initiated operation and wraps it in an
+    /// [`Envelope::Op`] tagged with the replica's current flatten epoch —
+    /// the broadcast form the simulator sends.
+    pub fn stamp_envelope(&mut self, op: Doc::Op) -> Envelope<Doc::Op> {
+        let epoch = self.flatten.epoch;
+        Envelope::Op {
+            epoch,
+            msg: self.stamp(op),
+        }
     }
 
     /// Receives a message from the network; buffered messages that become
@@ -291,27 +467,352 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
         count
     }
 
-    /// Handles a full [`Envelope`]: operations go through causal delivery,
-    /// acknowledgements update the retransmission state. Returns the number
-    /// of operations applied.
+    /// Handles an operation or acknowledgement [`Envelope`]: operations go
+    /// through epoch filtering and causal delivery, acknowledgements update
+    /// the retransmission state. Returns the number of operations applied.
+    ///
+    /// Flatten-commitment envelopes are **ignored** here because answering
+    /// them needs a voting document; route complete traffic through
+    /// [`receive_any`](Self::receive_any) (available when the document
+    /// implements [`FlattenDocument`]).
     pub fn receive_envelope(&mut self, envelope: Envelope<Doc::Op>) -> usize {
         match envelope {
-            Envelope::Op(message) => self.receive(message),
+            Envelope::Op { epoch, msg } => self.receive_op(epoch, msg),
             Envelope::Ack { from, clock } => {
                 self.record_ack(from, &clock);
                 0
             }
+            Envelope::FlattenPropose(_)
+            | Envelope::FlattenVote(_)
+            | Envelope::FlattenDecision(_) => 0,
         }
     }
 
-    /// Number of messages still waiting for causal predecessors.
+    /// Epoch-aware operation receipt: future-epoch operations (stamped on a
+    /// flattened tree this replica has not committed yet) are held back —
+    /// duplicate copies (network duplication, retransmission) of an
+    /// already-held message are discarded so the hold-back stays one entry
+    /// per message; past-epoch operations are counted as late pre-flatten
+    /// traffic and offered to the duplicate-safe buffer, which discards them
+    /// as stale.
+    fn receive_op(&mut self, epoch: u64, msg: CausalMessage<Doc::Op>) -> usize {
+        if epoch > self.flatten.epoch {
+            let already_held = self
+                .epoch_held
+                .iter()
+                .any(|(_, held)| held.sender == msg.sender && held.seq() == msg.seq());
+            if !already_held {
+                self.epoch_held.push((epoch, msg));
+            }
+            return 0;
+        }
+        if epoch < self.flatten.epoch {
+            self.flatten.late_epoch_ops += 1;
+        }
+        self.receive(msg)
+    }
+
+    /// Number of messages still waiting for causal predecessors (including
+    /// operations held back for a future flatten epoch).
     pub fn pending(&self) -> usize {
-        self.buffer.pending_len()
+        self.buffer.pending_len() + self.epoch_held.len()
     }
 
     /// Content digest, for convergence checks.
     pub fn digest(&self) -> u64 {
         self.doc.digest()
+    }
+
+    // ------------------------------------------------------------------
+    // Flatten commitment: epoch and counters (any document)
+    // ------------------------------------------------------------------
+
+    /// Number of flattens committed at this replica (the epoch every
+    /// operation envelope is tagged with).
+    pub fn flatten_epoch(&self) -> u64 {
+        self.flatten.epoch
+    }
+
+    /// `true` while this replica has voted Yes on a proposal whose decision
+    /// has not arrived: the subtree is locked against local edits.
+    pub fn is_flatten_prepared(&self) -> bool {
+        self.flatten.prepared.is_some()
+    }
+
+    /// Flattens applied through the commitment protocol.
+    pub fn flatten_commits(&self) -> u64 {
+        self.flatten.commits
+    }
+
+    /// Proposals this replica saw aborted.
+    pub fn flatten_aborts(&self) -> u64 {
+        self.flatten.aborts
+    }
+
+    /// Votes this replica has cast (local proposals included).
+    pub fn flatten_votes_cast(&self) -> u64 {
+        self.flatten.votes_cast
+    }
+
+    /// Commits applied unilaterally by the 3PC termination rule (pre-commit
+    /// acknowledged, then the coordinator went silent past the timeout).
+    pub fn flatten_unilateral_commits(&self) -> u64 {
+        self.flatten.unilateral_commits
+    }
+
+    /// Ticks this replica spent locked in the prepared state.
+    pub fn flatten_blocked_ticks(&self) -> u64 {
+        self.flatten.blocked_ticks
+    }
+
+    /// Operations that arrived tagged with an epoch older than this
+    /// replica's (late pre-flatten traffic, discarded as duplicates).
+    pub fn late_epoch_ops(&self) -> u64 {
+        self.flatten.late_epoch_ops
+    }
+
+    /// Concludes the coordinator's **own** prepared state once its
+    /// [`FlattenCoordinator`](crate::flatten::FlattenCoordinator) reaches an
+    /// outcome: applies the flatten on commit, discards the lock on abort.
+    /// Returns the number of held-back operations applied as a result.
+    pub fn finish_flatten(&mut self, txn: u64, committed: bool) -> usize
+    where
+        Doc: FlattenDocument,
+    {
+        if self.flatten.prepared.as_ref().is_none_or(|p| p.txn != txn) {
+            return 0;
+        }
+        if committed {
+            self.commit_prepared()
+        } else {
+            self.flatten.prepared = None;
+            self.flatten.aborts += 1;
+            self.flatten.decided.insert(txn, false);
+            0
+        }
+    }
+
+    /// Applies the prepared flatten, bumps the epoch and releases any
+    /// held-back future-epoch operations that became applicable.
+    fn commit_prepared(&mut self) -> usize
+    where
+        Doc: FlattenDocument,
+    {
+        let prepared = self
+            .flatten
+            .prepared
+            .take()
+            .expect("commit_prepared requires a prepared proposal");
+        self.doc.apply_flatten(&prepared.proposal);
+        self.flatten.epoch += 1;
+        self.flatten.commits += 1;
+        self.flatten.decided.insert(prepared.txn, true);
+        self.drain_epoch_held()
+    }
+
+    /// Re-offers held-back operations whose epoch the replica has reached.
+    fn drain_epoch_held(&mut self) -> usize
+    where
+        Doc: FlattenDocument,
+    {
+        let epoch = self.flatten.epoch;
+        let (ready, held): (Vec<_>, Vec<_>) = std::mem::take(&mut self.epoch_held)
+            .into_iter()
+            .partition(|(e, _)| *e <= epoch);
+        self.epoch_held = held;
+        let mut applied = 0;
+        for (_, msg) in ready {
+            applied += self.receive(msg);
+        }
+        applied
+    }
+}
+
+impl<Doc: FlattenDocument> Replica<Doc> {
+    /// Handles **any** envelope: operations and acknowledgements as in
+    /// [`receive_envelope`](Self::receive_envelope), plus the flatten
+    /// commitment messages, which may produce an immediate reply addressed
+    /// to the envelope's sender. Returns `(operations applied, reply)`.
+    pub fn receive_any(
+        &mut self,
+        envelope: Envelope<Doc::Op>,
+    ) -> (usize, Option<Envelope<Doc::Op>>) {
+        match envelope {
+            Envelope::FlattenPropose(p) => (0, self.on_flatten_propose(p)),
+            Envelope::FlattenDecision(d) => self.on_flatten_decision(d),
+            Envelope::FlattenVote(_) => (0, None),
+            other => (self.receive_envelope(other), None),
+        }
+    }
+
+    /// Initiates a flatten proposal at this replica (the coordinator side):
+    /// votes locally, locks itself prepared and returns the
+    /// [`FlattenPropose`] to distribute (via
+    /// [`FlattenCoordinator`](crate::flatten::FlattenCoordinator)). Returns
+    /// `None` — counting a local abort — when this replica's own vote is No
+    /// or it is already part of another proposal.
+    pub fn propose_flatten(
+        &mut self,
+        subtree: Vec<Side>,
+        protocol: CommitProtocol,
+    ) -> Option<FlattenPropose> {
+        if self.flatten.prepared.is_some() {
+            return None;
+        }
+        self.flatten.next_txn += 1;
+        // Globally unique as long as site ids and per-site proposal counts
+        // fit 32 bits each — far beyond what a run can produce; asserted so
+        // a violation cannot silently corrupt the vote/decision dedup maps.
+        debug_assert!(
+            self.site.as_u64() < (1 << 32) && self.flatten.next_txn < (1 << 32),
+            "transaction id packing overflow"
+        );
+        let txn = (self.site.as_u64() << 32) | self.flatten.next_txn;
+        let proposal = FlattenProposal {
+            proposer: self.site,
+            subtree,
+            base_revision: self.doc.base_revision(),
+            txn,
+        };
+        self.flatten.votes_cast += 1;
+        if self.doc.flatten_vote(&proposal) != Vote::Yes {
+            self.flatten.aborts += 1;
+            self.flatten.decided.insert(txn, false);
+            return None;
+        }
+        self.flatten.voted.insert(txn, Vote::Yes);
+        self.flatten.prepared = Some(PreparedFlatten {
+            txn,
+            proposal: proposal.clone(),
+            pre_committed: false,
+            ticks_waiting: 0,
+        });
+        Some(FlattenPropose {
+            proposal,
+            protocol,
+            base_clock: self.buffer.delivered_clock().clone(),
+            epoch: self.flatten.epoch,
+        })
+    }
+
+    /// Advances the participant's clock one round while prepared, counting
+    /// blocked time. A replica that has acknowledged a 3PC pre-commit and
+    /// waited `pre_commit_timeout` ticks without hearing the decision
+    /// commits unilaterally (the decision is known to be commit) — the
+    /// non-blocking property 2PC lacks. Returns held-back operations applied
+    /// by such a commit.
+    pub fn flatten_tick(&mut self, pre_commit_timeout: u64) -> usize {
+        let Some(prepared) = self.flatten.prepared.as_mut() else {
+            return 0;
+        };
+        self.flatten.blocked_ticks += 1;
+        prepared.ticks_waiting += 1;
+        if prepared.pre_committed && prepared.ticks_waiting >= pre_commit_timeout {
+            self.flatten.unilateral_commits += 1;
+            return self.commit_prepared();
+        }
+        0
+    }
+
+    fn vote_reply(&self, txn: u64, vote: Vote, stage: VoteStage) -> Option<Envelope<Doc::Op>> {
+        Some(Envelope::FlattenVote(FlattenVote {
+            txn,
+            from: self.site,
+            vote,
+            stage,
+        }))
+    }
+
+    /// Participant half of the vote round (see the module docs of
+    /// [`crate::flatten`] for the soundness argument behind the
+    /// clock-equality test).
+    fn on_flatten_propose(&mut self, propose: FlattenPropose) -> Option<Envelope<Doc::Op>> {
+        let txn = propose.proposal.txn;
+        if self.flatten.decided.contains_key(&txn) {
+            // Late duplicate of a concluded transaction: re-acknowledge so a
+            // coordinator that missed our ack can finish.
+            return self.vote_reply(txn, Vote::Yes, VoteStage::AckDecision);
+        }
+        if let Some(&vote) = self.flatten.voted.get(&txn) {
+            // Retransmitted proposal: repeat the recorded vote.
+            return self.vote_reply(txn, vote, VoteStage::Vote);
+        }
+        let vote = if propose.epoch != self.flatten.epoch {
+            Vote::No
+        } else if self.flatten.prepared.is_some() {
+            // Already locked by a concurrent proposal.
+            Vote::No
+        } else if self.buffer.delivered_clock() != &propose.base_clock {
+            // Concurrent activity the proposer has not seen (or activity the
+            // proposer saw that we have not): edits take precedence.
+            Vote::No
+        } else {
+            self.doc.flatten_vote(&propose.proposal)
+        };
+        if vote == Vote::Yes {
+            self.flatten.prepared = Some(PreparedFlatten {
+                txn,
+                proposal: propose.proposal.clone(),
+                pre_committed: false,
+                ticks_waiting: 0,
+            });
+        }
+        self.flatten.voted.insert(txn, vote);
+        self.flatten.votes_cast += 1;
+        self.vote_reply(txn, vote, VoteStage::Vote)
+    }
+
+    /// Participant half of the pre-commit and decision rounds, idempotent
+    /// under duplication and retransmission.
+    fn on_flatten_decision(
+        &mut self,
+        decision: FlattenDecision,
+    ) -> (usize, Option<Envelope<Doc::Op>>) {
+        let txn = decision.txn;
+        if self.flatten.decided.contains_key(&txn) {
+            // Duplicate (or a decision overtaken by a unilateral commit):
+            // just re-acknowledge.
+            return (0, self.vote_reply(txn, Vote::Yes, VoteStage::AckDecision));
+        }
+        let prepared_for_txn = self.flatten.prepared.as_ref().is_some_and(|p| p.txn == txn);
+        match decision.kind {
+            DecisionKind::PreCommit => {
+                if prepared_for_txn {
+                    let prepared = self.flatten.prepared.as_mut().expect("checked above");
+                    prepared.pre_committed = true;
+                    prepared.ticks_waiting = 0;
+                    (0, self.vote_reply(txn, Vote::Yes, VoteStage::AckPreCommit))
+                } else {
+                    // Pre-commit for a proposal we voted No on (or never
+                    // saw): the coordinator cannot have committed it with
+                    // our No vote, so this is stray traffic — ignore.
+                    (0, None)
+                }
+            }
+            DecisionKind::Commit => {
+                if prepared_for_txn {
+                    let applied = self.commit_prepared();
+                    (
+                        applied,
+                        self.vote_reply(txn, Vote::Yes, VoteStage::AckDecision),
+                    )
+                } else {
+                    debug_assert!(
+                        false,
+                        "commit for a transaction this replica never prepared"
+                    );
+                    (0, None)
+                }
+            }
+            DecisionKind::Abort => {
+                if prepared_for_txn {
+                    self.flatten.prepared = None;
+                }
+                self.flatten.aborts += 1;
+                self.flatten.decided.insert(txn, false);
+                (0, self.vote_reply(txn, Vote::Yes, VoteStage::AckDecision))
+            }
+        }
     }
 }
 
@@ -467,6 +968,168 @@ mod tests {
         a.receive_envelope(c.ack_envelope());
         assert!(!a.has_unacked());
         assert_eq!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn re_enabling_at_least_once_keeps_received_acks() {
+        // Regression: a second `enable_at_least_once` call (e.g. with a
+        // grown peer set) used to rebuild the ack table from zero, so
+        // everything already acknowledged was retransmitted again.
+        let mut a = replica(1);
+        let mut b = replica(2);
+        a.enable_at_least_once(&[site(1), site(2), site(3)]);
+        // b delivers and acks; c stays silent, keeping the entry in the log.
+        let op = a.doc_mut().local_insert(0, 'x').unwrap();
+        let msg = a.stamp(op);
+        b.receive(msg);
+        a.receive_envelope(b.ack_envelope());
+        assert!(a.has_unacked(), "c has not acked yet");
+
+        // Site 4 joins: re-enable with the grown peer set.
+        a.enable_at_least_once(&[site(1), site(2), site(3), site(4)]);
+        assert!(
+            a.unacked_for(site(2)).is_empty(),
+            "b's earlier ack must survive the re-enable (no spurious \
+             retransmission of already-acked entries)"
+        );
+        assert_eq!(
+            a.unacked_for(site(3)).len(),
+            1,
+            "the still-silent peer keeps its backlog"
+        );
+        assert_eq!(
+            a.unacked_for(site(4)).len(),
+            1,
+            "the new peer is tracked from zero and served what is still logged"
+        );
+    }
+
+    #[test]
+    fn re_enabling_is_idempotent_for_the_same_peer_set() {
+        let sites = [site(1), site(2)];
+        let mut a = replica(1);
+        let mut b = replica(2);
+        a.enable_at_least_once(&sites);
+        let op = a.doc_mut().local_insert(0, 'x').unwrap();
+        b.receive(a.stamp(op));
+        a.receive_envelope(b.ack_envelope());
+        a.enable_at_least_once(&sites);
+        assert!(!a.has_unacked(), "re-enabling must not resurrect the log");
+        assert!(a.unacked_for(site(2)).is_empty());
+    }
+
+    #[test]
+    fn future_epoch_ops_are_held_until_the_local_flatten_commits() {
+        use crate::flatten::{DecisionKind, FlattenDecision};
+        use treedoc_commit::CommitProtocol;
+
+        // a and b hold the same two-atom document.
+        let mut a = replica(1);
+        let mut b = replica(2);
+        for (i, ch) in ['x', 'y'].into_iter().enumerate() {
+            let op = a.doc_mut().local_insert(i, ch).unwrap();
+            b.receive(a.stamp(op));
+        }
+        let ack = Envelope::Ack {
+            from: b.site(),
+            clock: b.clock().clone(),
+        };
+        a.receive_envelope(ack);
+
+        // a proposes, b votes Yes; a commits locally, b has not yet.
+        let propose = a
+            .propose_flatten(Vec::new(), CommitProtocol::TwoPhase)
+            .expect("quiescent proposer votes Yes");
+        let txn = propose.proposal.txn;
+        let (_, reply) = b.receive_any(Envelope::FlattenPropose(propose));
+        assert!(matches!(reply, Some(Envelope::FlattenVote(_))));
+        assert!(b.is_flatten_prepared());
+        a.finish_flatten(txn, true);
+        assert_eq!(a.flatten_epoch(), 1);
+
+        // a edits the flattened tree and broadcasts: b must hold the op back
+        // (applying it on the unflattened tree would diverge).
+        let op = a.doc_mut().local_insert(0, 'z').unwrap();
+        let env = a.stamp_envelope(op);
+        assert_eq!(b.receive_envelope(env), 0);
+        assert_eq!(b.pending(), 1, "future-epoch op is held, not applied");
+
+        // The decision arrives: b flattens, drains the held op and matches a.
+        let (applied, reply) = b.receive_any(Envelope::FlattenDecision(FlattenDecision {
+            txn,
+            kind: DecisionKind::Commit,
+        }));
+        assert_eq!(applied, 1, "the held op is applied after the flatten");
+        assert!(matches!(reply, Some(Envelope::FlattenVote(_))));
+        assert_eq!(b.flatten_epoch(), 1);
+        assert_eq!(b.pending(), 0);
+        assert_eq!(a.doc().to_string(), "zxy");
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn pre_flatten_ops_arriving_late_are_detected_and_discarded() {
+        use crate::flatten::{DecisionKind, FlattenDecision};
+        use treedoc_commit::CommitProtocol;
+
+        let sites = [site(1), site(2)];
+        let mut a = replica(1);
+        let mut b = replica(2);
+        a.enable_at_least_once(&sites);
+
+        // a's op reaches b (so clocks agree) but b's ack never reaches a:
+        // the op stays in a's send log across the flatten.
+        let op = a.doc_mut().local_insert(0, 'x').unwrap();
+        let env = a.stamp_envelope(op);
+        b.receive_envelope(env);
+
+        let propose = a
+            .propose_flatten(Vec::new(), CommitProtocol::TwoPhase)
+            .expect("proposer votes Yes");
+        let txn = propose.proposal.txn;
+        let (_, _) = b.receive_any(Envelope::FlattenPropose(propose));
+        a.finish_flatten(txn, true);
+        let _ = b.receive_any(Envelope::FlattenDecision(FlattenDecision {
+            txn,
+            kind: DecisionKind::Commit,
+        }));
+
+        // The lost-ack retransmission arrives after both flattened: it is
+        // tagged with the pre-flatten epoch, detected, and discarded as the
+        // duplicate it must be.
+        let retransmitted = a.unacked_envelopes_for(site(2));
+        assert_eq!(retransmitted.len(), 1);
+        assert!(matches!(retransmitted[0], Envelope::Op { epoch: 0, .. }));
+        for env in retransmitted {
+            assert_eq!(b.receive_envelope(env), 0);
+        }
+        assert_eq!(b.late_epoch_ops(), 1);
+        assert_eq!(b.pending(), 0);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn participant_votes_no_on_unequal_clocks() {
+        use crate::flatten::FlattenVote;
+        use treedoc_commit::{CommitProtocol, Vote};
+
+        let mut a = replica(1);
+        let mut b = replica(2);
+        let op = a.doc_mut().local_insert(0, 'x').unwrap();
+        b.receive(a.stamp(op));
+        // b edits concurrently: its clock exceeds a's proposal base clock.
+        let op = b.doc_mut().local_insert(1, 'y').unwrap();
+        let _ = b.stamp(op);
+
+        let propose = a
+            .propose_flatten(Vec::new(), CommitProtocol::TwoPhase)
+            .expect("proposer votes Yes");
+        let (_, reply) = b.receive_any(Envelope::FlattenPropose(propose));
+        let Some(Envelope::FlattenVote(FlattenVote { vote, .. })) = reply else {
+            panic!("expected a vote reply, got {reply:?}");
+        };
+        assert_eq!(vote, Vote::No, "edits take precedence over clean-up");
+        assert!(!b.is_flatten_prepared());
     }
 
     #[test]

@@ -57,12 +57,12 @@ pub fn emit_history(
 /// message is dropped with probability `drop_prob` (so only a later
 /// retransmission carries it), duplicated with probability `duplicate_prob`,
 /// and the surviving copies are fully shuffled.
-pub fn faulty_schedule(
-    history: &[CausalMessage<u64>],
+pub fn faulty_schedule<T: Clone>(
+    history: &[CausalMessage<T>],
     seed: u64,
     drop_prob: f64,
     duplicate_prob: f64,
-) -> Vec<CausalMessage<u64>> {
+) -> Vec<CausalMessage<T>> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
     let mut schedule = Vec::with_capacity(history.len() * 2);
     for m in history {

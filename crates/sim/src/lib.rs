@@ -27,6 +27,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod commitment;
 pub mod scenario;
 
+pub use commitment::{partitioned_commit_demo, PartitionedCommitReport};
 pub use scenario::{run, Scenario, ScenarioMatrix, SimReport};

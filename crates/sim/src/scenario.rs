@@ -1,11 +1,15 @@
-//! Randomised cooperative-editing scenarios, including faulty-network runs.
+//! Randomised cooperative-editing scenarios, including faulty-network runs
+//! and the distributed flatten commitment protocol carried over the wire.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use treedoc_commit::{CommitOutcome, CommitProtocol};
 use treedoc_core::{Op, Sdis, SiteId, Treedoc, TreedocConfig};
-use treedoc_replication::{CausalMessage, Envelope, LinkConfig, NetworkEvent, Replica, SimNetwork};
+use treedoc_replication::{
+    Envelope, FlattenCoordinator, LinkConfig, NetworkEvent, Replica, SimNetwork,
+};
 
 /// Description of one simulated editing session.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -35,6 +39,15 @@ pub struct Scenario {
     /// Enables at-least-once delivery: replicas log stamped messages,
     /// exchange cumulative acks and retransmit whatever peers miss.
     pub retransmit: bool,
+    /// Every `k` edit rounds the first site proposes a distributed flatten of
+    /// the whole document, carried as `Envelope::Flatten*` messages over the
+    /// faulty network (§4.2.1). Mid-run proposals contend with concurrent
+    /// edits (and usually abort); when set, one extra proposal runs at final
+    /// quiescence and demonstrates the committed path. `None` disables the
+    /// protocol.
+    pub flatten_cadence: Option<usize>,
+    /// Which commitment protocol flatten proposals run under (2PC or 3PC).
+    pub flatten_protocol: CommitProtocol,
     /// RNG seed.
     pub seed: u64,
 }
@@ -52,6 +65,8 @@ impl Default for Scenario {
             duplicate_prob: 0.0,
             reorder_burst_prob: 0.0,
             retransmit: false,
+            flatten_cadence: None,
+            flatten_protocol: CommitProtocol::TwoPhase,
             seed: 42,
         }
     }
@@ -67,6 +82,17 @@ impl Scenario {
             reorder_burst_prob: 0.1,
             retransmit: true,
             ..Scenario::default()
+        }
+    }
+
+    /// A faulty session that additionally runs distributed flatten
+    /// commitment under `protocol`: proposals every 4 edit rounds (which
+    /// contend with concurrent edits) plus the final quiescent proposal.
+    pub fn flatten_faulty(protocol: CommitProtocol) -> Self {
+        Scenario {
+            flatten_cadence: Some(4),
+            flatten_protocol: protocol,
+            ..Scenario::faulty()
         }
     }
 }
@@ -99,15 +125,47 @@ pub struct SimReport {
     /// Total operation payload bytes handed to the network (identifiers +
     /// atoms, initial broadcasts plus retransmissions), the §5.2 network
     /// cost estimate. Copies injected by network-level duplication are not
-    /// visible to the application and are excluded.
+    /// visible to the application and are excluded. Flatten-commitment
+    /// traffic is reported separately in
+    /// [`protocol_bytes`](Self::protocol_bytes).
     pub network_bytes: usize,
     /// Final simulated time in milliseconds.
     pub sim_time_ms: u64,
+    /// Rounds the first site actually spent partitioned from the rest (0
+    /// when [`partition_first_site`](Scenario::partition_first_site) is off
+    /// — or when the run is too short for a window, which is recorded here
+    /// instead of silently claiming a partition happened).
+    pub partition_rounds: usize,
+    /// Flatten proposals initiated by the coordinator site.
+    pub flatten_proposals: usize,
+    /// Proposals that committed (every replica applied the flatten).
+    pub flatten_commits: usize,
+    /// Proposals that aborted (a concurrent edit, a missing vote, or the
+    /// coordinator's own No vote).
+    pub flatten_aborts: usize,
+    /// Votes cast across all replicas (coordinator's local votes included).
+    pub flatten_votes: u64,
+    /// Coordinator protocol rounds summed over all proposals — the
+    /// distributed-flatten latency cost the paper leaves unevaluated.
+    pub commit_rounds: u64,
+    /// Flatten-commitment messages handed to the network (proposals, votes,
+    /// pre-commits, decisions, acknowledgements; retransmissions included).
+    pub protocol_messages: u64,
+    /// Estimated bytes of that commitment traffic.
+    pub protocol_bytes: usize,
+    /// Ticks replicas spent locked in the prepared state — the blocking
+    /// cost; compare 2PC against 3PC under a coordinator partition.
+    pub flatten_blocked_rounds: u64,
+    /// Commits applied unilaterally by the 3PC termination rule while the
+    /// coordinator was unreachable.
+    pub unilateral_commits: u64,
+    /// Operations that arrived tagged with a pre-flatten epoch and were
+    /// discarded as duplicates.
+    pub late_epoch_ops: u64,
 }
 
 type Doc = Treedoc<String, Sdis>;
 type Env = Envelope<Op<String, Sdis>>;
-type Msg = CausalMessage<Op<String, Sdis>>;
 
 /// Maximum recovery rounds (ack exchange + retransmission) the drain phase
 /// attempts before declaring the run wedged. With independent per-message
@@ -115,19 +173,112 @@ type Msg = CausalMessage<Op<String, Sdis>>;
 /// cap means the protocol, not the dice, is broken.
 const MAX_RECOVERY_ROUNDS: usize = 1000;
 
+/// Ticks a participant may wait in the 3PC pre-committed state before
+/// terminating with a unilateral commit (the non-blocking property).
+pub(crate) const PRE_COMMIT_TIMEOUT_TICKS: u64 = 30;
+
+/// The coordinator side of an in-flight flatten proposal plus the protocol
+/// cost accumulators reported by [`SimReport`].
+#[derive(Default)]
+struct FlattenDriver {
+    active: Option<FlattenCoordinator>,
+    /// Whether the coordinator's own replica has applied the outcome.
+    self_finished: bool,
+    proposals: usize,
+    commits: usize,
+    aborts: usize,
+    commit_rounds: u64,
+    protocol_messages: u64,
+    protocol_bytes: usize,
+}
+
+impl FlattenDriver {
+    /// Starts a proposal at the coordinator (the first site). A local No
+    /// vote aborts on the spot with zero network traffic.
+    fn start_proposal(
+        &mut self,
+        replicas: &mut [Replica<Doc>],
+        site_ids: &[SiteId],
+        protocol: CommitProtocol,
+    ) {
+        debug_assert!(self.active.is_none(), "one proposal at a time");
+        self.proposals += 1;
+        match replicas[0].propose_flatten(Vec::new(), protocol) {
+            Some(propose) => {
+                self.active = Some(FlattenCoordinator::new(propose, site_ids[1..].to_vec()));
+                self.self_finished = false;
+            }
+            None => self.aborts += 1,
+        }
+    }
+
+    /// Advances the coordinator one protocol round: sends this round's
+    /// (re)transmissions, applies the outcome to the coordinator's own
+    /// replica as soon as it is decided, and retires the coordinator once
+    /// every participant acknowledged.
+    fn pump(
+        &mut self,
+        replicas: &mut [Replica<Doc>],
+        site_ids: &[SiteId],
+        net: &mut SimNetwork<Env>,
+    ) {
+        let Some(coordinator) = self.active.as_mut() else {
+            return;
+        };
+        for (to, env) in coordinator.tick() {
+            self.protocol_messages += 1;
+            self.protocol_bytes += env.flatten_wire_bytes().unwrap_or(0);
+            net.send(site_ids[0], to, env);
+        }
+        if let Some(outcome) = coordinator.outcome() {
+            if !self.self_finished {
+                self.self_finished = true;
+                let committed = outcome == CommitOutcome::Committed;
+                replicas[0].finish_flatten(coordinator.txn(), committed);
+                if committed {
+                    self.commits += 1;
+                } else {
+                    self.aborts += 1;
+                }
+            }
+        }
+        if coordinator.is_done() {
+            self.commit_rounds += coordinator.stats().rounds;
+            self.active = None;
+        }
+    }
+}
+
 /// Delivers one network event to its addressee and tracks the hold-back
-/// high-water mark across replicas.
+/// high-water mark across replicas. Votes addressed to the coordinator site
+/// feed the active coordinator; flatten requests answered by participants
+/// send their reply straight back through the network.
 fn deliver(
     replicas: &mut [Replica<Doc>],
     site_ids: &[SiteId],
+    driver: &mut FlattenDriver,
+    net: &mut SimNetwork<Env>,
     event: NetworkEvent<Env>,
     max_pending: &mut usize,
 ) {
+    if let Envelope::FlattenVote(vote) = &event.payload {
+        if event.to == site_ids[0] {
+            if let Some(coordinator) = driver.active.as_mut() {
+                coordinator.on_vote(*vote);
+            }
+            return;
+        }
+    }
     let idx = site_ids
         .iter()
         .position(|&s| s == event.to)
         .expect("known site");
-    replicas[idx].receive_envelope(event.payload);
+    let (_, reply) = replicas[idx].receive_any(event.payload);
+    if let Some(reply) = reply {
+        driver.protocol_messages += 1;
+        driver.protocol_bytes += reply.flatten_wire_bytes().unwrap_or(0);
+        net.send(event.to, event.from, reply);
+    }
     *max_pending = (*max_pending).max(replicas[idx].pending());
 }
 
@@ -172,24 +323,45 @@ pub fn run(scenario: &Scenario) -> SimReport {
     let mut retransmission_bytes = 0usize;
     let mut max_pending = 0usize;
 
+    let mut driver = FlattenDriver::default();
+
     let total_rounds = scenario.edits_per_site.div_ceil(scenario.burst.max(1));
+    // Partition window of the middle third, clamped so the heal lands at
+    // least one round after the cut: short runs used to compute the same
+    // round for both (`total_rounds / 3 == 2 * total_rounds / 3`), silently
+    // partitioning and healing within one round — i.e. not at all — while
+    // the report still suggested a partition had been exercised.
+    let partition_window =
+        if scenario.partition_first_site && scenario.sites >= 2 && total_rounds > 0 {
+            let start = total_rounds / 3;
+            let end = ((2 * total_rounds) / 3).max(start + 1);
+            Some((start, end))
+        } else {
+            None
+        };
+    let partition_rounds = partition_window.map_or(0, |(start, end)| end.min(total_rounds) - start);
+
     for round in 0..total_rounds {
-        // Optional partition of the first site for the middle third.
-        if scenario.partition_first_site && scenario.sites >= 2 {
-            if round == total_rounds / 3 {
+        if let Some((start, end)) = partition_window {
+            if round == start {
                 for &other in &site_ids[1..] {
                     net.partition_both(site_ids[0], other);
                 }
             }
-            if round == (2 * total_rounds) / 3 {
+            if round == end {
                 for &other in &site_ids[1..] {
                     net.heal_both(site_ids[0], other);
                 }
             }
         }
 
-        // Each site performs a burst of local edits and broadcasts them.
+        // Each site performs a burst of local edits and broadcasts them —
+        // unless it is locked prepared by an in-flight flatten proposal
+        // (edits in the subtree must wait for the decision).
         for i in 0..replicas.len() {
+            if replicas[i].is_flatten_prepared() {
+                continue;
+            }
             for _ in 0..scenario.burst.max(1) {
                 let op = {
                     let replica = &mut replicas[i];
@@ -206,17 +378,39 @@ pub fn run(scenario: &Scenario) -> SimReport {
                 };
                 ops_generated += 1;
                 network_bytes += op.network_bytes() * (scenario.sites - 1);
-                let msg = replicas[i].stamp(op);
-                net.broadcast(site_ids[i], &site_ids, Envelope::Op(msg));
+                let env = replicas[i].stamp_envelope(op);
+                net.broadcast(site_ids[i], &site_ids, env);
             }
         }
+
+        // Flatten cadence: the first site proposes a whole-document flatten,
+        // contending with whatever the network and the other sites are doing.
+        if let Some(cadence) = scenario.flatten_cadence {
+            let cadence = cadence.max(1);
+            if driver.active.is_none() && round % cadence == cadence - 1 {
+                driver.start_proposal(&mut replicas, &site_ids, scenario.flatten_protocol);
+            }
+        }
+
+        // Advance the commitment protocol one round on both sides.
+        for r in replicas.iter_mut() {
+            let _ = r.flatten_tick(PRE_COMMIT_TIMEOUT_TICKS);
+        }
+        driver.pump(&mut replicas, &site_ids, &mut net);
 
         // Let some of the traffic flow between rounds (not all of it, so
         // concurrency actually happens).
         let deliver_now = net.in_flight() / 2;
         for _ in 0..deliver_now {
             let Some(event) = net.step() else { break };
-            deliver(&mut replicas, &site_ids, event, &mut max_pending);
+            deliver(
+                &mut replicas,
+                &site_ids,
+                &mut driver,
+                &mut net,
+                event,
+                &mut max_pending,
+            );
         }
     }
 
@@ -226,58 +420,122 @@ pub fn run(scenario: &Scenario) -> SimReport {
             net.heal_both(site_ids[0], other);
         }
     }
+    // With the protocol enabled, one extra proposal runs at quiescence:
+    // every clock is equal by then, so it demonstrates the committed path.
+    let mut final_flatten_pending = scenario.flatten_cadence.is_some();
     let mut recovery_rounds = 0usize;
+    // Rounds spent idle with a replica still locked and no coordinator left
+    // to unlock it (every decision copy lost inside the coordinator's
+    // retransmission window). Once past the unilateral-commit timeout no
+    // mechanism remains, so the run ends and reports non-convergence
+    // honestly instead of spinning to the recovery cap.
+    let mut orphaned_lock_rounds = 0u64;
     loop {
         while let Some(event) = net.step() {
-            deliver(&mut replicas, &site_ids, event, &mut max_pending);
+            deliver(
+                &mut replicas,
+                &site_ids,
+                &mut driver,
+                &mut net,
+                event,
+                &mut max_pending,
+            );
         }
-        if !scenario.retransmit {
-            break;
+
+        // Advance any in-flight commitment (vote retransmissions, decision
+        // distribution, 3PC unilateral termination).
+        for r in replicas.iter_mut() {
+            let _ = r.flatten_tick(PRE_COMMIT_TIMEOUT_TICKS);
         }
-        // Recovered when every send log is fully acknowledged and every
-        // hold-back queue has drained.
-        if replicas
-            .iter()
-            .all(|r| !r.has_unacked() && r.pending() == 0)
-        {
-            break;
+        driver.pump(&mut replicas, &site_ids, &mut net);
+
+        let net_idle = net.in_flight() == 0;
+        let logs_clear = replicas.iter().all(|r| !r.has_unacked());
+        let queues_clear = replicas.iter().all(|r| r.pending() == 0);
+        let locked = replicas.iter().any(|r| r.is_flatten_prepared());
+
+        if net_idle && driver.active.is_none() {
+            let logs_ok = !scenario.retransmit || logs_clear;
+            if locked && logs_ok && queues_clear {
+                // No coordinator, no traffic, yet a replica is still
+                // prepared: its decision was lost for good. Give the 3PC
+                // unilateral timeout a chance to fire, then stop and let the
+                // convergence check report the stuck lock.
+                orphaned_lock_rounds += 1;
+                if orphaned_lock_rounds > PRE_COMMIT_TIMEOUT_TICKS + 1 {
+                    break;
+                }
+            }
+            if !locked {
+                if final_flatten_pending && logs_ok && queues_clear {
+                    final_flatten_pending = false;
+                    driver.start_proposal(&mut replicas, &site_ids, scenario.flatten_protocol);
+                    continue;
+                }
+                if !final_flatten_pending && logs_ok && (queues_clear || !scenario.retransmit) {
+                    // Fully recovered — or, without retransmission, nothing
+                    // left that could recover (convergence is judged below).
+                    break;
+                }
+                if final_flatten_pending && !scenario.retransmit && !queues_clear {
+                    // Losses without retransmission cannot clear the queues;
+                    // the final proposal would only vote No forever. Skip it.
+                    final_flatten_pending = false;
+                    continue;
+                }
+            }
         }
+
         recovery_rounds += 1;
         assert!(
             recovery_rounds <= MAX_RECOVERY_ROUNDS,
-            "at-least-once recovery failed to converge"
+            "recovery or flatten commitment failed to converge"
         );
-        // Cumulative ack exchange (acks can themselves be dropped; the next
-        // round simply repeats them).
-        for i in 0..replicas.len() {
-            let ack = replicas[i].ack_envelope();
-            net.broadcast(site_ids[i], &site_ids, ack);
-        }
-        while let Some(event) = net.step() {
-            deliver(&mut replicas, &site_ids, event, &mut max_pending);
-        }
-        // Retransmit everything still unacknowledged, per peer. Each re-send
-        // crosses the network with the full operation payload, so it counts
-        // towards the §5.2 byte cost like the initial broadcast did.
-        for i in 0..replicas.len() {
-            let from = site_ids[i];
-            for &peer in &site_ids {
-                if peer == from {
-                    continue;
-                }
-                let missing: Vec<Msg> = replicas[i].unacked_for(peer);
-                for m in missing {
-                    retransmission_bytes += m.payload.network_bytes();
-                    net.send(from, peer, Envelope::Op(m));
+        if scenario.retransmit && (!logs_clear || !queues_clear) {
+            // Cumulative ack exchange (acks can themselves be dropped; the
+            // next round simply repeats them).
+            for i in 0..replicas.len() {
+                let ack = replicas[i].ack_envelope();
+                net.broadcast(site_ids[i], &site_ids, ack);
+            }
+            while let Some(event) = net.step() {
+                deliver(
+                    &mut replicas,
+                    &site_ids,
+                    &mut driver,
+                    &mut net,
+                    event,
+                    &mut max_pending,
+                );
+            }
+            // Retransmit everything still unacknowledged, per peer, keeping
+            // the flatten epoch each message was stamped in. Each re-send
+            // crosses the network with the full operation payload, so it
+            // counts towards the §5.2 byte cost like the initial broadcast.
+            for i in 0..replicas.len() {
+                let from = site_ids[i];
+                for &peer in &site_ids {
+                    if peer == from {
+                        continue;
+                    }
+                    for env in replicas[i].unacked_envelopes_for(peer) {
+                        if let Envelope::Op { msg, .. } = &env {
+                            retransmission_bytes += msg.payload.network_bytes();
+                        }
+                        net.send(from, peer, env);
+                    }
                 }
             }
         }
     }
 
     let reference = replicas[0].doc().to_vec();
+    let epoch = replicas[0].flatten_epoch();
     let converged = replicas.iter().all(|r| r.doc().to_vec() == reference)
         && replicas.iter().all(|r| r.pending() == 0)
-        && replicas.iter().all(|r| !r.has_unacked());
+        && replicas.iter().all(|r| !r.has_unacked())
+        && replicas.iter().all(|r| r.flatten_epoch() == epoch)
+        && replicas.iter().all(|r| !r.is_flatten_prepared());
 
     SimReport {
         converged,
@@ -292,6 +550,20 @@ pub fn run(scenario: &Scenario) -> SimReport {
         max_pending,
         network_bytes: network_bytes + retransmission_bytes,
         sim_time_ms: net.now_ms(),
+        partition_rounds,
+        flatten_proposals: driver.proposals,
+        flatten_commits: driver.commits,
+        flatten_aborts: driver.aborts,
+        flatten_votes: replicas.iter().map(|r| r.flatten_votes_cast()).sum(),
+        commit_rounds: driver.commit_rounds,
+        protocol_messages: driver.protocol_messages,
+        protocol_bytes: driver.protocol_bytes,
+        flatten_blocked_rounds: replicas.iter().map(|r| r.flatten_blocked_ticks()).sum(),
+        unilateral_commits: replicas
+            .iter()
+            .map(|r| r.flatten_unilateral_commits())
+            .sum(),
+        late_epoch_ops: replicas.iter().map(|r| r.late_epoch_ops()).sum(),
     }
 }
 
@@ -319,11 +591,16 @@ pub struct ScenarioMatrix {
     pub partition: Vec<bool>,
     /// Whether to run with and/or without §4.1 balancing.
     pub balancing: Vec<bool>,
+    /// Flatten proposal cadences to sweep (`None` = protocol disabled).
+    pub flatten_cadences: Vec<Option<usize>>,
+    /// Commitment protocols to sweep for cells with a flatten cadence.
+    pub protocols: Vec<CommitProtocol>,
 }
 
 impl ScenarioMatrix {
     /// The default convergence matrix: fault-free and 10%-faulty cells along
-    /// every axis.
+    /// every axis (flatten commitment disabled — see
+    /// [`flatten_commitment`](Self::flatten_commitment)).
     pub fn faulty(base: Scenario) -> Self {
         ScenarioMatrix {
             base,
@@ -332,6 +609,26 @@ impl ScenarioMatrix {
             bursts: vec![1, 5],
             partition: vec![false, true],
             balancing: vec![false],
+            flatten_cadences: vec![None],
+            protocols: vec![CommitProtocol::TwoPhase],
+        }
+    }
+
+    /// The distributed-flatten cost matrix: loss × partition × cadence ×
+    /// protocol, the grid behind the experiment the paper could not run
+    /// ("We cannot yet evaluate the cost of a distributed flatten"). Every
+    /// cell carries a flatten cadence, so commits, aborts, message and byte
+    /// counts are comparable per protocol.
+    pub fn flatten_commitment(base: Scenario) -> Self {
+        ScenarioMatrix {
+            base,
+            drop_probs: vec![0.0, 0.1],
+            duplicate_probs: vec![0.1],
+            bursts: vec![5],
+            partition: vec![false, true],
+            balancing: vec![false],
+            flatten_cadences: vec![Some(4)],
+            protocols: vec![CommitProtocol::TwoPhase, CommitProtocol::ThreePhase],
         }
     }
 
@@ -344,15 +641,21 @@ impl ScenarioMatrix {
                 for &burst in &self.bursts {
                     for &partition_first_site in &self.partition {
                         for &balancing in &self.balancing {
-                            out.push(Scenario {
-                                drop_prob,
-                                duplicate_prob,
-                                burst,
-                                partition_first_site,
-                                balancing,
-                                retransmit: self.base.retransmit || drop_prob > 0.0,
-                                ..self.base
-                            });
+                            for &flatten_cadence in &self.flatten_cadences {
+                                for &flatten_protocol in &self.protocols {
+                                    out.push(Scenario {
+                                        drop_prob,
+                                        duplicate_prob,
+                                        burst,
+                                        partition_first_site,
+                                        balancing,
+                                        flatten_cadence,
+                                        flatten_protocol,
+                                        retransmit: self.base.retransmit || drop_prob > 0.0,
+                                        ..self.base
+                                    });
+                                }
+                            }
                         }
                     }
                 }
@@ -514,6 +817,151 @@ mod tests {
         assert!(cells
             .iter()
             .any(|s| s.drop_prob == 0.0 && s.duplicate_prob == 0.0));
+    }
+
+    #[test]
+    fn short_runs_get_a_real_partition_window() {
+        // Regression: with total_rounds < 3 the partition round and the heal
+        // round used to truncate to the same value, so the partition was cut
+        // and healed within one round — i.e. never in effect — while the
+        // report suggested otherwise. The window is now clamped to at least
+        // one round apart and its actual width is recorded.
+        for edits in [5usize, 10] {
+            // burst 5 → 1 and 2 edit rounds respectively.
+            let report = run(&Scenario {
+                sites: 3,
+                edits_per_site: edits,
+                burst: 5,
+                partition_first_site: true,
+                ..Default::default()
+            });
+            assert!(report.converged, "{report:?}");
+            assert!(
+                report.partition_rounds >= 1,
+                "edits {edits}: the partition must cover at least one round: {report:?}"
+            );
+        }
+        // And the accounting stays honest when the partition is off.
+        let report = run(&Scenario::default());
+        assert_eq!(report.partition_rounds, 0);
+    }
+
+    #[test]
+    fn long_runs_keep_the_middle_third_partition() {
+        let report = run(&Scenario {
+            sites: 3,
+            edits_per_site: 90,
+            burst: 5, // 18 rounds → window 6..12
+            partition_first_site: true,
+            ..Default::default()
+        });
+        assert!(report.converged);
+        assert_eq!(report.partition_rounds, 6);
+    }
+
+    #[test]
+    fn distributed_flatten_commits_at_quiescence_over_a_faulty_network() {
+        for protocol in [CommitProtocol::TwoPhase, CommitProtocol::ThreePhase] {
+            let report = run(&Scenario {
+                edits_per_site: 40,
+                ..Scenario::flatten_faulty(protocol)
+            });
+            assert!(report.converged, "{protocol:?}: {report:?}");
+            assert!(report.flatten_proposals >= 2, "{protocol:?}: {report:?}");
+            assert!(
+                report.flatten_commits >= 1,
+                "the final quiescent proposal must commit: {protocol:?}: {report:?}"
+            );
+            assert_eq!(
+                report.flatten_proposals,
+                report.flatten_commits + report.flatten_aborts,
+                "{protocol:?}: {report:?}"
+            );
+            assert!(report.protocol_messages > 0, "{protocol:?}: {report:?}");
+            assert!(report.protocol_bytes > 0, "{protocol:?}: {report:?}");
+            assert!(report.commit_rounds > 0, "{protocol:?}: {report:?}");
+            assert!(report.flatten_votes > 0, "{protocol:?}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn mid_run_proposals_abort_on_concurrent_edits() {
+        // A tight cadence on a busy network: proposals taken while edits are
+        // in flight find unequal clocks and must abort (edits take
+        // precedence over clean-up, §4.2.1), leaving every replica intact.
+        let report = run(&Scenario {
+            edits_per_site: 60,
+            flatten_cadence: Some(2),
+            ..Scenario::flatten_faulty(CommitProtocol::TwoPhase)
+        });
+        assert!(report.converged, "{report:?}");
+        assert!(
+            report.flatten_aborts >= 1,
+            "mid-run proposals contend with concurrent edits: {report:?}"
+        );
+    }
+
+    #[test]
+    fn three_phase_costs_more_protocol_traffic_than_two_phase() {
+        // Cadence larger than the run: only the final quiescent proposal
+        // fires, so both protocols commit exactly once over the same edit
+        // history and the per-protocol message/byte columns are comparable.
+        let base = Scenario {
+            edits_per_site: 20,
+            flatten_cadence: Some(1000),
+            ..Scenario::default()
+        };
+        let two = run(&Scenario {
+            flatten_protocol: CommitProtocol::TwoPhase,
+            ..base
+        });
+        let three = run(&Scenario {
+            flatten_protocol: CommitProtocol::ThreePhase,
+            ..base
+        });
+        assert!(two.converged && three.converged);
+        assert_eq!(two.flatten_commits, 1);
+        assert_eq!(three.flatten_commits, 1);
+        assert!(
+            three.protocol_messages > two.protocol_messages,
+            "3PC adds the pre-commit round: {two:?} vs {three:?}"
+        );
+        assert!(three.protocol_bytes > two.protocol_bytes);
+        assert!(three.commit_rounds > two.commit_rounds);
+    }
+
+    #[test]
+    fn flatten_runs_are_reproducible() {
+        let scenario = Scenario {
+            edits_per_site: 40,
+            ..Scenario::flatten_faulty(CommitProtocol::ThreePhase)
+        };
+        assert_eq!(run(&scenario), run(&scenario));
+    }
+
+    #[test]
+    fn flatten_commitment_matrix_converges_in_every_cell() {
+        // The acceptance grid: a flatten proposal carried entirely as
+        // envelopes over a lossy, partitioned network, per protocol, with
+        // convergence and a commit in every cell.
+        let matrix = ScenarioMatrix::flatten_commitment(Scenario {
+            sites: 3,
+            edits_per_site: 20,
+            ..Default::default()
+        });
+        let results = matrix.run();
+        assert_eq!(results.len(), 8);
+        for (scenario, report) in results {
+            assert!(report.converged, "cell {scenario:?} diverged: {report:?}");
+            assert!(
+                report.flatten_commits >= 1,
+                "cell {scenario:?} never committed: {report:?}"
+            );
+            assert!(
+                report.protocol_messages > 0,
+                "cell {scenario:?}: {report:?}"
+            );
+        }
     }
 
     #[test]

@@ -33,9 +33,13 @@ pub use treedoc_trace as trace;
 
 /// Convenience prelude with the types most programs need.
 pub mod prelude {
+    pub use treedoc_commit::{CommitOutcome, CommitProtocol, FlattenProposal, Vote};
     pub use treedoc_core::{Op, PosId, Sdis, SiteId, Treedoc, TreedocConfig, Udis};
     pub use treedoc_replication::{
-        CausalBuffer, CausalMessage, Envelope, LinkConfig, Replica, SimNetwork, VectorClock,
+        CausalBuffer, CausalMessage, Envelope, FlattenCoordinator, LinkConfig, Replica, SimNetwork,
+        VectorClock,
     };
-    pub use treedoc_sim::{Scenario, ScenarioMatrix, SimReport};
+    pub use treedoc_sim::{
+        partitioned_commit_demo, PartitionedCommitReport, Scenario, ScenarioMatrix, SimReport,
+    };
 }

@@ -1,11 +1,16 @@
 //! Integration tests for the structural clean-up path: flatten agreed via
-//! distributed commitment, aborts under concurrent edits, and storage
-//! round-trips of flattened and unflattened replicas.
+//! distributed commitment (both the in-process coordinators and the real
+//! over-the-wire protocol on the faulty simulated network), aborts under
+//! concurrent edits, and storage round-trips of flattened and unflattened
+//! replicas.
 
 use treedoc_repro::commit::{
-    run_three_phase, run_two_phase, CommitOutcome, FlattenProposal, TreedocParticipant,
+    run_three_phase, run_two_phase, CommitOutcome, CommitProtocol, FlattenProposal,
+    TreedocParticipant,
 };
 use treedoc_repro::core::{Sdis, SiteId, Treedoc};
+use treedoc_repro::replication::{Envelope, FlattenCoordinator, LinkConfig, Replica, SimNetwork};
+use treedoc_repro::sim::{partitioned_commit_demo, run, Scenario, ScenarioMatrix};
 use treedoc_repro::storage::DiskImage;
 
 type Doc = Treedoc<String, Sdis>;
@@ -126,6 +131,146 @@ fn flattened_and_unflattened_replicas_persist_and_reload() {
         after < before,
         "flatten must shrink the on-disk structure ({after} vs {before})"
     );
+}
+
+/// Builds `n` quiescent wire-level replicas with fully exchanged edits.
+fn wire_replicas(
+    n: u64,
+    net: &mut SimNetwork<Envelope<treedoc_repro::core::Op<String, Sdis>>>,
+) -> (Vec<SiteId>, Vec<Replica<Doc>>) {
+    let site_ids: Vec<SiteId> = (1..=n).map(site).collect();
+    let mut replicas: Vec<Replica<Doc>> = site_ids
+        .iter()
+        .map(|&s| Replica::new(s, Doc::new(s)))
+        .collect();
+    for i in 0..replicas.len() {
+        for k in 0..8 {
+            let len = replicas[i].doc().len();
+            let op = replicas[i]
+                .doc_mut()
+                .local_insert(len.min(k), format!("site{} line{k}", i + 1))
+                .unwrap();
+            let env = replicas[i].stamp_envelope(op);
+            net.broadcast(site_ids[i], &site_ids, env);
+        }
+    }
+    while let Some(event) = net.step() {
+        let idx = site_ids.iter().position(|&s| s == event.to).unwrap();
+        let _ = replicas[idx].receive_any(event.payload);
+    }
+    (site_ids, replicas)
+}
+
+#[test]
+fn dropped_votes_abort_two_phase_cleanly_instead_of_hanging() {
+    // Site 3's link to the coordinator drops everything: its vote can never
+    // arrive. The coordinator must retransmit, time out, and distribute an
+    // abort that releases every prepared participant — no replica may be
+    // left flattened or locked.
+    let mut net = SimNetwork::new(LinkConfig::fixed(3), 97);
+    let (site_ids, mut replicas) = wire_replicas(3, &mut net);
+    net.set_link(site(3), site(1), LinkConfig::fixed(3).with_drop_prob(1.0));
+
+    let propose = replicas[0]
+        .propose_flatten(Vec::new(), CommitProtocol::TwoPhase)
+        .expect("quiescent proposer votes Yes");
+    let txn = propose.proposal.txn;
+    let mut coordinator =
+        FlattenCoordinator::new(propose, site_ids[1..].to_vec()).with_vote_timeout(10);
+
+    let nodes_before: Vec<usize> = replicas.iter().map(|r| r.doc().node_count()).collect();
+    let mut guard = 0;
+    while !coordinator.is_done() {
+        for (to, env) in coordinator.tick() {
+            net.send(site_ids[0], to, env);
+        }
+        while let Some(event) = net.step() {
+            if let Envelope::FlattenVote(vote) = &event.payload {
+                if event.to == site_ids[0] {
+                    coordinator.on_vote(*vote);
+                    continue;
+                }
+            }
+            let idx = site_ids.iter().position(|&s| s == event.to).unwrap();
+            let (_, reply) = replicas[idx].receive_any(event.payload);
+            if let Some(reply) = reply {
+                net.send(event.to, event.from, reply);
+            }
+        }
+        guard += 1;
+        assert!(guard < 500, "2PC with a silent voter must not hang");
+    }
+    assert!(
+        matches!(coordinator.outcome(), Some(CommitOutcome::Aborted { .. })),
+        "a vote that never arrives aborts the proposal: {:?}",
+        coordinator.outcome()
+    );
+    replicas[0].finish_flatten(txn, false);
+    for (r, before) in replicas.iter().zip(nodes_before) {
+        assert_eq!(r.flatten_epoch(), 0, "no replica flattened");
+        assert_eq!(r.doc().node_count(), before, "abort leaves no side effects");
+        assert!(!r.is_flatten_prepared(), "the abort released every lock");
+    }
+}
+
+#[test]
+fn coordinator_partition_blocks_two_phase_but_not_three_phase() {
+    let two = partitioned_commit_demo(CommitProtocol::TwoPhase, 4, 2026);
+    let three = partitioned_commit_demo(CommitProtocol::ThreePhase, 4, 2026);
+    assert!(two.converged && three.converged, "{two:?}\n{three:?}");
+    assert_eq!(two.committed_during_partition, 0, "2PC blocks: {two:?}");
+    assert_eq!(
+        three.committed_during_partition, 3,
+        "3PC terminates unilaterally past the pre-commit: {three:?}"
+    );
+    assert!(two.blocked_ticks > three.blocked_ticks);
+    assert!(three.protocol_messages > two.protocol_messages);
+}
+
+#[test]
+fn distributed_flatten_over_a_lossy_partitioned_network_commits_and_converges() {
+    // The acceptance cell: flatten proposals carried entirely as Envelope
+    // messages over a lossy, duplicating, partitioned network — committed at
+    // quiescence, aborted under concurrent edits, convergence everywhere,
+    // with per-protocol message and byte accounting.
+    for protocol in [CommitProtocol::TwoPhase, CommitProtocol::ThreePhase] {
+        let report = run(&Scenario {
+            sites: 4,
+            edits_per_site: 40,
+            partition_first_site: true,
+            ..Scenario::flatten_faulty(protocol)
+        });
+        assert!(report.converged, "{protocol:?}: {report:?}");
+        assert!(report.flatten_commits >= 1, "{protocol:?}: {report:?}");
+        assert!(report.protocol_messages > 0, "{protocol:?}: {report:?}");
+        assert!(report.protocol_bytes > 0, "{protocol:?}: {report:?}");
+        assert!(report.partition_rounds > 0, "{protocol:?}: {report:?}");
+    }
+}
+
+#[test]
+fn flatten_commitment_matrix_reports_per_protocol_costs() {
+    let matrix = ScenarioMatrix::flatten_commitment(Scenario {
+        sites: 3,
+        edits_per_site: 20,
+        ..Scenario::default()
+    });
+    let results = matrix.run();
+    assert_eq!(results.len(), 8);
+    let mut by_protocol = std::collections::BTreeMap::new();
+    for (scenario, report) in results {
+        assert!(report.converged, "cell {scenario:?} diverged: {report:?}");
+        assert!(report.flatten_commits >= 1, "cell {scenario:?}: {report:?}");
+        let entry = by_protocol
+            .entry(scenario.flatten_protocol.label())
+            .or_insert((0u64, 0usize));
+        entry.0 += report.protocol_messages;
+        entry.1 += report.protocol_bytes;
+    }
+    let two = by_protocol["2pc"];
+    let three = by_protocol["3pc"];
+    assert!(two.0 > 0 && three.0 > 0);
+    assert!(two.1 > 0 && three.1 > 0);
 }
 
 #[test]
