@@ -1,0 +1,55 @@
+//! Durability-layer benchmarks: WAL append throughput (the steady-state
+//! write cost every logged edit pays) and cold-recovery latency as a
+//! function of the operations logged since the last snapshot (the price of
+//! infrequent checkpoints — the §4.2.1 compaction trade).
+
+use bench::{crashed_store_with_ops, recover_crashed_store};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use treedoc_storage::DocStore;
+
+fn bench_wal_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_append");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for payload in [64usize, 512] {
+        let blob = vec![0xABu8; payload];
+        group.bench_function(format!("{payload}B_x500"), |b| {
+            b.iter_batched(
+                DocStore::in_memory,
+                |mut store| {
+                    for _ in 0..500 {
+                        store.append(0, &blob).expect("append cannot fail");
+                    }
+                    store
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_cold_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cold_recovery");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for ops in [50usize, 200, 800] {
+        group.bench_function(format!("{ops}_ops_since_snapshot"), |b| {
+            b.iter_batched(
+                || crashed_store_with_ops(ops),
+                |store| {
+                    let (digest, report) = recover_crashed_store(store);
+                    assert_eq!(report.wal_records_replayed, ops);
+                    (digest, report)
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wal_append, bench_cold_recovery);
+criterion_main!(benches);

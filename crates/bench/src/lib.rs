@@ -384,6 +384,137 @@ pub fn run_flatten_scenario(scenario: &Scenario) -> treedoc_sim::SimReport {
     run_scenario(scenario)
 }
 
+// ---------------------------------------------------------------------------
+// Crash recovery cost (durability subsystem)
+// ---------------------------------------------------------------------------
+
+type RecoveryDoc = treedoc_core::Treedoc<String, treedoc_core::Sdis>;
+
+/// Builds a durable replica that has performed `ops` logged edits since its
+/// attach-time checkpoint, then "crashes" it: the replica object is dropped
+/// and its detached [`DocStore`](treedoc_storage::DocStore) — snapshot plus
+/// `ops` WAL records — is returned.
+pub fn crashed_store_with_ops(ops: usize) -> treedoc_storage::DocStore {
+    crashed_store_with_ops_timed(ops).0
+}
+
+/// [`crashed_store_with_ops`] plus the wall time of the **edit loop alone**
+/// (document edit + stamp + WAL append per op; the seed-document build and
+/// the attach-time baseline checkpoint are excluded so the per-edit figure
+/// is a real marginal cost).
+fn crashed_store_with_ops_timed(ops: usize) -> (treedoc_storage::DocStore, Duration) {
+    let site = treedoc_core::SiteId::from_u64(1);
+    let seed: Vec<String> = (0..50).map(|i| format!("seed line {i}")).collect();
+    let mut replica = treedoc_replication::Replica::new(site, RecoveryDoc::from_atoms(site, &seed));
+    replica
+        .attach_store(treedoc_storage::DocStore::in_memory())
+        .expect("in-memory attach cannot fail");
+    let edit_start = std::time::Instant::now();
+    for k in 0..ops {
+        let len = replica.doc().len();
+        let op = replica
+            .doc_mut()
+            .local_insert(len, format!("logged edit {k}"))
+            .expect("append in range");
+        let _ = replica.stamp(op);
+    }
+    let edits = edit_start.elapsed();
+    (replica.detach_store().expect("store attached"), edits)
+}
+
+/// Cold recovery from a crashed store; returns the recovered digest and the
+/// recovery report (used by the Criterion bench and the `recovery` binary).
+pub fn recover_crashed_store(
+    store: treedoc_storage::DocStore,
+) -> (u64, treedoc_replication::RecoveryReport) {
+    let (replica, report) = treedoc_replication::Replica::<RecoveryDoc>::recover(store)
+        .expect("recovery from a healthy store succeeds");
+    (replica.digest(), report)
+}
+
+/// One cell of the recovery-cost experiment: cold-restart latency versus the
+/// number of operations logged since the last snapshot — the compaction
+/// trade the paper implies (§4.2.1 flatten as clean-up point) but never
+/// measures.
+#[derive(Debug, Clone, Serialize)]
+pub struct RecoveryCostRow {
+    /// Logged operations since the last checkpoint.
+    pub ops_since_snapshot: usize,
+    /// WAL size on "disk" at crash time.
+    pub wal_bytes: usize,
+    /// WAL records the recovery replayed.
+    pub wal_records_replayed: usize,
+    /// Bytes read back (snapshot + WAL prefix).
+    pub recovered_bytes: usize,
+    /// Cold-recovery wall time, microseconds (best of three).
+    pub recover_micros: u64,
+    /// Mean marginal cost of one logged edit (document edit + stamp + WAL
+    /// append), microseconds; `None` for the zero-ops row.
+    pub logged_edit_micros: Option<f64>,
+}
+
+/// Runs the recovery-cost grid over the given ops-since-snapshot points.
+pub fn recovery_cost_grid(points: &[usize]) -> Vec<RecoveryCostRow> {
+    points
+        .iter()
+        .map(|&ops| {
+            let (probe, edits) = crashed_store_with_ops_timed(ops);
+            let wal_bytes = probe.wal_len().expect("wal readable");
+            let mut probe = Some(probe);
+            let mut best: Option<(Duration, treedoc_replication::RecoveryReport)> = None;
+            for _ in 0..3 {
+                let store = probe.take().unwrap_or_else(|| crashed_store_with_ops(ops));
+                let t = std::time::Instant::now();
+                let (_, report) = recover_crashed_store(store);
+                let elapsed = t.elapsed();
+                if best.as_ref().is_none_or(|(b, _)| elapsed < *b) {
+                    best = Some((elapsed, report));
+                }
+            }
+            let (elapsed, report) = best.expect("three attempts ran");
+            RecoveryCostRow {
+                ops_since_snapshot: ops,
+                wal_bytes,
+                wal_records_replayed: report.wal_records_replayed,
+                recovered_bytes: report.bytes_recovered,
+                recover_micros: elapsed.as_micros() as u64,
+                logged_edit_micros: (ops > 0).then(|| edits.as_micros() as f64 / ops as f64),
+            }
+        })
+        .collect()
+}
+
+/// WAL raw append throughput for a given payload size.
+#[derive(Debug, Clone, Serialize)]
+pub struct WalAppendRow {
+    /// Payload bytes per record.
+    pub payload_bytes: usize,
+    /// Records appended.
+    pub records: usize,
+    /// Appends per second against the in-memory backend.
+    pub appends_per_sec: f64,
+    /// Resulting log bytes per second.
+    pub bytes_per_sec: f64,
+}
+
+/// Measures raw [`DocStore::append`](treedoc_storage::DocStore::append)
+/// throughput (framing + CRC + backend write).
+pub fn wal_append_throughput(records: usize, payload_bytes: usize) -> WalAppendRow {
+    let mut store = treedoc_storage::DocStore::in_memory();
+    let payload = vec![0xABu8; payload_bytes];
+    let t = std::time::Instant::now();
+    for _ in 0..records {
+        store.append(0, &payload).expect("append cannot fail");
+    }
+    let secs = t.elapsed().as_secs_f64().max(1e-9);
+    WalAppendRow {
+        payload_bytes,
+        records,
+        appends_per_sec: records as f64 / secs,
+        bytes_per_sec: store.wal_len().expect("wal readable") as f64 / secs,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,6 +541,36 @@ mod tests {
     fn labels() {
         assert_eq!(flatten_label(None), "no-flatten");
         assert_eq!(flatten_label(Some(2)), "flatten-2");
+    }
+
+    #[test]
+    fn recovery_grid_replays_exactly_the_logged_ops() {
+        let rows = recovery_cost_grid(&[0, 15]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].wal_records_replayed, 0);
+        assert_eq!(rows[0].wal_bytes, 0);
+        assert_eq!(rows[1].wal_records_replayed, 15);
+        assert!(rows[1].wal_bytes > 0);
+        assert!(rows[1].recovered_bytes > rows[0].recovered_bytes);
+    }
+
+    #[test]
+    fn wal_append_throughput_is_positive() {
+        let row = wal_append_throughput(100, 64);
+        assert!(row.appends_per_sec > 0.0);
+        assert!(row.bytes_per_sec > 0.0);
+        assert_eq!(row.records, 100);
+    }
+
+    #[test]
+    fn crashed_store_recovers_to_the_same_digest() {
+        let store = crashed_store_with_ops(25);
+        let again = crashed_store_with_ops(25);
+        let (d1, r1) = recover_crashed_store(store);
+        let (d2, _) = recover_crashed_store(again);
+        assert_eq!(d1, d2, "recovery is deterministic");
+        assert_eq!(r1.wal_records_replayed, 25);
+        assert!(r1.snapshot_hit);
     }
 
     #[test]

@@ -141,6 +141,14 @@ pub trait DisSource {
 
     /// The site this source allocates on behalf of.
     fn site(&self) -> SiteId;
+
+    /// Tells the source that `dis` — one of *its own* earlier allocations —
+    /// has been replayed from a durable log. Stateful sources (UDIS) must
+    /// advance past it so post-recovery inserts never reuse an identifier;
+    /// stateless sources (SDIS) ignore it.
+    fn observe_replayed(&mut self, dis: &Self::Dis) {
+        let _ = dis;
+    }
 }
 
 /// Disambiguator source for [`Udis`]: a per-site persistent counter.
@@ -173,6 +181,13 @@ impl DisSource for UdisSource {
 
     fn site(&self) -> SiteId {
         self.site
+    }
+
+    fn observe_replayed(&mut self, dis: &Udis) {
+        // Uniqueness of UDIS identifiers depends on the counter never
+        // revisiting a value already issued; a replayed allocation proves the
+        // counter had passed it.
+        self.counter = self.counter.max(dis.counter().saturating_add(1));
     }
 }
 
@@ -271,6 +286,19 @@ mod tests {
             assert!(w[0] < w[1]);
         }
         assert_eq!(src.counter(), 100);
+    }
+
+    #[test]
+    fn udis_source_advances_past_replayed_allocations() {
+        // A recovered replica replays its own inserts from the WAL; the
+        // source must never re-issue a counter it sees go by.
+        let mut src = UdisSource::new(SiteId::from_u64(3));
+        src.observe_replayed(&Udis::new(41, SiteId::from_u64(3)));
+        assert_eq!(src.counter(), 42);
+        // Observing something older must not move the counter backwards.
+        src.observe_replayed(&Udis::new(7, SiteId::from_u64(3)));
+        assert_eq!(src.counter(), 42);
+        assert_eq!(src.next_dis(), Udis::new(42, SiteId::from_u64(3)));
     }
 
     #[test]

@@ -93,6 +93,52 @@ impl<A: Atom, D: Disambiguator + HasSource> Treedoc<A, D> {
         doc
     }
 
+    /// Reassembles a replica from durably stored parts: a decoded tree (e.g.
+    /// from a [`DiskImage`](../../treedoc_storage/struct.DiskImage.html)),
+    /// the disambiguator source and the revision counter as they were when
+    /// the snapshot was taken.
+    ///
+    /// The §4.1 append-reservation cache is *not* part of the durable state:
+    /// a recovered replica simply re-grows its next append subtree, which
+    /// affects identifier length, never correctness.
+    pub fn from_parts(
+        tree: Tree<A, D>,
+        source: D::Source,
+        config: TreedocConfig,
+        revision: u64,
+    ) -> Self {
+        Treedoc {
+            tree,
+            source,
+            config,
+            revision,
+            reserved_appends: Vec::new(),
+        }
+    }
+
+    /// The disambiguator source, exposed so the durability layer can persist
+    /// its state (the UDIS counter must survive a crash or uniqueness is
+    /// lost).
+    pub fn dis_source(&self) -> &D::Source {
+        &self.source
+    }
+
+    /// Tells the replica that `op` — an operation *it initiated itself* — is
+    /// being replayed from a durable log rather than re-executed. Keeps the
+    /// disambiguator source ahead of every identifier it ever issued (see
+    /// [`DisSource::observe_replayed`]).
+    pub fn note_replayed_local(&mut self, op: &Op<A, D>) {
+        if let Op::Insert { id, .. } = op {
+            for elem in id.elems() {
+                if let Some(dis) = &elem.dis {
+                    if dis.site() == self.site() {
+                        self.source.observe_replayed(dis);
+                    }
+                }
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Reading
     // ------------------------------------------------------------------

@@ -23,7 +23,12 @@
 //!   [`Treedoc`](treedoc_core::Treedoc) and implementable for any other CRDT,
 //!   e.g. the Logoot baseline). Its at-least-once mode logs stamped messages
 //!   and retransmits them until peers acknowledge via [`Envelope::Ack`],
-//!   making convergence hold on lossy links too.
+//!   making convergence hold on lossy links too;
+//! * [`persist`] — durability: with a [`DocStore`](treedoc_storage::DocStore)
+//!   attached, a replica journals every event to a checksummed WAL before
+//!   acting on it, checkpoints on committed flattens (truncating the
+//!   pre-epoch log) and recovers after a crash with its document, clock,
+//!   hold-back and unacked send log intact ([`Replica::recover`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,14 +37,18 @@ pub mod causal;
 pub mod clock;
 pub mod flatten;
 pub mod network;
+pub mod persist;
 pub mod replica;
 pub mod testkit;
 
-pub use causal::{BufferStats, CausalBuffer, CausalMessage, Deliveries, Receipt};
+pub use causal::{
+    BufferStats, CausalBuffer, CausalBufferImage, CausalMessage, Deliveries, Receipt,
+};
 pub use clock::{ClockOrdering, VectorClock};
 pub use flatten::{
     CoordinatorStats, DecisionKind, FlattenCoordinator, FlattenDecision, FlattenPropose,
     FlattenVote, VoteStage,
 };
 pub use network::{LinkConfig, NetworkEvent, SimNetwork};
+pub use persist::{PersistentDocument, RecoverError, RecoveryReport, WalRecord};
 pub use replica::{Envelope, FlattenDocument, Replica, ReplicatedDocument};

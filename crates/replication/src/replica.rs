@@ -15,13 +15,17 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
+use serde::{de::DeserializeOwned, Deserialize, Serialize};
 use treedoc_commit::{CommitProtocol, FlattenProposal, Vote};
 use treedoc_core::{Atom, Disambiguator, HasSource, Op, Side, SiteId, Treedoc};
+use treedoc_storage::{DocStore, Snapshot, StorageError};
 
-use crate::causal::{CausalBuffer, CausalMessage};
+use crate::causal::{CausalBuffer, CausalBufferImage, CausalMessage};
 use crate::clock::VectorClock;
 use crate::flatten::{DecisionKind, FlattenDecision, FlattenPropose, FlattenVote, VoteStage};
+use crate::persist::{
+    self, PersistentDocument, RecoverError, RecoveryReport, WalRecord, SECTION_REPLICA,
+};
 
 /// A document type that can be driven by a [`Replica`].
 pub trait ReplicatedDocument {
@@ -140,7 +144,7 @@ struct FlattenRole {
 
 /// State of a proposal this replica has voted Yes on: the replica is locked
 /// (no edits in the subtree) until the decision arrives.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct PreparedFlatten {
     txn: u64,
     proposal: FlattenProposal,
@@ -149,6 +153,56 @@ struct PreparedFlatten {
     pre_committed: bool,
     /// Ticks spent waiting since preparing (reset by the pre-commit).
     ticks_waiting: u64,
+}
+
+/// The durable form of [`FlattenRole`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FlattenImage {
+    epoch: u64,
+    voted: Vec<(u64, Vote)>,
+    decided: Vec<(u64, bool)>,
+    next_txn: u64,
+    commits: u64,
+    aborts: u64,
+    votes_cast: u64,
+    unilateral_commits: u64,
+    blocked_ticks: u64,
+    late_epoch_ops: u64,
+    prepared: Option<PreparedFlatten>,
+}
+
+impl FlattenRole {
+    fn export_image(&self) -> FlattenImage {
+        FlattenImage {
+            epoch: self.epoch,
+            voted: self.voted.iter().map(|(&t, &v)| (t, v)).collect(),
+            decided: self.decided.iter().map(|(&t, &d)| (t, d)).collect(),
+            next_txn: self.next_txn,
+            commits: self.commits,
+            aborts: self.aborts,
+            votes_cast: self.votes_cast,
+            unilateral_commits: self.unilateral_commits,
+            blocked_ticks: self.blocked_ticks,
+            late_epoch_ops: self.late_epoch_ops,
+            prepared: self.prepared.clone(),
+        }
+    }
+
+    fn from_image(image: FlattenImage) -> Self {
+        FlattenRole {
+            epoch: image.epoch,
+            prepared: image.prepared,
+            voted: image.voted.into_iter().collect(),
+            decided: image.decided.into_iter().collect(),
+            next_txn: image.next_txn,
+            commits: image.commits,
+            aborts: image.aborts,
+            votes_cast: image.votes_cast,
+            unilateral_commits: image.unilateral_commits,
+            blocked_ticks: image.blocked_ticks,
+            late_epoch_ops: image.late_epoch_ops,
+        }
+    }
 }
 
 /// A document that can take part in distributed flatten commitment: it can
@@ -239,6 +293,76 @@ impl<Op> AtLeastOnce<Op> {
         let fully_acked = self.peer_acked.values().copied().min().unwrap_or(0);
         self.send_log = self.send_log.split_off(&(fully_acked + 1));
     }
+
+    fn export_image(&self) -> AtLeastOnceImage<Op>
+    where
+        Op: Clone,
+    {
+        AtLeastOnceImage {
+            send_log: self
+                .send_log
+                .iter()
+                .map(|(&seq, (epoch, msg))| (seq, *epoch, msg.clone()))
+                .collect(),
+            peer_acked: self.peer_acked.iter().map(|(&p, &a)| (p, a)).collect(),
+            retransmissions: self.retransmissions,
+        }
+    }
+
+    fn from_image(image: AtLeastOnceImage<Op>) -> Self {
+        AtLeastOnce {
+            send_log: image
+                .send_log
+                .into_iter()
+                .map(|(seq, epoch, msg)| (seq, (epoch, msg)))
+                .collect(),
+            peer_acked: image.peer_acked.into_iter().collect(),
+            retransmissions: image.retransmissions,
+        }
+    }
+}
+
+/// The durable form of the at-least-once retransmission state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct AtLeastOnceImage<Op> {
+    /// `(own sequence number, stamped epoch, message)` triples.
+    send_log: Vec<(u64, u64, CausalMessage<Op>)>,
+    peer_acked: Vec<(SiteId, u64)>,
+    retransmissions: u64,
+}
+
+/// The durable form of a whole [`Replica`] minus the document (which has its
+/// own snapshot sections — see [`PersistentDocument`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplicaImage<Op> {
+    site: SiteId,
+    buffer: CausalBufferImage<Op>,
+    ops_sent: u64,
+    ops_applied: u64,
+    epoch_held: Vec<(u64, CausalMessage<Op>)>,
+    at_least_once: Option<AtLeastOnceImage<Op>>,
+    flatten: FlattenImage,
+}
+
+/// The journaling half of an attached [`DocStore`]: the store plus the
+/// monomorphised serialisation hooks (captured where the `Serialize` bounds
+/// hold, so the journaling call sites need none).
+struct Journal<Doc: ReplicatedDocument> {
+    store: DocStore,
+    encode: fn(&WalRecord<Doc::Op>) -> Vec<u8>,
+    make_snapshot: fn(&Replica<Doc>) -> Snapshot,
+    /// `true` while `Replica::recover` replays the WAL: suppresses re-logging
+    /// and re-checkpointing of events that are already durable.
+    replaying: bool,
+}
+
+impl<Doc: ReplicatedDocument> std::fmt::Debug for Journal<Doc> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("store", &self.store)
+            .field("replaying", &self.replaying)
+            .finish()
+    }
 }
 
 /// A document plus the machinery to exchange its operations causally.
@@ -255,6 +379,9 @@ pub struct Replica<Doc: ReplicatedDocument> {
     /// yet (their identifiers live in the post-flatten tree), held back until
     /// the local flatten commits.
     epoch_held: Vec<(u64, CausalMessage<Doc::Op>)>,
+    /// The attached durable store, when persistence is on (see
+    /// [`attach_store`](Replica::attach_store)).
+    journal: Option<Journal<Doc>>,
 }
 
 impl<Doc: ReplicatedDocument> Replica<Doc> {
@@ -269,7 +396,47 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
             at_least_once: None,
             flatten: FlattenRole::default(),
             epoch_held: Vec::new(),
+            journal: None,
         }
+    }
+
+    /// `true` while journaling is live (a store is attached and the replica
+    /// is not replaying its own log).
+    fn journaling(&self) -> bool {
+        self.journal.as_ref().is_some_and(|j| !j.replaying)
+    }
+
+    /// Appends one WAL record, constructed lazily so the non-durable path
+    /// pays nothing. Persistence is load-bearing: a backend failure here is
+    /// fatal rather than silently forgotten.
+    fn journal_with(&mut self, record: impl FnOnce() -> WalRecord<Doc::Op>) {
+        if !self.journaling() {
+            return;
+        }
+        let record = record();
+        let journal = self.journal.as_mut().expect("journaling() checked");
+        let bytes = (journal.encode)(&record);
+        journal
+            .store
+            .append(self.flatten.epoch, &bytes)
+            .expect("WAL append failed; durability cannot be guaranteed");
+    }
+
+    /// Checkpoints through the attached journal (no-op without one, or while
+    /// replaying). Factored out so the flatten-commit path — which has no
+    /// persistence bounds — can call it through the stored hook.
+    fn checkpoint_via_journal(&mut self) {
+        let Some(mut journal) = self.journal.take() else {
+            return;
+        };
+        if !journal.replaying {
+            let snapshot = (journal.make_snapshot)(self);
+            journal
+                .store
+                .checkpoint(self.flatten.epoch, &snapshot)
+                .expect("checkpoint failed; durability cannot be guaranteed");
+        }
+        self.journal = Some(journal);
     }
 
     /// The replica's site.
@@ -326,6 +493,9 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
     /// log entries that have not yet been pruned by the original peer set's
     /// acknowledgements.
     pub fn enable_at_least_once(&mut self, peers: &[SiteId]) {
+        self.journal_with(|| WalRecord::PeersEnabled {
+            peers: peers.to_vec(),
+        });
         match self.at_least_once.as_mut() {
             Some(alo) => alo.add_peers(self.site, peers),
             None => self.at_least_once = Some(AtLeastOnce::new(self.site, peers)),
@@ -440,6 +610,14 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
             alo.send_log
                 .insert(message.seq(), (self.flatten.epoch, message.clone()));
         }
+        // Persist before the message can leave the replica: a crash after
+        // this point finds the operation (and the local edit it implies) in
+        // the log, so the recovered replica can still retransmit it.
+        let epoch = self.flatten.epoch;
+        self.journal_with(|| WalRecord::Stamped {
+            epoch,
+            msg: message.clone(),
+        });
         message
     }
 
@@ -457,7 +635,59 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
     /// Receives a message from the network; buffered messages that become
     /// deliverable are replayed immediately, in causal order. Duplicates are
     /// discarded (see [`Replica::duplicates_discarded`]).
+    ///
+    /// With a store attached the message is persisted (as an epoch-tagged
+    /// operation envelope) before delivery.
     pub fn receive(&mut self, message: CausalMessage<Doc::Op>) -> usize {
+        self.journal_received_op(self.flatten.epoch, &message);
+        self.receive_unjournaled(message)
+    }
+
+    /// The persist-before-deliver guard for incoming operations, shared by
+    /// [`receive`](Self::receive) and the envelope path so the two can never
+    /// drift apart: journals the message unless it is a read-only-detectable
+    /// duplicate (whose replay would be a no-op anyway).
+    fn journal_received_op(&mut self, epoch: u64, msg: &CausalMessage<Doc::Op>) {
+        if self.journaling() && !self.op_is_known_duplicate(epoch, msg) {
+            let msg = msg.clone();
+            self.journal_with(|| WalRecord::Received {
+                envelope: Envelope::Op { epoch, msg },
+            });
+        }
+    }
+
+    /// Read-only check whether an incoming operation would be discarded as a
+    /// duplicate (by the causal buffer, or by the epoch hold-back dedup).
+    /// Such a message is side-effect-free on replay, so the journal skips
+    /// it — under retransmission-heavy schedules this trims the WAL (and
+    /// the recovery bill) by roughly the duplicate rate.
+    fn op_is_known_duplicate(&self, epoch: u64, msg: &CausalMessage<Doc::Op>) -> bool {
+        if epoch > self.flatten.epoch {
+            self.epoch_held
+                .iter()
+                .any(|(_, held)| held.sender == msg.sender && held.seq() == msg.seq())
+        } else {
+            self.buffer.is_duplicate(msg.sender, msg.seq())
+        }
+    }
+
+    /// `true` when recording this acknowledgement would change nothing:
+    /// at-least-once is off, the peer is unregistered, or the cumulative
+    /// watermark is not advanced. Such acks are not worth a WAL record.
+    fn ack_is_noop(&self, peer: SiteId, clock: &VectorClock) -> bool {
+        let acked = clock.get(self.site);
+        match self.at_least_once.as_ref() {
+            Some(alo) => alo
+                .peer_acked
+                .get(&peer)
+                .is_none_or(|&current| acked <= current),
+            None => true,
+        }
+    }
+
+    /// The delivery path proper, shared by [`receive`](Self::receive) and the
+    /// envelope/hold-back paths (whose arrivals were already journaled).
+    fn receive_unjournaled(&mut self, message: CausalMessage<Doc::Op>) -> usize {
         let deliverable = self.buffer.receive(message);
         let count = deliverable.len();
         for m in deliverable {
@@ -477,8 +707,20 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
     /// implements [`FlattenDocument`]).
     pub fn receive_envelope(&mut self, envelope: Envelope<Doc::Op>) -> usize {
         match envelope {
-            Envelope::Op { epoch, msg } => self.receive_op(epoch, msg),
+            Envelope::Op { epoch, msg } => {
+                self.journal_received_op(epoch, &msg);
+                self.receive_op(epoch, msg)
+            }
             Envelope::Ack { from, clock } => {
+                if self.journaling() && !self.ack_is_noop(from, &clock) {
+                    let clock2 = clock.clone();
+                    self.journal_with(|| WalRecord::Received {
+                        envelope: Envelope::Ack {
+                            from,
+                            clock: clock2,
+                        },
+                    });
+                }
                 self.record_ack(from, &clock);
                 0
             }
@@ -509,7 +751,7 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
         if epoch < self.flatten.epoch {
             self.flatten.late_epoch_ops += 1;
         }
-        self.receive(msg)
+        self.receive_unjournaled(msg)
     }
 
     /// Number of messages still waiting for causal predecessors (including
@@ -582,6 +824,11 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
         if self.flatten.prepared.as_ref().is_none_or(|p| p.txn != txn) {
             return 0;
         }
+        self.journal_with(|| WalRecord::Finished {
+            txn,
+            committed,
+            unilateral: false,
+        });
         if committed {
             self.commit_prepared()
         } else {
@@ -607,7 +854,11 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
         self.flatten.epoch += 1;
         self.flatten.commits += 1;
         self.flatten.decided.insert(prepared.txn, true);
-        self.drain_epoch_held()
+        let applied = self.drain_epoch_held();
+        // The committed epoch is the natural log-compaction point (§4.2.1):
+        // checkpoint the flattened replica and truncate the pre-epoch WAL.
+        self.checkpoint_via_journal();
+        applied
     }
 
     /// Re-offers held-back operations whose epoch the replica has reached.
@@ -622,7 +873,10 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
         self.epoch_held = held;
         let mut applied = 0;
         for (_, msg) in ready {
-            applied += self.receive(msg);
+            // Held-back messages were journaled when they arrived; replaying
+            // the log reconstructs the hold-back and re-drains it the same
+            // way, so no second record is written here.
+            applied += self.receive_unjournaled(msg);
         }
         applied
     }
@@ -638,8 +892,22 @@ impl<Doc: FlattenDocument> Replica<Doc> {
         envelope: Envelope<Doc::Op>,
     ) -> (usize, Option<Envelope<Doc::Op>>) {
         match envelope {
-            Envelope::FlattenPropose(p) => (0, self.on_flatten_propose(p)),
-            Envelope::FlattenDecision(d) => self.on_flatten_decision(d),
+            Envelope::FlattenPropose(p) => {
+                if self.journaling() {
+                    let p2 = p.clone();
+                    self.journal_with(|| WalRecord::Received {
+                        envelope: Envelope::FlattenPropose(p2),
+                    });
+                }
+                (0, self.on_flatten_propose(p))
+            }
+            Envelope::FlattenDecision(d) => {
+                self.journal_with(|| WalRecord::Received {
+                    envelope: Envelope::FlattenDecision(d),
+                });
+                self.on_flatten_decision(d)
+            }
+            // Votes carry no participant state: nothing to persist.
             Envelope::FlattenVote(_) => (0, None),
             other => (self.receive_envelope(other), None),
         }
@@ -656,6 +924,16 @@ impl<Doc: FlattenDocument> Replica<Doc> {
         subtree: Vec<Side>,
         protocol: CommitProtocol,
     ) -> Option<FlattenPropose> {
+        // Journaled before evaluation: the whole method is deterministic in
+        // the replica state, so replay re-derives the same vote, lock and
+        // transaction id.
+        if self.journaling() {
+            let subtree2 = subtree.clone();
+            self.journal_with(|| WalRecord::Proposed {
+                subtree: subtree2,
+                protocol,
+            });
+        }
         if self.flatten.prepared.is_some() {
             return None;
         }
@@ -708,6 +986,15 @@ impl<Doc: FlattenDocument> Replica<Doc> {
         self.flatten.blocked_ticks += 1;
         prepared.ticks_waiting += 1;
         if prepared.pre_committed && prepared.ticks_waiting >= pre_commit_timeout {
+            let txn = prepared.txn;
+            // Ticks are not journaled (they are wall-clock, not input), so
+            // the unilateral decision itself must be: replay re-commits from
+            // this record instead of re-waiting a timeout it cannot see.
+            self.journal_with(|| WalRecord::Finished {
+                txn,
+                committed: true,
+                unilateral: true,
+            });
             self.flatten.unilateral_commits += 1;
             return self.commit_prepared();
         }
@@ -811,6 +1098,192 @@ impl<Doc: FlattenDocument> Replica<Doc> {
                 self.flatten.aborts += 1;
                 self.flatten.decided.insert(txn, false);
                 (0, self.vote_reply(txn, Vote::Yes, VoteStage::AckDecision))
+            }
+        }
+    }
+}
+
+impl<Doc: ReplicatedDocument> Replica<Doc> {
+    /// Exports the replication-level state for a snapshot (the document has
+    /// its own sections).
+    fn export_image(&self) -> ReplicaImage<Doc::Op> {
+        ReplicaImage {
+            site: self.site,
+            buffer: self.buffer.export_image(),
+            ops_sent: self.ops_sent,
+            ops_applied: self.ops_applied,
+            epoch_held: self.epoch_held.clone(),
+            at_least_once: self.at_least_once.as_ref().map(|a| a.export_image()),
+            flatten: self.flatten.export_image(),
+        }
+    }
+
+    /// Rebuilds a replica around a recovered document and image (the journal
+    /// is attached separately by [`recover`](Replica::recover)).
+    fn from_image(doc: Doc, image: ReplicaImage<Doc::Op>) -> Self {
+        Replica {
+            site: image.site,
+            doc,
+            buffer: CausalBuffer::from_image(image.buffer),
+            ops_sent: image.ops_sent,
+            ops_applied: image.ops_applied,
+            at_least_once: image.at_least_once.map(AtLeastOnce::from_image),
+            flatten: FlattenRole::from_image(image.flatten),
+            epoch_held: image.epoch_held,
+            journal: None,
+        }
+    }
+
+    /// Hands the attached store back (e.g. to survive the death of this
+    /// replica object in the simulator's crash fault). The store keeps its
+    /// blobs and counters; the replica stops journaling.
+    pub fn detach_store(&mut self) -> Option<DocStore> {
+        self.journal.take().map(|j| j.store)
+    }
+
+    /// The attached store, for diagnostics and tests (WAL and snapshot
+    /// inspection).
+    pub fn store(&self) -> Option<&DocStore> {
+        self.journal.as_ref().map(|j| &j.store)
+    }
+
+    /// `true` when a store is attached.
+    pub fn has_store(&self) -> bool {
+        self.journal.is_some()
+    }
+}
+
+/// Durability: attaching a store, checkpointing and crash recovery. The
+/// bounds are those of [`PersistentDocument`] plus serialisable operations;
+/// they are only needed here — a replica without a store carries none of
+/// this machinery.
+impl<Doc> Replica<Doc>
+where
+    Doc: PersistentDocument + FlattenDocument,
+    Doc::Op: Serialize + DeserializeOwned,
+{
+    /// Builds the full snapshot of this replica (document sections plus the
+    /// replication image).
+    fn build_snapshot(replica: &Replica<Doc>) -> Snapshot {
+        let mut snapshot = Snapshot::new();
+        replica.doc.encode_sections(&mut snapshot);
+        snapshot.push_section(
+            SECTION_REPLICA,
+            persist::to_json_bytes(&replica.export_image()),
+        );
+        snapshot
+    }
+
+    /// Attaches a durable store: writes a baseline snapshot (so the store
+    /// can always recover, even before the first WAL record) and starts
+    /// journaling every subsequent event — stamped operations, received
+    /// envelopes, commitment steps — *before* the replica acts on them.
+    /// Committed flattens checkpoint automatically, truncating the pre-epoch
+    /// WAL.
+    pub fn attach_store(&mut self, store: DocStore) -> Result<(), StorageError> {
+        let mut journal = Journal {
+            store,
+            encode: persist::encode_wal_record::<Doc::Op>,
+            make_snapshot: Self::build_snapshot,
+            replaying: false,
+        };
+        let snapshot = Self::build_snapshot(self);
+        journal.store.checkpoint(self.flatten.epoch, &snapshot)?;
+        self.journal = Some(journal);
+        Ok(())
+    }
+
+    /// Writes a checkpoint now (snapshot + WAL truncation). Called on a
+    /// cadence by the simulator; committed flattens checkpoint on their own.
+    /// No-op without an attached store.
+    pub fn persist_checkpoint(&mut self) -> Result<(), StorageError> {
+        let Some(mut journal) = self.journal.take() else {
+            return Ok(());
+        };
+        let snapshot = (journal.make_snapshot)(self);
+        let result = journal.store.checkpoint(self.flatten.epoch, &snapshot);
+        self.journal = Some(journal);
+        result
+    }
+
+    /// Rebuilds a replica from its durable store: loads the newest snapshot
+    /// that passes hash verification, replays the valid WAL tail through the
+    /// same handlers that processed the events live, and re-attaches the
+    /// store (journaling resumes with the existing log — recovery itself
+    /// writes nothing).
+    ///
+    /// The recovered replica rejoins with its document, vector clock,
+    /// pending hold-back, epoch state and unacked send log intact; anything
+    /// peers sent while it was down is recovered by the at-least-once
+    /// retransmission protocol, exactly as if the messages had been lost in
+    /// flight.
+    pub fn recover(store: DocStore) -> Result<(Self, RecoveryReport), RecoverError> {
+        let recovered = store.recover()?;
+        let (_, snapshot) = recovered.snapshot.ok_or(RecoverError::NoSnapshot)?;
+        let doc = Doc::decode_sections(&snapshot)?;
+        let image: ReplicaImage<Doc::Op> =
+            persist::from_json_bytes("replica section", snapshot.require(SECTION_REPLICA)?)?;
+        let mut replica = Replica::from_image(doc, image);
+        replica.journal = Some(Journal {
+            store,
+            encode: persist::encode_wal_record::<Doc::Op>,
+            make_snapshot: Self::build_snapshot,
+            replaying: true,
+        });
+        let mut replayed = 0usize;
+        for entry in &recovered.wal {
+            let record: WalRecord<Doc::Op> = persist::decode_wal_record(&entry.payload)?;
+            replica.replay_record(record);
+            replayed += 1;
+        }
+        if let Some(journal) = replica.journal.as_mut() {
+            journal.replaying = false;
+        }
+        let report = RecoveryReport {
+            snapshot_hit: recovered.stats.snapshot_hit,
+            snapshot_epoch: recovered.stats.snapshot_epoch,
+            corrupt_snapshots_skipped: recovered.stats.corrupt_snapshots_skipped,
+            wal_records_replayed: replayed,
+            bytes_recovered: recovered.stats.bytes_recovered,
+            torn_tail_bytes: recovered.stats.torn_tail_bytes,
+        };
+        Ok((replica, report))
+    }
+
+    /// Redoes one logged event through the live handlers (journaling is
+    /// suppressed by the `replaying` flag while this runs).
+    fn replay_record(&mut self, record: WalRecord<Doc::Op>) {
+        match record {
+            WalRecord::Stamped { epoch, msg } => {
+                let clock = self.buffer.record_local(self.site);
+                debug_assert_eq!(
+                    clock, msg.clock,
+                    "WAL replay must reproduce the stamped clock"
+                );
+                self.ops_sent += 1;
+                self.doc.replay_logged_local(&msg.payload);
+                if let Some(alo) = self.at_least_once.as_mut() {
+                    alo.send_log.insert(msg.seq(), (epoch, msg));
+                }
+            }
+            WalRecord::Received { envelope } => {
+                // Replies were already sent pre-crash; a peer that missed one
+                // retransmits its request and is re-answered idempotently.
+                let _ = self.receive_any(envelope);
+            }
+            WalRecord::PeersEnabled { peers } => self.enable_at_least_once(&peers),
+            WalRecord::Proposed { subtree, protocol } => {
+                let _ = self.propose_flatten(subtree, protocol);
+            }
+            WalRecord::Finished {
+                txn,
+                committed,
+                unilateral,
+            } => {
+                if unilateral {
+                    self.flatten.unilateral_commits += 1;
+                }
+                let _ = self.finish_flatten(txn, committed);
             }
         }
     }
@@ -1130,6 +1603,172 @@ mod tests {
         };
         assert_eq!(vote, Vote::No, "edits take precedence over clean-up");
         assert!(!b.is_flatten_prepared());
+    }
+
+    #[test]
+    fn recovered_replica_matches_the_crashed_one() {
+        let sites = [site(1), site(2)];
+        let mut a = replica(1);
+        let mut b = replica(2);
+        a.enable_at_least_once(&sites);
+        a.attach_store(DocStore::in_memory()).unwrap();
+
+        // Mixed traffic: local edits, remote ops, an ack.
+        for (i, ch) in ['x', 'y', 'z'].into_iter().enumerate() {
+            let op = a.doc_mut().local_insert(i, ch).unwrap();
+            b.receive(a.stamp(op));
+        }
+        let op = b.doc_mut().local_insert(0, 'r').unwrap();
+        a.receive(b.stamp(op));
+        a.receive_envelope(b.ack_envelope());
+
+        let digest = a.digest();
+        let clock = a.clock().clone();
+        let unacked = a.unacked_for(site(2)).len();
+        let retrans = a.retransmissions();
+
+        // Crash: the replica object dies, the store survives.
+        let store = a.detach_store().unwrap();
+        drop(a);
+        let (mut a2, report) = Replica::<Doc>::recover(store).unwrap();
+        assert!(report.snapshot_hit);
+        assert!(report.wal_records_replayed >= 5, "{report:?}");
+        assert_eq!(a2.digest(), digest, "document recovered");
+        assert_eq!(a2.clock(), &clock, "vector clock recovered");
+        assert_eq!(a2.site(), site(1));
+        assert_eq!(
+            a2.unacked_for(site(2)).len(),
+            unacked,
+            "unacked send log recovered"
+        );
+        assert_eq!(a2.retransmissions(), retrans + unacked as u64);
+
+        // The recovered replica keeps working: edit, exchange, converge.
+        let op = a2.doc_mut().local_insert(0, 'n').unwrap();
+        b.receive(a2.stamp(op));
+        assert_eq!(a2.digest(), b.digest());
+    }
+
+    #[test]
+    fn recovery_replays_the_wal_tail_on_top_of_a_checkpoint() {
+        let mut a = replica(1);
+        a.attach_store(DocStore::in_memory()).unwrap();
+        for i in 0..4 {
+            let op = a
+                .doc_mut()
+                .local_insert(i, char::from(b'a' + i as u8))
+                .unwrap();
+            let _ = a.stamp(op);
+        }
+        a.persist_checkpoint().unwrap();
+        assert_eq!(
+            a.store().unwrap().wal_len().unwrap(),
+            0,
+            "checkpoint truncates"
+        );
+        for i in 0..3 {
+            let op = a
+                .doc_mut()
+                .local_insert(0, char::from(b'p' + i as u8))
+                .unwrap();
+            let _ = a.stamp(op);
+        }
+        let digest = a.digest();
+        let store = a.detach_store().unwrap();
+        let (a2, report) = Replica::<Doc>::recover(store).unwrap();
+        assert_eq!(report.wal_records_replayed, 3, "only the tail replays");
+        assert_eq!(a2.digest(), digest);
+    }
+
+    #[test]
+    fn recovered_holdback_queue_still_drains() {
+        let mut a = replica(1);
+        let mut b = replica(2);
+        b.attach_store(DocStore::in_memory()).unwrap();
+        let ins = a.doc_mut().local_insert(0, 'x').unwrap();
+        let m_ins = a.stamp(ins);
+        let del = a.doc_mut().local_delete(0).unwrap();
+        let m_del = a.stamp(del);
+        // Only the dependent delete arrives before the crash.
+        assert_eq!(b.receive(m_del), 0);
+        assert_eq!(b.pending(), 1);
+
+        let store = b.detach_store().unwrap();
+        let (mut b2, _) = Replica::<Doc>::recover(store).unwrap();
+        assert_eq!(b2.pending(), 1, "hold-back survived the crash");
+        assert_eq!(b2.receive(m_ins), 2, "the missing prefix drains the chain");
+        assert!(b2.doc().is_empty());
+        assert_eq!(a.digest(), b2.digest());
+    }
+
+    #[test]
+    fn recovering_an_unused_store_is_a_typed_error() {
+        match Replica::<Doc>::recover(DocStore::in_memory()) {
+            Err(RecoverError::NoSnapshot) => {}
+            other => panic!("expected NoSnapshot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn committed_flatten_checkpoints_and_truncates_the_wal() {
+        use treedoc_commit::CommitProtocol;
+
+        let mut a = replica(1);
+        let mut b = replica(2);
+        a.attach_store(DocStore::in_memory()).unwrap();
+        b.attach_store(DocStore::in_memory()).unwrap();
+        for (i, ch) in ['x', 'y'].into_iter().enumerate() {
+            let op = a.doc_mut().local_insert(i, ch).unwrap();
+            b.receive(a.stamp(op));
+        }
+        let ack = Envelope::Ack {
+            from: b.site(),
+            clock: b.clock().clone(),
+        };
+        a.receive_envelope(ack);
+        assert!(a.store().unwrap().wal_len().unwrap() > 0, "edits journaled");
+
+        let propose = a
+            .propose_flatten(Vec::new(), CommitProtocol::TwoPhase)
+            .expect("quiescent proposer votes Yes");
+        let txn = propose.proposal.txn;
+        let _ = b.receive_any(Envelope::FlattenPropose(propose));
+        a.finish_flatten(txn, true);
+        let _ = b.receive_any(Envelope::FlattenDecision(FlattenDecision {
+            txn,
+            kind: DecisionKind::Commit,
+        }));
+
+        for r in [&a, &b] {
+            assert_eq!(r.flatten_epoch(), 1);
+            let store = r.store().unwrap();
+            assert!(
+                store.stats().snapshots_written >= 2,
+                "attach baseline + flatten-commit checkpoint"
+            );
+            assert!(
+                store.stats().wal_truncations >= 1,
+                "the flatten commit retired the pre-epoch records"
+            );
+            let replayed = store.wal_entries().unwrap();
+            assert!(
+                replayed.entries.iter().all(|e| e.epoch >= 1),
+                "post-compaction WAL holds only post-epoch records: {replayed:?}"
+            );
+        }
+
+        // Post-flatten edits journal into the truncated log and recover.
+        let op = a.doc_mut().local_insert(0, 'n').unwrap();
+        b.receive(a.stamp(op));
+        let digest = b.digest();
+        let store = b.detach_store().unwrap();
+        let (b2, report) = Replica::<Doc>::recover(store).unwrap();
+        assert_eq!(
+            report.snapshot_epoch, 1,
+            "recovered from the epoch snapshot"
+        );
+        assert_eq!(b2.digest(), digest);
+        assert_eq!(b2.flatten_epoch(), 1);
     }
 
     #[test]

@@ -21,14 +21,24 @@
 //! [`Scenario`] describes a run; [`run`] executes it and returns the
 //! [`SimReport`] used by the integration tests, the examples and the
 //! benchmark ablations. [`ScenarioMatrix`] expands a cross-product of fault
-//! axes (loss × duplication × partition × burst × balancing) into scenarios
-//! and runs them all.
+//! axes (loss × duplication × partition × burst × balancing × snapshot
+//! cadence × crash timing) into scenarios and runs them all.
+//!
+//! With [`Scenario::durable`] every replica journals through a checksummed
+//! WAL into a [`DocStore`](treedoc_storage::DocStore) and checkpoints on
+//! committed flattens; [`Scenario::crash`] kills a site mid-run and restarts
+//! it from that store, with the recovery cost (records replayed, bytes read
+//! back, snapshot hits) reported in the [`SimReport`]. The scripted
+//! [`crash_recovery_demo`] additionally proves the crash invisible: the
+//! recovered session ends with the same digest as the crash-free one.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod commitment;
+pub mod recovery;
 pub mod scenario;
 
 pub use commitment::{partitioned_commit_demo, PartitionedCommitReport};
-pub use scenario::{run, Scenario, ScenarioMatrix, SimReport};
+pub use recovery::{crash_recovery_demo, CrashRecoveryReport};
+pub use scenario::{run, CrashSchedule, Scenario, ScenarioMatrix, SimReport};

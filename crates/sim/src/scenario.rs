@@ -10,6 +10,26 @@ use treedoc_core::{Op, Sdis, SiteId, Treedoc, TreedocConfig};
 use treedoc_replication::{
     Envelope, FlattenCoordinator, LinkConfig, NetworkEvent, Replica, SimNetwork,
 };
+use treedoc_storage::DocStore;
+
+/// A crash/restart fault: kill one site at an edit round, losing its entire
+/// in-memory state, then restart it from its durable store
+/// ([`Replica::recover`]) at a later round. Requires
+/// [`durable`](Scenario::durable) and [`retransmit`](Scenario::retransmit)
+/// (the restarted replica catches up on what it missed through the
+/// at-least-once protocol, exactly as if the messages had been lost in
+/// flight).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashSchedule {
+    /// Index of the site to kill (must not be 0 — the first site coordinates
+    /// flatten proposals and serves as the convergence reference).
+    pub site: usize,
+    /// Edit round at which the site dies.
+    pub crash_round: usize,
+    /// Round at which it restarts from its store; a value past the edit
+    /// rounds restarts it at the start of the drain phase.
+    pub restart_round: usize,
+}
 
 /// Description of one simulated editing session.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -48,6 +68,16 @@ pub struct Scenario {
     pub flatten_cadence: Option<usize>,
     /// Which commitment protocol flatten proposals run under (2PC or 3PC).
     pub flatten_protocol: CommitProtocol,
+    /// Attach a durable [`DocStore`] (in-memory backend) to every replica:
+    /// each stamps/receives through a checksummed WAL and checkpoints on
+    /// committed flattens. Required by [`crash`](Self::crash).
+    pub durable: bool,
+    /// Every `k` edit rounds each durable replica writes a checkpoint
+    /// (snapshot + WAL truncation), independent of flatten commits. `None`
+    /// leaves compaction to flatten commits alone.
+    pub snapshot_cadence: Option<usize>,
+    /// Kill one site mid-run and restart it from its store.
+    pub crash: Option<CrashSchedule>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -67,6 +97,9 @@ impl Default for Scenario {
             retransmit: false,
             flatten_cadence: None,
             flatten_protocol: CommitProtocol::TwoPhase,
+            durable: false,
+            snapshot_cadence: None,
+            crash: None,
             seed: 42,
         }
     }
@@ -92,6 +125,20 @@ impl Scenario {
         Scenario {
             flatten_cadence: Some(4),
             flatten_protocol: protocol,
+            ..Scenario::faulty()
+        }
+    }
+
+    /// A faulty durable session in which `site` crashes at `crash_round` and
+    /// restarts from its store at `restart_round`.
+    pub fn crash_faulty(site: usize, crash_round: usize, restart_round: usize) -> Self {
+        Scenario {
+            durable: true,
+            crash: Some(CrashSchedule {
+                site,
+                crash_round,
+                restart_round,
+            }),
             ..Scenario::faulty()
         }
     }
@@ -162,6 +209,25 @@ pub struct SimReport {
     /// Operations that arrived tagged with a pre-flatten epoch and were
     /// discarded as duplicates.
     pub late_epoch_ops: u64,
+    /// Crash/restart cycles performed.
+    pub crashes: usize,
+    /// WAL records replayed by crash recoveries.
+    pub wal_records_replayed: u64,
+    /// Bytes read back by crash recoveries (snapshot + valid WAL prefix).
+    pub recovered_bytes: u64,
+    /// Recoveries that found a valid snapshot (always equals
+    /// [`crashes`](Self::crashes) in a healthy run).
+    pub snapshot_hits: u64,
+    /// WAL records appended across all durable replicas.
+    pub wal_appends: u64,
+    /// Snapshots written across all durable replicas (attach baselines,
+    /// cadence checkpoints and flatten-commit checkpoints).
+    pub snapshots_written: u64,
+    /// WAL truncations performed by those checkpoints.
+    pub wal_truncations: u64,
+    /// Messages the network delivered to a site while it was dead (discarded;
+    /// recovered later by retransmission).
+    pub messages_lost_to_crash: u64,
 }
 
 type Doc = Treedoc<String, Sdis>;
@@ -252,7 +318,10 @@ impl FlattenDriver {
 /// Delivers one network event to its addressee and tracks the hold-back
 /// high-water mark across replicas. Votes addressed to the coordinator site
 /// feed the active coordinator; flatten requests answered by participants
-/// send their reply straight back through the network.
+/// send their reply straight back through the network. Events addressed to a
+/// dead (crashed, not yet restarted) site are discarded and counted — the
+/// at-least-once protocol recovers them after the restart.
+#[allow(clippy::too_many_arguments)]
 fn deliver(
     replicas: &mut [Replica<Doc>],
     site_ids: &[SiteId],
@@ -260,7 +329,13 @@ fn deliver(
     net: &mut SimNetwork<Env>,
     event: NetworkEvent<Env>,
     max_pending: &mut usize,
+    dead: Option<SiteId>,
+    lost_to_crash: &mut u64,
 ) {
+    if dead == Some(event.to) {
+        *lost_to_crash += 1;
+        return;
+    }
     if let Envelope::FlattenVote(vote) = &event.payload {
         if event.to == site_ids[0] {
             if let Some(coordinator) = driver.active.as_mut() {
@@ -280,6 +355,29 @@ fn deliver(
         net.send(event.to, event.from, reply);
     }
     *max_pending = (*max_pending).max(replicas[idx].pending());
+}
+
+/// Crash-recovery accounting accumulated across restarts.
+#[derive(Default)]
+struct RecoveryTotals {
+    records: u64,
+    bytes: u64,
+    snapshot_hits: u64,
+}
+
+/// Restarts a crashed site from its durable store, folding the recovery
+/// report into the totals.
+fn restart_replica(
+    replicas: &mut [Replica<Doc>],
+    idx: usize,
+    store: DocStore,
+    totals: &mut RecoveryTotals,
+) {
+    let (replica, report) = Replica::recover(store).expect("crash recovery must succeed");
+    totals.records += report.wal_records_replayed as u64;
+    totals.bytes += report.bytes_recovered as u64;
+    totals.snapshot_hits += u64::from(report.snapshot_hit);
+    replicas[idx] = replica;
 }
 
 /// Runs a scenario to completion (all messages delivered, all losses
@@ -312,6 +410,12 @@ pub fn run(scenario: &Scenario) -> SimReport {
             r.enable_at_least_once(&site_ids);
         }
     }
+    if scenario.durable {
+        for r in replicas.iter_mut() {
+            r.attach_store(DocStore::in_memory())
+                .expect("in-memory store attach cannot fail");
+        }
+    }
 
     let link = LinkConfig::default()
         .with_drop_prob(scenario.drop_prob)
@@ -326,6 +430,35 @@ pub fn run(scenario: &Scenario) -> SimReport {
     let mut driver = FlattenDriver::default();
 
     let total_rounds = scenario.edits_per_site.div_ceil(scenario.burst.max(1));
+
+    assert!(
+        scenario.snapshot_cadence.is_none() || scenario.durable,
+        "a snapshot cadence requires durable stores"
+    );
+    if let Some(cs) = scenario.crash {
+        assert!(scenario.durable, "a crash schedule requires durable stores");
+        assert!(
+            scenario.retransmit,
+            "a restarted site recovers missed traffic via retransmission"
+        );
+        assert!(
+            cs.site >= 1 && cs.site < scenario.sites,
+            "crash site out of range (site 0 is the reference and coordinator)"
+        );
+        assert!(
+            cs.crash_round < cs.restart_round,
+            "restart follows the crash"
+        );
+        assert!(
+            cs.crash_round < total_rounds,
+            "the crash must land within the edit rounds"
+        );
+    }
+    // The dead site's index and its surviving store, while crashed.
+    let mut dead: Option<(usize, DocStore)> = None;
+    let mut crashes = 0usize;
+    let mut lost_to_crash = 0u64;
+    let mut recovery = RecoveryTotals::default();
     // Partition window of the middle third, clamped so the heal lands at
     // least one round after the cut: short runs used to compute the same
     // round for both (`total_rounds / 3 == 2 * total_rounds / 3`), silently
@@ -342,6 +475,25 @@ pub fn run(scenario: &Scenario) -> SimReport {
     let partition_rounds = partition_window.map_or(0, |(start, end)| end.min(total_rounds) - start);
 
     for round in 0..total_rounds {
+        if let Some(cs) = scenario.crash {
+            if round == cs.restart_round {
+                if let Some((idx, store)) = dead.take() {
+                    restart_replica(&mut replicas, idx, store, &mut recovery);
+                }
+            }
+            if round == cs.crash_round && crashes == 0 {
+                // Death of the process: the replica object (clock, hold-back,
+                // send log, document) is gone; only its store survives.
+                let store = replicas[cs.site]
+                    .detach_store()
+                    .expect("durable replica has a store");
+                replicas[cs.site] = Replica::new(site_ids[cs.site], Doc::new(site_ids[cs.site]));
+                dead = Some((cs.site, store));
+                crashes += 1;
+            }
+        }
+        let dead_site = dead.as_ref().map(|&(idx, _)| site_ids[idx]);
+
         if let Some((start, end)) = partition_window {
             if round == start {
                 for &other in &site_ids[1..] {
@@ -356,10 +508,10 @@ pub fn run(scenario: &Scenario) -> SimReport {
         }
 
         // Each site performs a burst of local edits and broadcasts them —
-        // unless it is locked prepared by an in-flight flatten proposal
-        // (edits in the subtree must wait for the decision).
+        // unless it is dead, or locked prepared by an in-flight flatten
+        // proposal (edits in the subtree must wait for the decision).
         for i in 0..replicas.len() {
-            if replicas[i].is_flatten_prepared() {
+            if Some(site_ids[i]) == dead_site || replicas[i].is_flatten_prepared() {
                 continue;
             }
             for _ in 0..scenario.burst.max(1) {
@@ -410,7 +562,23 @@ pub fn run(scenario: &Scenario) -> SimReport {
                 &mut net,
                 event,
                 &mut max_pending,
+                dead_site,
+                &mut lost_to_crash,
             );
+        }
+
+        // Snapshot cadence: every k rounds each live durable replica writes a
+        // checkpoint, bounding how much WAL a crash at the worst instant
+        // would have to replay.
+        if let Some(k) = scenario.snapshot_cadence {
+            let k = k.max(1);
+            if round % k == k - 1 {
+                for (i, r) in replicas.iter_mut().enumerate() {
+                    if Some(site_ids[i]) != dead_site && r.has_store() {
+                        r.persist_checkpoint().expect("checkpoint cannot fail");
+                    }
+                }
+            }
         }
     }
 
@@ -419,6 +587,11 @@ pub fn run(scenario: &Scenario) -> SimReport {
         for &other in &site_ids[1..] {
             net.heal_both(site_ids[0], other);
         }
+    }
+    // A site still dead when the edits end restarts at the head of the drain
+    // phase (the drain cannot terminate while a registered peer never acks).
+    if let Some((idx, store)) = dead.take() {
+        restart_replica(&mut replicas, idx, store, &mut recovery);
     }
     // With the protocol enabled, one extra proposal runs at quiescence:
     // every clock is equal by then, so it demonstrates the committed path.
@@ -439,6 +612,8 @@ pub fn run(scenario: &Scenario) -> SimReport {
                 &mut net,
                 event,
                 &mut max_pending,
+                None,
+                &mut lost_to_crash,
             );
         }
 
@@ -506,6 +681,8 @@ pub fn run(scenario: &Scenario) -> SimReport {
                     &mut net,
                     event,
                     &mut max_pending,
+                    None,
+                    &mut lost_to_crash,
                 );
             }
             // Retransmit everything still unacknowledged, per peer, keeping
@@ -529,6 +706,10 @@ pub fn run(scenario: &Scenario) -> SimReport {
         }
     }
 
+    let store_stats: Vec<treedoc_storage::StoreStats> = replicas
+        .iter()
+        .filter_map(|r| r.store().map(|s| s.stats()))
+        .collect();
     let reference = replicas[0].doc().to_vec();
     let epoch = replicas[0].flatten_epoch();
     let converged = replicas.iter().all(|r| r.doc().to_vec() == reference)
@@ -564,6 +745,14 @@ pub fn run(scenario: &Scenario) -> SimReport {
             .map(|r| r.flatten_unilateral_commits())
             .sum(),
         late_epoch_ops: replicas.iter().map(|r| r.late_epoch_ops()).sum(),
+        crashes,
+        wal_records_replayed: recovery.records,
+        recovered_bytes: recovery.bytes,
+        snapshot_hits: recovery.snapshot_hits,
+        wal_appends: store_stats.iter().map(|s| s.wal_appends).sum(),
+        snapshots_written: store_stats.iter().map(|s| s.snapshots_written).sum(),
+        wal_truncations: store_stats.iter().map(|s| s.wal_truncations).sum(),
+        messages_lost_to_crash: lost_to_crash,
     }
 }
 
@@ -595,6 +784,12 @@ pub struct ScenarioMatrix {
     pub flatten_cadences: Vec<Option<usize>>,
     /// Commitment protocols to sweep for cells with a flatten cadence.
     pub protocols: Vec<CommitProtocol>,
+    /// Snapshot cadences to sweep (`None` = compaction on flatten commits
+    /// only). Any `Some` cell runs durable.
+    pub snapshot_cadences: Vec<Option<usize>>,
+    /// Crash schedules to sweep (`None` = no crash). Any `Some` cell runs
+    /// durable with retransmission.
+    pub crashes: Vec<Option<CrashSchedule>>,
 }
 
 impl ScenarioMatrix {
@@ -611,6 +806,8 @@ impl ScenarioMatrix {
             balancing: vec![false],
             flatten_cadences: vec![None],
             protocols: vec![CommitProtocol::TwoPhase],
+            snapshot_cadences: vec![None],
+            crashes: vec![None],
         }
     }
 
@@ -629,11 +826,55 @@ impl ScenarioMatrix {
             balancing: vec![false],
             flatten_cadences: vec![Some(4)],
             protocols: vec![CommitProtocol::TwoPhase, CommitProtocol::ThreePhase],
+            snapshot_cadences: vec![None],
+            crashes: vec![None],
+        }
+    }
+
+    /// The crash-recovery matrix: loss × snapshot cadence × crash timing.
+    /// Every cell is durable; cells with a crash kill site 1 at the given
+    /// round and restart it from its store, and must still converge. The
+    /// cadence axis is the recovery-cost trade: frequent checkpoints mean a
+    /// short WAL to replay, rare ones mean cheap steady-state writes.
+    ///
+    /// Crash rounds are expressed against `base`'s edit-round count; `base`
+    /// should give at least 8 edit rounds (e.g. 40 edits at burst 5).
+    pub fn crash_recovery(base: Scenario) -> Self {
+        ScenarioMatrix {
+            base: Scenario {
+                durable: true,
+                retransmit: true,
+                ..base
+            },
+            drop_probs: vec![0.0, 0.1],
+            duplicate_probs: vec![0.1],
+            bursts: vec![5],
+            partition: vec![false],
+            balancing: vec![false],
+            flatten_cadences: vec![None],
+            protocols: vec![CommitProtocol::TwoPhase],
+            snapshot_cadences: vec![None, Some(2)],
+            crashes: vec![
+                None,
+                // An early crash with a mid-run restart…
+                Some(CrashSchedule {
+                    site: 1,
+                    crash_round: 1,
+                    restart_round: 4,
+                }),
+                // …and a late crash that restarts at the drain phase.
+                Some(CrashSchedule {
+                    site: 1,
+                    crash_round: 5,
+                    restart_round: usize::MAX,
+                }),
+            ],
         }
     }
 
     /// Expands the axes into concrete scenarios. Cells with `drop_prob > 0`
-    /// get `retransmit = true` (a lossy network cannot converge otherwise).
+    /// or a crash get `retransmit = true` (they cannot converge otherwise),
+    /// and cells with a snapshot cadence or a crash run durable.
     pub fn scenarios(&self) -> Vec<Scenario> {
         let mut out = Vec::new();
         for &drop_prob in &self.drop_probs {
@@ -643,17 +884,28 @@ impl ScenarioMatrix {
                         for &balancing in &self.balancing {
                             for &flatten_cadence in &self.flatten_cadences {
                                 for &flatten_protocol in &self.protocols {
-                                    out.push(Scenario {
-                                        drop_prob,
-                                        duplicate_prob,
-                                        burst,
-                                        partition_first_site,
-                                        balancing,
-                                        flatten_cadence,
-                                        flatten_protocol,
-                                        retransmit: self.base.retransmit || drop_prob > 0.0,
-                                        ..self.base
-                                    });
+                                    for &snapshot_cadence in &self.snapshot_cadences {
+                                        for &crash in &self.crashes {
+                                            out.push(Scenario {
+                                                drop_prob,
+                                                duplicate_prob,
+                                                burst,
+                                                partition_first_site,
+                                                balancing,
+                                                flatten_cadence,
+                                                flatten_protocol,
+                                                snapshot_cadence,
+                                                crash,
+                                                durable: self.base.durable
+                                                    || snapshot_cadence.is_some()
+                                                    || crash.is_some(),
+                                                retransmit: self.base.retransmit
+                                                    || drop_prob > 0.0
+                                                    || crash.is_some(),
+                                                ..self.base
+                                            });
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -806,6 +1058,160 @@ mod tests {
             retransmit: false,
             ..Default::default()
         });
+    }
+
+    #[test]
+    fn durable_replicas_converge_and_journal() {
+        let report = run(&Scenario {
+            durable: true,
+            edits_per_site: 40,
+            ..Scenario::faulty()
+        });
+        assert!(report.converged, "{report:?}");
+        assert!(report.wal_appends > 0, "every event journals: {report:?}");
+        assert!(
+            report.snapshots_written >= 3,
+            "one attach baseline per replica: {report:?}"
+        );
+        assert_eq!(report.crashes, 0);
+    }
+
+    #[test]
+    fn crashed_and_restarted_site_converges_with_recovery_accounting() {
+        // Site 1 dies at round 2 (taking its clock, hold-back and send log
+        // with it), restarts from its store at round 5, and the session must
+        // still converge — with the recovery visible in the report.
+        let report = run(&Scenario {
+            edits_per_site: 40,
+            ..Scenario::crash_faulty(1, 2, 5)
+        });
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.crashes, 1);
+        assert_eq!(report.snapshot_hits, 1, "recovery found a snapshot");
+        assert!(
+            report.wal_records_replayed > 0,
+            "the WAL tail replays: {report:?}"
+        );
+        assert!(report.recovered_bytes > 0, "{report:?}");
+        assert!(
+            report.messages_lost_to_crash > 0,
+            "traffic hit the dead site: {report:?}"
+        );
+        assert!(
+            report.retransmissions > 0,
+            "the restarted site catches up by retransmission: {report:?}"
+        );
+    }
+
+    #[test]
+    fn late_crash_restarts_at_the_drain_phase_and_converges() {
+        let report = run(&Scenario {
+            edits_per_site: 40,
+            ..Scenario::crash_faulty(2, 6, usize::MAX)
+        });
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.crashes, 1);
+        assert!(report.wal_records_replayed > 0, "{report:?}");
+    }
+
+    #[test]
+    fn snapshot_cadence_bounds_the_replayed_wal() {
+        // With a checkpoint every other round, the crash finds a short WAL;
+        // without one, everything since the attach baseline replays.
+        let base = Scenario {
+            edits_per_site: 40,
+            ..Scenario::crash_faulty(1, 6, usize::MAX)
+        };
+        let rare = run(&base);
+        let frequent = run(&Scenario {
+            snapshot_cadence: Some(2),
+            ..base
+        });
+        assert!(rare.converged && frequent.converged);
+        assert!(
+            frequent.wal_records_replayed < rare.wal_records_replayed,
+            "checkpoints bound the replay: {frequent:?} vs {rare:?}"
+        );
+        assert!(frequent.snapshots_written > rare.snapshots_written);
+    }
+
+    #[test]
+    fn crash_runs_are_reproducible() {
+        let scenario = Scenario {
+            edits_per_site: 40,
+            snapshot_cadence: Some(3),
+            ..Scenario::crash_faulty(1, 2, 5)
+        };
+        assert_eq!(run(&scenario), run(&scenario));
+    }
+
+    #[test]
+    fn flatten_commit_compacts_every_durable_wal() {
+        // The §4.2.1 acceptance cell: a committed distributed flatten must
+        // checkpoint every replica and truncate its pre-epoch WAL.
+        let scenario = Scenario {
+            durable: true,
+            edits_per_site: 20,
+            flatten_cadence: Some(1000), // only the final quiescent proposal
+            ..Scenario::faulty()
+        };
+        let report = run(&scenario);
+        assert!(report.converged, "{report:?}");
+        assert!(report.flatten_commits >= 1, "{report:?}");
+        assert!(
+            report.snapshots_written >= 2 * scenario.sites as u64,
+            "attach baseline + flatten-commit checkpoint per replica: {report:?}"
+        );
+        assert!(
+            report.wal_truncations >= scenario.sites as u64,
+            "the flatten commit retired every replica's pre-epoch records: {report:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires durable stores")]
+    fn crash_without_durability_is_rejected() {
+        run(&Scenario {
+            crash: Some(CrashSchedule {
+                site: 1,
+                crash_round: 1,
+                restart_round: 3,
+            }),
+            retransmit: true,
+            ..Scenario::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "site 0 is the reference")]
+    fn crashing_the_coordinator_site_is_rejected() {
+        run(&Scenario {
+            edits_per_site: 40,
+            ..Scenario::crash_faulty(0, 2, 5)
+        });
+    }
+
+    #[test]
+    fn crash_matrix_converges_in_every_cell() {
+        // The acceptance sweep: snapshot cadence × crash timing × loss, every
+        // cell durable, every crashed cell recovering to convergence.
+        let matrix = ScenarioMatrix::crash_recovery(Scenario {
+            sites: 3,
+            edits_per_site: 40,
+            ..Default::default()
+        });
+        let results = matrix.run();
+        assert_eq!(results.len(), 2 * 2 * 3);
+        for (scenario, report) in results {
+            assert!(report.converged, "cell {scenario:?} diverged: {report:?}");
+            assert!(report.wal_appends > 0, "cell {scenario:?}: {report:?}");
+            if scenario.crash.is_some() {
+                assert_eq!(report.crashes, 1, "cell {scenario:?}: {report:?}");
+                assert_eq!(report.snapshot_hits, 1, "cell {scenario:?}: {report:?}");
+            } else {
+                assert_eq!(report.crashes, 0);
+            }
+        }
     }
 
     #[test]

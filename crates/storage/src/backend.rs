@@ -1,0 +1,309 @@
+//! The pluggable byte-store behind the durability layer.
+//!
+//! [`DocStore`](crate::store::DocStore) never touches the filesystem
+//! directly: it reads and writes named blobs through a [`StorageBackend`],
+//! so the same WAL/snapshot logic runs against an in-memory map (tests, the
+//! simulator's crash/restart fault) and against real files
+//! ([`FileBackend`]). The design follows the backend abstraction of
+//! persistent CRDT stores (a key-value blob interface is the least a
+//! database, an object store or a plain directory can all offer).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// An error from the storage backend (I/O failure, invalid name, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageError {
+    message: String,
+}
+
+impl StorageError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        StorageError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "storage error: {}", self.message)
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(err: std::io::Error) -> Self {
+        StorageError::new(err.to_string())
+    }
+}
+
+/// A named-blob store: the minimal surface the durability layer needs.
+///
+/// Names are flat (no directories); implementations must reject or escape
+/// anything else. `write` must replace atomically-enough that a reader never
+/// observes a half-written blob of the *previous* generation — the
+/// [`FileBackend`] writes a temporary file and renames it into place.
+pub trait StorageBackend: fmt::Debug {
+    /// Reads a blob, `None` when absent.
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, StorageError>;
+    /// Creates or replaces a blob.
+    fn write(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError>;
+    /// Appends to a blob, creating it when absent.
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError>;
+    /// Removes a blob (absent blobs are fine).
+    fn remove(&mut self, name: &str) -> Result<(), StorageError>;
+    /// Lists all blob names, sorted.
+    fn list(&self) -> Result<Vec<String>, StorageError>;
+}
+
+/// An in-memory backend: a plain map. Used by the tests and by the
+/// simulator's crash/restart fault, where "disk" must survive the death of a
+/// [`Replica`](../../treedoc_replication/struct.Replica.html) object but not
+/// of the process.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryBackend {
+    blobs: BTreeMap<String, Vec<u8>>,
+}
+
+impl MemoryBackend {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemoryBackend::default()
+    }
+}
+
+impl StorageBackend for MemoryBackend {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, StorageError> {
+        Ok(self.blobs.get(name).cloned())
+    }
+
+    fn write(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        self.blobs.insert(name.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        self.blobs
+            .entry(name.to_string())
+            .or_default()
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), StorageError> {
+        self.blobs.remove(name);
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<String>, StorageError> {
+        Ok(self.blobs.keys().cloned().collect())
+    }
+}
+
+/// A directory-of-files backend: each blob is one file under `root`.
+#[derive(Debug, Clone)]
+pub struct FileBackend {
+    root: PathBuf,
+}
+
+impl FileBackend {
+    /// Opens (creating if needed) the directory `root` as a blob store and
+    /// sweeps any `*.tmp` files a crash mid-[`write`](StorageBackend::write)
+    /// left behind (they never made it to their rename, so they hold no
+    /// committed data).
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StorageError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        for entry in std::fs::read_dir(&root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file()
+                && entry
+                    .file_name()
+                    .to_str()
+                    .is_some_and(|n| n.ends_with(".tmp"))
+            {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+        Ok(FileBackend { root })
+    }
+
+    /// The directory blobs live in.
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+
+    /// Fsyncs the store directory itself, making preceding renames and
+    /// removals (directory metadata) durable. Best-effort on platforms that
+    /// cannot open a directory for sync.
+    fn sync_dir(&self) -> Result<(), StorageError> {
+        match std::fs::File::open(&self.root) {
+            Ok(dir) => {
+                dir.sync_all()?;
+                Ok(())
+            }
+            Err(_) => Ok(()),
+        }
+    }
+
+    fn path_of(&self, name: &str) -> Result<PathBuf, StorageError> {
+        if name.is_empty()
+            || name.starts_with('.')
+            || name
+                .chars()
+                .any(|c| !(c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.'))
+        {
+            return Err(StorageError::new(format!("invalid blob name {name:?}")));
+        }
+        Ok(self.root.join(name))
+    }
+}
+
+impl StorageBackend for FileBackend {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, StorageError> {
+        let path = self.path_of(name)?;
+        match std::fs::read(&path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(err) => Err(err.into()),
+        }
+    }
+
+    fn write(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        let path = self.path_of(name)?;
+        // Write-then-rename so a crash mid-write leaves either the old blob
+        // or the new one, never a torn mixture. (The WAL, whose torn tails
+        // are expected and handled, goes through `append` instead.)
+        let tmp = self.root.join(format!("{name}.tmp"));
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(bytes)?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        // The rename lives in directory metadata; without this sync a power
+        // loss could surface the old blob again (or, worse, persist later
+        // removals while dropping this rename).
+        self.sync_dir()?;
+        Ok(())
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        let path = self.path_of(name)?;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), StorageError> {
+        let path = self.path_of(name)?;
+        match std::fs::remove_file(&path) {
+            Ok(()) => self.sync_dir(),
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(err) => Err(err.into()),
+        }
+    }
+
+    fn list(&self) -> Result<Vec<String>, StorageError> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Some(name) = entry.file_name().to_str() {
+                    if !name.ends_with(".tmp") {
+                        names.push(name.to_string());
+                    }
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("treedoc-storage-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn exercise(backend: &mut dyn StorageBackend) {
+        assert_eq!(backend.read("a").unwrap(), None);
+        backend.write("a", b"one").unwrap();
+        backend.append("a", b"+two").unwrap();
+        backend.append("log", b"first").unwrap();
+        assert_eq!(backend.read("a").unwrap().unwrap(), b"one+two");
+        assert_eq!(backend.read("log").unwrap().unwrap(), b"first");
+        assert_eq!(backend.list().unwrap(), vec!["a", "log"]);
+        backend.write("a", b"replaced").unwrap();
+        assert_eq!(backend.read("a").unwrap().unwrap(), b"replaced");
+        backend.remove("a").unwrap();
+        backend.remove("a").unwrap(); // idempotent
+        assert_eq!(backend.read("a").unwrap(), None);
+        assert_eq!(backend.list().unwrap(), vec!["log"]);
+    }
+
+    #[test]
+    fn memory_backend_round_trips() {
+        exercise(&mut MemoryBackend::new());
+    }
+
+    #[test]
+    fn file_backend_round_trips() {
+        let dir = scratch_dir("roundtrip");
+        let mut backend = FileBackend::open(&dir).unwrap();
+        exercise(&mut backend);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_backend_persists_across_reopen() {
+        let dir = scratch_dir("reopen");
+        {
+            let mut backend = FileBackend::open(&dir).unwrap();
+            backend.append("wal.log", b"hello").unwrap();
+        }
+        let backend = FileBackend::open(&dir).unwrap();
+        assert_eq!(backend.read("wal.log").unwrap().unwrap(), b"hello");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopening_sweeps_orphaned_tmp_files() {
+        // A crash between creating `{name}.tmp` and the rename leaves the
+        // tmp file behind; the next open must clean it up.
+        let dir = scratch_dir("tmp-sweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("snap-0.img.tmp"), b"half-written").unwrap();
+        std::fs::write(dir.join("kept.log"), b"real blob").unwrap();
+        let backend = FileBackend::open(&dir).unwrap();
+        assert!(!dir.join("snap-0.img.tmp").exists(), "orphan swept on open");
+        assert_eq!(backend.read("kept.log").unwrap().unwrap(), b"real blob");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_backend_rejects_path_traversal() {
+        let dir = scratch_dir("names");
+        let mut backend = FileBackend::open(&dir).unwrap();
+        assert!(backend.write("../evil", b"x").is_err());
+        assert!(backend.write("", b"x").is_err());
+        assert!(backend.write(".hidden", b"x").is_err());
+        assert!(backend.write("a/b", b"x").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

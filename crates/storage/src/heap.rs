@@ -12,12 +12,47 @@
 //! positional array; they are serialised in an explicit *overflow* section of
 //! `(identifier, content)` records so that round-tripping is always lossless.
 
+use std::fmt;
+
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use treedoc_core::{
     Atom, Content, Disambiguator, MajorNode, PathElem, PosId, Sdis, Side, SiteId, Tree, Udis,
 };
 
 use crate::rle::{rle_compress, rle_decompress, MARKER};
+
+/// Why a [`DiskImage`] failed to decode — each variant names the layer that
+/// broke, so recovery failures are diagnosable instead of a bare `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The structure stream ends before the layout it promises.
+    TruncatedStructure,
+    /// The RLE framing of the structure stream is malformed.
+    BadRleRun,
+    /// A record carries an unknown tag or state byte (or a structurally
+    /// impossible slot, e.g. a mini-node on the root).
+    BadTag,
+    /// A slot references an atom index beyond the atom table.
+    DanglingAtomRef,
+    /// A content hash guarding the image did not match. Emitted by verified
+    /// loaders (the snapshot manifest of the durability layer) rather than
+    /// by the raw structure decoder.
+    BadHash,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::TruncatedStructure => write!(f, "structure stream is truncated"),
+            DecodeError::BadRleRun => write!(f, "structure stream has a malformed RLE run"),
+            DecodeError::BadTag => write!(f, "structure stream carries an invalid tag"),
+            DecodeError::DanglingAtomRef => write!(f, "slot references a missing atom"),
+            DecodeError::BadHash => write!(f, "content hash mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
 
 /// Fixed-size binary encoding of a disambiguator, mirroring the byte budgets
 /// used by the paper's evaluation (6 bytes for SDIS, 10 for UDIS).
@@ -174,17 +209,18 @@ impl<A: Atom> DiskImage<A> {
         }
     }
 
-    /// Reads a tree back from its serialised form. Returns `None` when the
-    /// image is corrupt.
-    pub fn decode<D: DisCodec>(&self) -> Option<Tree<A, D>> {
-        let raw = rle_decompress(&self.structure)?;
+    /// Reads a tree back from its serialised form, reporting *why* a corrupt
+    /// image failed (truncation, bad RLE framing, bad tags, dangling atom
+    /// references) so recovery paths can diagnose what they found on disk.
+    pub fn decode<D: DisCodec>(&self) -> Result<Tree<A, D>, DecodeError> {
+        let raw = rle_decompress(&self.structure).ok_or(DecodeError::BadRleRun)?;
         let mut input = Bytes::from(raw);
         if input.remaining() < 4 {
-            return None;
+            return Err(DecodeError::TruncatedStructure);
         }
         let overflow_len = input.get_u32() as usize;
         if overflow_len > input.remaining() {
-            return None;
+            return Err(DecodeError::TruncatedStructure);
         }
         let heap_len = input.remaining() - overflow_len;
         let mut heap = input.slice(..heap_len);
@@ -202,7 +238,7 @@ impl<A: Atom> DiskImage<A> {
             for parent in &parents {
                 for side in [Side::Left, Side::Right] {
                     if !heap.has_remaining() {
-                        return None;
+                        return Err(DecodeError::TruncatedStructure);
                     }
                     if heap.chunk()[0] == MARKER {
                         heap.advance(1);
@@ -223,7 +259,7 @@ impl<A: Atom> DiskImage<A> {
         }
 
         tree.rebuild_counts();
-        Some(tree)
+        Ok(tree)
     }
 }
 
@@ -317,22 +353,26 @@ fn encode_content<A: Atom>(content: &Content<A>, out: &mut BytesMut, atoms: &mut
     }
 }
 
-fn decode_content<A: Atom>(input: &mut Bytes, atoms: &[A]) -> Option<Content<A>> {
+fn decode_content<A: Atom>(input: &mut Bytes, atoms: &[A]) -> Result<Content<A>, DecodeError> {
     if !input.has_remaining() {
-        return None;
+        return Err(DecodeError::TruncatedStructure);
     }
     match input.get_u8() {
-        STATE_ABSENT => Some(Content::Absent),
+        STATE_ABSENT => Ok(Content::Absent),
         STATE_LIVE => {
             if input.remaining() < 4 {
-                return None;
+                return Err(DecodeError::TruncatedStructure);
             }
             let idx = input.get_u32() as usize;
-            atoms.get(idx).cloned().map(Content::Live)
+            atoms
+                .get(idx)
+                .cloned()
+                .map(Content::Live)
+                .ok_or(DecodeError::DanglingAtomRef)
         }
-        STATE_TOMBSTONE => Some(Content::Tombstone),
-        STATE_GHOST => Some(Content::Ghost),
-        _ => None,
+        STATE_TOMBSTONE => Ok(Content::Tombstone),
+        STATE_GHOST => Ok(Content::Ghost),
+        _ => Err(DecodeError::BadTag),
     }
 }
 
@@ -342,25 +382,28 @@ fn decode_major<A: Atom, D: DisCodec>(
     atoms: &[A],
     tree: &mut Tree<A, D>,
     pos: &PosId<D>,
-) -> Option<()> {
-    if !input.has_remaining() || input.get_u8() != NODE_TAG {
-        return None;
+) -> Result<(), DecodeError> {
+    if !input.has_remaining() {
+        return Err(DecodeError::TruncatedStructure);
+    }
+    if input.get_u8() != NODE_TAG {
+        return Err(DecodeError::BadTag);
     }
     let plain = decode_content(input, atoms)?;
     if !matches!(plain, Content::Absent) {
         tree.restore_slot(pos, plain);
     }
     if !input.has_remaining() {
-        return None;
+        return Err(DecodeError::TruncatedStructure);
     }
     let mini_count = input.get_u8();
     for _ in 0..mini_count {
-        let dis = D::decode_dis(input)?;
+        let dis = D::decode_dis(input).ok_or(DecodeError::TruncatedStructure)?;
         let content = decode_content(input, atoms)?;
-        let mini_id = mini_pos(pos, &dis)?;
+        let mini_id = mini_pos(pos, &dis).ok_or(DecodeError::BadTag)?;
         tree.restore_slot(&mini_id, content);
     }
-    Some(())
+    Ok(())
 }
 
 /// The identifier of mini-node `dis` at the major node `pos` (whose own last
@@ -398,15 +441,15 @@ fn encode_overflow_record<A: Atom, D: DisCodec>(
 fn decode_overflow_record<A: Atom, D: DisCodec>(
     input: &mut Bytes,
     atoms: &[A],
-) -> Option<(PosId<D>, Content<A>)> {
+) -> Result<(PosId<D>, Content<A>), DecodeError> {
     if input.remaining() < 2 {
-        return None;
+        return Err(DecodeError::TruncatedStructure);
     }
     let len = input.get_u16() as usize;
     let mut elems = Vec::with_capacity(len);
     for _ in 0..len {
         if !input.has_remaining() {
-            return None;
+            return Err(DecodeError::TruncatedStructure);
         }
         let flags = input.get_u8();
         let side = if flags & 0x01 == 0 {
@@ -415,14 +458,14 @@ fn decode_overflow_record<A: Atom, D: DisCodec>(
             Side::Right
         };
         let dis = if flags & 0x02 != 0 {
-            Some(D::decode_dis(input)?)
+            Some(D::decode_dis(input).ok_or(DecodeError::TruncatedStructure)?)
         } else {
             None
         };
         elems.push(PathElem { side, dis });
     }
     let content = decode_content(input, atoms)?;
-    Some((PosId::from_elems(elems), content))
+    Ok((PosId::from_elems(elems), content))
 }
 
 #[cfg(test)]
@@ -569,14 +612,44 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_images_are_rejected() {
+    fn corrupt_images_are_rejected_with_a_diagnosis() {
         let doc: Treedoc<String, Sdis> = Treedoc::from_atoms(site(1), &["a".to_string()]);
         let mut image = DiskImage::encode(doc.tree());
         image.structure.truncate(1);
-        assert!(image.decode::<Sdis>().is_none());
+        assert!(matches!(
+            image.decode::<Sdis>(),
+            Err(DecodeError::BadRleRun | DecodeError::TruncatedStructure)
+        ));
         // An empty structure is also rejected rather than panicking.
         image.structure.clear();
-        assert!(image.decode::<Sdis>().is_none());
+        assert_eq!(
+            image.decode::<Sdis>().unwrap_err(),
+            DecodeError::TruncatedStructure
+        );
+    }
+
+    #[test]
+    fn dangling_atom_references_are_diagnosed() {
+        let doc: Treedoc<String, Sdis> =
+            Treedoc::from_atoms(site(1), &["a".to_string(), "b".to_string()]);
+        let mut image = DiskImage::encode(doc.tree());
+        // Drop the atom table: every live slot now points past the end.
+        image.atoms.clear();
+        assert_eq!(
+            image.decode::<Sdis>().unwrap_err(),
+            DecodeError::DanglingAtomRef
+        );
+    }
+
+    #[test]
+    fn unknown_state_bytes_are_diagnosed() {
+        let doc: Treedoc<String, Sdis> = Treedoc::from_atoms(site(1), &["a".to_string()]);
+        let mut image = DiskImage::encode(doc.tree());
+        // Decompress, corrupt the root record's tag, recompress.
+        let mut raw = rle_decompress(&image.structure).unwrap();
+        raw[4] = 0x7E; // the root NODE_TAG slot
+        image.structure = rle_compress(&raw);
+        assert_eq!(image.decode::<Sdis>().unwrap_err(), DecodeError::BadTag);
     }
 
     #[test]

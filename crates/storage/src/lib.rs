@@ -1,6 +1,7 @@
 //! # treedoc-storage
 //!
-//! The on-disk format described in §5.2 of the Treedoc paper:
+//! The on-disk format described in §5.2 of the Treedoc paper, plus the
+//! durability layer built on top of it.
 //!
 //! > "In order to store a Treedoc on disk, we use a modified version of the
 //! > well-known technique that represents a binary heap of depth *i* as an
@@ -16,19 +17,48 @@
 //! exactly that layout: a breadth-first *structure file* (entries = optional
 //! disambiguator + atom reference, holes = run-length-encoded markers) plus a
 //! separate *atom file*. The size of the structure file is the "On-disk
-//! overhead" column of Table 1. [`DiskImage::decode`] reads the image back.
+//! overhead" column of Table 1. [`DiskImage::decode`] reads the image back,
+//! diagnosing corrupt images with a typed [`DecodeError`].
 //!
 //! Mini-node children live in their own namespaces and therefore do not fit
 //! the plain positional array (the paper notes the case "does not occur in
 //! our tests" because SVN and Wikipedia serialise their edits); they are
 //! stored in an explicit overflow section so that round-tripping is always
 //! lossless.
+//!
+//! ## Durability
+//!
+//! The paper's encoding says how a document looks on disk; the modules below
+//! make a *replica* actually durable, so a crash loses neither the document
+//! nor the replication state (vector clock, unacked send log) the
+//! at-least-once and flatten-commitment machinery depends on:
+//!
+//! * [`backend`] — the pluggable [`StorageBackend`] blob store (in-memory
+//!   and real-file implementations);
+//! * [`wal`] — an append-only, length-prefixed, CRC-checked record log;
+//!   torn or corrupt tails are detected and cleanly ignored on replay;
+//! * [`snapshot`] — checkpoints as named sections behind a manifest of
+//!   per-section content hashes with a merkle-style root, verified on load;
+//! * [`store`] — [`DocStore`], which owns recovery (newest valid snapshot +
+//!   WAL tail) and compaction (checkpoint on flatten commit, truncating the
+//!   pre-epoch WAL — the committed epoch of §4.2.1 is the natural
+//!   log-compaction point).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod checksum;
 pub mod heap;
 pub mod rle;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
 
-pub use heap::{DisCodec, DiskImage, EncodeStats};
+pub use backend::{FileBackend, MemoryBackend, StorageBackend, StorageError};
+pub use checksum::{combine_hashes, content_hash64, crc32};
+pub use heap::{DecodeError, DisCodec, DiskImage, EncodeStats};
 pub use rle::{rle_compress, rle_decompress};
+pub use snapshot::{Snapshot, SnapshotError};
+pub use store::{DocStore, Recovered, RecoveryStats, StoreStats};
+pub use wal::{TailFault, WalEntry, WalReplay};

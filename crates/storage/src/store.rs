@@ -1,0 +1,545 @@
+//! The per-replica durable store: WAL segments plus a ring of epoch
+//! snapshots.
+//!
+//! [`DocStore`] owns the naming, recovery and compaction policy on top of a
+//! [`StorageBackend`]:
+//!
+//! * **append** — frame a payload as a WAL record (tagged with the replica's
+//!   flatten epoch) and append it to the *active segment* `wal-<seq>.log`;
+//! * **checkpoint** — write a verified [`Snapshot`] under a fresh sequence
+//!   number, rotate to the WAL segment of that sequence, and prune
+//!   snapshots (and the segments of pruned snapshots) beyond the fallback
+//!   window. The flatten commitment of §4.2.1 makes the committed epoch the
+//!   natural compaction point: the replication layer checkpoints on every
+//!   flatten commit, so the records a recovery would replay are only
+//!   post-epoch ones;
+//! * **recover** — load the newest snapshot that passes hash verification
+//!   (falling back to older ones, counting the corrupt), then replay the
+//!   WAL segments **at or after that snapshot's sequence**; torn tails are
+//!   dropped and reported.
+//!
+//! Keying segments by snapshot sequence is what makes a checkpoint
+//! crash-safe without cross-file atomicity: records older than the chosen
+//! snapshot live in lower-sequence segments and are skipped wholesale, so a
+//! crash *between* the snapshot write and the rotation can never cause
+//! already-folded records to be replayed on top of the new snapshot (which
+//! would double-apply operations and corrupt the recovered vector clock).
+
+use crate::backend::{MemoryBackend, StorageBackend, StorageError};
+use crate::snapshot::Snapshot;
+use crate::wal::{self, WalEntry, WalReplay};
+
+/// Snapshots kept after a checkpoint: the new one plus this many fallbacks.
+const SNAPSHOT_FALLBACKS: usize = 1;
+
+/// Counters of one `DocStore` *object*: they live with the store value, so
+/// they survive the simulator's crash fault (where the store is detached
+/// from the dying replica and handed to the recovered one) but reset when a
+/// backend is reopened through [`DocStore::new`] after a real process
+/// restart — the blobs persist, the bookkeeping does not.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// WAL records appended.
+    pub wal_appends: u64,
+    /// WAL bytes appended (framing included).
+    pub wal_bytes: u64,
+    /// Snapshots written.
+    pub snapshots_written: u64,
+    /// Checkpoints that actually retired log records (a checkpoint over an
+    /// already-empty log does not count).
+    pub wal_truncations: u64,
+}
+
+/// What a [`DocStore::recover`] pass found and salvaged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Whether a valid snapshot was found.
+    pub snapshot_hit: bool,
+    /// Epoch of the recovered snapshot (0 when none).
+    pub snapshot_epoch: u64,
+    /// Snapshots that failed verification and were skipped.
+    pub corrupt_snapshots_skipped: usize,
+    /// WAL records replayed after the snapshot.
+    pub wal_records: usize,
+    /// Bytes recovered (snapshot body + valid WAL prefix).
+    pub bytes_recovered: usize,
+    /// WAL tail bytes dropped as torn or corrupt.
+    pub torn_tail_bytes: usize,
+}
+
+/// The result of a recovery pass: the newest valid snapshot (if any), the
+/// WAL tail to replay on top of it, and the accounting.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The newest snapshot that passed verification, with its epoch.
+    pub snapshot: Option<(u64, Snapshot)>,
+    /// Valid WAL records, in append order.
+    pub wal: Vec<WalEntry>,
+    /// What the pass found.
+    pub stats: RecoveryStats,
+}
+
+/// A replica's durable store over a pluggable backend.
+#[derive(Debug)]
+pub struct DocStore {
+    backend: Box<dyn StorageBackend>,
+    /// Sequence of the active WAL segment (always the sequence of the
+    /// newest snapshot written, or 0 before the first checkpoint).
+    active_segment: u64,
+    /// Bytes in the active segment, tracked in memory so a checkpoint can
+    /// tell whether it retires anything without re-reading the log.
+    active_segment_bytes: u64,
+    next_snapshot_seq: u64,
+    stats: StoreStats,
+}
+
+impl DocStore {
+    /// Opens a store over `backend`, continuing any snapshot/segment
+    /// sequence already present (so reopening a directory keeps allocating
+    /// fresh names and appends to the newest segment).
+    pub fn new(backend: impl StorageBackend + 'static) -> Result<Self, StorageError> {
+        let backend: Box<dyn StorageBackend> = Box::new(backend);
+        let newest_snapshot = Self::snapshot_blobs(backend.as_ref())?
+            .last()
+            .map(|&(s, _)| s);
+        let newest_segment = Self::wal_segments(backend.as_ref())?.last().copied();
+        let active_segment = newest_snapshot
+            .unwrap_or(0)
+            .max(newest_segment.unwrap_or(0));
+        // A snapshot's sequence must be strictly greater than every segment
+        // holding records it folds in, so the first checkpoint ever taken
+        // gets sequence 1 (segment 0 is the pre-checkpoint log).
+        let next_snapshot_seq = newest_snapshot
+            .map(|s| s + 1)
+            .unwrap_or(0)
+            .max(active_segment + 1);
+        let active_segment_bytes = backend
+            .read(&wal_name(active_segment))?
+            .map_or(0, |b| b.len() as u64);
+        Ok(DocStore {
+            backend,
+            active_segment,
+            active_segment_bytes,
+            next_snapshot_seq,
+            stats: StoreStats::default(),
+        })
+    }
+
+    /// A store over a fresh in-memory backend (tests and the simulator's
+    /// crash/restart fault).
+    pub fn in_memory() -> Self {
+        DocStore::new(MemoryBackend::new()).expect("memory backend cannot fail")
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Snapshot blob names present, as `(sequence, epoch)` sorted ascending.
+    fn snapshot_blobs(backend: &dyn StorageBackend) -> Result<Vec<(u64, u64)>, StorageError> {
+        let mut found = Vec::new();
+        for name in backend.list()? {
+            if let Some(parsed) = parse_snapshot_name(&name) {
+                found.push(parsed);
+            }
+        }
+        found.sort_unstable();
+        Ok(found)
+    }
+
+    /// Epochs of the snapshots currently kept, oldest first.
+    pub fn snapshot_epochs(&self) -> Result<Vec<u64>, StorageError> {
+        Ok(Self::snapshot_blobs(self.backend.as_ref())?
+            .into_iter()
+            .map(|(_, epoch)| epoch)
+            .collect())
+    }
+
+    /// WAL segment sequences present, sorted ascending.
+    fn wal_segments(backend: &dyn StorageBackend) -> Result<Vec<u64>, StorageError> {
+        let mut found = Vec::new();
+        for name in backend.list()? {
+            if let Some(seq) = parse_wal_name(&name) {
+                found.push(seq);
+            }
+        }
+        found.sort_unstable();
+        Ok(found)
+    }
+
+    /// The segments a recovery starting from snapshot sequence `from_seq`
+    /// must replay, in order.
+    fn segments_from(&self, from_seq: u64) -> Result<Vec<u64>, StorageError> {
+        Ok(Self::wal_segments(self.backend.as_ref())?
+            .into_iter()
+            .filter(|&seq| seq >= from_seq)
+            .collect())
+    }
+
+    /// Replays the given segments in order, concatenating their valid
+    /// record prefixes. A fault inside a non-final segment stops the replay
+    /// there: records beyond a corruption point are not trustworthy even if
+    /// later segments look healthy.
+    fn replay_segments(&self, segments: &[u64]) -> Result<WalReplay, StorageError> {
+        let mut combined = WalReplay {
+            entries: Vec::new(),
+            valid_bytes: 0,
+            dropped_bytes: 0,
+            fault: None,
+        };
+        for (i, &seq) in segments.iter().enumerate() {
+            let bytes = self.backend.read(&wal_name(seq))?.unwrap_or_default();
+            let mut replay = wal::replay(&bytes);
+            combined.entries.append(&mut replay.entries);
+            combined.valid_bytes += replay.valid_bytes;
+            combined.dropped_bytes += replay.dropped_bytes;
+            if replay.fault.is_some() {
+                combined.fault = replay.fault;
+                // Count the untouched later segments as dropped too.
+                for &later in &segments[i + 1..] {
+                    combined.dropped_bytes +=
+                        self.backend.read(&wal_name(later))?.map_or(0, |b| b.len());
+                }
+                break;
+            }
+        }
+        Ok(combined)
+    }
+
+    /// The newest snapshot sequence present by name (validity not checked;
+    /// used to scope diagnostics the way a recovery would).
+    fn newest_snapshot_seq(&self) -> Result<u64, StorageError> {
+        Ok(Self::snapshot_blobs(self.backend.as_ref())?
+            .last()
+            .map(|&(seq, _)| seq)
+            .unwrap_or(0))
+    }
+
+    /// Appends one WAL record carrying `payload`, tagged with the replica's
+    /// current flatten `epoch`, to the active segment.
+    pub fn append(&mut self, epoch: u64, payload: &[u8]) -> Result<(), StorageError> {
+        let mut frame = Vec::with_capacity(wal::record_size(payload.len()));
+        wal::append_record(&mut frame, epoch, payload);
+        self.backend
+            .append(&wal_name(self.active_segment), &frame)?;
+        self.active_segment_bytes += frame.len() as u64;
+        self.stats.wal_appends += 1;
+        self.stats.wal_bytes += frame.len() as u64;
+        Ok(())
+    }
+
+    /// The decoded WAL a recovery would replay right now — the segments at
+    /// or after the newest snapshot (diagnostics and the compaction
+    /// assertions of the test suite).
+    pub fn wal_entries(&self) -> Result<WalReplay, StorageError> {
+        let from = self.newest_snapshot_seq()?;
+        let segments = self.segments_from(from)?;
+        self.replay_segments(&segments)
+    }
+
+    /// Bytes of WAL a recovery would read right now.
+    pub fn wal_len(&self) -> Result<usize, StorageError> {
+        let from = self.newest_snapshot_seq()?;
+        let mut total = 0usize;
+        for seq in self.segments_from(from)? {
+            total += self.backend.read(&wal_name(seq))?.map_or(0, |b| b.len());
+        }
+        Ok(total)
+    }
+
+    /// Writes `snapshot` as the checkpoint for `epoch`, rotates to that
+    /// checkpoint's WAL segment (every record in earlier segments is now
+    /// folded into the snapshot) and prunes snapshots — plus the segments
+    /// of pruned snapshots — beyond the fallback window.
+    ///
+    /// Crash-safety: the snapshot write is the commit point. A crash before
+    /// it recovers from the previous snapshot plus the still-active old
+    /// segment; a crash anywhere after it recovers from the new snapshot,
+    /// and the old segments are skipped by sequence — no record is ever
+    /// replayed on top of a snapshot that already contains it.
+    pub fn checkpoint(&mut self, epoch: u64, snapshot: &Snapshot) -> Result<(), StorageError> {
+        // Did this checkpoint actually retire log records (as opposed to a
+        // back-to-back checkpoint over an empty log)?
+        let retired = self.active_segment_bytes > 0;
+        let seq = self.next_snapshot_seq;
+        self.next_snapshot_seq += 1;
+        self.backend
+            .write(&snapshot_name(seq, epoch), &snapshot.encode())?;
+        self.active_segment = seq;
+        self.active_segment_bytes = 0;
+        self.stats.snapshots_written += 1;
+        if retired {
+            self.stats.wal_truncations += 1;
+        }
+        let existing = Self::snapshot_blobs(self.backend.as_ref())?;
+        if existing.len() > 1 + SNAPSHOT_FALLBACKS {
+            let (pruned, retained) = existing.split_at(existing.len() - 1 - SNAPSHOT_FALLBACKS);
+            let oldest_retained = retained.first().map(|&(s, _)| s).unwrap_or(seq);
+            for &(old_seq, old_epoch) in pruned {
+                self.backend.remove(&snapshot_name(old_seq, old_epoch))?;
+            }
+            // Segments older than the oldest retained snapshot can never be
+            // replayed again (every recovery starts at a retained snapshot).
+            for old in Self::wal_segments(self.backend.as_ref())? {
+                if old < oldest_retained {
+                    self.backend.remove(&wal_name(old))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads the newest snapshot that passes verification (skipping and
+    /// counting corrupt ones) and replays the WAL segments at or after its
+    /// sequence. A store with no snapshot at all yields `snapshot: None`
+    /// and every segment.
+    pub fn recover(&self) -> Result<Recovered, StorageError> {
+        let mut stats = RecoveryStats::default();
+        let mut snapshot = None;
+        let mut from_seq = 0u64;
+        for (seq, epoch) in Self::snapshot_blobs(self.backend.as_ref())?
+            .into_iter()
+            .rev()
+        {
+            let Some(bytes) = self.backend.read(&snapshot_name(seq, epoch))? else {
+                continue;
+            };
+            match Snapshot::decode(&bytes) {
+                Ok(decoded) => {
+                    stats.snapshot_hit = true;
+                    stats.snapshot_epoch = epoch;
+                    stats.bytes_recovered += bytes.len();
+                    snapshot = Some((epoch, decoded));
+                    from_seq = seq;
+                    break;
+                }
+                Err(_) => stats.corrupt_snapshots_skipped += 1,
+            }
+        }
+        let segments = self.segments_from(from_seq)?;
+        let replay = self.replay_segments(&segments)?;
+        stats.wal_records = replay.entries.len();
+        stats.bytes_recovered += replay.valid_bytes;
+        stats.torn_tail_bytes = replay.dropped_bytes;
+        Ok(Recovered {
+            snapshot,
+            wal: replay.entries,
+            stats,
+        })
+    }
+}
+
+fn snapshot_name(seq: u64, epoch: u64) -> String {
+    format!("snap-{seq:012}-e{epoch}.img")
+}
+
+fn wal_name(seq: u64) -> String {
+    format!("wal-{seq:012}.log")
+}
+
+fn parse_wal_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+fn parse_snapshot_name(name: &str) -> Option<(u64, u64)> {
+    let rest = name.strip_prefix("snap-")?.strip_suffix(".img")?;
+    let (seq, epoch) = rest.split_once("-e")?;
+    Some((seq.parse().ok()?, epoch.parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot_with(tag: &str) -> Snapshot {
+        let mut s = Snapshot::new();
+        s.push_section("replica", tag.as_bytes().to_vec());
+        s
+    }
+
+    #[test]
+    fn append_then_recover_replays_everything() {
+        let mut store = DocStore::in_memory();
+        for i in 0..5u64 {
+            store.append(0, format!("op {i}").as_bytes()).unwrap();
+        }
+        let recovered = store.recover().unwrap();
+        assert!(recovered.snapshot.is_none());
+        assert_eq!(recovered.wal.len(), 5);
+        assert_eq!(recovered.stats.wal_records, 5);
+        assert!(!recovered.stats.snapshot_hit);
+        assert_eq!(recovered.stats.torn_tail_bytes, 0);
+        assert_eq!(store.stats().wal_appends, 5);
+    }
+
+    #[test]
+    fn checkpoint_truncates_the_wal() {
+        let mut store = DocStore::in_memory();
+        store.append(0, b"pre-epoch").unwrap();
+        store.append(0, b"also pre").unwrap();
+        store.checkpoint(1, &snapshot_with("epoch-1")).unwrap();
+        assert_eq!(store.wal_len().unwrap(), 0);
+        store.append(1, b"post-epoch").unwrap();
+
+        let recovered = store.recover().unwrap();
+        let (epoch, snapshot) = recovered.snapshot.expect("snapshot present");
+        assert_eq!(epoch, 1);
+        assert_eq!(snapshot.section("replica").unwrap(), b"epoch-1");
+        assert_eq!(recovered.wal.len(), 1);
+        assert!(recovered.wal.iter().all(|e| e.epoch >= 1));
+        assert_eq!(store.stats().wal_truncations, 1);
+    }
+
+    #[test]
+    fn newest_valid_snapshot_wins_and_old_ones_are_pruned() {
+        let mut store = DocStore::in_memory();
+        for epoch in 1..=4u64 {
+            store
+                .checkpoint(epoch, &snapshot_with(&format!("e{epoch}")))
+                .unwrap();
+        }
+        // Only the newest plus the fallback window survive.
+        assert_eq!(store.snapshot_epochs().unwrap(), vec![3, 4]);
+        let recovered = store.recover().unwrap();
+        assert_eq!(recovered.snapshot.unwrap().0, 4);
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_to_the_previous() {
+        let mut backend = MemoryBackend::new();
+        backend
+            .write(&snapshot_name(0, 1), &snapshot_with("good").encode())
+            .unwrap();
+        let mut bad = snapshot_with("newer").encode();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        backend.write(&snapshot_name(1, 2), &bad).unwrap();
+
+        let store = DocStore::new(backend).unwrap();
+        let recovered = store.recover().unwrap();
+        assert_eq!(recovered.stats.corrupt_snapshots_skipped, 1);
+        let (epoch, snapshot) = recovered.snapshot.unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(snapshot.section("replica").unwrap(), b"good");
+    }
+
+    #[test]
+    fn torn_wal_tail_is_dropped_and_counted() {
+        let mut store = DocStore::in_memory();
+        store.append(0, b"whole record").unwrap();
+        store.append(0, b"torn record").unwrap();
+        // Simulate the crash mid-append by rewriting a truncated WAL.
+        let mut log = Vec::new();
+        wal::append_record(&mut log, 0, b"whole record");
+        let mut torn = log.clone();
+        wal::append_record(&mut torn, 0, b"torn record");
+        torn.truncate(log.len() + 7);
+        let mut backend = MemoryBackend::new();
+        backend.write(&wal_name(0), &torn).unwrap();
+        let store = DocStore::new(backend).unwrap();
+
+        let recovered = store.recover().unwrap();
+        assert_eq!(recovered.wal.len(), 1);
+        assert_eq!(recovered.wal[0].payload, b"whole record");
+        assert_eq!(recovered.stats.torn_tail_bytes, 7);
+    }
+
+    #[test]
+    fn crash_between_snapshot_write_and_rotation_never_replays_folded_records() {
+        // The checkpoint commit point is the snapshot write; everything
+        // after it (segment rotation, pruning) may be lost to a crash. A
+        // store left with the NEW snapshot and the OLD pre-checkpoint
+        // segment must not replay those already-folded records on top of
+        // the snapshot — they live in a lower-sequence segment and are
+        // skipped wholesale.
+        let mut pre_wal = Vec::new();
+        wal::append_record(&mut pre_wal, 0, b"already folded into the snapshot");
+        let mut backend = MemoryBackend::new();
+        backend.write(&wal_name(0), &pre_wal).unwrap();
+        backend
+            .write(&snapshot_name(1, 1), &snapshot_with("epoch-1").encode())
+            .unwrap();
+
+        let store = DocStore::new(backend).unwrap();
+        let recovered = store.recover().unwrap();
+        assert_eq!(recovered.snapshot.as_ref().unwrap().0, 1);
+        assert!(
+            recovered.wal.is_empty(),
+            "pre-checkpoint records must not be replayed: {recovered:?}"
+        );
+
+        // And appends after the reopen land in the snapshot's segment, so
+        // they DO replay.
+        let mut store = store;
+        store.append(1, b"after the crash").unwrap();
+        let recovered = store.recover().unwrap();
+        assert_eq!(recovered.wal.len(), 1);
+        assert_eq!(recovered.wal[0].payload, b"after the crash");
+    }
+
+    #[test]
+    fn fallback_recovery_replays_both_surviving_segments_in_order() {
+        // Newest snapshot corrupt: recovery falls back to the previous one
+        // and must replay the fallback's segment followed by the newest
+        // segment — the full redo chain from the older state.
+        let mut seg1 = Vec::new();
+        wal::append_record(&mut seg1, 0, b"between the snapshots");
+        let mut seg2 = Vec::new();
+        wal::append_record(&mut seg2, 0, b"after the newest");
+        let mut bad = snapshot_with("newest").encode();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        let mut backend = MemoryBackend::new();
+        backend
+            .write(&snapshot_name(1, 0), &snapshot_with("older-good").encode())
+            .unwrap();
+        backend.write(&wal_name(1), &seg1).unwrap();
+        backend.write(&snapshot_name(2, 0), &bad).unwrap();
+        backend.write(&wal_name(2), &seg2).unwrap();
+
+        let store = DocStore::new(backend).unwrap();
+        let recovered = store.recover().unwrap();
+        assert_eq!(recovered.stats.corrupt_snapshots_skipped, 1);
+        assert_eq!(
+            recovered.snapshot.as_ref().unwrap().1.section("replica"),
+            Some(&b"older-good"[..])
+        );
+        assert_eq!(
+            recovered
+                .wal
+                .iter()
+                .map(|e| e.payload.as_slice())
+                .collect::<Vec<_>>(),
+            vec![&b"between the snapshots"[..], &b"after the newest"[..]],
+            "redo chain spans both segments in order"
+        );
+    }
+
+    #[test]
+    fn reopening_continues_the_snapshot_sequence() {
+        let mut backend = MemoryBackend::new();
+        {
+            let mut store = DocStore::new(backend.clone()).unwrap();
+            store.checkpoint(1, &snapshot_with("first")).unwrap();
+            // Clone back the mutated state (MemoryBackend is by-value).
+            for name in store.backend.list().unwrap() {
+                let bytes = store.backend.read(&name).unwrap().unwrap();
+                backend.write(&name, &bytes).unwrap();
+            }
+        }
+        let mut store = DocStore::new(backend).unwrap();
+        store.checkpoint(2, &snapshot_with("second")).unwrap();
+        assert_eq!(store.snapshot_epochs().unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn snapshot_names_round_trip() {
+        assert_eq!(parse_snapshot_name(&snapshot_name(7, 3)), Some((7, 3)));
+        assert_eq!(parse_snapshot_name("wal.log"), None);
+        assert_eq!(parse_snapshot_name("snap-xx-e1.img"), None);
+    }
+}

@@ -1,0 +1,222 @@
+//! The write-ahead log: an append-only stream of length-prefixed,
+//! CRC-checked records.
+//!
+//! Every record a replica persists before acting on (a stamped operation, a
+//! received envelope, a commitment step) is framed as
+//!
+//! ```text
+//! ┌──────────┬──────────┬───────────┬───────────────┐
+//! │ len: u32 │ crc: u32 │ epoch:u64 │ payload [len] │
+//! └──────────┴──────────┴───────────┴───────────────┘
+//! ```
+//!
+//! (all little-endian; the CRC covers the epoch and the payload). The epoch
+//! is the replica's flatten epoch at append time, which makes the compaction
+//! invariant checkable from the log alone: after a flatten-commit checkpoint
+//! truncates the WAL, every surviving record carries an epoch ≥ the committed
+//! one.
+//!
+//! Replay ([`replay`]) scans the stream front to back and stops at the first
+//! frame that is incomplete (a torn tail from a crash mid-append) or whose
+//! CRC does not match (bit rot, a torn write that happened to leave enough
+//! bytes). Everything before the bad frame is returned intact; the tail is
+//! reported, not propagated — a crash while appending record *n* must never
+//! cost records 1..n−1.
+
+/// Bytes of framing per record (`len` + `crc` + `epoch`).
+pub const RECORD_HEADER_BYTES: usize = 4 + 4 + 8;
+
+use crate::checksum::crc32;
+
+/// One decoded WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalEntry {
+    /// The appender's flatten epoch when the record was written.
+    pub epoch: u64,
+    /// The record payload (opaque to the WAL; the replication layer stores
+    /// serialised envelopes here).
+    pub payload: Vec<u8>,
+}
+
+/// Why replay stopped before the end of the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailFault {
+    /// The final frame is incomplete (torn write / truncated file).
+    Truncated,
+    /// A complete frame failed its CRC check.
+    ChecksumMismatch,
+}
+
+/// What one [`replay`] pass found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalReplay {
+    /// The valid record prefix, in append order.
+    pub entries: Vec<WalEntry>,
+    /// Bytes consumed by the valid prefix.
+    pub valid_bytes: usize,
+    /// Bytes dropped after the valid prefix (0 for a clean log).
+    pub dropped_bytes: usize,
+    /// Why the tail was dropped, when it was.
+    pub fault: Option<TailFault>,
+}
+
+impl WalReplay {
+    /// `true` when the whole stream decoded cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.fault.is_none()
+    }
+}
+
+/// Appends one framed record to `out`.
+pub fn append_record(out: &mut Vec<u8>, epoch: u64, payload: &[u8]) {
+    let mut body = Vec::with_capacity(8 + payload.len());
+    body.extend_from_slice(&epoch.to_le_bytes());
+    body.extend_from_slice(payload);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+}
+
+/// The encoded size of a record with `payload_len` payload bytes.
+pub fn record_size(payload_len: usize) -> usize {
+    RECORD_HEADER_BYTES + payload_len
+}
+
+/// Decodes a WAL byte stream, returning the valid record prefix and a
+/// description of any dropped tail. Never fails: a corrupt or torn stream
+/// simply yields a shorter prefix.
+pub fn replay(bytes: &[u8]) -> WalReplay {
+    let mut entries = Vec::new();
+    let mut pos = 0usize;
+    let mut fault = None;
+    while pos < bytes.len() {
+        if bytes.len() - pos < RECORD_HEADER_BYTES {
+            fault = Some(TailFault::Truncated);
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let body_start = pos + 8;
+        // `len` itself may be garbage from a torn write; an oversized claim
+        // reads as truncation, not as an allocation request.
+        if bytes.len() - body_start < 8 + len {
+            fault = Some(TailFault::Truncated);
+            break;
+        }
+        let body = &bytes[body_start..body_start + 8 + len];
+        if crc32(body) != crc {
+            fault = Some(TailFault::ChecksumMismatch);
+            break;
+        }
+        let epoch = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+        entries.push(WalEntry {
+            epoch,
+            payload: body[8..].to_vec(),
+        });
+        pos = body_start + 8 + len;
+    }
+    WalReplay {
+        entries,
+        valid_bytes: pos.min(bytes.len()),
+        dropped_bytes: bytes.len() - pos.min(bytes.len()),
+        fault,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log(n: usize) -> (Vec<u8>, Vec<WalEntry>) {
+        let mut log = Vec::new();
+        let mut entries = Vec::new();
+        for i in 0..n {
+            let payload: Vec<u8> = format!("record number {i} !").into_bytes();
+            let epoch = (i / 3) as u64;
+            append_record(&mut log, epoch, &payload);
+            entries.push(WalEntry { epoch, payload });
+        }
+        (log, entries)
+    }
+
+    #[test]
+    fn clean_log_replays_completely() {
+        let (log, expected) = sample_log(7);
+        let replay = replay(&log);
+        assert!(replay.is_clean());
+        assert_eq!(replay.entries, expected);
+        assert_eq!(replay.valid_bytes, log.len());
+        assert_eq!(replay.dropped_bytes, 0);
+    }
+
+    #[test]
+    fn empty_log_is_clean() {
+        let replay = replay(&[]);
+        assert!(replay.is_clean());
+        assert!(replay.entries.is_empty());
+    }
+
+    #[test]
+    fn empty_payloads_round_trip() {
+        let mut log = Vec::new();
+        append_record(&mut log, 3, b"");
+        let replay = replay(&log);
+        assert!(replay.is_clean());
+        assert_eq!(
+            replay.entries,
+            vec![WalEntry {
+                epoch: 3,
+                payload: Vec::new()
+            }]
+        );
+    }
+
+    #[test]
+    fn torn_tail_preserves_the_prefix() {
+        let (log, expected) = sample_log(5);
+        // Truncate anywhere inside the last record.
+        let last_start = log.len() - record_size(expected[4].payload.len());
+        // `cut == last_start` would be a clean 4-record log; start one past.
+        for cut in last_start + 1..log.len() {
+            let replay = replay(&log[..cut]);
+            assert_eq!(replay.fault, Some(TailFault::Truncated), "cut {cut}");
+            assert_eq!(replay.entries, expected[..4], "cut {cut}");
+            assert_eq!(replay.dropped_bytes, cut - last_start);
+        }
+    }
+
+    #[test]
+    fn corrupt_tail_is_detected_by_crc() {
+        let (mut log, expected) = sample_log(4);
+        let last = log.len() - 1;
+        log[last] ^= 0x5A;
+        let replay = replay(&log);
+        assert_eq!(replay.fault, Some(TailFault::ChecksumMismatch));
+        assert_eq!(replay.entries, expected[..3]);
+        assert!(replay.dropped_bytes > 0);
+    }
+
+    #[test]
+    fn oversized_length_claim_reads_as_truncation() {
+        let mut log = Vec::new();
+        append_record(&mut log, 0, b"ok");
+        // A frame claiming far more payload than the stream holds.
+        log.extend_from_slice(&u32::MAX.to_le_bytes());
+        log.extend_from_slice(&[0u8; 12]);
+        let replay = replay(&log);
+        assert_eq!(replay.fault, Some(TailFault::Truncated));
+        assert_eq!(replay.entries.len(), 1);
+    }
+
+    #[test]
+    fn epochs_survive_the_round_trip() {
+        let mut log = Vec::new();
+        append_record(&mut log, 0, b"pre");
+        append_record(&mut log, 1, b"post");
+        let replay = replay(&log);
+        assert_eq!(
+            replay.entries.iter().map(|e| e.epoch).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+    }
+}

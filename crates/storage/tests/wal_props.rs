@@ -1,0 +1,114 @@
+//! Property tests for the WAL framing: arbitrary truncation or corruption of
+//! the log tail never costs a record before the damage.
+
+use proptest::prelude::*;
+use treedoc_storage::wal::{append_record, replay};
+
+fn build_log(records: &[(u64, Vec<u8>)]) -> Vec<u8> {
+    let mut log = Vec::new();
+    for (epoch, payload) in records {
+        append_record(&mut log, *epoch, payload);
+    }
+    log
+}
+
+proptest! {
+    /// Whole logs replay exactly.
+    #[test]
+    fn clean_logs_round_trip(
+        records in proptest::collection::vec(
+            (0u64..8, proptest::collection::vec(any::<u8>(), 0..120)),
+            0..25,
+        ),
+    ) {
+        let log = build_log(&records);
+        let result = replay(&log);
+        prop_assert!(result.is_clean());
+        prop_assert_eq!(result.entries.len(), records.len());
+        for (entry, (epoch, payload)) in result.entries.iter().zip(&records) {
+            prop_assert_eq!(entry.epoch, *epoch);
+            prop_assert_eq!(&entry.payload, payload);
+        }
+        prop_assert_eq!(result.valid_bytes, log.len());
+    }
+
+    /// The torn-tail guarantee: truncating the log at an arbitrary byte
+    /// never corrupts a record before the cut — replay returns exactly the
+    /// records that were fully contained, each byte-identical.
+    #[test]
+    fn arbitrary_truncation_preserves_the_prefix(
+        records in proptest::collection::vec(
+            (0u64..8, proptest::collection::vec(any::<u8>(), 0..120)),
+            1..25,
+        ),
+        cut_ppm in 0u32..1_000_000,
+    ) {
+        let log = build_log(&records);
+        let cut = (log.len() as u64 * cut_ppm as u64 / 1_000_000) as usize;
+        let result = replay(&log[..cut]);
+
+        // Every returned record must match the original at its position.
+        prop_assert!(result.entries.len() <= records.len());
+        for (entry, (epoch, payload)) in result.entries.iter().zip(&records) {
+            prop_assert_eq!(entry.epoch, *epoch);
+            prop_assert_eq!(&entry.payload, payload);
+        }
+        // And nothing fully contained in the cut may be lost: the number of
+        // surviving records is exactly the number of whole frames before it.
+        let mut whole = 0usize;
+        let mut consumed = 0usize;
+        for (_, payload) in &records {
+            let frame = treedoc_storage::wal::record_size(payload.len());
+            if consumed + frame <= cut {
+                whole += 1;
+                consumed += frame;
+            } else {
+                break;
+            }
+        }
+        prop_assert_eq!(result.entries.len(), whole);
+        prop_assert_eq!(result.dropped_bytes, cut - consumed);
+        prop_assert_eq!(result.is_clean(), cut == log.len() || consumed == cut);
+    }
+
+    /// Flipping any byte in the last record's frame never costs an earlier
+    /// record.
+    #[test]
+    fn corrupting_the_last_record_spares_the_rest(
+        records in proptest::collection::vec(
+            (0u64..8, proptest::collection::vec(any::<u8>(), 0..120)),
+            1..15,
+        ),
+        offset_ppm in 0u32..1_000_000,
+        flip in 1u8..255,
+    ) {
+        let mut log = build_log(&records);
+        let last_frame =
+            treedoc_storage::wal::record_size(records.last().expect("non-empty").1.len());
+        let last_start = log.len() - last_frame;
+        let at = last_start + (last_frame as u64 * offset_ppm as u64 / 1_000_000) as usize;
+        let at = at.min(log.len() - 1);
+        log[at] ^= flip;
+
+        let result = replay(&log);
+        // The prefix survives byte-identically…
+        prop_assert!(result.entries.len() >= records.len() - 1);
+        for (entry, (epoch, payload)) in result.entries.iter().zip(&records).take(records.len() - 1) {
+            prop_assert_eq!(entry.epoch, *epoch);
+            prop_assert_eq!(&entry.payload, payload);
+        }
+        // …and the damaged record never sneaks through silently altered: it
+        // is either dropped (fault reported) or — only when the flip landed
+        // in its own length prefix and produced a self-consistent frame —
+        // rejected by the CRC anyway. A surviving final record must be
+        // byte-identical, which a flipped frame cannot be.
+        if result.entries.len() == records.len() {
+            let (epoch, payload) = records.last().expect("non-empty");
+            let entry = result.entries.last().expect("non-empty");
+            prop_assert_eq!(entry.epoch, *epoch);
+            prop_assert_eq!(&entry.payload, payload);
+        } else {
+            prop_assert!(!result.is_clean());
+        }
+    }
+}

@@ -36,10 +36,14 @@ pub mod prelude {
     pub use treedoc_commit::{CommitOutcome, CommitProtocol, FlattenProposal, Vote};
     pub use treedoc_core::{Op, PosId, Sdis, SiteId, Treedoc, TreedocConfig, Udis};
     pub use treedoc_replication::{
-        CausalBuffer, CausalMessage, Envelope, FlattenCoordinator, LinkConfig, Replica, SimNetwork,
-        VectorClock,
+        CausalBuffer, CausalMessage, Envelope, FlattenCoordinator, LinkConfig, PersistentDocument,
+        RecoverError, RecoveryReport, Replica, SimNetwork, VectorClock,
     };
     pub use treedoc_sim::{
-        partitioned_commit_demo, PartitionedCommitReport, Scenario, ScenarioMatrix, SimReport,
+        crash_recovery_demo, partitioned_commit_demo, CrashRecoveryReport, CrashSchedule,
+        PartitionedCommitReport, Scenario, ScenarioMatrix, SimReport,
+    };
+    pub use treedoc_storage::{
+        DiskImage, DocStore, FileBackend, MemoryBackend, Snapshot, StorageBackend,
     };
 }

@@ -118,9 +118,19 @@ fn flattened_and_unflattened_replicas_persist_and_reload() {
     let docs = convergent_replicas(2);
     for doc in &docs {
         let image = DiskImage::encode(doc.tree());
-        let reloaded = image.decode::<Sdis>().expect("image decodes");
+        let reloaded = match image.decode::<Sdis>() {
+            Ok(tree) => tree,
+            Err(err) => panic!("image must decode, got {err}"),
+        };
         assert_eq!(reloaded.to_vec(), doc.to_vec());
         assert_eq!(reloaded.node_count(), doc.node_count());
+        // A truncated copy fails with a diagnosis instead of a bare `None`.
+        let mut torn = image.clone();
+        torn.structure.truncate(torn.structure.len() / 2);
+        assert!(
+            torn.decode::<Sdis>().is_err(),
+            "a torn image must be rejected with a typed DecodeError"
+        );
     }
     // Flattening shrinks the on-disk structure.
     let mut doc = convergent_replicas(1).remove(0);
