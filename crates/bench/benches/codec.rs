@@ -1,0 +1,76 @@
+//! Wire codec throughput: encode/decode round trips of the envelopes the
+//! replication layer actually ships, per-op and batched, so a regression in
+//! the hot serialisation path (or an accidental quadratic in the delta
+//! encoder) shows up as a bench regression.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use treedoc_replication::{decode_envelope, encode_envelope, Envelope, OpBatch};
+
+use bench::typing_session_entries;
+
+type Op = treedoc_core::Op<String, treedoc_core::Sdis>;
+
+fn bench_encode(c: &mut Criterion) {
+    let entries = typing_session_entries(256);
+    let per_op: Vec<Envelope<Op>> = entries
+        .iter()
+        .map(|(epoch, msg)| Envelope::Op {
+            epoch: *epoch,
+            msg: msg.clone(),
+        })
+        .collect();
+    let batch = Envelope::OpBatch(OpBatch {
+        entries: entries.clone(),
+    });
+
+    let mut group = c.benchmark_group("codec_encode");
+    group.throughput(Throughput::Elements(entries.len() as u64));
+    group.bench_function("per_op_256", |b| {
+        b.iter(|| {
+            let total: usize = per_op.iter().map(|env| encode_envelope(env).len()).sum();
+            total
+        });
+    });
+    group.bench_function("batch_256", |b| {
+        b.iter(|| encode_envelope(&batch).len());
+    });
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let entries = typing_session_entries(256);
+    let per_op: Vec<Vec<u8>> = entries
+        .iter()
+        .map(|(epoch, msg)| {
+            encode_envelope(&Envelope::Op {
+                epoch: *epoch,
+                msg: msg.clone(),
+            })
+        })
+        .collect();
+    let batch = encode_envelope(&Envelope::OpBatch(OpBatch { entries }));
+
+    let mut group = c.benchmark_group("codec_decode");
+    group.throughput(Throughput::Elements(per_op.len() as u64));
+    group.bench_function("per_op_256", |b| {
+        b.iter(|| {
+            for bytes in &per_op {
+                let env: Envelope<Op> = decode_envelope(bytes).expect("round trip");
+                assert!(matches!(env, Envelope::Op { .. }));
+            }
+        });
+    });
+    group.bench_function("batch_256", |b| {
+        b.iter(|| {
+            let env: Envelope<Op> = decode_envelope(&batch).expect("round trip");
+            match env {
+                Envelope::OpBatch(b) => assert_eq!(b.len(), 256),
+                other => panic!("expected a batch, got {other:?}"),
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

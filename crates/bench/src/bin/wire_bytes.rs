@@ -1,0 +1,92 @@
+//! The wire and storage overhead experiment: bytes-per-op of the binary
+//! codec (per-op and batched) against the legacy JSON wire, the WAL size
+//! under both record formats, and the batch-size × loss sweep over the
+//! simulated faulty network — the §5.2 overhead evaluation applied to the
+//! replication and durability hot paths.
+//!
+//! Run with `cargo run -p bench --bin wire_bytes --release`
+//! (add `--json` for machine-readable output; CI uploads it as an
+//! artifact).
+
+use bench::{
+    wal_format_comparison, wire_cost_grid, wire_encoding_comparison, WalFormatRow, WireCostRow,
+    WireEncodingRow,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Output {
+    encoding: Vec<WireEncodingRow>,
+    wal_format: WalFormatRow,
+    distributed: Vec<WireCostRow>,
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let encoding = wire_encoding_comparison(512, &[8, 32, 128]);
+    let wal_format = wal_format_comparison(256);
+    let distributed = wire_cost_grid(3, 60);
+
+    // Sanity-check both output paths: a silently wrong artifact is worse
+    // than a red job.
+    for row in &distributed {
+        assert!(row.converged, "wire-cost cell diverged: {row:?}");
+    }
+    assert!(
+        wal_format.binary_bytes < wal_format.json_bytes,
+        "binary WAL regressed past JSON: {wal_format:?}"
+    );
+
+    if json {
+        let out = Output {
+            encoding,
+            wal_format,
+            distributed,
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("serializable output")
+        );
+        return;
+    }
+
+    println!("Sequential-typing session, 512 ops, encoded wire cost:");
+    println!(
+        "{:>18} {:>12} {:>12}",
+        "transport", "total bytes", "bytes/op"
+    );
+    for row in &encoding {
+        println!(
+            "{:>18} {:>12} {:>12.1}",
+            row.transport, row.total_bytes, row.bytes_per_op
+        );
+    }
+
+    println!();
+    println!(
+        "WAL size, {} logged edits: JSON v1 {} B, binary v2 {} B ({}x smaller)",
+        wal_format.records,
+        wal_format.json_bytes,
+        wal_format.binary_bytes,
+        (wal_format.ratio * 10.0).round() / 10.0
+    );
+
+    println!();
+    println!("Distributed sweep (3 sites, 60 edits/site, measured on the wire):");
+    println!(
+        "{:>6} {:>6} {:>6} {:>12} {:>10} {:>10} {:>9}",
+        "batch", "loss", "ops", "net bytes", "bytes/op", "messages", "batches"
+    );
+    for row in &distributed {
+        println!(
+            "{:>6} {:>6} {:>6} {:>12} {:>10.1} {:>10} {:>9}",
+            row.batch_max_ops,
+            row.drop_prob,
+            row.ops,
+            row.network_bytes,
+            row.bytes_per_op,
+            row.messages_delivered,
+            row.op_batches_sent
+        );
+    }
+}

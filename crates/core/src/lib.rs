@@ -65,6 +65,7 @@
 
 pub mod alloc;
 pub mod atom;
+pub mod codec;
 pub mod disambiguator;
 pub mod doc;
 pub mod error;
@@ -78,6 +79,7 @@ pub mod storage;
 pub mod tree;
 
 pub use atom::{Atom, Granularity};
+pub use codec::{WireAtom, WireDis, WirePayload, WIRE_VERSION};
 pub use disambiguator::{DisSource, Disambiguator, HasSource, Sdis, SdisSource, Udis, UdisSource};
 pub use doc::{Treedoc, TreedocConfig};
 pub use error::{Error, Result};

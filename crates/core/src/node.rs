@@ -355,24 +355,27 @@ impl<A, D: Disambiguator> MajorNode<A, D> {
     }
 
     /// Height of the subtree rooted here (number of levels; an empty node has
-    /// height 1 once it exists).
+    /// height 1 once it exists). Mini-nodes sit on their major node's level;
+    /// their private children start a new level, like the plain children.
+    ///
+    /// Walks with an explicit stack: a degenerate (skinny) tree is as deep as
+    /// the document is long, and document statistics must not blow the call
+    /// stack on pathological inputs.
     pub fn height(&self) -> usize {
-        let mut h = 0;
-        if let Some(c) = &self.left {
-            h = h.max(c.height());
-        }
-        if let Some(c) = &self.right {
-            h = h.max(c.height());
-        }
-        for m in &self.minis {
-            if let Some(c) = &m.left {
-                h = h.max(c.height());
-            }
-            if let Some(c) = &m.right {
-                h = h.max(c.height());
+        let mut best = 0usize;
+        let mut stack: Vec<(&MajorNode<A, D>, usize)> = vec![(self, 1)];
+        while let Some((node, level)) = stack.pop() {
+            best = best.max(level);
+            let majors = [node.left.as_deref(), node.right.as_deref()];
+            let minis = node
+                .minis
+                .iter()
+                .flat_map(|m| [m.left.as_deref(), m.right.as_deref()]);
+            for child in majors.into_iter().chain(minis).flatten() {
+                stack.push((child, level + 1));
             }
         }
-        h + 1
+        best
     }
 }
 
@@ -480,6 +483,40 @@ mod tests {
             .child_or_create(Side::Right)
             .plain = Content::Live(3);
         assert_eq!(major.height(), 3);
+    }
+
+    #[test]
+    fn height_counts_mini_children_one_level_down() {
+        let mut major: MajorNode<u32, Sdis> = MajorNode::with_plain_atom(1);
+        let mini = MiniNode::new(d(1), Content::Live(2));
+        major.minis.push(mini);
+        assert_eq!(major.height(), 1, "minis share their major node's level");
+        major.minis[0].child_or_create(Side::Right).plain = Content::Live(3);
+        assert_eq!(major.height(), 2);
+    }
+
+    #[test]
+    fn deep_skinny_tree_height_does_not_blow_the_stack() {
+        // A degenerate left chain as deep as a long document: the recursive
+        // height() this replaces needed one call frame per level and
+        // overflowed the default test-thread stack well before this depth.
+        const DEPTH: usize = 200_000;
+        let mut root: MajorNode<u32, Sdis> = MajorNode::with_plain_atom(0);
+        {
+            let mut node = &mut root;
+            for _ in 1..DEPTH {
+                node = node.child_or_create(Side::Left);
+            }
+            node.plain = Content::Live(1);
+        }
+        assert_eq!(root.height(), DEPTH);
+
+        // Tear the chain down level by level: Rust's generated drop glue is
+        // itself recursive and would overflow on a chain this deep.
+        let mut cursor = root.left.take();
+        while let Some(mut boxed) = cursor {
+            cursor = boxed.left.take();
+        }
     }
 
     #[test]

@@ -198,9 +198,16 @@ impl<A: Atom, D: Disambiguator> Tree<A, D> {
     }
 
     /// The live atom at `index`, if it exists.
+    ///
+    /// Resolved in a **single** descent guided by the cached live counters —
+    /// unlike [`id_of_live_index`](Self::id_of_live_index) followed by
+    /// [`get_atom`](Self::get_atom), which walks the tree twice and clones
+    /// every disambiguator on the path along the way.
     pub fn atom_at(&self, index: usize) -> Option<&A> {
-        let id = self.id_of_live_index(index)?;
-        self.get_atom(&id)
+        if index >= self.live_len() {
+            return None;
+        }
+        Some(live_atom_at(&self.root, index))
     }
 
     /// Identifier of the first occupied slot (live, tombstone or ghost) in
@@ -589,6 +596,53 @@ fn check_major<A: Atom, D: Disambiguator>(node: &MajorNode<A, D>) -> Result<(), 
 }
 
 // --- index lookup -------------------------------------------------------
+
+/// Finds the `index`-th live atom in one loop down the tree, steered by the
+/// cached live counters (no path built, no second descent, no disambiguator
+/// clones). `index` must be `< node.live`.
+fn live_atom_at<A, D: Disambiguator>(node: &MajorNode<A, D>, index: usize) -> &A {
+    let mut node = node;
+    let mut index = index;
+    'descend: loop {
+        debug_assert!(index < node.live);
+        if let Some(left) = node.child(Side::Left) {
+            if index < left.live {
+                node = left;
+                continue 'descend;
+            }
+            index -= left.live;
+        }
+        if node.plain.is_live() {
+            if index == 0 {
+                return node.plain.live().expect("liveness just checked");
+            }
+            index -= 1;
+        }
+        for mini in node.minis() {
+            if index < mini.live_count() {
+                // Descend into this mini-node's private namespace: its left
+                // subtree, its own slot, then its right subtree.
+                if let Some(left) = mini.child(Side::Left) {
+                    if index < left.live {
+                        node = left;
+                        continue 'descend;
+                    }
+                    index -= left.live;
+                }
+                if mini.content().is_live() {
+                    if index == 0 {
+                        return mini.content().live().expect("liveness just checked");
+                    }
+                    index -= 1;
+                }
+                node = mini.child(Side::Right).expect("index within live count");
+                continue 'descend;
+            }
+            index -= mini.live_count();
+        }
+        node = node.child(Side::Right).expect("index within live count");
+    }
+}
 
 fn locate_live_major<A, D: Disambiguator + Clone>(
     node: &MajorNode<A, D>,

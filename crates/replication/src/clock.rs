@@ -94,6 +94,18 @@ impl VectorClock {
         true
     }
 
+    /// Iterates the `(site, counter)` entries in site order.
+    pub fn iter(&self) -> impl Iterator<Item = (SiteId, u64)> + '_ {
+        self.entries.iter().map(|(&s, &v)| (s, v))
+    }
+
+    /// Sets the counter of `site` to exactly `value` (unlike
+    /// [`observe`](Self::observe), which clamps to the maximum). Used by the
+    /// wire codec to reconstruct a clock entry-for-entry.
+    pub(crate) fn set_entry(&mut self, site: SiteId, value: u64) {
+        self.entries.insert(site, value);
+    }
+
     /// Number of sites with a non-zero counter.
     pub fn sites(&self) -> usize {
         self.entries.len()

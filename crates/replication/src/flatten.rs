@@ -12,9 +12,9 @@
 //! The pieces:
 //!
 //! * [`FlattenPropose`] / [`FlattenVote`] / [`FlattenDecision`] — the wire
-//!   payloads, each with a [`wire_bytes`](FlattenPropose::wire_bytes)
-//!   estimate so the protocol cost the paper leaves unevaluated can be
-//!   reported;
+//!   payloads. Their cost is **measured**: drivers encode each message with
+//!   [`crate::wire::encode_envelope`] and count the bytes, so the protocol
+//!   cost the paper leaves unevaluated is reported from real encodings;
 //! * [`FlattenCoordinator`] — a round-based 2PC/3PC coordinator state
 //!   machine. It owns no transport: [`tick`](FlattenCoordinator::tick)
 //!   returns the messages to send this round (first transmissions and
@@ -56,9 +56,6 @@ use treedoc_core::SiteId;
 use crate::clock::VectorClock;
 use crate::replica::Envelope;
 
-/// Per-entry wire size of a vector clock (site id + counter).
-const CLOCK_ENTRY_BYTES: usize = 12;
-
 /// Coordinator → participant: a vote request for a flatten proposal.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FlattenPropose {
@@ -72,19 +69,6 @@ pub struct FlattenPropose {
     /// The coordinator's flatten epoch; proposals from another epoch are
     /// rejected.
     pub epoch: u64,
-}
-
-impl FlattenPropose {
-    /// Estimated size on the wire: txn + proposer + subtree bits + base
-    /// revision + protocol byte + epoch + the clock entries.
-    pub fn wire_bytes(&self) -> usize {
-        8 + 8
-            + self.proposal.subtree.len().div_ceil(8).max(1)
-            + 8
-            + 1
-            + 8
-            + self.base_clock.sites() * CLOCK_ENTRY_BYTES
-    }
 }
 
 /// Which coordinator request a [`FlattenVote`] answers. Votes are
@@ -113,13 +97,6 @@ pub struct FlattenVote {
     pub stage: VoteStage,
 }
 
-impl FlattenVote {
-    /// Estimated size on the wire.
-    pub fn wire_bytes(&self) -> usize {
-        8 + 8 + 1 + 1
-    }
-}
-
 /// The decision (or 3PC pre-decision) a coordinator distributes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DecisionKind {
@@ -141,22 +118,15 @@ pub struct FlattenDecision {
     pub kind: DecisionKind,
 }
 
-impl FlattenDecision {
-    /// Estimated size on the wire.
-    pub fn wire_bytes(&self) -> usize {
-        8 + 1
-    }
-}
-
 /// Message accounting of one coordinator run (the distributed counterpart of
 /// [`CommitStats`](treedoc_commit::CommitStats), measured in actual sends).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CoordinatorStats {
     /// Protocol messages the coordinator handed to the transport
-    /// (retransmissions included).
+    /// (retransmissions included). Byte costs are the driver's to measure:
+    /// it owns the encoding of what [`FlattenCoordinator::tick`] returns
+    /// (the simulator counts `encode_envelope(..).len()` per send).
     pub messages_sent: u64,
-    /// Estimated bytes of those messages.
-    pub bytes_sent: usize,
     /// Votes and acknowledgements received (duplicates excluded).
     pub replies_received: u64,
     /// Ticks from start until the outcome was final.
@@ -354,10 +324,6 @@ impl FlattenCoordinator {
         }
         self.ticks_in_phase += 1;
         self.stats.messages_sent += out.len() as u64;
-        self.stats.bytes_sent += out
-            .iter()
-            .map(|(_, e)| e.flatten_wire_bytes().unwrap_or(0))
-            .sum::<usize>();
         out
     }
 
@@ -535,14 +501,24 @@ mod tests {
     }
 
     #[test]
-    fn wire_sizes_are_positive_and_propose_is_largest() {
-        let p = propose(CommitProtocol::TwoPhase);
-        let v = vote(site(2), Vote::Yes, VoteStage::Vote);
-        let d = FlattenDecision {
-            txn: 7,
-            kind: DecisionKind::Commit,
-        };
-        assert!(p.wire_bytes() > v.wire_bytes());
-        assert!(v.wire_bytes() > d.wire_bytes());
+    fn encoded_wire_sizes_order_propose_above_vote_above_decision() {
+        use treedoc_core::{Op, Sdis};
+        type Env = Envelope<Op<String, Sdis>>;
+        let p = crate::wire::encode_envelope::<Op<String, Sdis>>(&Env::FlattenPropose(propose(
+            CommitProtocol::TwoPhase,
+        )));
+        let v = crate::wire::encode_envelope::<Op<String, Sdis>>(&Env::FlattenVote(vote(
+            site(2),
+            Vote::Yes,
+            VoteStage::Vote,
+        )));
+        let d = crate::wire::encode_envelope::<Op<String, Sdis>>(&Env::FlattenDecision(
+            FlattenDecision {
+                txn: 7,
+                kind: DecisionKind::Commit,
+            },
+        ));
+        assert!(p.len() > v.len());
+        assert!(v.len() > d.len());
     }
 }

@@ -24,11 +24,20 @@
 //!   e.g. the Logoot baseline). Its at-least-once mode logs stamped messages
 //!   and retransmits them until peers acknowledge via [`Envelope::Ack`],
 //!   making convergence hold on lossy links too;
+//! * [`wire`] — the binary wire codec: every [`Envelope`] and
+//!   [`WalRecord`] has a compact, versioned binary form built on
+//!   [`treedoc_core::codec`], with [`OpBatch`] entries delta-encoded
+//!   against each other (shared-prefix identifiers, elided clocks and
+//!   senders). [`Replica`]'s sender-side batching ([`BatchPolicy`],
+//!   [`Replica::stamp_batched`]) buffers stamps until a flush threshold
+//!   and coalesces retransmission windows into single batch envelopes;
 //! * [`persist`] — durability: with a [`DocStore`](treedoc_storage::DocStore)
 //!   attached, a replica journals every event to a checksummed WAL before
-//!   acting on it, checkpoints on committed flattens (truncating the
-//!   pre-epoch log) and recovers after a crash with its document, clock,
-//!   hold-back and unacked send log intact ([`Replica::recover`]).
+//!   acting on it (binary v2 records by default; legacy JSON v1 logs stay
+//!   recoverable behind the record-version byte — [`WalCodec`]),
+//!   checkpoints on committed flattens (truncating the pre-epoch log) and
+//!   recovers after a crash with its document, clock, hold-back and unacked
+//!   send log intact ([`Replica::recover`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +49,7 @@ pub mod network;
 pub mod persist;
 pub mod replica;
 pub mod testkit;
+pub mod wire;
 
 pub use causal::{
     BufferStats, CausalBuffer, CausalBufferImage, CausalMessage, Deliveries, Receipt,
@@ -50,5 +60,6 @@ pub use flatten::{
     FlattenVote, VoteStage,
 };
 pub use network::{LinkConfig, NetworkEvent, SimNetwork};
-pub use persist::{PersistentDocument, RecoverError, RecoveryReport, WalRecord};
-pub use replica::{Envelope, FlattenDocument, Replica, ReplicatedDocument};
+pub use persist::{PersistentDocument, RecoverError, RecoveryReport, WalCodec, WalRecord};
+pub use replica::{BatchPolicy, Envelope, FlattenDocument, OpBatch, Replica, ReplicatedDocument};
+pub use wire::{decode_envelope, encode_envelope, WireError};

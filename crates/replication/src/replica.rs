@@ -24,7 +24,7 @@ use crate::causal::{CausalBuffer, CausalBufferImage, CausalMessage};
 use crate::clock::VectorClock;
 use crate::flatten::{DecisionKind, FlattenDecision, FlattenPropose, FlattenVote, VoteStage};
 use crate::persist::{
-    self, PersistentDocument, RecoverError, RecoveryReport, WalRecord, SECTION_REPLICA,
+    self, PersistentDocument, RecoverError, RecoveryReport, WalCodec, WalRecord, SECTION_REPLICA,
 };
 
 /// A document type that can be driven by a [`Replica`].
@@ -65,10 +65,35 @@ where
     }
 }
 
+/// A run of causally consecutive stamped operations from one sender, shipped
+/// as a single envelope. Produced by the sender-side flush policy
+/// ([`Replica::stamp_batched`]) and by retransmission coalescing
+/// ([`Replica::unacked_batch_for`]); the binary wire codec delta-encodes the
+/// entries against each other (shared-prefix position identifiers, clock
+/// diffs), so a batch costs far fewer bytes than its operations shipped one
+/// envelope each.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpBatch<Op> {
+    /// `(stamped flatten epoch, message)` pairs in stamp order.
+    pub entries: Vec<(u64, CausalMessage<Op>)>,
+}
+
+impl<Op> OpBatch<Op> {
+    /// Number of operations in the batch.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the batch holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// Wire format between replicas: causally stamped operations (tagged with
-/// the sender's flatten epoch), cumulative acknowledgements for at-least-once
-/// delivery, and the three flatten-commitment messages of §4.2.1 (see
-/// [`crate::flatten`]).
+/// the sender's flatten epoch), operation batches, cumulative
+/// acknowledgements for at-least-once delivery, and the three
+/// flatten-commitment messages of §4.2.1 (see [`crate::flatten`]).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Envelope<Op> {
     /// A (possibly retransmitted) causally stamped operation.
@@ -82,6 +107,9 @@ pub enum Envelope<Op> {
         /// The stamped operation.
         msg: CausalMessage<Op>,
     },
+    /// A batch of stamped operations, each tagged with its own epoch.
+    /// Receiving a batch is exactly receiving its entries in order.
+    OpBatch(OpBatch<Op>),
     /// Cumulative acknowledgement: `from` has delivered everything described
     /// by `clock` (in particular, `clock.get(receiver)` messages of the
     /// receiving replica).
@@ -97,21 +125,6 @@ pub enum Envelope<Op> {
     FlattenVote(FlattenVote),
     /// Coordinator → participant: pre-commit, commit or abort.
     FlattenDecision(FlattenDecision),
-}
-
-impl<Op> Envelope<Op> {
-    /// Estimated wire size of a flatten-commitment message; `None` for
-    /// operation and acknowledgement envelopes (whose payload cost is
-    /// accounted separately via
-    /// [`Op::network_bytes`](treedoc_core::Op::network_bytes)).
-    pub fn flatten_wire_bytes(&self) -> Option<usize> {
-        match self {
-            Envelope::FlattenPropose(p) => Some(p.wire_bytes()),
-            Envelope::FlattenVote(v) => Some(v.wire_bytes()),
-            Envelope::FlattenDecision(d) => Some(d.wire_bytes()),
-            Envelope::Op { .. } | Envelope::Ack { .. } => None,
-        }
-    }
 }
 
 /// The per-replica participant role of the flatten commitment protocol (see
@@ -250,6 +263,55 @@ where
     }
 }
 
+/// Sender-side flush policy for operation batching: a batch is emitted as
+/// soon as it holds `max_ops` operations **or** its binary encoding reaches
+/// `max_bytes`, whichever comes first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchPolicy {
+    /// Maximum operations per batch (≥ 1).
+    pub max_ops: usize,
+    /// Maximum encoded payload bytes per batch.
+    pub max_bytes: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_ops: 16,
+            max_bytes: 16 * 1024,
+        }
+    }
+}
+
+/// One buffered batch entry: `(stamped flatten epoch, message)`.
+type BatchEntry<Op> = (u64, CausalMessage<Op>);
+
+/// The sender-side operation batcher: buffers stamped messages until the
+/// flush policy triggers. The encoded size is measured through a
+/// monomorphised hook captured where the codec bounds hold (same trick as
+/// [`Journal`]), so the buffering call sites need none.
+struct Batcher<Op> {
+    policy: BatchPolicy,
+    pending: Vec<BatchEntry<Op>>,
+    /// Encoded bytes of `pending` so far (each entry measured delta-encoded
+    /// against its predecessor, exactly as the wire will ship it).
+    pending_bytes: usize,
+    /// Encoded size of one batch entry given its predecessor.
+    entry_bytes: fn(&BatchEntry<Op>, Option<&BatchEntry<Op>>) -> usize,
+    batches_flushed: u64,
+}
+
+impl<Op> std::fmt::Debug for Batcher<Op> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Batcher")
+            .field("policy", &self.policy)
+            .field("pending", &self.pending.len())
+            .field("pending_bytes", &self.pending_bytes)
+            .field("batches_flushed", &self.batches_flushed)
+            .finish()
+    }
+}
+
 /// The sender-side retransmission state of at-least-once mode.
 #[derive(Debug)]
 struct AtLeastOnce<Op> {
@@ -382,6 +444,9 @@ pub struct Replica<Doc: ReplicatedDocument> {
     /// The attached durable store, when persistence is on (see
     /// [`attach_store`](Replica::attach_store)).
     journal: Option<Journal<Doc>>,
+    /// The sender-side operation batcher, when batching is on (see
+    /// [`enable_batching`](Replica::enable_batching)).
+    batcher: Option<Batcher<Doc::Op>>,
 }
 
 impl<Doc: ReplicatedDocument> Replica<Doc> {
@@ -397,6 +462,7 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
             flatten: FlattenRole::default(),
             epoch_held: Vec::new(),
             journal: None,
+            batcher: None,
         }
     }
 
@@ -595,6 +661,36 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
         missing
     }
 
+    /// Like [`unacked_envelopes_for`](Self::unacked_envelopes_for), but
+    /// coalesces the peer's whole unacked window into a **single**
+    /// [`Envelope::OpBatch`] (entries keep their stamped epochs), so a
+    /// retransmission round costs one envelope instead of one per message.
+    /// Every entry still counts as a retransmission. `None` when the peer
+    /// is fully acknowledged.
+    ///
+    /// # Panics
+    ///
+    /// Like [`unacked_envelopes_for`](Self::unacked_envelopes_for), if
+    /// `peer` was not registered.
+    pub fn unacked_batch_for(&mut self, peer: SiteId) -> Option<Envelope<Doc::Op>> {
+        let alo = self.at_least_once.as_mut()?;
+        let acked = alo
+            .peer_acked
+            .get(&peer)
+            .copied()
+            .unwrap_or_else(|| panic!("site {peer} is not a registered at-least-once peer"));
+        let entries: Vec<(u64, CausalMessage<Doc::Op>)> = alo
+            .send_log
+            .range(acked + 1..)
+            .map(|(_, (epoch, m))| (*epoch, m.clone()))
+            .collect();
+        if entries.is_empty() {
+            return None;
+        }
+        alo.retransmissions += entries.len() as u64;
+        Some(Envelope::OpBatch(OpBatch { entries }))
+    }
+
     /// Stamps a locally initiated operation with this replica's clock,
     /// producing the message to broadcast. In at-least-once mode the message
     /// is also retained for retransmission until every peer acknowledges it.
@@ -632,6 +728,80 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
         }
     }
 
+    /// Switches the replica to batched sending: operations stamped through
+    /// [`stamp_batched`](Self::stamp_batched) are buffered and emitted as
+    /// [`Envelope::OpBatch`]es when `policy` triggers. Journaling and the
+    /// at-least-once send log are unaffected (both act at stamp time), so a
+    /// crash can only lose an unflushed batch the retransmission protocol
+    /// recovers anyway.
+    pub fn enable_batching(&mut self, policy: BatchPolicy)
+    where
+        Doc::Op: treedoc_core::WirePayload,
+    {
+        assert!(policy.max_ops >= 1, "a batch holds at least one operation");
+        self.batcher = Some(Batcher {
+            policy,
+            pending: Vec::new(),
+            pending_bytes: 0,
+            entry_bytes: crate::wire::batch_entry_bytes::<Doc::Op>,
+            batches_flushed: 0,
+        });
+    }
+
+    /// `true` when batched sending is on.
+    pub fn batching_enabled(&self) -> bool {
+        self.batcher.is_some()
+    }
+
+    /// Stamps a locally initiated operation into the current batch. Returns
+    /// the batch envelope to broadcast when the flush policy triggered, or
+    /// `None` while the batch is still filling. Without
+    /// [`enable_batching`](Self::enable_batching) this behaves exactly like
+    /// [`stamp_envelope`](Self::stamp_envelope) (every op flushes
+    /// immediately), so drivers need a single call site for both modes.
+    pub fn stamp_batched(&mut self, op: Doc::Op) -> Option<Envelope<Doc::Op>> {
+        let epoch = self.flatten.epoch;
+        let msg = self.stamp(op);
+        let Some(batcher) = self.batcher.as_mut() else {
+            return Some(Envelope::Op { epoch, msg });
+        };
+        let entry = (epoch, msg);
+        batcher.pending_bytes += (batcher.entry_bytes)(&entry, batcher.pending.last());
+        batcher.pending.push(entry);
+        if batcher.pending.len() >= batcher.policy.max_ops
+            || batcher.pending_bytes >= batcher.policy.max_bytes
+        {
+            self.flush_batch()
+        } else {
+            None
+        }
+    }
+
+    /// Emits whatever the batcher holds, regardless of the flush policy
+    /// (drivers call this at round boundaries and before quiescence checks).
+    /// `None` when the batch is empty or batching is off.
+    pub fn flush_batch(&mut self) -> Option<Envelope<Doc::Op>> {
+        let batcher = self.batcher.as_mut()?;
+        if batcher.pending.is_empty() {
+            return None;
+        }
+        batcher.pending_bytes = 0;
+        batcher.batches_flushed += 1;
+        Some(Envelope::OpBatch(OpBatch {
+            entries: std::mem::take(&mut batcher.pending),
+        }))
+    }
+
+    /// Operations buffered in the current (unflushed) batch.
+    pub fn pending_batch_len(&self) -> usize {
+        self.batcher.as_ref().map_or(0, |b| b.pending.len())
+    }
+
+    /// Batches emitted so far (flush-policy triggers and explicit flushes).
+    pub fn batches_flushed(&self) -> u64 {
+        self.batcher.as_ref().map_or(0, |b| b.batches_flushed)
+    }
+
     /// Receives a message from the network; buffered messages that become
     /// deliverable are replayed immediately, in causal order. Duplicates are
     /// discarded (see [`Replica::duplicates_discarded`]).
@@ -652,6 +822,29 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
             let msg = msg.clone();
             self.journal_with(|| WalRecord::Received {
                 envelope: Envelope::Op { epoch, msg },
+            });
+        }
+    }
+
+    /// The persist-before-deliver guard for incoming batches: journals the
+    /// batch with its known-duplicate entries filtered out (their replay
+    /// would be a no-op), as one `Received` record. A batch that is
+    /// duplicates throughout — the common case under retransmission
+    /// coalescing, where the whole unacked window is re-sent — costs no WAL
+    /// record at all.
+    fn journal_received_batch(&mut self, batch: &OpBatch<Doc::Op>) {
+        if !self.journaling() {
+            return;
+        }
+        let fresh: Vec<(u64, CausalMessage<Doc::Op>)> = batch
+            .entries
+            .iter()
+            .filter(|(epoch, msg)| !self.op_is_known_duplicate(*epoch, msg))
+            .cloned()
+            .collect();
+        if !fresh.is_empty() {
+            self.journal_with(|| WalRecord::Received {
+                envelope: Envelope::OpBatch(OpBatch { entries: fresh }),
             });
         }
     }
@@ -710,6 +903,14 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
             Envelope::Op { epoch, msg } => {
                 self.journal_received_op(epoch, &msg);
                 self.receive_op(epoch, msg)
+            }
+            Envelope::OpBatch(batch) => {
+                self.journal_received_batch(&batch);
+                batch
+                    .entries
+                    .into_iter()
+                    .map(|(epoch, msg)| self.receive_op(epoch, msg))
+                    .sum()
             }
             Envelope::Ack { from, clock } => {
                 if self.journaling() && !self.ack_is_noop(from, &clock) {
@@ -1131,6 +1332,7 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
             flatten: FlattenRole::from_image(image.flatten),
             epoch_held: image.epoch_held,
             journal: None,
+            batcher: None,
         }
     }
 
@@ -1160,7 +1362,7 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
 impl<Doc> Replica<Doc>
 where
     Doc: PersistentDocument + FlattenDocument,
-    Doc::Op: Serialize + DeserializeOwned,
+    Doc::Op: Serialize + DeserializeOwned + treedoc_core::WirePayload,
 {
     /// Builds the full snapshot of this replica (document sections plus the
     /// replication image).
@@ -1179,11 +1381,26 @@ where
     /// journaling every subsequent event — stamped operations, received
     /// envelopes, commitment steps — *before* the replica acts on them.
     /// Committed flattens checkpoint automatically, truncating the pre-epoch
-    /// WAL.
+    /// WAL. New records are written in the compact binary format
+    /// ([`WalCodec::BinaryV2`]); recovery reads both format generations.
     pub fn attach_store(&mut self, store: DocStore) -> Result<(), StorageError> {
+        self.attach_store_with(store, WalCodec::default())
+    }
+
+    /// Like [`attach_store`](Self::attach_store) with an explicit WAL record
+    /// format — used to produce legacy (JSON v1) logs for upgrade tests and
+    /// to keep pre-upgrade tooling readable stores. The choice is transport
+    /// policy, not durable state: a plain [`recover`](Self::recover) resumes
+    /// in the default (binary) format, so a process that must *stay* on v1
+    /// across restarts recovers with [`recover_with`](Self::recover_with).
+    pub fn attach_store_with(
+        &mut self,
+        store: DocStore,
+        codec: WalCodec,
+    ) -> Result<(), StorageError> {
         let mut journal = Journal {
             store,
-            encode: persist::encode_wal_record::<Doc::Op>,
+            encode: codec.encoder::<Doc::Op>(),
             make_snapshot: Self::build_snapshot,
             replaying: false,
         };
@@ -1218,15 +1435,30 @@ where
     /// retransmission protocol, exactly as if the messages had been lost in
     /// flight.
     pub fn recover(store: DocStore) -> Result<(Self, RecoveryReport), RecoverError> {
+        Self::recover_with(store, WalCodec::default())
+    }
+
+    /// Like [`recover`](Self::recover), but journaling resumes writing new
+    /// records in the given format (recovery itself reads both format
+    /// generations regardless). For operators who attached with
+    /// [`WalCodec::JsonV1`] and need the log to stay v1-readable across a
+    /// restart.
+    pub fn recover_with(
+        store: DocStore,
+        codec: WalCodec,
+    ) -> Result<(Self, RecoveryReport), RecoverError> {
         let recovered = store.recover()?;
         let (_, snapshot) = recovered.snapshot.ok_or(RecoverError::NoSnapshot)?;
         let doc = Doc::decode_sections(&snapshot)?;
         let image: ReplicaImage<Doc::Op> =
             persist::from_json_bytes("replica section", snapshot.require(SECTION_REPLICA)?)?;
         let mut replica = Replica::from_image(doc, image);
+        // Journaling resumes in `codec`; records already in the log keep
+        // whatever format they were written in — recovery dispatches per
+        // record.
         replica.journal = Some(Journal {
             store,
-            encode: persist::encode_wal_record::<Doc::Op>,
+            encode: codec.encoder::<Doc::Op>(),
             make_snapshot: Self::build_snapshot,
             replaying: true,
         });
@@ -1378,6 +1610,127 @@ mod tests {
         assert_eq!(b.duplicates_discarded(), 2);
         assert_eq!(b.pending(), 0, "duplicates must not linger in pending");
         assert_eq!(b.doc().to_string(), "x");
+    }
+
+    #[test]
+    fn stamp_batched_flushes_on_the_op_count_policy() {
+        let mut a = replica(1);
+        let mut b = replica(2);
+        a.enable_batching(BatchPolicy {
+            max_ops: 3,
+            max_bytes: usize::MAX,
+        });
+        let mut flushed = Vec::new();
+        for k in 0..7 {
+            let op = a
+                .doc_mut()
+                .local_insert(k, char::from(b'a' + k as u8))
+                .unwrap();
+            if let Some(env) = a.stamp_batched(op) {
+                flushed.push(env);
+            }
+        }
+        assert_eq!(flushed.len(), 2, "two full batches of three");
+        assert_eq!(a.pending_batch_len(), 1, "one op still buffering");
+        flushed.extend(a.flush_batch());
+        assert_eq!(a.batches_flushed(), 3);
+        assert!(a.flush_batch().is_none(), "nothing left to flush");
+
+        for env in flushed {
+            match &env {
+                Envelope::OpBatch(batch) => assert!(!batch.is_empty()),
+                other => panic!("expected a batch, got {other:?}"),
+            }
+            b.receive_envelope(env);
+        }
+        assert_eq!(b.doc().to_string(), "abcdefg");
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn stamp_batched_flushes_on_the_byte_policy() {
+        let mut a = replica(1);
+        a.enable_batching(BatchPolicy {
+            max_ops: usize::MAX,
+            max_bytes: 40,
+        });
+        let mut flushes = 0;
+        for k in 0..20 {
+            let op = a.doc_mut().local_insert(k, 'x').unwrap();
+            if a.stamp_batched(op).is_some() {
+                flushes += 1;
+            }
+        }
+        assert!(
+            flushes >= 2,
+            "40-byte batches must flush well before 20 ops"
+        );
+        assert!(
+            a.pending_batch_len() < 20,
+            "the byte policy kept batches small"
+        );
+    }
+
+    #[test]
+    fn without_batching_stamp_batched_degenerates_to_single_envelopes() {
+        let mut a = replica(1);
+        let op = a.doc_mut().local_insert(0, 'x').unwrap();
+        let env = a.stamp_batched(op).expect("flushes immediately");
+        assert!(matches!(env, Envelope::Op { .. }));
+        assert_eq!(a.pending_batch_len(), 0);
+    }
+
+    #[test]
+    fn duplicate_batches_are_discarded_per_entry() {
+        let mut a = replica(1);
+        let mut b = replica(2);
+        a.enable_at_least_once(&[site(1), site(2)]);
+        a.enable_batching(BatchPolicy {
+            max_ops: 4,
+            max_bytes: usize::MAX,
+        });
+        for k in 0..4 {
+            let op = a
+                .doc_mut()
+                .local_insert(k, char::from(b'a' + k as u8))
+                .unwrap();
+            let _ = a.stamp_batched(op);
+        }
+        let batch = a.flush_batch();
+        assert!(batch.is_none(), "policy already flushed at 4 ops");
+        // Reconstruct the same window as a retransmission batch, twice.
+        let env = a.unacked_batch_for(site(2)).expect("whole window unacked");
+        assert_eq!(b.receive_envelope(env.clone()), 4);
+        assert_eq!(
+            b.receive_envelope(env),
+            0,
+            "duplicate batch re-applies nothing"
+        );
+        assert_eq!(b.duplicates_discarded(), 4);
+        assert_eq!(b.doc().to_string(), "abcd");
+    }
+
+    #[test]
+    fn unacked_batch_coalesces_the_window_and_counts_retransmissions() {
+        let sites = [site(1), site(2)];
+        let mut a = replica(1);
+        let mut b = replica(2);
+        a.enable_at_least_once(&sites);
+        for k in 0..5 {
+            let op = a
+                .doc_mut()
+                .local_insert(k, char::from(b'a' + k as u8))
+                .unwrap();
+            let _ = a.stamp(op); // every first transmission is "lost"
+        }
+        let env = a.unacked_batch_for(site(2)).expect("five unacked");
+        assert_eq!(a.retransmissions(), 5);
+        assert_eq!(b.receive_envelope(env), 5);
+        assert_eq!(b.doc().to_string(), "abcde");
+
+        let ack = b.ack_envelope();
+        a.receive_envelope(ack);
+        assert!(a.unacked_batch_for(site(2)).is_none(), "fully acked");
     }
 
     #[test]

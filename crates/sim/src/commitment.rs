@@ -17,7 +17,9 @@ use serde::{Deserialize, Serialize};
 
 use treedoc_commit::{CommitOutcome, CommitProtocol};
 use treedoc_core::{Op, Sdis, SiteId, Treedoc};
-use treedoc_replication::{Envelope, FlattenCoordinator, LinkConfig, Replica, SimNetwork};
+use treedoc_replication::{
+    encode_envelope, Envelope, FlattenCoordinator, LinkConfig, Replica, SimNetwork,
+};
 
 use crate::scenario::PRE_COMMIT_TIMEOUT_TICKS;
 
@@ -41,7 +43,8 @@ pub struct PartitionedCommitReport {
     /// Commitment messages that crossed the network (retransmissions
     /// included).
     pub protocol_messages: u64,
-    /// Estimated bytes of that traffic.
+    /// Encoded bytes of that traffic (measured with the binary wire codec,
+    /// not estimated).
     pub protocol_bytes: usize,
     /// Coordinator protocol rounds until the outcome was acknowledged.
     pub commit_rounds: u64,
@@ -74,7 +77,7 @@ fn pump_network(
         let (_, reply) = replicas[idx].receive_any(event.payload);
         if let Some(reply) = reply {
             *protocol_messages += 1;
-            *protocol_bytes += reply.flatten_wire_bytes().unwrap_or(0);
+            *protocol_bytes += encode_envelope(&reply).len();
             net.send(event.to, event.from, reply);
         }
     }
@@ -90,7 +93,7 @@ fn tick_coordinator(
 ) {
     for (to, env) in coordinator.tick::<Op<String, Sdis>>() {
         *protocol_messages += 1;
-        *protocol_bytes += env.flatten_wire_bytes().unwrap_or(0);
+        *protocol_bytes += encode_envelope(&env).len();
         net.send(coordinator_site, to, env);
     }
 }

@@ -8,7 +8,8 @@ use serde::{Deserialize, Serialize};
 use treedoc_commit::{CommitOutcome, CommitProtocol};
 use treedoc_core::{Op, Sdis, SiteId, Treedoc, TreedocConfig};
 use treedoc_replication::{
-    Envelope, FlattenCoordinator, LinkConfig, NetworkEvent, Replica, SimNetwork,
+    decode_envelope, encode_envelope, BatchPolicy, Envelope, FlattenCoordinator, LinkConfig,
+    NetworkEvent, Replica, SimNetwork,
 };
 use treedoc_storage::DocStore;
 
@@ -43,6 +44,16 @@ pub struct Scenario {
     /// How many edits a site performs before its batch is broadcast
     /// (1 = every edit is broadcast immediately).
     pub burst: usize,
+    /// Sender-side operation batching: operations are buffered and shipped
+    /// as one [`Envelope::OpBatch`] once this many accumulate (or
+    /// [`batch_max_bytes`](Self::batch_max_bytes) is hit). `1` disables
+    /// batching — every operation ships in its own envelope, the pre-batching
+    /// behaviour.
+    pub batch_max_ops: usize,
+    /// Byte half of the flush policy: a batch also flushes once its binary
+    /// encoding reaches this size. Ignored while
+    /// [`batch_max_ops`](Self::batch_max_ops) is 1.
+    pub batch_max_bytes: usize,
     /// Whether the §4.1 balancing strategies are enabled.
     pub balancing: bool,
     /// Simulate a temporary partition of the first site for the middle third
@@ -89,6 +100,8 @@ impl Default for Scenario {
             edits_per_site: 100,
             delete_ratio: 0.3,
             burst: 5,
+            batch_max_ops: 1,
+            batch_max_bytes: 16 * 1024,
             balancing: false,
             partition_first_site: false,
             drop_prob: 0.0,
@@ -129,6 +142,16 @@ impl Scenario {
         }
     }
 
+    /// A lossy at-least-once session shipping batched operations: same fault
+    /// mix as [`faulty`](Self::faulty), with up to `max_ops` operations
+    /// coalesced per envelope (retransmissions included).
+    pub fn batched_faulty(max_ops: usize) -> Self {
+        Scenario {
+            batch_max_ops: max_ops,
+            ..Scenario::faulty()
+        }
+    }
+
     /// A faulty durable session in which `site` crashes at `crash_round` and
     /// restarts from its store at `restart_round`.
     pub fn crash_faulty(site: usize, crash_round: usize, restart_round: usize) -> Self {
@@ -164,18 +187,27 @@ pub struct SimReport {
     pub duplicates_discarded: u64,
     /// Messages re-sent by the at-least-once recovery protocol.
     pub retransmissions: u64,
-    /// Operation payload bytes of those re-sends (already included in
-    /// [`network_bytes`](Self::network_bytes)).
+    /// Encoded bytes of those re-sends, one count per link crossed (already
+    /// included in [`network_bytes`](Self::network_bytes)).
     pub retransmission_bytes: usize,
     /// Largest causal hold-back queue observed across replicas.
     pub max_pending: usize,
-    /// Total operation payload bytes handed to the network (identifiers +
-    /// atoms, initial broadcasts plus retransmissions), the §5.2 network
-    /// cost estimate. Copies injected by network-level duplication are not
-    /// visible to the application and are excluded. Flatten-commitment
-    /// traffic is reported separately in
-    /// [`protocol_bytes`](Self::protocol_bytes).
+    /// Total **encoded** operation-envelope bytes handed to the network
+    /// (initial broadcasts plus retransmissions, one count per link
+    /// crossed) — what actually went over the wire, measured by running the
+    /// binary codec on every envelope, not the §5.2 estimate the simulator
+    /// used to report. Copies injected by network-level duplication are not
+    /// visible to the application and are excluded. Flatten-commitment and
+    /// acknowledgement traffic are reported separately in
+    /// [`protocol_bytes`](Self::protocol_bytes) and
+    /// [`ack_bytes`](Self::ack_bytes).
     pub network_bytes: usize,
+    /// Encoded bytes of the cumulative-acknowledgement traffic of the
+    /// at-least-once recovery rounds (per link crossed).
+    pub ack_bytes: usize,
+    /// [`Envelope::OpBatch`]es handed to the network (flush-policy emissions
+    /// and coalesced retransmission windows; 0 when batching is off).
+    pub op_batches_sent: u64,
     /// Final simulated time in milliseconds.
     pub sim_time_ms: u64,
     /// Rounds the first site actually spent partitioned from the rest (0
@@ -198,7 +230,8 @@ pub struct SimReport {
     /// Flatten-commitment messages handed to the network (proposals, votes,
     /// pre-commits, decisions, acknowledgements; retransmissions included).
     pub protocol_messages: u64,
-    /// Estimated bytes of that commitment traffic.
+    /// Encoded bytes of that commitment traffic (measured with the binary
+    /// wire codec, like every byte counter in this report).
     pub protocol_bytes: usize,
     /// Ticks replicas spent locked in the prepared state — the blocking
     /// cost; compare 2PC against 3PC under a coordinator partition.
@@ -232,6 +265,36 @@ pub struct SimReport {
 
 type Doc = Treedoc<String, Sdis>;
 type Env = Envelope<Op<String, Sdis>>;
+
+/// What the simulated network carries: the **encoded bytes** of an envelope.
+/// Every message crossing the wire goes through the binary codec and is
+/// decoded on delivery, so the byte counters in [`SimReport`] are measured
+/// sizes and every simulator run doubles as an end-to-end codec round-trip
+/// test.
+type Wire = Vec<u8>;
+
+/// Encodes an envelope and sends it, returning the encoded size.
+fn send_env(net: &mut SimNetwork<Wire>, from: SiteId, to: SiteId, env: &Env) -> usize {
+    let bytes = encode_envelope(env);
+    let len = bytes.len();
+    net.send(from, to, bytes);
+    len
+}
+
+/// Encodes an envelope once and broadcasts it, returning the encoded size
+/// (per copy; the caller multiplies by the recipient count for per-link
+/// accounting).
+fn broadcast_env(
+    net: &mut SimNetwork<Wire>,
+    from: SiteId,
+    recipients: &[SiteId],
+    env: &Env,
+) -> usize {
+    let bytes = encode_envelope(env);
+    let len = bytes.len();
+    net.broadcast(from, recipients, bytes);
+    len
+}
 
 /// Maximum recovery rounds (ack exchange + retransmission) the drain phase
 /// attempts before declaring the run wedged. With independent per-message
@@ -286,15 +349,14 @@ impl FlattenDriver {
         &mut self,
         replicas: &mut [Replica<Doc>],
         site_ids: &[SiteId],
-        net: &mut SimNetwork<Env>,
+        net: &mut SimNetwork<Wire>,
     ) {
         let Some(coordinator) = self.active.as_mut() else {
             return;
         };
-        for (to, env) in coordinator.tick() {
+        for (to, env) in coordinator.tick::<Op<String, Sdis>>() {
             self.protocol_messages += 1;
-            self.protocol_bytes += env.flatten_wire_bytes().unwrap_or(0);
-            net.send(site_ids[0], to, env);
+            self.protocol_bytes += send_env(net, site_ids[0], to, &env);
         }
         if let Some(outcome) = coordinator.outcome() {
             if !self.self_finished {
@@ -326,8 +388,8 @@ fn deliver(
     replicas: &mut [Replica<Doc>],
     site_ids: &[SiteId],
     driver: &mut FlattenDriver,
-    net: &mut SimNetwork<Env>,
-    event: NetworkEvent<Env>,
+    net: &mut SimNetwork<Wire>,
+    event: NetworkEvent<Wire>,
     max_pending: &mut usize,
     dead: Option<SiteId>,
     lost_to_crash: &mut u64,
@@ -336,7 +398,11 @@ fn deliver(
         *lost_to_crash += 1;
         return;
     }
-    if let Envelope::FlattenVote(vote) = &event.payload {
+    // Every delivery decodes the bytes that actually crossed the wire; an
+    // undecodable message means the codec (not the scenario) is broken.
+    let envelope: Env = decode_envelope(&event.payload)
+        .unwrap_or_else(|e| panic!("undecodable envelope on the wire: {e}"));
+    if let Envelope::FlattenVote(vote) = &envelope {
         if event.to == site_ids[0] {
             if let Some(coordinator) = driver.active.as_mut() {
                 coordinator.on_vote(*vote);
@@ -348,11 +414,10 @@ fn deliver(
         .iter()
         .position(|&s| s == event.to)
         .expect("known site");
-    let (_, reply) = replicas[idx].receive_any(event.payload);
+    let (_, reply) = replicas[idx].receive_any(envelope);
     if let Some(reply) = reply {
         driver.protocol_messages += 1;
-        driver.protocol_bytes += reply.flatten_wire_bytes().unwrap_or(0);
-        net.send(event.to, event.from, reply);
+        driver.protocol_bytes += send_env(net, event.to, event.from, &reply);
     }
     *max_pending = (*max_pending).max(replicas[idx].pending());
 }
@@ -366,17 +431,24 @@ struct RecoveryTotals {
 }
 
 /// Restarts a crashed site from its durable store, folding the recovery
-/// report into the totals.
+/// report into the totals. The batcher is transport policy, not durable
+/// state, so it is re-enabled rather than recovered; whatever the dead
+/// process had buffered unflushed is re-sent from the recovered send log by
+/// the at-least-once protocol.
 fn restart_replica(
     replicas: &mut [Replica<Doc>],
     idx: usize,
     store: DocStore,
     totals: &mut RecoveryTotals,
+    batch_policy: Option<BatchPolicy>,
 ) {
-    let (replica, report) = Replica::recover(store).expect("crash recovery must succeed");
+    let (mut replica, report) = Replica::recover(store).expect("crash recovery must succeed");
     totals.records += report.wal_records_replayed as u64;
     totals.bytes += report.bytes_recovered as u64;
     totals.snapshot_hits += u64::from(report.snapshot_hit);
+    if let Some(policy) = batch_policy {
+        replica.enable_batching(policy);
+    }
     replicas[idx] = replica;
 }
 
@@ -416,15 +488,26 @@ pub fn run(scenario: &Scenario) -> SimReport {
                 .expect("in-memory store attach cannot fail");
         }
     }
+    let batch_policy = (scenario.batch_max_ops > 1).then_some(BatchPolicy {
+        max_ops: scenario.batch_max_ops,
+        max_bytes: scenario.batch_max_bytes,
+    });
+    if let Some(policy) = batch_policy {
+        for r in replicas.iter_mut() {
+            r.enable_batching(policy);
+        }
+    }
 
     let link = LinkConfig::default()
         .with_drop_prob(scenario.drop_prob)
         .with_duplicate_prob(scenario.duplicate_prob)
         .with_reorder_burst(scenario.reorder_burst_prob, 250);
-    let mut net: SimNetwork<Env> = SimNetwork::new(link, scenario.seed);
+    let mut net: SimNetwork<Wire> = SimNetwork::new(link, scenario.seed);
     let mut ops_generated = 0usize;
     let mut network_bytes = 0usize;
     let mut retransmission_bytes = 0usize;
+    let mut ack_bytes = 0usize;
+    let mut op_batches_sent = 0u64;
     let mut max_pending = 0usize;
 
     let mut driver = FlattenDriver::default();
@@ -478,7 +561,7 @@ pub fn run(scenario: &Scenario) -> SimReport {
         if let Some(cs) = scenario.crash {
             if round == cs.restart_round {
                 if let Some((idx, store)) = dead.take() {
-                    restart_replica(&mut replicas, idx, store, &mut recovery);
+                    restart_replica(&mut replicas, idx, store, &mut recovery, batch_policy);
                 }
             }
             if round == cs.crash_round && crashes == 0 {
@@ -529,9 +612,15 @@ pub fn run(scenario: &Scenario) -> SimReport {
                     }
                 };
                 ops_generated += 1;
-                network_bytes += op.network_bytes() * (scenario.sites - 1);
-                let env = replicas[i].stamp_envelope(op);
-                net.broadcast(site_ids[i], &site_ids, env);
+                // `stamp_batched` degenerates to one envelope per op while
+                // batching is off, so a single call site serves both modes.
+                // Byte accounting happens per envelope actually emitted, with
+                // the real encoded size, one count per link crossed.
+                if let Some(env) = replicas[i].stamp_batched(op) {
+                    op_batches_sent += u64::from(matches!(env, Envelope::OpBatch(_)));
+                    network_bytes += broadcast_env(&mut net, site_ids[i], &site_ids, &env)
+                        * (scenario.sites - 1);
+                }
             }
         }
 
@@ -591,7 +680,17 @@ pub fn run(scenario: &Scenario) -> SimReport {
     // A site still dead when the edits end restarts at the head of the drain
     // phase (the drain cannot terminate while a registered peer never acks).
     if let Some((idx, store)) = dead.take() {
-        restart_replica(&mut replicas, idx, store, &mut recovery);
+        restart_replica(&mut replicas, idx, store, &mut recovery, batch_policy);
+    }
+    // Flush whatever the batchers still hold: without retransmission a
+    // buffered-but-never-shipped batch would be lost for good, and the final
+    // quiescent flatten needs every clock settled.
+    for i in 0..replicas.len() {
+        if let Some(env) = replicas[i].flush_batch() {
+            op_batches_sent += 1;
+            network_bytes +=
+                broadcast_env(&mut net, site_ids[i], &site_ids, &env) * (scenario.sites - 1);
+        }
     }
     // With the protocol enabled, one extra proposal runs at quiescence:
     // every clock is equal by then, so it demonstrates the committed path.
@@ -671,7 +770,8 @@ pub fn run(scenario: &Scenario) -> SimReport {
             // next round simply repeats them).
             for i in 0..replicas.len() {
                 let ack = replicas[i].ack_envelope();
-                net.broadcast(site_ids[i], &site_ids, ack);
+                ack_bytes +=
+                    broadcast_env(&mut net, site_ids[i], &site_ids, &ack) * (scenario.sites - 1);
             }
             while let Some(event) = net.step() {
                 deliver(
@@ -686,20 +786,26 @@ pub fn run(scenario: &Scenario) -> SimReport {
                 );
             }
             // Retransmit everything still unacknowledged, per peer, keeping
-            // the flatten epoch each message was stamped in. Each re-send
-            // crosses the network with the full operation payload, so it
-            // counts towards the §5.2 byte cost like the initial broadcast.
+            // the flatten epoch each message was stamped in. With batching
+            // on, the peer's whole unacked window coalesces into a single
+            // batch envelope; either way each re-send crosses the network
+            // with its full encoded payload and is counted like the initial
+            // broadcast.
             for i in 0..replicas.len() {
                 let from = site_ids[i];
                 for &peer in &site_ids {
                     if peer == from {
                         continue;
                     }
-                    for env in replicas[i].unacked_envelopes_for(peer) {
-                        if let Envelope::Op { msg, .. } = &env {
-                            retransmission_bytes += msg.payload.network_bytes();
+                    if batch_policy.is_some() {
+                        if let Some(env) = replicas[i].unacked_batch_for(peer) {
+                            op_batches_sent += 1;
+                            retransmission_bytes += send_env(&mut net, from, peer, &env);
                         }
-                        net.send(from, peer, env);
+                    } else {
+                        for env in replicas[i].unacked_envelopes_for(peer) {
+                            retransmission_bytes += send_env(&mut net, from, peer, &env);
+                        }
                     }
                 }
             }
@@ -715,6 +821,7 @@ pub fn run(scenario: &Scenario) -> SimReport {
     let converged = replicas.iter().all(|r| r.doc().to_vec() == reference)
         && replicas.iter().all(|r| r.pending() == 0)
         && replicas.iter().all(|r| !r.has_unacked())
+        && replicas.iter().all(|r| r.pending_batch_len() == 0)
         && replicas.iter().all(|r| r.flatten_epoch() == epoch)
         && replicas.iter().all(|r| !r.is_flatten_prepared());
 
@@ -730,6 +837,8 @@ pub fn run(scenario: &Scenario) -> SimReport {
         retransmission_bytes,
         max_pending,
         network_bytes: network_bytes + retransmission_bytes,
+        ack_bytes,
+        op_batches_sent,
         sim_time_ms: net.now_ms(),
         partition_rounds,
         flatten_proposals: driver.proposals,
@@ -790,6 +899,9 @@ pub struct ScenarioMatrix {
     /// Crash schedules to sweep (`None` = no crash). Any `Some` cell runs
     /// durable with retransmission.
     pub crashes: Vec<Option<CrashSchedule>>,
+    /// Operation-batch sizes to sweep (`1` = per-op envelopes). See
+    /// [`Scenario::batch_max_ops`].
+    pub batch_sizes: Vec<usize>,
 }
 
 impl ScenarioMatrix {
@@ -808,6 +920,27 @@ impl ScenarioMatrix {
             protocols: vec![CommitProtocol::TwoPhase],
             snapshot_cadences: vec![None],
             crashes: vec![None],
+            batch_sizes: vec![1],
+        }
+    }
+
+    /// The wire-cost matrix behind the §5.2 overhead evaluation: batch size
+    /// × loss, every lossy cell recovering through coalesced retransmission.
+    /// Compare [`SimReport::network_bytes`] per operation across the batch
+    /// axis — this is the sweep the `wire_bytes` bench binary prints.
+    pub fn batching(base: Scenario) -> Self {
+        ScenarioMatrix {
+            base,
+            drop_probs: vec![0.0, 0.1],
+            duplicate_probs: vec![0.0],
+            bursts: vec![5],
+            partition: vec![false],
+            balancing: vec![false],
+            flatten_cadences: vec![None],
+            protocols: vec![CommitProtocol::TwoPhase],
+            snapshot_cadences: vec![None],
+            crashes: vec![None],
+            batch_sizes: vec![1, 4, 16, 64],
         }
     }
 
@@ -828,6 +961,7 @@ impl ScenarioMatrix {
             protocols: vec![CommitProtocol::TwoPhase, CommitProtocol::ThreePhase],
             snapshot_cadences: vec![None],
             crashes: vec![None],
+            batch_sizes: vec![1],
         }
     }
 
@@ -869,6 +1003,7 @@ impl ScenarioMatrix {
                     restart_round: usize::MAX,
                 }),
             ],
+            batch_sizes: vec![1],
         }
     }
 
@@ -886,24 +1021,27 @@ impl ScenarioMatrix {
                                 for &flatten_protocol in &self.protocols {
                                     for &snapshot_cadence in &self.snapshot_cadences {
                                         for &crash in &self.crashes {
-                                            out.push(Scenario {
-                                                drop_prob,
-                                                duplicate_prob,
-                                                burst,
-                                                partition_first_site,
-                                                balancing,
-                                                flatten_cadence,
-                                                flatten_protocol,
-                                                snapshot_cadence,
-                                                crash,
-                                                durable: self.base.durable
-                                                    || snapshot_cadence.is_some()
-                                                    || crash.is_some(),
-                                                retransmit: self.base.retransmit
-                                                    || drop_prob > 0.0
-                                                    || crash.is_some(),
-                                                ..self.base
-                                            });
+                                            for &batch_max_ops in &self.batch_sizes {
+                                                out.push(Scenario {
+                                                    drop_prob,
+                                                    duplicate_prob,
+                                                    burst,
+                                                    partition_first_site,
+                                                    balancing,
+                                                    flatten_cadence,
+                                                    flatten_protocol,
+                                                    snapshot_cadence,
+                                                    crash,
+                                                    batch_max_ops,
+                                                    durable: self.base.durable
+                                                        || snapshot_cadence.is_some()
+                                                        || crash.is_some(),
+                                                    retransmit: self.base.retransmit
+                                                        || drop_prob > 0.0
+                                                        || crash.is_some(),
+                                                    ..self.base
+                                                });
+                                            }
                                         }
                                     }
                                 }
@@ -1211,6 +1349,134 @@ mod tests {
             } else {
                 assert_eq!(report.crashes, 0);
             }
+        }
+    }
+
+    #[test]
+    fn batched_sessions_converge_and_cut_bytes_per_op() {
+        let per_op = run(&Scenario::default());
+        let batched = run(&Scenario {
+            batch_max_ops: 16,
+            ..Scenario::default()
+        });
+        assert!(per_op.converged && batched.converged, "{batched:?}");
+        assert_eq!(per_op.op_batches_sent, 0);
+        assert!(batched.op_batches_sent > 0, "{batched:?}");
+        assert_eq!(
+            per_op.ops_generated, batched.ops_generated,
+            "same edit volume either way"
+        );
+        assert!(
+            batched.messages_delivered < per_op.messages_delivered,
+            "batches mean fewer envelopes: {batched:?} vs {per_op:?}"
+        );
+        // Random-position edits share shorter path prefixes than sequential
+        // typing, so demand a solid-but-not-dramatic cut here; the sequential
+        // case (where delta encoding shines, >2×) is asserted in the wire
+        // codec tests and measured by the `wire_bytes` bench.
+        assert!(
+            batched.network_bytes * 5 < per_op.network_bytes * 4,
+            "batching must cut at least 20% of the wire cost: {} vs {} bytes",
+            batched.network_bytes,
+            per_op.network_bytes
+        );
+    }
+
+    #[test]
+    fn batched_lossy_sessions_recover_through_coalesced_retransmission() {
+        let report = run(&Scenario {
+            edits_per_site: 60,
+            ..Scenario::batched_faulty(8)
+        });
+        assert!(report.converged, "{report:?}");
+        assert!(report.messages_dropped > 0, "{report:?}");
+        assert!(report.retransmissions > 0, "{report:?}");
+        assert!(report.retransmission_bytes > 0, "{report:?}");
+        assert!(report.op_batches_sent > 0, "{report:?}");
+        assert!(report.ack_bytes > 0, "{report:?}");
+    }
+
+    #[test]
+    fn batched_runs_are_reproducible() {
+        let scenario = Scenario {
+            edits_per_site: 40,
+            ..Scenario::batched_faulty(8)
+        };
+        assert_eq!(run(&scenario), run(&scenario));
+    }
+
+    #[test]
+    fn batching_composes_with_durability_and_crashes() {
+        let report = run(&Scenario {
+            edits_per_site: 40,
+            batch_max_ops: 8,
+            ..Scenario::crash_faulty(1, 2, 5)
+        });
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.crashes, 1);
+        assert!(report.wal_records_replayed > 0, "{report:?}");
+        assert!(report.op_batches_sent > 0, "{report:?}");
+    }
+
+    #[test]
+    fn batching_composes_with_the_flatten_commitment() {
+        for protocol in [CommitProtocol::TwoPhase, CommitProtocol::ThreePhase] {
+            let report = run(&Scenario {
+                edits_per_site: 40,
+                batch_max_ops: 8,
+                ..Scenario::flatten_faulty(protocol)
+            });
+            assert!(report.converged, "{protocol:?}: {report:?}");
+            assert!(
+                report.flatten_commits >= 1,
+                "the final quiescent proposal commits over batched traffic: \
+                 {protocol:?}: {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn byte_flush_policy_bounds_batch_sizes() {
+        // A tiny byte budget forces flushes long before the op cap.
+        let report = run(&Scenario {
+            batch_max_ops: 1000,
+            batch_max_bytes: 256,
+            ..Scenario::default()
+        });
+        assert!(report.converged, "{report:?}");
+        assert!(
+            report.op_batches_sent as usize > report.ops_generated / 1000,
+            "the byte cap must have split the stream: {report:?}"
+        );
+    }
+
+    #[test]
+    fn batching_matrix_converges_and_orders_the_byte_axis() {
+        let matrix = ScenarioMatrix::batching(Scenario {
+            sites: 3,
+            edits_per_site: 40,
+            ..Default::default()
+        });
+        let results = matrix.run();
+        assert_eq!(results.len(), 2 * 4, "loss × batch-size grid");
+        for (scenario, report) in &results {
+            assert!(report.converged, "cell {scenario:?} diverged: {report:?}");
+        }
+        // Within the loss-free column, bigger batches must never cost more
+        // bytes per op.
+        let mut clean: Vec<_> = results.iter().filter(|(s, _)| s.drop_prob == 0.0).collect();
+        clean.sort_by_key(|(s, _)| s.batch_max_ops);
+        for pair in clean.windows(2) {
+            let (a, ra) = &pair[0];
+            let (b, rb) = &pair[1];
+            assert!(
+                rb.network_bytes <= ra.network_bytes,
+                "batch {} ({} B) must not beat batch {} ({} B)",
+                a.batch_max_ops,
+                ra.network_bytes,
+                b.batch_max_ops,
+                rb.network_bytes
+            );
         }
     }
 

@@ -34,10 +34,14 @@ pub use treedoc_trace as trace;
 /// Convenience prelude with the types most programs need.
 pub mod prelude {
     pub use treedoc_commit::{CommitOutcome, CommitProtocol, FlattenProposal, Vote};
-    pub use treedoc_core::{Op, PosId, Sdis, SiteId, Treedoc, TreedocConfig, Udis};
+    pub use treedoc_core::{
+        codec, Op, PosId, Sdis, SiteId, Treedoc, TreedocConfig, Udis, WireAtom, WireDis,
+        WirePayload,
+    };
     pub use treedoc_replication::{
-        CausalBuffer, CausalMessage, Envelope, FlattenCoordinator, LinkConfig, PersistentDocument,
-        RecoverError, RecoveryReport, Replica, SimNetwork, VectorClock,
+        decode_envelope, encode_envelope, BatchPolicy, CausalBuffer, CausalMessage, Envelope,
+        FlattenCoordinator, LinkConfig, OpBatch, PersistentDocument, RecoverError, RecoveryReport,
+        Replica, SimNetwork, VectorClock, WalCodec, WireError,
     };
     pub use treedoc_sim::{
         crash_recovery_demo, partitioned_commit_demo, CrashRecoveryReport, CrashSchedule,

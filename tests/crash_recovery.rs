@@ -124,6 +124,51 @@ fn flatten_commit_truncates_the_wal_to_post_epoch_records() {
 }
 
 #[test]
+fn recovery_crosses_the_wal_format_version_boundary() {
+    // A log written across the codec upgrade: a legacy JSON (v1) record
+    // prefix followed by binary (v2) records. Recovery must replay both
+    // generations record by record and land on the digest the live replica
+    // had — no migration step, no truncation.
+    let site = SiteId::from_u64(1);
+    let edit = |r: &mut Replica<Treedoc<String, Sdis>>, text: String| {
+        let len = r.doc().len();
+        let op = r.doc_mut().local_insert(len, text).unwrap();
+        let _ = r.stamp(op);
+    };
+
+    // Pre-upgrade session: every record journaled as JSON v1.
+    let mut replica = Replica::new(site, Treedoc::<String, Sdis>::new(site));
+    replica
+        .attach_store_with(DocStore::in_memory(), WalCodec::JsonV1)
+        .unwrap();
+    for k in 0..6 {
+        edit(&mut replica, format!("pre-upgrade {k}"));
+    }
+    let store = replica.detach_store().unwrap();
+
+    // The upgraded process recovers the v1 log and keeps journaling — in
+    // binary — into the same WAL.
+    let (mut replica, report) = Replica::<Treedoc<String, Sdis>>::recover(store).unwrap();
+    assert_eq!(report.wal_records_replayed, 6);
+    for k in 0..6 {
+        edit(&mut replica, format!("post-upgrade {k}"));
+    }
+    let live_digest = replica.digest();
+
+    // The WAL now genuinely holds both generations.
+    let wal = replica.store().unwrap().wal_entries().unwrap();
+    let leads: Vec<u8> = wal.entries.iter().map(|e| e.payload[0]).collect();
+    assert_eq!(leads.iter().filter(|&&b| b == b'{').count(), 6);
+    assert_eq!(leads.iter().filter(|&&b| b == 0x02).count(), 6);
+
+    // A second crash replays the mixed log to the identical digest.
+    let store = replica.detach_store().unwrap();
+    let (recovered, report) = Replica::<Treedoc<String, Sdis>>::recover(store).unwrap();
+    assert_eq!(report.wal_records_replayed, 12);
+    assert_eq!(recovered.digest(), live_digest);
+}
+
+#[test]
 fn recovery_works_through_the_real_file_backend() {
     let dir = std::env::temp_dir().join(format!("treedoc-crash-recovery-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
