@@ -1,0 +1,92 @@
+//! The core document-speed trajectory: sequential-typing throughput (local
+//! appends, remote replay, full trace replay) and memory-per-char of the
+//! identifier index. These are the numbers the run-coalesced store is
+//! expected to move by an order of magnitude; `BENCH_core.json` at the repo
+//! root pins the committed baseline the CI `bench-regression` job diffs
+//! against.
+//!
+//! Run with `cargo run -p bench --bin core_speed --release`
+//! (add `--json` for machine-readable output, `--out PATH` to refresh the
+//! committed baseline).
+
+use bench::{core_memory_cases, core_speed_cases, BenchArgs, CoreMemoryRow, CoreSpeedRow};
+use serde::Serialize;
+
+/// Sequential-typing operations per timed case (override: `CORE_SPEED_OPS`).
+const TYPING_OPS: usize = 20_000;
+/// Characters in the memory-per-char documents (override: `CORE_MEMORY_CHARS`).
+const MEMORY_CHARS: usize = 20_000;
+
+/// Reads a scale override from the environment, so the same binary can
+/// capture comparison points at sizes the slow side can actually finish.
+fn scale(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[derive(Serialize)]
+struct Output {
+    typing_ops: usize,
+    memory_chars: usize,
+    speed: Vec<CoreSpeedRow>,
+    memory: Vec<CoreMemoryRow>,
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let typing_ops = scale("CORE_SPEED_OPS", TYPING_OPS);
+    let memory_chars = scale("CORE_MEMORY_CHARS", MEMORY_CHARS);
+    let speed = core_speed_cases(typing_ops);
+    let memory = core_memory_cases(memory_chars);
+
+    // Sanity-check before publishing an artifact: a zero-throughput row or an
+    // empty document means the harness itself broke.
+    for row in &speed {
+        assert!(row.ops_per_sec > 0.0, "dead speed case: {row:?}");
+    }
+    for row in &memory {
+        assert_eq!(row.live_atoms, memory_chars, "short document: {row:?}");
+    }
+
+    let out = Output {
+        typing_ops,
+        memory_chars,
+        speed,
+        memory,
+    };
+    if args.emit(&out) {
+        return;
+    }
+
+    println!("Sequential-typing speed, {typing_ops} ops per case (best of 3):");
+    println!(
+        "{:>22} {:>10} {:>12} {:>14}",
+        "case", "ops", "micros", "ops/sec"
+    );
+    for row in &out.speed {
+        println!(
+            "{:>22} {:>10} {:>12} {:>14.0}",
+            row.case, row.ops, row.elapsed_micros, row.ops_per_sec
+        );
+    }
+
+    println!();
+    println!("Memory per char, {memory_chars}-char documents:");
+    println!(
+        "{:>18} {:>10} {:>12} {:>12} {:>10} {:>8}",
+        "case", "atoms", "index B", "B/char", "paper B", "height"
+    );
+    for row in &out.memory {
+        println!(
+            "{:>18} {:>10} {:>12} {:>12.1} {:>10} {:>8}",
+            row.case,
+            row.live_atoms,
+            row.index_bytes,
+            row.index_bytes_per_char,
+            row.paper_model_bytes,
+            row.height
+        );
+    }
+}

@@ -5,8 +5,11 @@
 //! comparison (blocked 2PC versus non-blocking 3PC).
 //!
 //! Run with `cargo run -p bench --bin flatten_commit --release`
-//! (add `--json` for machine-readable output).
+//! (add `--json` for machine-readable output, `--out PATH` to refresh the
+//! committed `BENCH_flatten.json` baseline the CI `bench-regression` job
+//! diffs against).
 
+use bench::BenchArgs;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -16,21 +19,30 @@ struct Output {
 }
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args = BenchArgs::from_env();
     let grid = bench::distributed_flatten_grid(4, 60);
     let partition_comparison = bench::partition_comparison(4, 2026);
 
-    if json {
-        let out = Output {
-            grid,
-            partition_comparison,
-        };
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&out).expect("serializable output")
-        );
+    // Sanity-check before publishing an artifact, not only on the table
+    // path: a diverged cell must fail the baseline refresh too.
+    for row in &grid {
+        assert!(row.converged, "cell diverged: {row:?}");
+    }
+    for report in &partition_comparison {
+        assert!(report.converged, "demo diverged: {report:?}");
+    }
+
+    let out = Output {
+        grid,
+        partition_comparison,
+    };
+    if args.emit(&out) {
         return;
     }
+    let Output {
+        grid,
+        partition_comparison,
+    } = out;
 
     println!("Distributed flatten commitment cost (4 sites, 60 edits/site).");
     println!(
@@ -48,7 +60,6 @@ fn main() {
         "unilateral"
     );
     for row in &grid {
-        assert!(row.converged, "cell diverged: {row:?}");
         println!(
             "{:<5} {:>6.2} {:>10} {:>9} {:>8} {:>7} {:>9} {:>9} {:>8} {:>9} {:>10}",
             row.protocol,
@@ -72,7 +83,6 @@ fn main() {
         "proto", "committed-in-partition", "blocked", "msgs", "bytes", "rounds"
     );
     for report in &partition_comparison {
-        assert!(report.converged, "demo diverged: {report:?}");
         println!(
             "{:<5} {:>22} {:>10} {:>9} {:>9} {:>8}",
             report.protocol.label(),

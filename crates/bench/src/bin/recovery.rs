@@ -4,10 +4,11 @@
 //! never measures.
 //!
 //! Run with `cargo run -p bench --bin recovery --release`
-//! (add `--json` for machine-readable output; CI uploads it as an
-//! artifact).
+//! (add `--json` for machine-readable output, `--out PATH` to refresh the
+//! committed `BENCH_recovery.json` baseline the CI `bench-regression` job
+//! diffs against).
 
-use bench::{recovery_cost_grid, wal_append_throughput, RecoveryCostRow, WalAppendRow};
+use bench::{recovery_cost_grid, wal_append_throughput, BenchArgs, RecoveryCostRow, WalAppendRow};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -17,7 +18,7 @@ struct Output {
 }
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args = BenchArgs::from_env();
     let wal_append: Vec<WalAppendRow> = [64usize, 256, 1024]
         .iter()
         .map(|&payload| wal_append_throughput(2_000, payload))
@@ -35,17 +36,17 @@ fn main() {
         );
     }
 
-    if json {
-        let out = Output {
-            wal_append,
-            recovery,
-        };
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&out).expect("serializable output")
-        );
+    let out = Output {
+        wal_append,
+        recovery,
+    };
+    if args.emit(&out) {
         return;
     }
+    let Output {
+        wal_append,
+        recovery,
+    } = out;
 
     println!("WAL append throughput (in-memory backend, 2000 records):");
     println!("{:>10} {:>14} {:>14}", "payload", "appends/s", "MB/s");

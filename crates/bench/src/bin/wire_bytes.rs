@@ -5,12 +5,13 @@
 //! replication and durability hot paths.
 //!
 //! Run with `cargo run -p bench --bin wire_bytes --release`
-//! (add `--json` for machine-readable output; CI uploads it as an
-//! artifact).
+//! (add `--json` for machine-readable output, `--out PATH` to refresh the
+//! committed `BENCH_wire.json` baseline the CI `bench-regression` job
+//! diffs against).
 
 use bench::{
-    wal_format_comparison, wire_cost_grid, wire_encoding_comparison, WalFormatRow, WireCostRow,
-    WireEncodingRow,
+    wal_format_comparison, wire_cost_grid, wire_encoding_comparison, BenchArgs, WalFormatRow,
+    WireCostRow, WireEncodingRow,
 };
 use serde::Serialize;
 
@@ -22,7 +23,7 @@ struct Output {
 }
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args = BenchArgs::from_env();
     let encoding = wire_encoding_comparison(512, &[8, 32, 128]);
     let wal_format = wal_format_comparison(256);
     let distributed = wire_cost_grid(3, 60);
@@ -37,18 +38,19 @@ fn main() {
         "binary WAL regressed past JSON: {wal_format:?}"
     );
 
-    if json {
-        let out = Output {
-            encoding,
-            wal_format,
-            distributed,
-        };
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&out).expect("serializable output")
-        );
+    let out = Output {
+        encoding,
+        wal_format,
+        distributed,
+    };
+    if args.emit(&out) {
         return;
     }
+    let Output {
+        encoding,
+        wal_format,
+        distributed,
+    } = out;
 
     println!("Sequential-typing session, 512 ops, encoded wire cost:");
     println!(

@@ -709,6 +709,200 @@ pub fn wire_cost_grid(sites: usize, edits_per_site: usize) -> Vec<WireCostRow> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Core document speed and memory-per-char (run-coalescing trajectory)
+// ---------------------------------------------------------------------------
+
+/// One timed case of the `core_speed` benchmark: a sequential-typing or
+/// replay workload over the document core, reported as throughput.
+#[derive(Debug, Clone, Serialize)]
+pub struct CoreSpeedRow {
+    /// Case label.
+    pub case: String,
+    /// Operations (or replayed revisions) executed.
+    pub ops: usize,
+    /// Wall time, microseconds (best of `CORE_SPEED_TRIALS`).
+    pub elapsed_micros: u64,
+    /// Operations per second.
+    pub ops_per_sec: f64,
+}
+
+/// One memory-per-char case of the `core_speed` benchmark.
+#[derive(Debug, Clone, Serialize)]
+pub struct CoreMemoryRow {
+    /// Case label.
+    pub case: String,
+    /// Live atoms in the final document.
+    pub live_atoms: usize,
+    /// Occupied tree slots.
+    pub total_nodes: usize,
+    /// Measured index heap bytes ([`Treedoc::index_bytes`]).
+    pub index_bytes: usize,
+    /// `index_bytes / live_atoms`.
+    pub index_bytes_per_char: f64,
+    /// Paper model (26 B/node) bytes, for continuity with Table 1.
+    pub paper_model_bytes: usize,
+    /// Tree height of the final document.
+    pub height: usize,
+}
+
+/// Trials per timed case; the best run is reported (same policy as
+/// [`recovery_cost_grid`]).
+pub const CORE_SPEED_TRIALS: usize = 3;
+
+/// Parses the shared bench-binary CLI surface: `--json` switches to
+/// machine-readable stdout, `--out PATH` additionally writes that JSON to
+/// `PATH` (the committed `BENCH_*.json` baselines at the repo root).
+#[derive(Debug, Default, Clone)]
+pub struct BenchArgs {
+    /// Print machine-readable JSON instead of the paper-style tables.
+    pub json: bool,
+    /// Baseline file to (over)write with the JSON output.
+    pub out: Option<String>,
+}
+
+impl BenchArgs {
+    /// Reads the process arguments.
+    pub fn from_env() -> Self {
+        let mut args = BenchArgs::default();
+        let mut iter = std::env::args().skip(1);
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--json" => args.json = true,
+                "--out" => args.out = iter.next(),
+                _ => {}
+            }
+        }
+        args
+    }
+
+    /// Serialises `value`, prints it when `--json` was given and writes it to
+    /// the `--out` baseline when one was named.
+    pub fn emit<T: Serialize>(&self, value: &T) -> bool {
+        if !self.json && self.out.is_none() {
+            return false;
+        }
+        let json = serde_json::to_string_pretty(value).expect("serializable output");
+        if let Some(path) = &self.out {
+            std::fs::write(path, format!("{json}\n")).expect("baseline file writable");
+        }
+        if self.json {
+            println!("{json}");
+        }
+        self.json
+    }
+}
+
+use treedoc_core::Treedoc;
+
+fn best_of<T>(mut run: impl FnMut() -> T) -> (T, Duration) {
+    let mut best: Option<(T, Duration)> = None;
+    for _ in 0..CORE_SPEED_TRIALS {
+        let t = std::time::Instant::now();
+        let out = run();
+        let elapsed = t.elapsed();
+        if best.as_ref().is_none_or(|(_, b)| elapsed < *b) {
+            best = Some((out, elapsed));
+        }
+    }
+    best.expect("at least one trial ran")
+}
+
+fn speed_row(case: &str, ops: usize, elapsed: Duration) -> CoreSpeedRow {
+    CoreSpeedRow {
+        case: case.to_string(),
+        ops,
+        elapsed_micros: elapsed.as_micros() as u64,
+        ops_per_sec: ops as f64 / elapsed.as_secs_f64().max(1e-9),
+    }
+}
+
+fn memory_row<D: treedoc_core::Disambiguator + treedoc_core::HasSource>(
+    case: &str,
+    doc: &Treedoc<String, D>,
+) -> CoreMemoryRow {
+    let stats = doc.stats();
+    let index_bytes = doc.index_bytes();
+    CoreMemoryRow {
+        case: case.to_string(),
+        live_atoms: stats.live_atoms,
+        total_nodes: stats.total_nodes,
+        index_bytes,
+        index_bytes_per_char: index_bytes as f64 / stats.live_atoms.max(1) as f64,
+        paper_model_bytes: stats.total_nodes * 26,
+        height: stats.height,
+    }
+}
+
+/// Runs the sequential-typing speed cases: local appends (the `crdt_ops`
+/// `append_unbalanced` shape at scale), remote replay of a one-site typing
+/// session (the `replay_512_inserts` shape at scale), and the full
+/// most-active-document trace replay (the `replay_speed` reference point).
+pub fn core_speed_cases(typing_ops: usize) -> Vec<CoreSpeedRow> {
+    let mut rows = Vec::new();
+
+    let site = treedoc_core::SiteId::from_u64(1);
+    let (_, elapsed) = best_of(|| {
+        let mut doc: Treedoc<String, treedoc_core::Sdis> = Treedoc::new(site);
+        for k in 0..typing_ops {
+            doc.local_insert(k, format!("a{k}")).expect("append");
+        }
+        doc
+    });
+    rows.push(speed_row("local_append_sdis", typing_ops, elapsed));
+
+    let (_, elapsed) = best_of(|| {
+        let mut doc: Treedoc<String, treedoc_core::Udis> = Treedoc::new(site);
+        for k in 0..typing_ops {
+            doc.local_insert(k, format!("a{k}")).expect("append");
+        }
+        doc
+    });
+    rows.push(speed_row("local_append_udis", typing_ops, elapsed));
+
+    let mut source: Treedoc<String, treedoc_core::Udis> = Treedoc::new(site);
+    let ops: Vec<_> = (0..typing_ops)
+        .map(|k| source.local_insert(k, format!("a{k}")).expect("append"))
+        .collect();
+    let (_, elapsed) = best_of(|| {
+        let mut doc: Treedoc<String, treedoc_core::Udis> =
+            Treedoc::new(treedoc_core::SiteId::from_u64(2));
+        for op in &ops {
+            doc.apply(op).expect("replay");
+        }
+        doc
+    });
+    rows.push(speed_row("remote_replay_udis", typing_ops, elapsed));
+
+    let (report, _) = best_of(replay_most_active);
+    rows.push(speed_row(
+        "replay_most_active",
+        report.inserts + report.deletes,
+        report.elapsed,
+    ));
+
+    rows
+}
+
+/// Runs the memory-per-char cases: a pure sequential-typing document (the
+/// run-coalescing best case) and a flattened equivalent.
+pub fn core_memory_cases(chars: usize) -> Vec<CoreMemoryRow> {
+    let site = treedoc_core::SiteId::from_u64(1);
+    let mut rows = Vec::new();
+
+    let mut typed: Treedoc<String, treedoc_core::Sdis> = Treedoc::new(site);
+    for k in 0..chars {
+        typed.local_insert(k, "x".to_string()).expect("append");
+    }
+    rows.push(memory_row("sequential_typing", &typed));
+
+    let atoms: Vec<String> = (0..chars).map(|_| "x".to_string()).collect();
+    let exploded: Treedoc<String, treedoc_core::Sdis> = Treedoc::from_atoms(site, &atoms);
+    rows.push(memory_row("flattened", &exploded));
+
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -94,7 +94,8 @@ impl<'a, A: Atom, D: Disambiguator + HasSource> TreedocParticipant<'a, A, D> {
 
 impl<A: Atom, D: Disambiguator + HasSource> FlattenParticipant for TreedocParticipant<'_, A, D> {
     fn prepare(&mut self, proposal: &FlattenProposal) -> Vote {
-        let subtree = self.doc.tree().subtree(&proposal.subtree);
+        let tree = self.doc.tree();
+        let subtree = tree.subtree(&proposal.subtree);
         let vote = match subtree {
             // The subtree does not even exist here (e.g. it was emptied by
             // edits the proposer has not seen): conflicting activity.

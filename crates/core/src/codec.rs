@@ -32,12 +32,20 @@ use crate::atom::Atom;
 use crate::disambiguator::{Disambiguator, Sdis, Udis};
 use crate::ops::Op;
 use crate::path::{PathElem, PosId, Side};
+use crate::run::{spine_step, spine_successor};
 use crate::site::{SiteId, SITE_ID_BYTES};
 
 /// Version tag of the binary wire format. Bumped on any incompatible layout
 /// change; decoders reject unknown versions instead of misparsing. (Version 1
-/// is the implicit serde-JSON wire the workspace used before this codec.)
-pub const WIRE_VERSION: u8 = 2;
+/// is the implicit serde-JSON wire the workspace used before this codec;
+/// version 3 added the run-step batch entries — see
+/// [`WirePayload::encode_run_step`].)
+pub const WIRE_VERSION: u8 = 3;
+
+/// Oldest binary wire version current decoders still accept. Version 2
+/// encodings are a strict subset of version 3 (they never set the run-step
+/// entry flag), so one decoder covers both generations.
+pub const WIRE_MIN_VERSION: u8 = 2;
 
 // ---------------------------------------------------------------------------
 // Primitives
@@ -377,11 +385,30 @@ pub fn get_op<A: WireAtom, D: WireDis>(input: &mut &[u8], prev: &PosId<D>) -> Op
 /// `prev` is the previous payload of the same batch, giving delta encoders
 /// their context; it is `None` for the first (or only) payload. Encode and
 /// decode must thread the *same* `prev` for the round trip to hold.
+///
+/// The two `*_run_step` hooks expose **run coalescing** to the layered
+/// codecs: when a payload is the sequential continuation of its predecessor
+/// (for [`Op`], a [`spine_step`] insert — the shape every atom of a
+/// coalesced run has), the batch encoder ships just the step (one side byte
+/// plus the atom) instead of a full payload, and the decoder reconstructs
+/// the identifier with [`spine_successor`]. The defaults opt out, so payload
+/// types without a run structure are unaffected.
 pub trait WirePayload: Sized {
     /// Appends the payload's binary form.
     fn encode_payload(&self, prev: Option<&Self>, out: &mut Vec<u8>);
     /// Reads the payload back.
     fn decode_payload(input: &mut &[u8], prev: Option<&Self>) -> Option<Self>;
+    /// Appends the payload as a run continuation of `prev` and returns
+    /// `true`, or returns `false` **without writing anything** when the
+    /// payload does not continue `prev`.
+    fn encode_run_step(&self, _prev: &Self, _out: &mut Vec<u8>) -> bool {
+        false
+    }
+    /// Reads a run continuation back (inverse of
+    /// [`encode_run_step`](Self::encode_run_step)).
+    fn decode_run_step(_input: &mut &[u8], _prev: &Self) -> Option<Self> {
+        None
+    }
 }
 
 impl<A: WireAtom, D: WireDis> WirePayload for Op<A, D> {
@@ -393,6 +420,31 @@ impl<A: WireAtom, D: WireDis> WirePayload for Op<A, D> {
     fn decode_payload(input: &mut &[u8], prev: Option<&Self>) -> Option<Self> {
         let root = PosId::root();
         get_op(input, prev.map_or(&root, |p| p.id()))
+    }
+
+    fn encode_run_step(&self, prev: &Self, out: &mut Vec<u8>) -> bool {
+        let (Op::Insert { id, atom }, Op::Insert { id: prev_id, .. }) = (self, prev) else {
+            return false;
+        };
+        let Some(side) = spine_step(prev_id, id) else {
+            return false;
+        };
+        put_u8(out, side.bit());
+        atom.encode_atom(out);
+        true
+    }
+
+    fn decode_run_step(input: &mut &[u8], prev: &Self) -> Option<Self> {
+        let Op::Insert { id: prev_id, .. } = prev else {
+            return None;
+        };
+        let byte = get_u8(input)?;
+        if byte > 1 {
+            return None;
+        }
+        let id = spine_successor(prev_id, Side::from_bit(byte))?;
+        let atom = A::decode_atom(input)?;
+        Some(Op::Insert { id, atom })
     }
 }
 
@@ -550,6 +602,70 @@ mod tests {
                 assert!(cursor.is_empty());
             }
         }
+    }
+
+    #[test]
+    fn run_steps_round_trip_and_decline_correctly() {
+        use crate::disambiguator::{DisSource, SdisSource, UdisSource};
+        use crate::site::SiteId;
+
+        // A genuine spine continuation (the shape sequential typing stamps)
+        // encodes as a step and decodes back to the identical op.
+        fn check_step<D: WireDis>(mut source: impl DisSource<Dis = D>) {
+            let d0 = source.next_dis();
+            let prev: Op<String, D> = Op::Insert {
+                id: PosId::from_elems(vec![PathElem::mini(Side::Right, d0.clone())]),
+                atom: "a".into(),
+            };
+            for side in [Side::Left, Side::Right] {
+                let next: Op<String, D> = Op::Insert {
+                    id: crate::run::spine_successor(prev.id(), side).expect("successor"),
+                    atom: "b".into(),
+                };
+                let mut buf = Vec::new();
+                assert!(next.encode_run_step(&prev, &mut buf));
+                assert!(buf.len() <= 1 + 2, "step must be tiny, got {}B", buf.len());
+                let mut cursor = buf.as_slice();
+                assert_eq!(
+                    Op::decode_run_step(&mut cursor, &prev).as_ref(),
+                    Some(&next)
+                );
+                assert!(cursor.is_empty());
+            }
+        }
+        check_step(SdisSource::new(SiteId::from_u64(1)));
+        check_step(UdisSource::new(SiteId::from_u64(1)));
+
+        // Deletes, non-successor identifiers and sibling inserts are not run
+        // steps: encode declines without writing a byte.
+        let prev: Op<String, Sdis> = Op::Insert {
+            id: pos(&[(1, Some(1))]),
+            atom: "a".into(),
+        };
+        let non_steps: Vec<Op<String, Sdis>> = vec![
+            Op::Delete {
+                id: pos(&[(1, Some(1)), (0, Some(1))]),
+            },
+            Op::Insert {
+                id: pos(&[(1, Some(2))]),
+                atom: "b".into(),
+            },
+            Op::Insert {
+                id: pos(&[(1, Some(1)), (0, Some(1))]),
+                atom: "b".into(),
+            },
+        ];
+        for op in &non_steps {
+            let mut buf = Vec::new();
+            assert!(!op.encode_run_step(&prev, &mut buf), "{op:?}");
+            assert!(buf.is_empty(), "decliners must not write");
+        }
+        // A step byte above 1 is malformed, not a silent Side.
+        let mut cursor = [7u8, 1, b'x'].as_slice();
+        assert_eq!(
+            Op::<String, Sdis>::decode_run_step(&mut cursor, &prev),
+            None
+        );
     }
 
     #[test]

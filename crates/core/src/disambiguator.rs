@@ -45,6 +45,21 @@ pub trait Disambiguator:
 
     /// The site that generated this disambiguator.
     fn site(&self) -> SiteId;
+
+    /// The disambiguator this site's source would hand out immediately after
+    /// `self`, or `None` when that is not derivable from `self` alone.
+    ///
+    /// This is what lets the run-coalesced store ([`crate::run::RunTree`])
+    /// recognise an Algorithm-1 append/prepend chain without storing one
+    /// identifier per atom: SDIS sources are constant, UDIS sources count up
+    /// by one per allocation.
+    fn sequential_next(&self) -> Option<Self> {
+        self.sequential_nth(1)
+    }
+
+    /// The disambiguator `n` sequential allocations after `self`, if
+    /// derivable (see [`Disambiguator::sequential_next`]).
+    fn sequential_nth(&self, n: usize) -> Option<Self>;
 }
 
 /// A *unique* disambiguator (§3.3.1): a `(counter, site)` pair where the
@@ -76,6 +91,12 @@ impl Disambiguator for Udis {
 
     fn site(&self) -> SiteId {
         self.site
+    }
+
+    fn sequential_nth(&self, n: usize) -> Option<Self> {
+        let step = u32::try_from(n).ok()?;
+        let counter = self.counter.checked_add(step)?;
+        Some(Udis::new(counter, self.site))
     }
 }
 
@@ -113,6 +134,11 @@ impl Disambiguator for Sdis {
 
     fn site(&self) -> SiteId {
         self.site
+    }
+
+    fn sequential_nth(&self, _n: usize) -> Option<Self> {
+        // An SDIS source hands out the same value forever.
+        Some(*self)
     }
 }
 

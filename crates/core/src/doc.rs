@@ -22,9 +22,10 @@ use crate::alloc::{balanced_append, batch_subtree_ids, new_pos_id, Neighbours};
 use crate::atom::Atom;
 use crate::disambiguator::{DisSource, Disambiguator, HasSource};
 use crate::error::{Error, Result};
-use crate::flatten::{explode_node, flatten_subtree, FlattenOutcome};
+use crate::flatten::FlattenOutcome;
 use crate::ops::Op;
 use crate::path::{PathElem, PosId, Side};
+use crate::run::RunTree;
 use crate::site::SiteId;
 use crate::stats::DocStats;
 use crate::tree::Tree;
@@ -47,9 +48,15 @@ impl TreedocConfig {
 }
 
 /// One replica of the shared edit buffer.
+///
+/// Atoms are held in a run-coalesced store ([`RunTree`]): contiguous
+/// same-site sequential insertions occupy a single run, so sequential typing
+/// costs `O(1)` amortised per character instead of one tree node each. The
+/// per-atom [`Tree`] view can still be materialised with
+/// [`tree`](Self::tree) for algorithms and formats that need it.
 #[derive(Debug, Clone)]
 pub struct Treedoc<A, D: HasSource> {
-    tree: Tree<A, D>,
+    store: RunTree<A, D>,
     source: D::Source,
     config: TreedocConfig,
     /// Revision counter used to stamp tree regions for the cold-subtree
@@ -70,7 +77,7 @@ impl<A: Atom, D: Disambiguator + HasSource> Treedoc<A, D> {
     /// Creates an empty replica with an explicit configuration.
     pub fn with_config(site: SiteId, config: TreedocConfig) -> Self {
         Treedoc {
-            tree: Tree::new(),
+            store: RunTree::new(),
             source: D::source(site),
             config,
             revision: 0,
@@ -89,7 +96,7 @@ impl<A: Atom, D: Disambiguator + HasSource> Treedoc<A, D> {
     /// [`from_atoms`](Self::from_atoms) with an explicit configuration.
     pub fn from_atoms_with_config(site: SiteId, atoms: &[A], config: TreedocConfig) -> Self {
         let mut doc = Self::with_config(site, config);
-        doc.tree.set_root(explode_node(atoms));
+        doc.store = RunTree::from_exploded(atoms.to_vec());
         doc
     }
 
@@ -108,7 +115,7 @@ impl<A: Atom, D: Disambiguator + HasSource> Treedoc<A, D> {
         revision: u64,
     ) -> Self {
         Treedoc {
-            tree,
+            store: RunTree::from_tree(&tree),
             source,
             config,
             revision,
@@ -145,7 +152,7 @@ impl<A: Atom, D: Disambiguator + HasSource> Treedoc<A, D> {
 
     /// Number of (live) atoms in the document.
     pub fn len(&self) -> usize {
-        self.tree.live_len()
+        self.store.live_len()
     }
 
     /// `true` when the document holds no atom.
@@ -155,22 +162,22 @@ impl<A: Atom, D: Disambiguator + HasSource> Treedoc<A, D> {
 
     /// The atom at `index`, if any.
     pub fn get(&self, index: usize) -> Option<&A> {
-        self.tree.atom_at(index)
+        self.store.atom_at(index)
     }
 
     /// All atoms in document order.
     pub fn to_vec(&self) -> Vec<A> {
-        self.tree.to_vec()
+        self.store.to_vec()
     }
 
     /// Atoms paired with their position identifiers, in document order.
     pub fn to_identified_vec(&self) -> Vec<(PosId<D>, A)> {
-        self.tree.to_identified_vec()
+        self.store.to_identified_vec()
     }
 
     /// The identifier of the `index`-th atom, if any.
     pub fn id_at(&self, index: usize) -> Option<PosId<D>> {
-        self.tree.id_of_live_index(index)
+        self.store.id_of_live_index(index)
     }
 
     /// The site owning this replica.
@@ -178,9 +185,17 @@ impl<A: Atom, D: Disambiguator + HasSource> Treedoc<A, D> {
         self.source.site()
     }
 
-    /// Read access to the underlying identifier tree.
-    pub fn tree(&self) -> &Tree<A, D> {
-        &self.tree
+    /// Materialises the per-atom identifier tree equivalent to the current
+    /// run-coalesced store. This walks every cell (`O(n · depth)`), so it is
+    /// meant for snapshots, structural analysis and interop — not for the
+    /// edit path.
+    pub fn tree(&self) -> Tree<A, D> {
+        self.store.to_tree()
+    }
+
+    /// Read access to the run-coalesced store.
+    pub fn store(&self) -> &RunTree<A, D> {
+        &self.store
     }
 
     /// The replica's configuration.
@@ -190,22 +205,30 @@ impl<A: Atom, D: Disambiguator + HasSource> Treedoc<A, D> {
 
     /// Number of occupied tree slots (live atoms, tombstones and ghosts).
     pub fn node_count(&self) -> usize {
-        self.tree.node_count()
+        self.store.node_count()
     }
 
     /// Height of the identifier tree.
     pub fn height(&self) -> usize {
-        self.tree.height()
+        self.store.height()
     }
 
-    /// Measures the overhead statistics of §5 for this replica.
+    /// Measures the overhead statistics of §5 for this replica, in `O(1)`
+    /// from the store's cached aggregates.
     pub fn stats(&self) -> DocStats {
-        DocStats::measure(&self.tree)
+        self.store.stats()
+    }
+
+    /// Estimated heap footprint of the identifier index (run patterns, cell
+    /// vectors, live bitmaps and tree nodes) — the measured memory-per-char
+    /// numerator tracked by the `core_speed` benchmark.
+    pub fn index_bytes(&self) -> usize {
+        self.store.index_bytes()
     }
 
     /// Checks the internal invariants of the identifier tree.
     pub fn check_invariants(&self) -> Result<(), String> {
-        self.tree.check_invariants()
+        self.store.check_invariants()
     }
 
     // ------------------------------------------------------------------
@@ -238,7 +261,7 @@ impl<A: Atom, D: Disambiguator + HasSource> Treedoc<A, D> {
             return Err(Error::IndexOutOfBounds { index, len });
         }
         let id = self.allocate_id(index, len)?;
-        self.tree.insert(&id, atom.clone(), self.revision)?;
+        self.store.insert(&id, atom.clone(), self.revision)?;
         Ok(Op::Insert { id, atom })
     }
 
@@ -269,7 +292,7 @@ impl<A: Atom, D: Disambiguator + HasSource> Treedoc<A, D> {
         );
         let mut ops = Vec::with_capacity(atoms.len());
         for (id, atom) in ids.into_iter().zip(atoms.iter().cloned()) {
-            self.tree.insert(&id, atom.clone(), self.revision)?;
+            self.store.insert(&id, atom.clone(), self.revision)?;
             ops.push(Op::Insert { id, atom });
         }
         Ok(ops)
@@ -278,13 +301,13 @@ impl<A: Atom, D: Disambiguator + HasSource> Treedoc<A, D> {
     /// Deletes the `index`-th atom. Returns the operation to broadcast.
     pub fn local_delete(&mut self, index: usize) -> Result<Op<A, D>> {
         let id = self
-            .tree
+            .store
             .id_of_live_index(index)
             .ok_or(Error::IndexOutOfBounds {
                 index,
                 len: self.len(),
             })?;
-        self.tree.delete(&id, self.revision)?;
+        self.store.delete(&id, self.revision)?;
         Ok(Op::Delete { id })
     }
 
@@ -306,9 +329,9 @@ impl<A: Atom, D: Disambiguator + HasSource> Treedoc<A, D> {
     /// that condition replay never fails and all replicas converge.
     pub fn apply(&mut self, op: &Op<A, D>) -> Result<()> {
         match op {
-            Op::Insert { id, atom } => self.tree.insert(id, atom.clone(), self.revision),
+            Op::Insert { id, atom } => self.store.insert(id, atom.clone(), self.revision),
             Op::Delete { id } => {
-                self.tree.delete(id, self.revision)?;
+                self.store.delete(id, self.revision)?;
                 Ok(())
             }
         }
@@ -331,14 +354,15 @@ impl<A: Atom, D: Disambiguator + HasSource> Treedoc<A, D> {
     // ------------------------------------------------------------------
 
     /// Compacts the subtree rooted at the plain bit path `bits` (see
-    /// [`flatten_subtree`]). In a distributed setting this must only be
+    /// [`RunTree::flatten_region`](crate::run::RunTree::flatten_region)).
+    /// In a distributed setting this must only be
     /// called after the commitment protocol of §4.2.1 has succeeded (see the
     /// `treedoc-commit` crate); replaying it at every replica at the same
     /// causal point keeps them convergent because the transformation is
     /// deterministic.
     pub fn flatten(&mut self, bits: &[Side]) -> Result<FlattenOutcome> {
         self.reserved_appends.clear();
-        flatten_subtree(&mut self.tree, bits)
+        self.store.flatten_region(bits)
     }
 
     /// Compacts the whole document.
@@ -350,7 +374,16 @@ impl<A: Atom, D: Disambiguator + HasSource> Treedoc<A, D> {
     /// subtree that has not been modified since `threshold_rev` and holds at
     /// least `min_live` atoms. Returns one outcome per flattened subtree.
     pub fn flatten_cold(&mut self, threshold_rev: u64, min_live: usize) -> Vec<FlattenOutcome> {
-        let cold = self.tree.find_cold_subtrees(threshold_rev, min_live);
+        // Cheap run-level gate: if even the least recently touched run is
+        // hotter than the threshold, no region can possibly be cold, and the
+        // per-atom materialisation below is skipped entirely.
+        if self.store.is_empty() || self.store.min_hot_rev() > threshold_rev {
+            return Vec::new();
+        }
+        let cold = self
+            .store
+            .to_tree()
+            .find_cold_subtrees(threshold_rev, min_live);
         let mut outcomes = Vec::with_capacity(cold.len());
         for bits in cold {
             if let Ok(outcome) = self.flatten(&bits) {
@@ -367,13 +400,13 @@ impl<A: Atom, D: Disambiguator + HasSource> Treedoc<A, D> {
     /// The full-tree neighbours of the insertion gap at `index`.
     fn neighbours(&self, index: usize, _len: usize) -> (Option<PosId<D>>, Option<PosId<D>>) {
         if index == 0 {
-            (None, self.tree.first_slot())
+            (None, self.store.first_slot())
         } else {
             let before = self
-                .tree
+                .store
                 .id_of_live_index(index - 1)
                 .expect("index validated by caller");
-            let after = self.tree.successor_slot(&before);
+            let after = self.store.successor_slot(&before);
             (Some(before), after)
         }
     }
@@ -400,7 +433,7 @@ impl<A: Atom, D: Disambiguator + HasSource> Treedoc<A, D> {
     fn reserved_or_grown_append(&mut self, before: &PosId<D>) -> Option<PosId<D>> {
         loop {
             if self.reserved_appends.is_empty() {
-                let grown = balanced_append(before, self.tree.height().max(1));
+                let grown = balanced_append(before, self.store.height().max(1));
                 self.reserved_appends = grown.slots;
                 if self.reserved_appends.is_empty() {
                     return None;
@@ -408,7 +441,7 @@ impl<A: Atom, D: Disambiguator + HasSource> Treedoc<A, D> {
             }
             let slot = self.reserved_appends.remove(0);
             let candidate = attach_dis(&slot, self.source.next_dis());
-            if &candidate > before && self.tree.get(&candidate).is_none() {
+            if &candidate > before && self.store.get(&candidate).is_none() {
                 return Some(candidate);
             }
             // The slot went stale (an intervening edit used or bypassed it).

@@ -73,13 +73,14 @@ pub mod flatten;
 pub mod node;
 pub mod ops;
 pub mod path;
+pub mod run;
 pub mod site;
 pub mod stats;
 pub mod storage;
 pub mod tree;
 
 pub use atom::{Atom, Granularity};
-pub use codec::{WireAtom, WireDis, WirePayload, WIRE_VERSION};
+pub use codec::{WireAtom, WireDis, WirePayload, WIRE_MIN_VERSION, WIRE_VERSION};
 pub use disambiguator::{DisSource, Disambiguator, HasSource, Sdis, SdisSource, Udis, UdisSource};
 pub use doc::{Treedoc, TreedocConfig};
 pub use error::{Error, Result};
@@ -87,6 +88,7 @@ pub use flatten::{explode, FlattenOutcome};
 pub use node::{Content, MajorNode, MiniNode};
 pub use ops::{Op, OpKind};
 pub use path::{PathElem, PosId, Side};
+pub use run::{spine_step, spine_successor, RunTree};
 pub use site::SiteId;
 pub use stats::{DocStats, MemoryModel, PosIdStats};
 pub use storage::{Representation, StorageKind};

@@ -1,0 +1,2264 @@
+//! Run-coalesced document storage.
+//!
+//! The per-atom [`Tree`] spends one heap node (a major
+//! node plus a mini-node) on every atom, so a sequential typing burst of `n`
+//! characters costs `n` allocations, `n` full identifiers and `O(depth)`
+//! pointer chasing per edit. But Algorithm 1 of the paper makes those bursts
+//! *structurally regular*: each locally typed character extends a spine of
+//! single-child nodes whose disambiguators count up by one (UDIS) or repeat
+//! (SDIS). A whole burst is describable by its first identifier alone.
+//!
+//! [`RunTree`] exploits that: contiguous same-site sequential insertions are
+//! stored as one [`Run`] — a shared [`PosId`] prefix, an offset range and a
+//! live bitmap — inside a small-arity balanced tree keyed by live-count
+//! metrics. Inserts and deletes split runs; neighbouring edits re-coalesce
+//! through the runs' private `try_extend_back` / `try_extend_front`. Reads
+//! (`atom_at`, `stats`, `height`) descend by cached aggregates instead of
+//! walking per-atom nodes.
+//!
+//! The store round-trips losslessly with the per-atom tree through
+//! [`RunTree::from_tree`] / [`RunTree::to_tree`], which is also how the
+//! structural algorithms that genuinely need node-level surgery (cold-region
+//! discovery) keep a single source of truth.
+
+use std::cmp::Ordering;
+use std::mem;
+
+use crate::atom::Atom;
+use crate::disambiguator::Disambiguator;
+use crate::error::{Error, Result};
+use crate::node::Content;
+use crate::path::{PathElem, PosId, Side};
+use crate::stats::{DocStats, PosIdStats};
+use crate::tree::Tree;
+
+/// Maximum runs per leaf and children per internal node of the run tree.
+pub const ARITY: usize = 8;
+
+/// Maximum cells a [`Pattern::Packed`] run will hold before refusing to grow.
+const PACKED_MAX: usize = 64;
+
+/// Depth of the complete tree [`crate::flatten::explode`] builds for `len`
+/// atoms: `ceil(log2(len + 1))`.
+fn explode_depth(len: usize) -> usize {
+    (usize::BITS - len.leading_zeros()) as usize
+}
+
+/// Recognises one step of an Algorithm-1 append/prepend chain: returns
+/// `Some(side)` when `next` is exactly the identifier a sequential local
+/// insert on `side` of `prev` would have produced — `prev`'s final mini-node
+/// plainified, one more branch on `side`, and the successor disambiguator.
+pub fn spine_step<D: Disambiguator>(prev: &PosId<D>, next: &PosId<D>) -> Option<Side> {
+    let a = prev.depth();
+    if a == 0 || next.depth() != a + 1 {
+        return None;
+    }
+    let pe = prev.elems();
+    let ne = next.elems();
+    let prev_dis = pe[a - 1].dis.as_ref()?;
+    let next_last = &ne[a];
+    let next_dis = next_last.dis.as_ref()?;
+    if *next_dis != prev_dis.sequential_next()? {
+        return None;
+    }
+    // prev's last element must appear plainified at the same index in next.
+    if ne[a - 1].side != pe[a - 1].side || ne[a - 1].dis.is_some() {
+        return None;
+    }
+    if ne[..a - 1] != pe[..a - 1] {
+        return None;
+    }
+    Some(next_last.side)
+}
+
+/// The inverse of [`spine_step`]: the identifier a sequential local insert
+/// on `side` of `prev` produces — `prev`'s final mini-node plainified, one
+/// more branch on `side`, and the successor disambiguator. `None` when
+/// `prev` cannot anchor a spine (root, no final mini-node, or disambiguator
+/// overflow). `spine_step(prev, &spine_successor(prev, side)?) == Some(side)`
+/// always holds, which is what lets the wire codec ship a run continuation
+/// as a single side bit and reconstruct the identifier at the receiver.
+pub fn spine_successor<D: Disambiguator>(prev: &PosId<D>, side: Side) -> Option<PosId<D>> {
+    let a = prev.depth();
+    if a == 0 {
+        return None;
+    }
+    let last = prev.last().expect("non-root id");
+    let dis = last.dis.as_ref()?;
+    let next_dis = dis.sequential_next()?;
+    let mut elems = Vec::with_capacity(a + 1);
+    elems.extend_from_slice(&prev.elems()[..a - 1]);
+    elems.push(PathElem::plain(last.side));
+    elems.push(PathElem::mini(side, next_dis));
+    Some(PosId::from_elems(elems))
+}
+
+/// Identifier of the cell at growth `g` along the spine anchored at
+/// `anchor` on `side` (`g == 0` is the anchor itself).
+fn spine_cell_id<D: Disambiguator>(anchor: &PosId<D>, side: Side, g: usize) -> PosId<D> {
+    if g == 0 {
+        return anchor.clone();
+    }
+    let a = anchor.depth();
+    debug_assert!(a > 0, "spine anchors end in a mini-node");
+    let last = anchor.last().expect("non-root anchor");
+    let dis = last.dis.as_ref().expect("spine anchors end in a mini-node");
+    let mut elems = Vec::with_capacity(a + g);
+    elems.extend_from_slice(&anchor.elems()[..a - 1]);
+    elems.push(PathElem::plain(last.side));
+    for _ in 1..g {
+        elems.push(PathElem::plain(side));
+    }
+    elems.push(PathElem::mini(
+        side,
+        dis.sequential_nth(g).expect("spine growth overflow"),
+    ));
+    PosId::from_elems(elems)
+}
+
+/// Branch sides from the root of a complete tree of the given `depth` to its
+/// `k`-th node in infix order (`k` counts from 0).
+fn infix_path(depth: usize, k: usize) -> Vec<Side> {
+    let mut path = Vec::new();
+    let mut depth = depth;
+    let mut k = k;
+    loop {
+        debug_assert!(depth > 0, "infix index out of range");
+        let left_cap = (1usize << (depth - 1)) - 1;
+        match k.cmp(&left_cap) {
+            Ordering::Less => path.push(Side::Left),
+            Ordering::Equal => return path,
+            Ordering::Greater => {
+                path.push(Side::Right);
+                k -= left_cap + 1;
+            }
+        }
+        depth -= 1;
+    }
+}
+
+/// Length of [`infix_path`] without allocating it.
+fn infix_len(depth: usize, k: usize) -> usize {
+    let mut len = 0;
+    let mut depth = depth;
+    let mut k = k;
+    loop {
+        debug_assert!(depth > 0, "infix index out of range");
+        let left_cap = (1usize << (depth - 1)) - 1;
+        match k.cmp(&left_cap) {
+            Ordering::Less => len += 1,
+            Ordering::Equal => return len,
+            Ordering::Greater => {
+                len += 1;
+                k -= left_cap + 1;
+            }
+        }
+        depth -= 1;
+    }
+}
+
+/// Summed / maxed measurements cached per run and per tree node, sufficient
+/// to answer `stats()`, `height()` and live-index descent in `O(1)` per
+/// level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Agg {
+    /// Live atoms.
+    live: usize,
+    /// Occupied slots (live + tombstone + ghost).
+    total: usize,
+    /// Tombstones.
+    tombstones: usize,
+    /// Ghosts.
+    ghosts: usize,
+    /// Sum of identifier sizes in bits over all occupied slots.
+    bits_total: usize,
+    /// Sum of identifier sizes in bits over live slots.
+    bits_live: usize,
+    /// Largest identifier size in bits.
+    bits_max: usize,
+    /// Deepest identifier (tree levels are `depth_max + 1`).
+    depth_max: usize,
+    /// Sum of live atoms' content bytes.
+    atom_bytes: usize,
+}
+
+impl Agg {
+    fn merge(&mut self, other: &Agg) {
+        self.live += other.live;
+        self.total += other.total;
+        self.tombstones += other.tombstones;
+        self.ghosts += other.ghosts;
+        self.bits_total += other.bits_total;
+        self.bits_live += other.bits_live;
+        self.bits_max = self.bits_max.max(other.bits_max);
+        self.depth_max = self.depth_max.max(other.depth_max);
+        self.atom_bytes += other.atom_bytes;
+    }
+
+    fn add_cell<A: Atom>(&mut self, bits: usize, depth: usize, content: &Content<A>) {
+        self.total += 1;
+        self.bits_total += bits;
+        self.bits_max = self.bits_max.max(bits);
+        self.depth_max = self.depth_max.max(depth);
+        match content {
+            Content::Live(a) => {
+                self.live += 1;
+                self.bits_live += bits;
+                self.atom_bytes += a.content_bytes();
+            }
+            Content::Tombstone => self.tombstones += 1,
+            Content::Ghost => self.ghosts += 1,
+            Content::Absent => unreachable!("run cells are always occupied"),
+        }
+    }
+}
+
+/// How a run derives the identifier of its `j`-th cell.
+#[derive(Debug, Clone)]
+enum Pattern<D> {
+    /// An Algorithm-1 append (`side == Right`) or prepend (`side == Left`)
+    /// chain. The anchor is the *shallowest* cell; growth `g` cells extend
+    /// below it on `side`, with disambiguators `sequential_nth(g)` of the
+    /// anchor's. For `Right` the anchor is first in document order, for
+    /// `Left` it is last.
+    Spine { anchor: PosId<D>, side: Side },
+    /// Consecutive infix slots of a complete plain subtree of the given
+    /// `depth` rooted just below `base` — the shape `flatten` produces. Cell
+    /// `j` sits at infix index `start + j`.
+    Exploded {
+        base: PosId<D>,
+        depth: usize,
+        start: usize,
+    },
+    /// Arbitrary explicit identifiers (concurrent-edit shrapnel); strictly
+    /// increasing in document order.
+    Packed { ids: Vec<PosId<D>> },
+}
+
+/// One coalesced run: a cell-identifier pattern plus the cells' contents in
+/// document order, a live bitmap, cached aggregates and the revision of the
+/// most recent edit that touched the run.
+#[derive(Debug, Clone)]
+pub struct Run<A, D> {
+    pattern: Pattern<D>,
+    cells: Vec<Content<A>>,
+    live_bits: Vec<u64>,
+    agg: Agg,
+    hot_rev: u64,
+}
+
+fn bits_push(bits: &mut Vec<u64>, index: usize, live: bool) {
+    let word = index / 64;
+    if word == bits.len() {
+        bits.push(0);
+    }
+    if live {
+        bits[word] |= 1u64 << (index % 64);
+    }
+}
+
+fn bits_set(bits: &mut [u64], index: usize, live: bool) {
+    let mask = 1u64 << (index % 64);
+    if live {
+        bits[index / 64] |= mask;
+    } else {
+        bits[index / 64] &= !mask;
+    }
+}
+
+impl<A: Atom, D: Disambiguator> Run<A, D> {
+    /// A run holding a single explicitly identified cell.
+    fn singleton(id: PosId<D>, content: Content<A>, rev: u64) -> Self {
+        let mut run = Run {
+            pattern: Pattern::Packed { ids: vec![id] },
+            cells: vec![content],
+            live_bits: Vec::new(),
+            agg: Agg::default(),
+            hot_rev: rev,
+        };
+        run.recompute();
+        run
+    }
+
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Identifier of the `j`-th cell in document order.
+    fn cell_id(&self, j: usize) -> PosId<D> {
+        match &self.pattern {
+            Pattern::Spine { anchor, side } => {
+                let g = match side {
+                    Side::Right => j,
+                    Side::Left => self.len() - 1 - j,
+                };
+                spine_cell_id(anchor, *side, g)
+            }
+            Pattern::Exploded { base, depth, start } => {
+                let mut elems = Vec::from(base.elems());
+                for side in infix_path(*depth, start + j) {
+                    elems.push(PathElem::plain(side));
+                }
+                PosId::from_elems(elems)
+            }
+            Pattern::Packed { ids } => ids[j].clone(),
+        }
+    }
+
+    /// Identifier size in bits of the `j`-th cell, without materialising it.
+    fn cell_bits(&self, j: usize) -> usize {
+        let w = D::ACCOUNTED_BYTES * 8;
+        match &self.pattern {
+            Pattern::Spine { anchor, side } => {
+                let g = match side {
+                    Side::Right => j,
+                    Side::Left => self.len() - 1 - j,
+                };
+                anchor.depth() + g + anchor.dis_count() * w
+            }
+            Pattern::Exploded { base, depth, start } => {
+                base.depth() + infix_len(*depth, start + j) + base.dis_count() * w
+            }
+            Pattern::Packed { ids } => ids[j].size_bits(),
+        }
+    }
+
+    fn first_id(&self) -> PosId<D> {
+        self.cell_id(0)
+    }
+
+    fn last_id(&self) -> PosId<D> {
+        self.cell_id(self.len() - 1)
+    }
+
+    /// Binary-searches for `id` among the run's cells. `Ok(j)` is the cell
+    /// index, `Err(j)` the insertion point.
+    fn find(&self, id: &PosId<D>) -> std::result::Result<usize, usize> {
+        if let Pattern::Packed { ids } = &self.pattern {
+            return ids.binary_search(id);
+        }
+        let mut lo = 0;
+        let mut hi = self.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.cell_id(mid).cmp(id) {
+                Ordering::Less => lo = mid + 1,
+                Ordering::Greater => hi = mid,
+                Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
+    }
+
+    /// Cell index of the `k`-th live cell (`k` counts from 0).
+    fn select_live(&self, k: usize) -> usize {
+        debug_assert!(k < self.agg.live);
+        if self.agg.live == self.len() {
+            return k;
+        }
+        let mut remaining = k;
+        for (w, &word) in self.live_bits.iter().enumerate() {
+            let pop = word.count_ones() as usize;
+            if remaining < pop {
+                let mut word = word;
+                for _ in 0..remaining {
+                    word &= word - 1;
+                }
+                return w * 64 + word.trailing_zeros() as usize;
+            }
+            remaining -= pop;
+        }
+        unreachable!("live bitmap disagrees with aggregate")
+    }
+
+    /// Rebuilds the aggregate and the live bitmap from the cells.
+    fn recompute(&mut self) {
+        let mut agg = Agg::default();
+        self.live_bits.clear();
+        let w = D::ACCOUNTED_BYTES * 8;
+        match &self.pattern {
+            Pattern::Spine { anchor, side } => {
+                let base_bits = anchor.depth() + anchor.dis_count() * w;
+                let base_depth = anchor.depth();
+                let n = self.cells.len();
+                for (j, c) in self.cells.iter().enumerate() {
+                    let g = match side {
+                        Side::Right => j,
+                        Side::Left => n - 1 - j,
+                    };
+                    agg.add_cell(base_bits + g, base_depth + g, c);
+                    bits_push(&mut self.live_bits, j, c.is_live());
+                }
+            }
+            Pattern::Exploded { base, depth, start } => {
+                let base_bits = base.depth() + base.dis_count() * w;
+                let base_depth = base.depth();
+                for (j, c) in self.cells.iter().enumerate() {
+                    let l = infix_len(*depth, start + j);
+                    agg.add_cell(base_bits + l, base_depth + l, c);
+                    bits_push(&mut self.live_bits, j, c.is_live());
+                }
+            }
+            Pattern::Packed { ids } => {
+                for (j, c) in self.cells.iter().enumerate() {
+                    agg.add_cell(ids[j].size_bits(), ids[j].depth(), c);
+                    bits_push(&mut self.live_bits, j, c.is_live());
+                }
+            }
+        }
+        self.agg = agg;
+    }
+
+    /// Replaces the `j`-th cell's content, updating aggregates in place.
+    fn set_cell(&mut self, j: usize, content: Content<A>, rev: u64) -> Content<A> {
+        let bits = self.cell_bits(j);
+        let old = mem::replace(&mut self.cells[j], content);
+        let new = &self.cells[j];
+        match &old {
+            Content::Live(a) => {
+                self.agg.live -= 1;
+                self.agg.bits_live -= bits;
+                self.agg.atom_bytes -= a.content_bytes();
+            }
+            Content::Tombstone => self.agg.tombstones -= 1,
+            Content::Ghost => self.agg.ghosts -= 1,
+            Content::Absent => unreachable!("run cells are always occupied"),
+        }
+        match new {
+            Content::Live(a) => {
+                self.agg.live += 1;
+                self.agg.bits_live += bits;
+                self.agg.atom_bytes += a.content_bytes();
+            }
+            Content::Tombstone => self.agg.tombstones += 1,
+            Content::Ghost => self.agg.ghosts += 1,
+            Content::Absent => unreachable!("run cells stay occupied"),
+        }
+        bits_set(&mut self.live_bits, j, new.is_live());
+        self.hot_rev = self.hot_rev.max(rev);
+        old
+    }
+
+    /// Appends a cell whose identifier the pattern already accounts for
+    /// (`Packed` stores it explicitly; spines derive it).
+    fn push_cell(&mut self, id: Option<PosId<D>>, content: Content<A>, rev: u64) {
+        if let Pattern::Packed { ids } = &mut self.pattern {
+            ids.push(id.expect("packed runs need explicit identifiers"));
+        }
+        let j = self.cells.len();
+        bits_push(&mut self.live_bits, j, content.is_live());
+        let bits = {
+            self.cells.push(content);
+            self.cell_bits(j)
+        };
+        let cell = self.cells.pop().expect("just pushed");
+        self.agg
+            .add_cell(bits, self.cell_depth_after_push(j), &cell);
+        self.cells.push(cell);
+        self.hot_rev = self.hot_rev.max(rev);
+    }
+
+    /// Depth of cell `j` assuming the run has `j + 1` cells (used while a
+    /// push is in flight).
+    fn cell_depth_after_push(&self, j: usize) -> usize {
+        match &self.pattern {
+            Pattern::Spine { anchor, side } => {
+                let g = match side {
+                    Side::Right => j,
+                    Side::Left => 0,
+                };
+                anchor.depth() + g
+            }
+            Pattern::Exploded { base, depth, start } => base.depth() + infix_len(*depth, start + j),
+            Pattern::Packed { ids } => ids[j].depth(),
+        }
+    }
+
+    /// Tries to absorb a cell directly after the run's last cell. Returns
+    /// `None` when absorbed, or gives the content back when the identifier
+    /// does not extend any recognised pattern.
+    fn try_extend_back(
+        &mut self,
+        id: &PosId<D>,
+        content: Content<A>,
+        rev: u64,
+    ) -> Option<Content<A>> {
+        enum Action<D> {
+            Append,
+            ReanchorLeft(PosId<D>),
+            UpgradeRight(PosId<D>),
+            UpgradeLeft(PosId<D>),
+            PackedPush(PosId<D>),
+        }
+        let action = match &self.pattern {
+            Pattern::Spine {
+                side: Side::Right, ..
+            } => {
+                if spine_step(&self.last_id(), id) == Some(Side::Right) {
+                    Action::Append
+                } else {
+                    return Some(content);
+                }
+            }
+            Pattern::Spine {
+                anchor,
+                side: Side::Left,
+            } => {
+                // The next document-order cell of a prepend chain is the
+                // anchor's parent-ward extension: re-anchor upward.
+                if spine_step(id, anchor) == Some(Side::Left) {
+                    Action::ReanchorLeft(id.clone())
+                } else {
+                    return Some(content);
+                }
+            }
+            Pattern::Exploded { depth, start, .. } => {
+                let next = start + self.len();
+                if next < (1usize << *depth) - 1 && self.continuation_id(next) == *id {
+                    Action::Append
+                } else {
+                    return Some(content);
+                }
+            }
+            Pattern::Packed { ids } if ids.len() == 1 => {
+                if spine_step(&ids[0], id) == Some(Side::Right) {
+                    Action::UpgradeRight(ids[0].clone())
+                } else if spine_step(id, &ids[0]) == Some(Side::Left) {
+                    Action::UpgradeLeft(id.clone())
+                } else {
+                    Action::PackedPush(id.clone())
+                }
+            }
+            Pattern::Packed { ids } => {
+                let last = ids.last().expect("non-empty run");
+                // Refuse the first link of a fresh chain so the caller
+                // starts a singleton that can grow into a spine.
+                if ids.len() >= PACKED_MAX
+                    || spine_step(last, id).is_some()
+                    || spine_step(id, last).is_some()
+                {
+                    return Some(content);
+                }
+                Action::PackedPush(id.clone())
+            }
+        };
+        match action {
+            Action::Append => self.push_cell(None, content, rev),
+            Action::PackedPush(id) => self.push_cell(Some(id), content, rev),
+            Action::ReanchorLeft(id) => {
+                self.pattern =
+                    match mem::replace(&mut self.pattern, Pattern::Packed { ids: Vec::new() }) {
+                        Pattern::Spine { side, .. } => Pattern::Spine { anchor: id, side },
+                        _ => unreachable!(),
+                    };
+                self.push_cell(None, content, rev);
+                self.recompute();
+            }
+            Action::UpgradeRight(anchor) => {
+                self.pattern = Pattern::Spine {
+                    anchor,
+                    side: Side::Right,
+                };
+                self.push_cell(None, content, rev);
+            }
+            Action::UpgradeLeft(anchor) => {
+                self.pattern = Pattern::Spine {
+                    anchor,
+                    side: Side::Left,
+                };
+                self.push_cell(None, content, rev);
+                self.recompute();
+            }
+        }
+        None
+    }
+
+    /// Identifier at infix index `k` below an `Exploded` pattern's base.
+    fn continuation_id(&self, k: usize) -> PosId<D> {
+        match &self.pattern {
+            Pattern::Exploded { base, depth, .. } => {
+                let mut elems = Vec::from(base.elems());
+                for side in infix_path(*depth, k) {
+                    elems.push(PathElem::plain(side));
+                }
+                PosId::from_elems(elems)
+            }
+            _ => unreachable!("continuation_id is exploded-only"),
+        }
+    }
+
+    /// Mirror of [`Run::try_extend_back`] for a cell directly before the
+    /// run's first cell.
+    fn try_extend_front(
+        &mut self,
+        id: &PosId<D>,
+        content: Content<A>,
+        rev: u64,
+    ) -> Option<Content<A>> {
+        enum Action<D> {
+            InsertFront,
+            ReanchorRight(PosId<D>),
+            UpgradeRight(PosId<D>),
+            UpgradeLeft(PosId<D>),
+            PackedFront(PosId<D>),
+        }
+        let action = match &self.pattern {
+            Pattern::Spine {
+                anchor,
+                side: Side::Right,
+            } => {
+                if spine_step(id, anchor) == Some(Side::Right) {
+                    Action::ReanchorRight(id.clone())
+                } else {
+                    return Some(content);
+                }
+            }
+            Pattern::Spine {
+                side: Side::Left, ..
+            } => {
+                if spine_step(&self.first_id(), id) == Some(Side::Left) {
+                    Action::InsertFront
+                } else {
+                    return Some(content);
+                }
+            }
+            Pattern::Exploded { start, .. } => {
+                if *start > 0 && self.continuation_id(start - 1) == *id {
+                    Action::InsertFront
+                } else {
+                    return Some(content);
+                }
+            }
+            Pattern::Packed { ids } if ids.len() == 1 => {
+                if spine_step(id, &ids[0]) == Some(Side::Right) {
+                    Action::UpgradeRight(id.clone())
+                } else if spine_step(&ids[0], id) == Some(Side::Left) {
+                    Action::UpgradeLeft(ids[0].clone())
+                } else {
+                    Action::PackedFront(id.clone())
+                }
+            }
+            Pattern::Packed { ids } => {
+                let first = ids.first().expect("non-empty run");
+                if ids.len() >= PACKED_MAX
+                    || spine_step(id, first).is_some()
+                    || spine_step(first, id).is_some()
+                {
+                    return Some(content);
+                }
+                Action::PackedFront(id.clone())
+            }
+        };
+        match action {
+            Action::InsertFront => {
+                if let Pattern::Exploded { start, .. } = &mut self.pattern {
+                    *start -= 1;
+                }
+                self.cells.insert(0, content);
+                self.hot_rev = self.hot_rev.max(rev);
+                self.recompute();
+            }
+            Action::PackedFront(id) => {
+                if let Pattern::Packed { ids } = &mut self.pattern {
+                    ids.insert(0, id);
+                }
+                self.cells.insert(0, content);
+                self.hot_rev = self.hot_rev.max(rev);
+                self.recompute();
+            }
+            Action::ReanchorRight(id) | Action::UpgradeRight(id) => {
+                self.pattern = Pattern::Spine {
+                    anchor: id,
+                    side: Side::Right,
+                };
+                self.cells.insert(0, content);
+                self.hot_rev = self.hot_rev.max(rev);
+                self.recompute();
+            }
+            Action::UpgradeLeft(anchor) => {
+                self.pattern = Pattern::Spine {
+                    anchor,
+                    side: Side::Left,
+                };
+                self.cells.insert(0, content);
+                self.hot_rev = self.hot_rev.max(rev);
+                self.recompute();
+            }
+        }
+        None
+    }
+
+    /// Splits the run at cell `j`: `self` keeps cells `[0, j)`, the returned
+    /// run holds `[j, len)`. Requires `0 < j < len`.
+    fn split_off(&mut self, j: usize) -> Run<A, D> {
+        debug_assert!(j > 0 && j < self.len());
+        let tail_cells = self.cells.split_off(j);
+        let tail_pattern = match &mut self.pattern {
+            Pattern::Packed { ids } => Pattern::Packed {
+                ids: ids.split_off(j),
+            },
+            Pattern::Exploded { base, depth, start } => Pattern::Exploded {
+                base: base.clone(),
+                depth: *depth,
+                start: *start + j,
+            },
+            Pattern::Spine { anchor, side } => match side {
+                Side::Right => Pattern::Spine {
+                    anchor: spine_cell_id(anchor, Side::Right, j),
+                    side: Side::Right,
+                },
+                Side::Left => {
+                    // Document order is reversed: the tail keeps the original
+                    // (shallow) anchor, the head re-anchors at its own
+                    // shallowest cell.
+                    let tail = Pattern::Spine {
+                        anchor: anchor.clone(),
+                        side: Side::Left,
+                    };
+                    *anchor = spine_cell_id(anchor, Side::Left, tail_cells.len());
+                    tail
+                }
+            },
+        };
+        let mut tail = Run {
+            pattern: tail_pattern,
+            cells: tail_cells,
+            live_bits: Vec::new(),
+            agg: Agg::default(),
+            hot_rev: self.hot_rev,
+        };
+        tail.recompute();
+        self.recompute();
+        tail
+    }
+
+    /// Removes the first cell. Requires `len >= 2`.
+    fn remove_first(&mut self) -> Content<A> {
+        debug_assert!(self.len() >= 2);
+        match &mut self.pattern {
+            Pattern::Packed { ids } => {
+                ids.remove(0);
+            }
+            Pattern::Exploded { start, .. } => *start += 1,
+            Pattern::Spine { anchor, side } => {
+                if *side == Side::Right {
+                    *anchor = spine_cell_id(anchor, Side::Right, 1);
+                }
+                // A left spine's first cell is its deepest: the anchor stays.
+            }
+        }
+        let old = self.cells.remove(0);
+        self.recompute();
+        old
+    }
+
+    /// Removes the last cell. Requires `len >= 2`.
+    fn remove_last(&mut self) -> Content<A> {
+        debug_assert!(self.len() >= 2);
+        if let Pattern::Packed { ids } = &mut self.pattern {
+            ids.pop();
+        }
+        let old = self.cells.pop().expect("non-empty run");
+        if let Pattern::Spine { anchor, side } = &mut self.pattern {
+            if *side == Side::Left {
+                // The removed cell was the shallow anchor; re-anchor one
+                // growth step deeper.
+                *anchor = spine_cell_id(anchor, Side::Left, 1);
+            }
+        }
+        self.recompute();
+        old
+    }
+
+    /// Whether any cell identifier carries a disambiguator (used by flatten
+    /// to decide whether a region is already in canonical compact form).
+    fn has_dis(&self) -> bool {
+        match &self.pattern {
+            Pattern::Spine { .. } => true,
+            Pattern::Exploded { base, .. } => base.dis_count() > 0,
+            Pattern::Packed { ids } => ids.iter().any(|id| id.dis_count() > 0),
+        }
+    }
+
+    /// Approximate heap footprint of the run's pattern storage.
+    fn pattern_heap_bytes(&self) -> usize {
+        let elem = mem::size_of::<PathElem<D>>();
+        match &self.pattern {
+            Pattern::Spine { anchor, .. } => anchor.depth() * elem,
+            Pattern::Exploded { base, .. } => base.depth() * elem,
+            Pattern::Packed { ids } => ids
+                .iter()
+                .map(|id| mem::size_of::<PosId<D>>() + id.depth() * elem)
+                .sum(),
+        }
+    }
+}
+
+/// A node of the small-arity balanced tree of runs.
+#[derive(Debug, Clone)]
+enum Node<A, D> {
+    Leaf {
+        runs: Vec<Run<A, D>>,
+        agg: Agg,
+    },
+    Internal {
+        // Boxed on purpose: a node is several hundred bytes, and ARITY
+        // splits shift siblings around — pointer moves, not node memcpys.
+        #[allow(clippy::vec_box)]
+        children: Vec<Box<Node<A, D>>>,
+        agg: Agg,
+    },
+}
+
+/// What an insert places at an identifier.
+enum Place<A> {
+    Atom(A),
+    Ghost,
+}
+
+impl<A: Atom, D: Disambiguator> Node<A, D> {
+    fn empty_leaf() -> Self {
+        Node::Leaf {
+            runs: Vec::new(),
+            agg: Agg::default(),
+        }
+    }
+
+    fn agg(&self) -> &Agg {
+        match self {
+            Node::Leaf { agg, .. } | Node::Internal { agg, .. } => agg,
+        }
+    }
+
+    fn recompute_agg(&mut self) {
+        match self {
+            Node::Leaf { runs, agg } => {
+                let mut a = Agg::default();
+                for r in runs {
+                    a.merge(&r.agg);
+                }
+                *agg = a;
+            }
+            Node::Internal { children, agg } => {
+                let mut a = Agg::default();
+                for c in children.iter() {
+                    a.merge(c.agg());
+                }
+                *agg = a;
+            }
+        }
+    }
+
+    /// Smallest identifier in the subtree; `None` only for an empty leaf.
+    fn first_id(&self) -> Option<PosId<D>> {
+        match self {
+            Node::Leaf { runs, .. } => runs.first().map(|r| r.first_id()),
+            Node::Internal { children, .. } => children.first().and_then(|c| c.first_id()),
+        }
+    }
+
+    /// Largest identifier in the subtree; `None` only for an empty leaf.
+    fn last_id(&self) -> Option<PosId<D>> {
+        match self {
+            Node::Leaf { runs, .. } => runs.last().map(|r| r.last_id()),
+            Node::Internal { children, .. } => children.last().and_then(|c| c.last_id()),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            Node::Leaf { runs, .. } => runs.is_empty(),
+            Node::Internal { children, .. } => children.is_empty(),
+        }
+    }
+}
+
+/// Index of the child whose key range covers `id`.
+fn child_index_for<A: Atom, D: Disambiguator>(
+    children: &[Box<Node<A, D>>],
+    id: &PosId<D>,
+) -> usize {
+    let mut i = 0;
+    while i + 1 < children.len() {
+        let next_first = children[i + 1]
+            .first_id()
+            .expect("internal children are non-empty");
+        if next_first <= *id {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+/// The run-coalesced document store: drop-in replacement for the per-atom
+/// [`Tree`] inside [`Treedoc`](crate::Treedoc), storing occupied slots as
+/// coalesced [`Run`]s in a balanced tree ordered by identifier.
+#[derive(Debug, Clone)]
+pub struct RunTree<A, D: Disambiguator> {
+    root: Node<A, D>,
+}
+
+impl<A: Atom, D: Disambiguator> Default for RunTree<A, D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Atom, D: Disambiguator> RunTree<A, D> {
+    /// An empty store.
+    pub fn new() -> Self {
+        RunTree {
+            root: Node::empty_leaf(),
+        }
+    }
+
+    /// Inserts a live atom at `id`, creating ghost cells for any mini-node
+    /// ancestors the identifier names (mirroring the per-atom tree, which
+    /// materialises those mini-nodes structurally).
+    pub fn insert(&mut self, id: &PosId<D>, atom: A, rev: u64) -> Result<()> {
+        for k in 1..id.depth() {
+            if id.elems()[k - 1].dis.is_some() {
+                let prefix = PosId::from_elems(id.elems()[..k].to_vec());
+                self.place(&prefix, Place::Ghost, rev)?;
+            }
+        }
+        self.place(id, Place::Atom(atom), rev)
+    }
+
+    fn place(&mut self, id: &PosId<D>, place: Place<A>, rev: u64) -> Result<()> {
+        if let Some(splinter) = place_rec(&mut self.root, id, place, rev)? {
+            self.split_root(splinter);
+        }
+        Ok(())
+    }
+
+    fn split_root(&mut self, splinter: Node<A, D>) {
+        let old = mem::replace(&mut self.root, Node::empty_leaf());
+        let mut agg = *old.agg();
+        agg.merge(splinter.agg());
+        self.root = Node::Internal {
+            children: vec![Box::new(old), Box::new(splinter)],
+            agg,
+        };
+    }
+
+    /// Deletes the atom at `id`, following the disambiguator's policy:
+    /// tombstone for SDIS, discard (with ghost-ancestor pruning) for UDIS.
+    /// Returns the removed atom, or `Ok(None)` when the slot is not live.
+    pub fn delete(&mut self, id: &PosId<D>, rev: u64) -> Result<Option<A>> {
+        match self.get(id) {
+            Some(c) if c.is_live() => {}
+            _ => return Ok(None),
+        }
+        if !D::DISCARD_ON_DELETE {
+            let old = self.set_content(id, Content::Tombstone, rev);
+            return Ok(old.and_then(into_live));
+        }
+        let is_mini = id.last().is_some_and(|e| e.dis.is_some());
+        if is_mini && self.has_descendant_cells(id) {
+            let old = self.set_content(id, Content::Ghost, rev);
+            return Ok(old.and_then(into_live));
+        }
+        let old = self.remove_cell(id);
+        self.cascade_ghost_ancestors(id);
+        Ok(old.and_then(into_live))
+    }
+
+    /// Removes ghost ancestors of a just-removed cell that no longer shelter
+    /// any descendants, deepest first — the run-level mirror of the per-atom
+    /// tree's unwind-time pruning.
+    fn cascade_ghost_ancestors(&mut self, id: &PosId<D>) {
+        for k in (1..id.depth()).rev() {
+            if id.elems()[k - 1].dis.is_none() {
+                continue;
+            }
+            let prefix = PosId::from_elems(id.elems()[..k].to_vec());
+            match self.get(&prefix) {
+                None => continue,
+                Some(Content::Ghost) => {
+                    if self.has_descendant_cells(&prefix) {
+                        return;
+                    }
+                    self.remove_cell(&prefix);
+                }
+                Some(_) => return,
+            }
+        }
+    }
+
+    /// Whether any stored cell's identifier strictly extends `id`. Because a
+    /// subtree is a contiguous infix interval containing its root, checking
+    /// the immediate predecessor and successor suffices.
+    fn has_descendant_cells(&self, id: &PosId<D>) -> bool {
+        let is_desc = |other: &PosId<D>| id.is_strict_prefix_of(other);
+        if let Some(succ) = self.successor_slot(id) {
+            if is_desc(&succ) {
+                return true;
+            }
+        }
+        if let Some(pred) = self.predecessor_slot(id) {
+            if is_desc(&pred) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Overwrites the content at `id`, returning the old content, or `None`
+    /// when no cell exists there.
+    fn set_content(&mut self, id: &PosId<D>, content: Content<A>, rev: u64) -> Option<Content<A>> {
+        let mut content = Some(content);
+        set_rec(&mut self.root, id, &mut content, rev)
+    }
+
+    /// Removes the cell at `id` entirely, returning its content.
+    fn remove_cell(&mut self, id: &PosId<D>) -> Option<Content<A>> {
+        let (old, splinter) = remove_rec(&mut self.root, id);
+        if let Some(splinter) = splinter {
+            self.split_root(splinter);
+        }
+        self.collapse_root();
+        old
+    }
+
+    fn collapse_root(&mut self) {
+        loop {
+            match &mut self.root {
+                Node::Internal { children, .. } if children.len() == 1 => {
+                    let only = children.pop().expect("len checked");
+                    self.root = *only;
+                }
+                Node::Internal { children, .. } if children.is_empty() => {
+                    self.root = Node::empty_leaf();
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+fn into_live<A>(content: Content<A>) -> Option<A> {
+    match content {
+        Content::Live(a) => Some(a),
+        _ => None,
+    }
+}
+
+fn place_rec<A: Atom, D: Disambiguator>(
+    node: &mut Node<A, D>,
+    id: &PosId<D>,
+    place: Place<A>,
+    rev: u64,
+) -> Result<Option<Node<A, D>>> {
+    match node {
+        Node::Internal { children, agg } => {
+            let i = child_index_for(children, id);
+            let splinter = place_rec(&mut children[i], id, place, rev)?;
+            if let Some(spl) = splinter {
+                children.insert(i + 1, Box::new(spl));
+            }
+            let out = if children.len() > ARITY {
+                let right = children.split_off(children.len() / 2);
+                let mut right_node = Node::Internal {
+                    children: right,
+                    agg: Agg::default(),
+                };
+                right_node.recompute_agg();
+                Some(right_node)
+            } else {
+                None
+            };
+            let _ = agg;
+            node.recompute_agg();
+            Ok(out)
+        }
+        Node::Leaf { runs, agg } => {
+            place_in_leaf(runs, id, place, rev)?;
+            let out = if runs.len() > ARITY {
+                let right = runs.split_off(runs.len() / 2);
+                let mut right_node = Node::Leaf {
+                    runs: right,
+                    agg: Agg::default(),
+                };
+                right_node.recompute_agg();
+                Some(right_node)
+            } else {
+                None
+            };
+            let _ = agg;
+            node.recompute_agg();
+            Ok(out)
+        }
+    }
+}
+
+fn place_in_leaf<A: Atom, D: Disambiguator>(
+    runs: &mut Vec<Run<A, D>>,
+    id: &PosId<D>,
+    place: Place<A>,
+    rev: u64,
+) -> Result<()> {
+    // Locate the run containing `id`, or the gap index where it belongs.
+    let mut gap = runs.len();
+    for i in 0..runs.len() {
+        if *id < runs[i].first_id() {
+            gap = i;
+            break;
+        }
+        if *id <= runs[i].last_id() {
+            // `id` falls inside run `i`'s identifier span.
+            match runs[i].find(id) {
+                Ok(j) => match place {
+                    Place::Atom(atom) => {
+                        if runs[i].cells[j].is_live() {
+                            return Err(Error::DuplicatePosId { id: id.repr() });
+                        }
+                        runs[i].set_cell(j, Content::Live(atom), rev);
+                        return Ok(());
+                    }
+                    Place::Ghost => {
+                        // The structural ancestor already exists; just keep
+                        // the run's recency stamp fresh, as the per-atom
+                        // tree stamps every node on the insert path.
+                        runs[i].hot_rev = runs[i].hot_rev.max(rev);
+                        return Ok(());
+                    }
+                },
+                Err(j) => {
+                    debug_assert!(j > 0 && j < runs[i].len());
+                    let content = place_content(place);
+                    let right = runs[i].split_off(j);
+                    runs.insert(i + 1, Run::singleton(id.clone(), content, rev));
+                    runs.insert(i + 2, right);
+                    return Ok(());
+                }
+            }
+        }
+    }
+    // Gap insertion: try coalescing with the neighbouring runs first.
+    let mut content = Some(place_content(place));
+    if gap > 0 {
+        content = match runs[gap - 1].try_extend_back(id, content.take().expect("set"), rev) {
+            None => return Ok(()),
+            refused => refused,
+        };
+    }
+    if gap < runs.len() {
+        content = match runs[gap].try_extend_front(id, content.take().expect("set"), rev) {
+            None => return Ok(()),
+            refused => refused,
+        };
+    }
+    runs.insert(
+        gap,
+        Run::singleton(id.clone(), content.take().expect("set"), rev),
+    );
+    Ok(())
+}
+
+fn place_content<A>(place: Place<A>) -> Content<A> {
+    match place {
+        Place::Atom(a) => Content::Live(a),
+        Place::Ghost => Content::Ghost,
+    }
+}
+
+fn set_rec<A: Atom, D: Disambiguator>(
+    node: &mut Node<A, D>,
+    id: &PosId<D>,
+    content: &mut Option<Content<A>>,
+    rev: u64,
+) -> Option<Content<A>> {
+    match node {
+        Node::Internal { children, .. } => {
+            let i = child_index_for(children, id);
+            let old = set_rec(&mut children[i], id, content, rev)?;
+            node.recompute_agg();
+            Some(old)
+        }
+        Node::Leaf { runs, .. } => {
+            for run in runs.iter_mut() {
+                if *id < run.first_id() {
+                    return None;
+                }
+                if *id <= run.last_id() {
+                    let j = run.find(id).ok()?;
+                    let old = run.set_cell(j, content.take().expect("unconsumed"), rev);
+                    node.recompute_agg();
+                    return Some(old);
+                }
+            }
+            None
+        }
+    }
+}
+
+fn remove_rec<A: Atom, D: Disambiguator>(
+    node: &mut Node<A, D>,
+    id: &PosId<D>,
+) -> (Option<Content<A>>, Option<Node<A, D>>) {
+    match node {
+        Node::Internal { children, .. } => {
+            let i = child_index_for(children, id);
+            let (old, splinter) = remove_rec(&mut children[i], id);
+            if old.is_none() {
+                debug_assert!(splinter.is_none());
+                return (None, None);
+            }
+            if let Some(spl) = splinter {
+                children.insert(i + 1, Box::new(spl));
+            }
+            if children[i].is_empty() {
+                children.remove(i);
+            }
+            let out = if children.len() > ARITY {
+                let right = children.split_off(children.len() / 2);
+                let mut right_node = Node::Internal {
+                    children: right,
+                    agg: Agg::default(),
+                };
+                right_node.recompute_agg();
+                Some(right_node)
+            } else {
+                None
+            };
+            node.recompute_agg();
+            (old, out)
+        }
+        Node::Leaf { runs, .. } => {
+            let mut hit: Option<(usize, usize)> = None;
+            for (i, run) in runs.iter().enumerate() {
+                if *id < run.first_id() {
+                    break;
+                }
+                if *id <= run.last_id() {
+                    if let Ok(j) = run.find(id) {
+                        hit = Some((i, j));
+                    }
+                    break;
+                }
+            }
+            let Some((i, j)) = hit else {
+                return (None, None);
+            };
+            let old = if runs[i].len() == 1 {
+                let mut run = runs.remove(i);
+                if let Pattern::Packed { ids } = &mut run.pattern {
+                    ids.pop();
+                }
+                run.cells.pop()
+            } else if j == 0 {
+                Some(runs[i].remove_first())
+            } else if j == runs[i].len() - 1 {
+                Some(runs[i].remove_last())
+            } else {
+                let mut right = runs[i].split_off(j);
+                let old = right.remove_first();
+                runs.insert(i + 1, right);
+                Some(old)
+            };
+            let out = if runs.len() > ARITY {
+                let right = runs.split_off(runs.len() / 2);
+                let mut right_node = Node::Leaf {
+                    runs: right,
+                    agg: Agg::default(),
+                };
+                right_node.recompute_agg();
+                Some(right_node)
+            } else {
+                None
+            };
+            node.recompute_agg();
+            (old, out)
+        }
+    }
+}
+
+impl<A: Atom, D: Disambiguator> RunTree<A, D> {
+    /// Content at `id`, or `None` when no cell is stored there.
+    pub fn get(&self, id: &PosId<D>) -> Option<&Content<A>> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Internal { children, .. } => {
+                    if children.is_empty() {
+                        return None;
+                    }
+                    node = &children[child_index_for(children, id)];
+                }
+                Node::Leaf { runs, .. } => {
+                    for run in runs {
+                        if *id < run.first_id() {
+                            return None;
+                        }
+                        if *id <= run.last_id() {
+                            return run.find(id).ok().map(|j| &run.cells[j]);
+                        }
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Identifier of the first stored cell in document order.
+    pub fn first_slot(&self) -> Option<PosId<D>> {
+        self.root.first_id()
+    }
+
+    /// Identifier of the closest stored cell strictly after `id`.
+    pub fn successor_slot(&self, id: &PosId<D>) -> Option<PosId<D>> {
+        succ_rec(&self.root, id)
+    }
+
+    /// Identifier of the closest stored cell strictly before `id`.
+    pub fn predecessor_slot(&self, id: &PosId<D>) -> Option<PosId<D>> {
+        pred_rec(&self.root, id)
+    }
+
+    /// The `index`-th live atom in document order.
+    pub fn atom_at(&self, index: usize) -> Option<&A> {
+        if index >= self.root.agg().live {
+            return None;
+        }
+        let (run, j) = live_cell_rec(&self.root, index)?;
+        run.cells[j].live()
+    }
+
+    /// Identifier of the `index`-th live atom in document order.
+    pub fn id_of_live_index(&self, index: usize) -> Option<PosId<D>> {
+        if index >= self.root.agg().live {
+            return None;
+        }
+        let (run, j) = live_cell_rec(&self.root, index)?;
+        Some(run.cell_id(j))
+    }
+
+    /// Number of live atoms.
+    pub fn live_len(&self) -> usize {
+        self.root.agg().live
+    }
+
+    /// Number of stored cells (live + tombstones + ghosts).
+    pub fn node_count(&self) -> usize {
+        self.root.agg().total
+    }
+
+    /// `true` when no cell is stored.
+    pub fn is_empty(&self) -> bool {
+        self.root.agg().total == 0
+    }
+
+    /// Height of the equivalent per-atom tree in levels of major nodes.
+    pub fn height(&self) -> usize {
+        let a = self.root.agg();
+        if a.total == 0 {
+            0
+        } else {
+            a.depth_max + 1
+        }
+    }
+
+    /// Document statistics, assembled in `O(1)` from the root aggregate.
+    pub fn stats(&self) -> DocStats {
+        let a = self.root.agg();
+        DocStats {
+            live_atoms: a.live,
+            total_nodes: a.total,
+            tombstones: a.tombstones,
+            ghosts: a.ghosts,
+            pos_ids: PosIdStats {
+                max_bits: a.bits_max,
+                total_bits: a.bits_total,
+                live_bits: a.bits_live,
+                nodes: a.total,
+                live: a.live,
+            },
+            document_bytes: a.atom_bytes,
+            height: self.height(),
+        }
+    }
+
+    /// Smallest `hot_rev` over all runs (0 when the store is empty): if this
+    /// exceeds a cold threshold, no region can possibly be cold.
+    pub fn min_hot_rev(&self) -> u64 {
+        let mut min = u64::MAX;
+        self.for_each_run(&mut |run| min = min.min(run.hot_rev));
+        if min == u64::MAX {
+            0
+        } else {
+            min
+        }
+    }
+
+    /// Number of coalesced runs (the figure of merit for coalescing tests
+    /// and the memory benchmarks).
+    pub fn run_count(&self) -> usize {
+        let mut n = 0;
+        self.for_each_run(&mut |_| n += 1);
+        n
+    }
+
+    /// Approximate heap footprint of the identifier index.
+    pub fn index_bytes(&self) -> usize {
+        fn walk<A: Atom, D: Disambiguator>(node: &Node<A, D>) -> usize {
+            mem::size_of::<Node<A, D>>()
+                + match node {
+                    Node::Leaf { runs, .. } => runs
+                        .iter()
+                        .map(|r| {
+                            mem::size_of::<Run<A, D>>()
+                                + r.pattern_heap_bytes()
+                                + r.cells.len() * mem::size_of::<Content<A>>()
+                                + r.live_bits.len() * 8
+                        })
+                        .sum::<usize>(),
+                    Node::Internal { children, .. } => {
+                        children.iter().map(|c| walk(c)).sum::<usize>()
+                    }
+                }
+        }
+        walk(&self.root)
+    }
+
+    fn for_each_run(&self, f: &mut impl FnMut(&Run<A, D>)) {
+        fn walk<A: Atom, D: Disambiguator>(node: &Node<A, D>, f: &mut impl FnMut(&Run<A, D>)) {
+            match node {
+                Node::Leaf { runs, .. } => {
+                    for r in runs {
+                        f(r);
+                    }
+                }
+                Node::Internal { children, .. } => {
+                    for c in children {
+                        walk(c, f);
+                    }
+                }
+            }
+        }
+        walk(&self.root, f);
+    }
+
+    /// All live atoms in document order.
+    pub fn to_vec(&self) -> Vec<A> {
+        let mut out = Vec::with_capacity(self.live_len());
+        self.for_each_run(&mut |run| {
+            out.extend(run.cells.iter().filter_map(|c| c.live().cloned()));
+        });
+        out
+    }
+
+    /// All live atoms with their identifiers, in document order.
+    pub fn to_identified_vec(&self) -> Vec<(PosId<D>, A)> {
+        let mut out = Vec::with_capacity(self.live_len());
+        self.for_each_run(&mut |run| {
+            for (j, c) in run.cells.iter().enumerate() {
+                if let Some(a) = c.live() {
+                    out.push((run.cell_id(j), a.clone()));
+                }
+            }
+        });
+        out
+    }
+
+    /// Every stored cell in document order, in the exchange format shared
+    /// with [`Tree::collect_cells`].
+    pub fn collect_cells(&self) -> Vec<(PosId<D>, Content<A>, u64)> {
+        let mut out = Vec::with_capacity(self.node_count());
+        self.for_each_run(&mut |run| {
+            for (j, c) in run.cells.iter().enumerate() {
+                out.push((run.cell_id(j), c.clone(), run.hot_rev));
+            }
+        });
+        out
+    }
+
+    /// Builds a store for `atoms` laid out as a freshly exploded (balanced,
+    /// metadata-free) document: a single run.
+    pub fn from_exploded(atoms: Vec<A>) -> Self {
+        if atoms.is_empty() {
+            return Self::new();
+        }
+        let n = atoms.len();
+        let mut run = Run {
+            pattern: Pattern::Exploded {
+                base: PosId::root(),
+                depth: explode_depth(n),
+                start: 0,
+            },
+            cells: atoms.into_iter().map(Content::Live).collect(),
+            live_bits: Vec::new(),
+            agg: Agg::default(),
+            hot_rev: 0,
+        };
+        run.recompute();
+        Self::from_runs(vec![run])
+    }
+
+    /// Rebuilds a store from a per-atom tree, re-coalescing every
+    /// recognisable run.
+    pub fn from_tree(tree: &Tree<A, D>) -> Self {
+        Self::from_cells(tree.collect_cells())
+    }
+
+    /// Rebuilds a store from cells in document order (the
+    /// [`Tree::collect_cells`] exchange format).
+    pub fn from_cells(cells: Vec<(PosId<D>, Content<A>, u64)>) -> Self {
+        let mut runs: Vec<Run<A, D>> = Vec::new();
+        for (id, content, rev) in cells {
+            let mut content = Some(content);
+            if let Some(last) = runs.last_mut() {
+                content = last.try_extend_back(&id, content.take().expect("set"), rev);
+                if content.is_none() {
+                    continue;
+                }
+            }
+            runs.push(Run::singleton(id, content.take().expect("set"), rev));
+        }
+        Self::from_runs(runs)
+    }
+
+    /// Materialises the equivalent per-atom [`Tree`], stamping each restored
+    /// path with its run's recency so the cold-subtree heuristic still sees
+    /// run-level `hot_rev`s.
+    pub fn to_tree(&self) -> Tree<A, D> {
+        let mut tree = Tree::new();
+        self.for_each_run(&mut |run| {
+            for (j, c) in run.cells.iter().enumerate() {
+                let id = run.cell_id(j);
+                tree.restore_slot(&id, c.clone());
+                tree.stamp_path(&id, run.hot_rev);
+            }
+        });
+        tree.rebuild_counts();
+        tree
+    }
+
+    fn from_runs(runs: Vec<Run<A, D>>) -> Self {
+        if runs.is_empty() {
+            return Self::new();
+        }
+        let mut level: Vec<Box<Node<A, D>>> = Vec::new();
+        let mut buf: Vec<Run<A, D>> = Vec::new();
+        for run in runs {
+            buf.push(run);
+            if buf.len() == ARITY {
+                let mut leaf = Node::Leaf {
+                    runs: mem::take(&mut buf),
+                    agg: Agg::default(),
+                };
+                leaf.recompute_agg();
+                level.push(Box::new(leaf));
+            }
+        }
+        if !buf.is_empty() {
+            let mut leaf = Node::Leaf {
+                runs: buf,
+                agg: Agg::default(),
+            };
+            leaf.recompute_agg();
+            level.push(Box::new(leaf));
+        }
+        while level.len() > 1 {
+            let mut next: Vec<Box<Node<A, D>>> = Vec::new();
+            let mut buf: Vec<Box<Node<A, D>>> = Vec::new();
+            for child in level {
+                buf.push(child);
+                if buf.len() == ARITY {
+                    let mut inner = Node::Internal {
+                        children: mem::take(&mut buf),
+                        agg: Agg::default(),
+                    };
+                    inner.recompute_agg();
+                    next.push(Box::new(inner));
+                }
+            }
+            if !buf.is_empty() {
+                let mut inner = Node::Internal {
+                    children: buf,
+                    agg: Agg::default(),
+                };
+                inner.recompute_agg();
+                next.push(Box::new(inner));
+            }
+            level = next;
+        }
+        RunTree {
+            root: *level.pop().expect("non-empty level"),
+        }
+    }
+
+    fn into_runs(self) -> Vec<Run<A, D>> {
+        fn collect<A, D>(node: Node<A, D>, out: &mut Vec<Run<A, D>>) {
+            match node {
+                Node::Leaf { runs, .. } => out.extend(runs),
+                Node::Internal { children, .. } => {
+                    for c in children {
+                        collect(*c, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        collect(self.root, &mut out);
+        out
+    }
+}
+
+fn succ_rec<A: Atom, D: Disambiguator>(node: &Node<A, D>, id: &PosId<D>) -> Option<PosId<D>> {
+    match node {
+        Node::Leaf { runs, .. } => {
+            for run in runs {
+                if run.last_id() > *id {
+                    let j = match run.find(id) {
+                        Ok(j) => j + 1,
+                        Err(j) => j,
+                    };
+                    debug_assert!(j < run.len());
+                    return Some(run.cell_id(j));
+                }
+            }
+            None
+        }
+        Node::Internal { children, .. } => {
+            if children.is_empty() {
+                return None;
+            }
+            let i = child_index_for(children, id);
+            if let Some(s) = succ_rec(&children[i], id) {
+                return Some(s);
+            }
+            children.get(i + 1).and_then(|c| c.first_id())
+        }
+    }
+}
+
+fn pred_rec<A: Atom, D: Disambiguator>(node: &Node<A, D>, id: &PosId<D>) -> Option<PosId<D>> {
+    match node {
+        Node::Leaf { runs, .. } => {
+            for run in runs.iter().rev() {
+                if run.first_id() < *id {
+                    let j = match run.find(id) {
+                        Ok(j) => j,
+                        Err(j) => j,
+                    };
+                    debug_assert!(j > 0);
+                    return Some(run.cell_id(j - 1));
+                }
+            }
+            None
+        }
+        Node::Internal { children, .. } => {
+            if children.is_empty() {
+                return None;
+            }
+            let i = child_index_for(children, id);
+            if let Some(p) = pred_rec(&children[i], id) {
+                return Some(p);
+            }
+            if i > 0 {
+                children[i - 1].last_id()
+            } else {
+                None
+            }
+        }
+    }
+}
+
+fn live_cell_rec<A: Atom, D: Disambiguator>(
+    node: &Node<A, D>,
+    mut k: usize,
+) -> Option<(&Run<A, D>, usize)> {
+    match node {
+        Node::Leaf { runs, .. } => {
+            for run in runs {
+                if k < run.agg.live {
+                    return Some((run, run.select_live(k)));
+                }
+                k -= run.agg.live;
+            }
+            None
+        }
+        Node::Internal { children, .. } => {
+            for child in children {
+                let live = child.agg().live;
+                if k < live {
+                    return live_cell_rec(child, k);
+                }
+                k -= live;
+            }
+            None
+        }
+    }
+}
+
+use crate::flatten::FlattenOutcome;
+
+/// Orders a cell identifier against the region rooted at the plain path
+/// `bits`: `Less`/`Greater` when the cell falls outside the region before /
+/// after it in document order, `Equal` when it is inside.
+fn cmp_vs_region<D: Disambiguator>(id: &PosId<D>, bits: &[Side]) -> Ordering {
+    let elems = id.elems();
+    for (i, &b) in bits.iter().enumerate() {
+        let Some(e) = elems.get(i) else {
+            // The identifier names an ancestor slot of the region root; the
+            // region lives in its `b`-side subtree.
+            return match b {
+                Side::Left => Ordering::Greater,
+                Side::Right => Ordering::Less,
+            };
+        };
+        if e.side != b {
+            return match e.side {
+                Side::Left => Ordering::Less,
+                Side::Right => Ordering::Greater,
+            };
+        }
+        if e.dis.is_some() {
+            // The identifier enters a mini-node on the region's path. The
+            // region root's own minis are part of the region; higher minis
+            // sort against the plain child the region continues into.
+            if i + 1 == bits.len() {
+                return Ordering::Equal;
+            }
+            return match bits[i + 1] {
+                Side::Left => Ordering::Greater,
+                Side::Right => Ordering::Less,
+            };
+        }
+    }
+    Ordering::Equal
+}
+
+impl<A: Atom, D: Disambiguator> RunTree<A, D> {
+    /// First cell index of `run` for which `pred` is false (cells are
+    /// monotone under `pred`).
+    fn partition_point(run: &Run<A, D>, pred: impl Fn(&PosId<D>) -> bool) -> usize {
+        let mut lo = 0;
+        let mut hi = run.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if pred(&run.cell_id(mid)) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Algorithm 2 (`flatten`) applied natively to run storage: replaces the
+    /// region rooted at the plain path `bits` with a single exploded run of
+    /// its live atoms, dropping tombstones, ghosts and disambiguators.
+    pub fn flatten_region(&mut self, bits: &[Side]) -> Result<FlattenOutcome> {
+        let old = mem::take(self);
+        let runs = old.into_runs();
+        let mut before: Vec<Run<A, D>> = Vec::new();
+        let mut inside: Vec<Run<A, D>> = Vec::new();
+        let mut after: Vec<Run<A, D>> = Vec::new();
+        for mut run in runs {
+            let first = cmp_vs_region(&run.first_id(), bits);
+            let last = cmp_vs_region(&run.last_id(), bits);
+            if first == Ordering::Less && last == Ordering::Less {
+                before.push(run);
+                continue;
+            }
+            if first == Ordering::Greater && last == Ordering::Greater {
+                after.push(run);
+                continue;
+            }
+            let lo = Self::partition_point(&run, |id| cmp_vs_region(id, bits) == Ordering::Less);
+            let hi = Self::partition_point(&run, |id| cmp_vs_region(id, bits) != Ordering::Greater);
+            if hi < run.len() {
+                after.push(run.split_off(hi));
+            }
+            if lo > 0 && lo < run.len() {
+                inside.push(run.split_off(lo));
+                before.push(run);
+            } else if lo == 0 {
+                inside.push(run);
+            } else {
+                before.push(run);
+            }
+        }
+        if inside.is_empty() && !bits.is_empty() {
+            let mut restored = before;
+            restored.extend(after);
+            *self = Self::from_runs(restored);
+            return Err(Error::NoSuchSubtree {
+                bits: bits.iter().map(|s| s.bit()).collect(),
+            });
+        }
+        let nodes_before: usize = inside.iter().map(|r| r.agg.total).sum();
+        let all_live = inside.iter().all(|r| r.agg.live == r.agg.total);
+        let has_dis = inside.iter().any(|r| r.has_dis());
+        if all_live && !has_dis {
+            let mut restored = before;
+            restored.extend(inside);
+            restored.extend(after);
+            *self = Self::from_runs(restored);
+            return Ok(FlattenOutcome::AlreadyCompact);
+        }
+        let mut atoms: Vec<A> = Vec::new();
+        for run in &inside {
+            atoms.extend(run.cells.iter().filter_map(|c| c.live().cloned()));
+        }
+        let nodes_after = atoms.len();
+        let mut rebuilt = before;
+        if !atoms.is_empty() {
+            let n = atoms.len();
+            let base = PosId::from_elems(bits.iter().map(|&s| PathElem::plain(s)).collect());
+            let mut run = Run {
+                pattern: Pattern::Exploded {
+                    base,
+                    depth: explode_depth(n),
+                    start: 0,
+                },
+                cells: atoms.into_iter().map(Content::Live).collect(),
+                live_bits: Vec::new(),
+                agg: Agg::default(),
+                hot_rev: 0,
+            };
+            run.recompute();
+            rebuilt.push(run);
+        }
+        rebuilt.extend(after);
+        *self = Self::from_runs(rebuilt);
+        Ok(FlattenOutcome::Flattened {
+            nodes_before,
+            nodes_after,
+        })
+    }
+
+    /// Asserts internal invariants; used by tests and debug assertions.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        fn walk<A: Atom, D: Disambiguator>(
+            node: &Node<A, D>,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+            prev: &mut Option<PosId<D>>,
+        ) -> std::result::Result<(), String> {
+            let mut expect = Agg::default();
+            match node {
+                Node::Leaf { runs, agg } => {
+                    if runs.len() > ARITY {
+                        return Err(format!("leaf over arity: {}", runs.len()));
+                    }
+                    match leaf_depth {
+                        Some(d) if *d != depth => {
+                            return Err(format!("unbalanced: leaves at depths {d} and {depth}"));
+                        }
+                        None => *leaf_depth = Some(depth),
+                        _ => {}
+                    }
+                    for run in runs {
+                        if run.cells.is_empty() {
+                            return Err("empty run".into());
+                        }
+                        if let Pattern::Packed { ids } = &run.pattern {
+                            if ids.len() != run.cells.len() {
+                                return Err("packed id/cell length mismatch".into());
+                            }
+                        }
+                        let mut check = run.clone();
+                        check.recompute();
+                        if check.agg != run.agg {
+                            return Err(format!(
+                                "stale run aggregate: {:?} != {:?}",
+                                run.agg, check.agg
+                            ));
+                        }
+                        if check.live_bits != run.live_bits {
+                            return Err("stale live bitmap".into());
+                        }
+                        for j in 0..run.len() {
+                            let id = run.cell_id(j);
+                            if let Some(p) = prev {
+                                if *p >= id {
+                                    return Err(format!("cell order violation at {:?}", id.repr()));
+                                }
+                            }
+                            if matches!(run.cells[j], Content::Absent) {
+                                return Err("absent cell stored".into());
+                            }
+                            *prev = Some(id);
+                        }
+                        expect.merge(&run.agg);
+                    }
+                    if *agg != expect {
+                        return Err("stale leaf aggregate".into());
+                    }
+                }
+                Node::Internal { children, agg } => {
+                    if children.len() > ARITY {
+                        return Err(format!("internal over arity: {}", children.len()));
+                    }
+                    if children.is_empty() {
+                        return Err("empty internal node".into());
+                    }
+                    for child in children {
+                        if child.is_empty() {
+                            return Err("empty child".into());
+                        }
+                        walk(child, depth + 1, leaf_depth, prev)?;
+                        expect.merge(child.agg());
+                    }
+                    if *agg != expect {
+                        return Err("stale internal aggregate".into());
+                    }
+                }
+            }
+            Ok(())
+        }
+        let mut prev = None;
+        let mut leaf_depth = None;
+        walk(&self.root, 0, &mut leaf_depth, &mut prev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disambiguator::{Sdis, Udis};
+    use crate::doc::Treedoc;
+    use crate::flatten::flatten_subtree;
+    use crate::ops::Op;
+    use crate::site::SiteId;
+    use crate::stats::DocStats;
+
+    /// Drives a per-atom [`Treedoc`] to allocate realistic identifiers, and
+    /// mirrors every op into a bare [`Tree`] and a [`RunTree`].
+    struct Mirror<D: Disambiguator + crate::disambiguator::HasSource> {
+        doc: Treedoc<char, D>,
+        tree: Tree<char, D>,
+        run: RunTree<char, D>,
+        rev: u64,
+    }
+
+    impl<D: Disambiguator + crate::disambiguator::HasSource> Mirror<D> {
+        fn new(site: u64) -> Self {
+            Mirror {
+                doc: Treedoc::new(SiteId::from_u64(site)),
+                tree: Tree::new(),
+                run: RunTree::new(),
+                rev: 0,
+            }
+        }
+
+        fn insert(&mut self, index: usize, c: char) {
+            let op = self.doc.local_insert(index, c).expect("insert");
+            self.apply(&op);
+        }
+
+        fn delete(&mut self, index: usize) {
+            let op = self.doc.local_delete(index).expect("delete");
+            self.apply(&op);
+        }
+
+        fn apply(&mut self, op: &Op<char, D>) {
+            self.rev += 1;
+            match op {
+                Op::Insert { id, atom } => {
+                    self.tree.insert(id, *atom, self.rev).expect("tree insert");
+                    self.run.insert(id, *atom, self.rev).expect("run insert");
+                }
+                Op::Delete { id } => {
+                    let a = self.tree.delete(id, self.rev).expect("tree delete");
+                    let b = self.run.delete(id, self.rev).expect("run delete");
+                    assert_eq!(a, b, "delete return mismatch at {:?}", id.repr());
+                }
+            }
+        }
+
+        fn assert_parity(&self) {
+            self.run.check_invariants().expect("run invariants");
+            let tree_cells: Vec<_> = self
+                .tree
+                .collect_cells()
+                .into_iter()
+                .map(|(id, c, _)| (id, c))
+                .collect();
+            let run_cells: Vec<_> = self
+                .run
+                .collect_cells()
+                .into_iter()
+                .map(|(id, c, _)| (id, c))
+                .collect();
+            assert_eq!(tree_cells, run_cells, "cell sets diverge");
+            let ts = DocStats::measure(&self.tree);
+            let rs = self.run.stats();
+            assert_eq!(ts, rs, "stats diverge");
+            let text: String = self.run.to_vec().into_iter().collect();
+            assert_eq!(self.doc.to_string(), text, "document text diverges");
+            for i in 0..self.run.live_len() {
+                let id = self.run.id_of_live_index(i).expect("live id");
+                assert!(self.run.get(&id).is_some_and(Content::is_live));
+            }
+        }
+    }
+
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    #[test]
+    fn sequential_typing_coalesces_to_one_spine_run() {
+        let mut m = Mirror::<Udis>::new(1);
+        for (i, c) in ('a'..='z').cycle().take(500).enumerate() {
+            m.insert(i, c);
+        }
+        m.assert_parity();
+        // The first atom sits at the root mini; every subsequent append is
+        // one spine step, so the whole burst coalesces into one run.
+        assert_eq!(m.run.run_count(), 1, "append burst did not coalesce");
+        assert_eq!(m.run.live_len(), 500);
+    }
+
+    #[test]
+    fn prepend_burst_coalesces_to_one_left_spine() {
+        let mut m = Mirror::<Udis>::new(1);
+        for c in ('a'..='z').cycle().take(300) {
+            m.insert(0, c);
+        }
+        m.assert_parity();
+        assert!(
+            m.run.run_count() <= 2,
+            "prepend burst fragmented into {} runs",
+            m.run.run_count()
+        );
+    }
+
+    #[test]
+    fn interior_edits_split_and_survive() {
+        let mut m = Mirror::<Udis>::new(1);
+        for (i, c) in ('a'..='z').cycle().take(100).enumerate() {
+            m.insert(i, c);
+        }
+        m.insert(50, 'X');
+        m.insert(25, 'Y');
+        m.delete(10);
+        m.delete(60);
+        m.assert_parity();
+    }
+
+    #[test]
+    fn random_differential_udis() {
+        random_differential::<Udis>(2, 900);
+    }
+
+    #[test]
+    fn random_differential_sdis() {
+        random_differential::<Sdis>(3, 900);
+    }
+
+    fn random_differential<D: Disambiguator + crate::disambiguator::HasSource>(
+        site: u64,
+        ops: usize,
+    ) {
+        let mut m = Mirror::<D>::new(site);
+        let mut rng = 0x5eed_0000 + site;
+        for step in 0..ops {
+            let len = m.doc.len();
+            let roll = lcg(&mut rng) % 100;
+            if len == 0 || roll < 60 {
+                let at = (lcg(&mut rng) as usize) % (len + 1);
+                let c = char::from(b'a' + (lcg(&mut rng) % 26) as u8);
+                m.insert(at, c);
+            } else {
+                let at = (lcg(&mut rng) as usize) % len;
+                m.delete(at);
+            }
+            if step % 97 == 0 {
+                m.assert_parity();
+            }
+        }
+        m.assert_parity();
+    }
+
+    #[test]
+    fn flatten_differential_at_root() {
+        for seed in 0..4u64 {
+            let mut m = Mirror::<Udis>::new(seed + 10);
+            let mut rng = seed;
+            for _ in 0..200 {
+                let len = m.doc.len();
+                if len == 0 || lcg(&mut rng) % 100 < 65 {
+                    let at = (lcg(&mut rng) as usize) % (len + 1);
+                    m.insert(at, 'x');
+                } else {
+                    m.delete((lcg(&mut rng) as usize) % len);
+                }
+            }
+            let a = flatten_subtree(&mut m.tree, &[]).expect("tree flatten");
+            let b = m.run.flatten_region(&[]).expect("run flatten");
+            assert_eq!(a, b, "flatten outcome diverges");
+            m.tree.rebuild_counts();
+            m.assert_parity();
+        }
+    }
+
+    #[test]
+    fn flatten_missing_region_errors_and_restores() {
+        let mut m = Mirror::<Udis>::new(7);
+        for i in 0..10 {
+            m.insert(i, 'a');
+        }
+        let before = m.run.collect_cells();
+        // An all-left path far below the document has no cells.
+        let bits = [Side::Left; 40];
+        let err = m.run.flatten_region(&bits).expect_err("no such subtree");
+        assert!(matches!(err, Error::NoSuchSubtree { .. }));
+        assert_eq!(m.run.collect_cells(), before, "failed flatten must restore");
+        m.run.check_invariants().expect("invariants after restore");
+    }
+
+    #[test]
+    fn exploded_store_is_one_run_with_o1_metrics() {
+        let n = 200_000;
+        let atoms: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+        let rt: RunTree<u8, Udis> = RunTree::from_exploded(atoms.clone());
+        assert_eq!(rt.run_count(), 1, "exploded document must be a single run");
+        assert_eq!(rt.live_len(), n);
+        assert_eq!(rt.height(), explode_depth(n));
+        for &i in &[0usize, 1, n / 2, n - 2, n - 1] {
+            assert_eq!(rt.atom_at(i), Some(&atoms[i]), "atom_at({i})");
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.live_atoms, n);
+        assert_eq!(stats.tombstones, 0);
+        // The deepest leaf path of a depth-`d` complete tree has `d - 1`
+        // branch bits and no disambiguators.
+        assert_eq!(stats.pos_ids.max_bits, explode_depth(n) - 1);
+        // Beyond the cell contents themselves (one `Content` per atom) and
+        // the live bitmap (1 bit per atom), the index should cost a small
+        // constant — not one tree node per atom.
+        let cell_bytes = n * mem::size_of::<Content<u8>>() + n / 8 + 8;
+        assert!(
+            rt.index_bytes() < cell_bytes + 4 * 1024,
+            "exploded index too large: {} bytes for {cell_bytes} of cells",
+            rt.index_bytes()
+        );
+    }
+
+    #[test]
+    fn single_200k_char_spine_run_keeps_o1_metrics() {
+        // The sequential-typing counterpart of the exploded test above — and
+        // of the 200k-deep skinny-tree height test in `node.rs`: one run
+        // holding a 200k-cell append spine, i.e. a document 200k major-node
+        // levels deep. Built directly (materialising every identifier would
+        // cost a quadratic 20G path elements); the assertions are about what
+        // the store does *without* materialising them.
+        let n = 200_000;
+        let mut doc = Treedoc::<u8, Udis>::new(SiteId::from_u64(3));
+        let Op::Insert { id: anchor, .. } = doc.local_insert(0, 0u8).unwrap() else {
+            unreachable!("insert op")
+        };
+        let mut run = Run {
+            pattern: Pattern::Spine {
+                anchor: anchor.clone(),
+                side: Side::Right,
+            },
+            cells: (0..n).map(|i| Content::Live((i % 251) as u8)).collect(),
+            live_bits: Vec::new(),
+            agg: Agg::default(),
+            hot_rev: 0,
+        };
+        run.recompute();
+        let rt = RunTree::from_runs(vec![run]);
+
+        assert_eq!(rt.run_count(), 1, "a typing run must stay one run");
+        assert_eq!(rt.live_len(), n);
+        assert_eq!(rt.height(), anchor.depth() + n, "height from the aggregate");
+        // Counter-guided descent: index lookups never walk the 200k-deep
+        // logical tree.
+        for &i in &[0usize, 1, n / 2, n - 2, n - 1] {
+            assert_eq!(rt.atom_at(i), Some(&((i % 251) as u8)), "atom_at({i})");
+        }
+        assert_eq!(rt.atom_at(n), None);
+        // Materialising the deepest identifier is the caller's O(depth), and
+        // looking it back up binary-searches the run without a tree walk.
+        let last = rt.id_of_live_index(n - 1).expect("last live id");
+        assert_eq!(last.depth(), anchor.depth() + n - 1);
+        assert_eq!(rt.get(&last), Some(&Content::Live(((n - 1) % 251) as u8)));
+        let stats = rt.stats();
+        assert_eq!(stats.live_atoms, n);
+        assert_eq!(
+            stats.pos_ids.max_bits,
+            anchor.depth() + (n - 1) + anchor.dis_count() * Udis::ACCOUNTED_BYTES * 8
+        );
+        // One anchor identifier, the cells and a bitmap — not a node per
+        // level of a 200k-deep tree.
+        let cell_bytes = n * mem::size_of::<Content<u8>>() + n / 8 + 8;
+        assert!(
+            rt.index_bytes() < cell_bytes + 4 * 1024,
+            "spine index too large: {} bytes",
+            rt.index_bytes()
+        );
+    }
+
+    #[test]
+    fn tree_round_trip_preserves_cells_and_recoalesces() {
+        let mut m = Mirror::<Udis>::new(4);
+        for (i, c) in ('a'..='z').cycle().take(400).enumerate() {
+            m.insert(i, c);
+        }
+        m.insert(100, 'Q');
+        m.delete(7);
+        let tree = m.run.to_tree();
+        let cells_direct = m.run.collect_cells();
+        let cells_via_tree = tree.collect_cells();
+        let strip = |v: Vec<(PosId<Udis>, Content<char>, u64)>| {
+            v.into_iter().map(|(id, c, _)| (id, c)).collect::<Vec<_>>()
+        };
+        assert_eq!(strip(cells_direct), strip(cells_via_tree.clone()));
+        let back = RunTree::from_cells(cells_via_tree);
+        back.check_invariants().expect("round-trip invariants");
+        assert_eq!(back.to_vec(), m.run.to_vec());
+        assert!(
+            back.run_count() <= m.run.run_count() + 2,
+            "round trip lost coalescing: {} -> {}",
+            m.run.run_count(),
+            back.run_count()
+        );
+    }
+
+    #[test]
+    fn spine_step_recognises_append_chains() {
+        let d0 = Udis::new(5, SiteId::from_u64(1));
+        let anchor: PosId<Udis> = PosId::from_elems(vec![PathElem::mini(Side::Right, d0)]);
+        let next = spine_cell_id(&anchor, Side::Right, 1);
+        assert_eq!(spine_step(&anchor, &next), Some(Side::Right));
+        let next2 = spine_cell_id(&anchor, Side::Right, 2);
+        assert_eq!(spine_step(&next, &next2), Some(Side::Right));
+        assert_eq!(spine_step(&anchor, &next2), None, "skipping a step");
+        let left = spine_cell_id(&anchor, Side::Left, 1);
+        assert_eq!(spine_step(&anchor, &left), Some(Side::Left));
+    }
+
+    #[test]
+    fn infix_path_matches_explode_layout() {
+        // Depth-3 complete tree infix order: LL, L, LR, root, RL, R, RR.
+        let paths: Vec<Vec<Side>> = (0..7).map(|k| infix_path(3, k)).collect();
+        use Side::{Left as L, Right as R};
+        assert_eq!(
+            paths,
+            vec![
+                vec![L, L],
+                vec![L],
+                vec![L, R],
+                vec![],
+                vec![R, L],
+                vec![R],
+                vec![R, R],
+            ]
+        );
+        for (k, path) in paths.iter().enumerate() {
+            assert_eq!(infix_len(3, k), path.len());
+        }
+    }
+}

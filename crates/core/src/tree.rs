@@ -102,6 +102,30 @@ impl<A: Atom, D: Disambiguator> Tree<A, D> {
         }
     }
 
+    /// Estimated heap footprint of the index structure itself (node structs
+    /// and child boxes), excluding atom content bytes. This is the measured
+    /// counterpart of [`MemoryModel`](crate::MemoryModel): one boxed
+    /// [`MajorNode`] per allocation plus the mini-node vector elements.
+    pub fn index_bytes(&self) -> usize {
+        let major = std::mem::size_of::<MajorNode<A, D>>();
+        let mini = std::mem::size_of::<MiniNode<A, D>>();
+        let mut bytes = major; // the inline root
+        let mut stack: Vec<&MajorNode<A, D>> = vec![&self.root];
+        while let Some(node) = stack.pop() {
+            bytes += node.minis.len() * mini;
+            let children = node
+                .minis
+                .iter()
+                .flat_map(|m| [m.left.as_deref(), m.right.as_deref()])
+                .chain([node.left.as_deref(), node.right.as_deref()]);
+            for child in children.flatten() {
+                bytes += major;
+                stack.push(child);
+            }
+        }
+        bytes
+    }
+
     // ------------------------------------------------------------------
     // Path-addressed access
     // ------------------------------------------------------------------
@@ -351,13 +375,6 @@ impl<A: Atom, D: Disambiguator> Tree<A, D> {
         out
     }
 
-    /// Replaces the whole tree content (used by `explode` when converting an
-    /// array-backed document into tree storage).
-    pub(crate) fn set_root(&mut self, mut root: MajorNode<A, D>) {
-        recount_deep(&mut root);
-        self.root = root;
-    }
-
     // ------------------------------------------------------------------
     // Restoration (deserialisation support)
     // ------------------------------------------------------------------
@@ -394,6 +411,58 @@ impl<A: Atom, D: Disambiguator> Tree<A, D> {
     /// [`restore_slot`](Self::restore_slot) calls.
     pub fn rebuild_counts(&mut self) {
         recount_deep(&mut self.root);
+    }
+
+    /// Every occupied slot in infix order, with its full identifier, a clone
+    /// of its content and the `hot_rev` of its enclosing major node. This is
+    /// the exchange format between the per-atom tree and the run-coalesced
+    /// store ([`crate::run::RunTree`]).
+    pub fn collect_cells(&self) -> Vec<(PosId<D>, Content<A>, u64)> {
+        let mut out = Vec::with_capacity(self.node_count());
+        let mut path: Vec<PathElem<D>> = Vec::new();
+        collect_cells_rec(&self.root, &mut path, &mut out);
+        out
+    }
+
+    /// Stamps `rev` into the `hot_rev` of every major node along the path to
+    /// `id` (the same stamping an [`insert`](Self::insert) at `id` performs),
+    /// without touching any slot. Used when materialising a per-atom tree
+    /// from run storage so the cold-subtree heuristic still sees run-level
+    /// recency.
+    pub(crate) fn stamp_path(&mut self, id: &PosId<D>, rev: u64) {
+        enum CtxMut<'a, A, D> {
+            Major(&'a mut MajorNode<A, D>),
+            Mini(&'a mut MiniNode<A, D>),
+        }
+        let mut ctx = CtxMut::Major(&mut self.root);
+        for elem in id.elems() {
+            let child = match ctx {
+                CtxMut::Major(m) => {
+                    m.hot_rev = m.hot_rev.max(rev);
+                    match m.child_mut(elem.side) {
+                        Some(c) => c,
+                        None => return,
+                    }
+                }
+                CtxMut::Mini(m) => match m.child_mut(elem.side) {
+                    Some(c) => c,
+                    None => return,
+                },
+            };
+            ctx = match &elem.dis {
+                None => CtxMut::Major(child),
+                Some(d) => {
+                    child.hot_rev = child.hot_rev.max(rev);
+                    match child.find_mini_mut(d) {
+                        Some(m) => CtxMut::Mini(m),
+                        None => return,
+                    }
+                }
+            };
+        }
+        if let CtxMut::Major(m) = ctx {
+            m.hot_rev = m.hot_rev.max(rev);
+        }
     }
 
     /// Asserts internal invariants; used by tests and debug builds.
@@ -956,6 +1025,56 @@ fn collect_identified<A: Atom, D: Disambiguator>(
     if let Some(right) = node.child(Side::Right) {
         path.push(PathElem::plain(Side::Right));
         collect_identified(right, path, out);
+        path.pop();
+    }
+}
+
+fn collect_cells_rec<A: Atom, D: Disambiguator>(
+    node: &MajorNode<A, D>,
+    path: &mut Vec<PathElem<D>>,
+    out: &mut Vec<(PosId<D>, Content<A>, u64)>,
+) {
+    if let Some(left) = node.child(Side::Left) {
+        path.push(PathElem::plain(Side::Left));
+        collect_cells_rec(left, path, out);
+        path.pop();
+    }
+    if node.plain.is_present() {
+        out.push((
+            PosId::from_elems(path.clone()),
+            node.plain.clone(),
+            node.hot_rev,
+        ));
+    }
+    for mini in &node.minis {
+        let saved = path.last().cloned();
+        if let Some(last) = path.last_mut() {
+            last.dis = Some(mini.dis.clone());
+        }
+        if let Some(left) = mini.child(Side::Left) {
+            path.push(PathElem::plain(Side::Left));
+            collect_cells_rec(left, path, out);
+            path.pop();
+        }
+        if mini.content.is_present() {
+            out.push((
+                PosId::from_elems(path.clone()),
+                mini.content.clone(),
+                node.hot_rev,
+            ));
+        }
+        if let Some(right) = mini.child(Side::Right) {
+            path.push(PathElem::plain(Side::Right));
+            collect_cells_rec(right, path, out);
+            path.pop();
+        }
+        if let (Some(last), Some(saved)) = (path.last_mut(), saved) {
+            *last = saved;
+        }
+    }
+    if let Some(right) = node.child(Side::Right) {
+        path.push(PathElem::plain(Side::Right));
+        collect_cells_rec(right, path, out);
         path.pop();
     }
 }

@@ -264,7 +264,7 @@ where
     D::Source: Serialize + DeserializeOwned,
 {
     fn encode_sections(&self, snapshot: &mut Snapshot) {
-        let image = DiskImage::encode(self.tree());
+        let image = DiskImage::encode(&self.tree());
         let atoms = to_json_bytes(&image.atoms);
         let meta = DocMeta {
             revision: self.revision(),

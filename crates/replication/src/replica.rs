@@ -247,7 +247,8 @@ where
     D: Disambiguator + HasSource,
 {
     fn flatten_vote(&self, proposal: &FlattenProposal) -> Vote {
-        match self.tree().subtree(&proposal.subtree) {
+        let tree = self.tree();
+        match tree.subtree(&proposal.subtree) {
             None => Vote::No,
             Some(node) if node.hot_rev() > proposal.base_revision => Vote::No,
             Some(_) => Vote::Yes,

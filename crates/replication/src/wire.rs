@@ -20,9 +20,14 @@
 //! The entries of an [`OpBatch`] are delta-encoded against their
 //! predecessor: the sender is elided when unchanged, the vector clock ships
 //! only its changed entries, and position identifiers share their path
-//! prefix ([`treedoc_core::codec::put_pos_id`]). A run of sequential inserts
-//! — the dominant pattern in real edit traces (§5) — costs a few bytes per
-//! operation instead of a full stamped envelope each.
+//! prefix ([`treedoc_core::codec::put_pos_id`]). Since wire v3 an entry that
+//! is the sequential **run continuation** of its predecessor (a
+//! [`treedoc_core::spine_step`] insert — the shape every cell of a coalesced
+//! run has) elides its position identifier entirely and ships as a run step:
+//! one flag, one side byte and the atom. A run of sequential inserts — the
+//! dominant pattern in real edit traces (§5) — thus costs one full entry
+//! plus a few bytes per atom; one coalesced run travels as one batch and is
+//! journaled as one WAL record.
 //!
 //! Like the core codec, every decoder is total: malformed input yields a
 //! typed [`WireError`], never a panic or an unbounded allocation.
@@ -33,7 +38,7 @@ use treedoc_commit::{CommitProtocol, FlattenProposal, Vote};
 use treedoc_core::codec::{
     get_sides, get_site, get_u8, get_varint, put_sides, put_site, put_u8, put_varint, WirePayload,
 };
-use treedoc_core::{SiteId, WIRE_VERSION};
+use treedoc_core::{SiteId, WIRE_MIN_VERSION, WIRE_VERSION};
 
 use crate::causal::CausalMessage;
 use crate::clock::VectorClock;
@@ -134,6 +139,13 @@ const ENTRY_SAME_SENDER: u8 = 0b0000_0001;
 /// intervening remote deliveries, i.e. the dominant case inside a batch. The
 /// clock is elided entirely.
 const ENTRY_CLOCK_INCREMENT: u8 = 0b0000_0010;
+/// Flag bit (wire v3): this entry's payload is the sequential run
+/// continuation of the previous entry's — one cell of a coalesced edit run.
+/// The payload ships as a run step ([`WirePayload::encode_run_step`]: for
+/// operations, a side byte plus the atom) and the position identifier is
+/// reconstructed at the receiver, so a whole run costs one full entry plus a
+/// few bytes per atom.
+const ENTRY_RUN_STEP: u8 = 0b0000_0100;
 
 /// Appends a full (context-free) `(epoch, message)` entry — the layout of a
 /// batch head and of a standalone [`Envelope::Op`] body.
@@ -170,6 +182,7 @@ fn put_batch_entry<Op: WirePayload>(
     if clock_is_increment {
         flags |= ENTRY_CLOCK_INCREMENT;
     }
+    let flags_at = out.len();
     put_u8(out, flags);
     if !same_sender {
         put_site(out, msg.sender);
@@ -177,7 +190,14 @@ fn put_batch_entry<Op: WirePayload>(
     if !clock_is_increment {
         put_clock(out, &msg.clock, Some(&prev_msg.clock));
     }
-    msg.payload.encode_payload(Some(&prev_msg.payload), out);
+    // Run coalescing: a payload continuing the previous entry's run ships as
+    // a step; encode_run_step writes nothing when it declines, so the flag
+    // patch below is the only divergence between the two layouts.
+    if msg.payload.encode_run_step(&prev_msg.payload, out) {
+        out[flags_at] |= ENTRY_RUN_STEP;
+    } else {
+        msg.payload.encode_payload(Some(&prev_msg.payload), out);
+    }
 }
 
 /// Reads one batch entry back.
@@ -199,7 +219,7 @@ fn get_batch_entry<Op: WirePayload>(
         }
         Some((_, prev_msg)) => {
             let flags = get_u8(input)?;
-            if flags & !(ENTRY_SAME_SENDER | ENTRY_CLOCK_INCREMENT) != 0 {
+            if flags & !(ENTRY_SAME_SENDER | ENTRY_CLOCK_INCREMENT | ENTRY_RUN_STEP) != 0 {
                 return None;
             }
             let sender = if flags & ENTRY_SAME_SENDER != 0 {
@@ -214,7 +234,11 @@ fn get_batch_entry<Op: WirePayload>(
             } else {
                 get_clock(input, Some(&prev_msg.clock))?
             };
-            let payload = Op::decode_payload(input, Some(&prev_msg.payload))?;
+            let payload = if flags & ENTRY_RUN_STEP != 0 {
+                Op::decode_run_step(input, &prev_msg.payload)?
+            } else {
+                Op::decode_payload(input, Some(&prev_msg.payload))?
+            };
             CausalMessage {
                 sender,
                 clock,
@@ -383,7 +407,10 @@ pub fn decode_envelope<Op: WirePayload>(bytes: &[u8]) -> Result<Envelope<Op>, Wi
 /// records).
 fn decode_envelope_cursor<Op: WirePayload>(input: &mut &[u8]) -> Result<Envelope<Op>, WireError> {
     let version = get_u8(input).ok_or(WireError::Malformed)?;
-    if version != WIRE_VERSION {
+    // v2 encodings are a strict subset of v3 (no run-step entries), so one
+    // decoder reads both generations; stores and peers from before the run
+    // codec stay readable.
+    if !(WIRE_MIN_VERSION..=WIRE_VERSION).contains(&version) {
         return Err(WireError::UnsupportedVersion(version));
     }
     let tag = get_u8(input).ok_or(WireError::Malformed)?;
@@ -708,6 +735,74 @@ mod tests {
             batched * 2 < unbatched,
             "batch {batched}B vs per-op {unbatched}B"
         );
+    }
+
+    #[test]
+    fn run_step_batches_round_trip() {
+        use treedoc_core::spine_successor;
+        // A sequential typing run: every identifier is the spine successor
+        // of the previous one, so entries 1.. ship as run steps. Interleave
+        // a delete and a sender change mid-batch to force fallbacks to the
+        // full layout in the same envelope.
+        let mut id = pos(&[(1, Some(1))]);
+        let mut entries = Vec::new();
+        entries.push((
+            0u64,
+            msg(
+                1,
+                &[(1, 1)],
+                Op::Insert {
+                    id: id.clone(),
+                    atom: "a0".into(),
+                },
+            ),
+        ));
+        for k in 1..10u64 {
+            id = spine_successor(&id, Side::Right).expect("spine grows");
+            entries.push((
+                0u64,
+                msg(
+                    1,
+                    &[(1, k + 1)],
+                    Op::Insert {
+                        id: id.clone(),
+                        atom: format!("a{k}"),
+                    },
+                ),
+            ));
+        }
+        entries.push((
+            0,
+            msg(
+                1,
+                &[(1, 11)],
+                Op::Delete {
+                    id: pos(&[(1, Some(1))]),
+                },
+            ),
+        ));
+        entries.push((
+            0,
+            msg(
+                2,
+                &[(1, 11), (2, 1)],
+                Op::Insert {
+                    id: pos(&[(0, Some(2))]),
+                    atom: "other".into(),
+                },
+            ),
+        ));
+        let batch = Envelope::OpBatch(OpBatch {
+            entries: entries.clone(),
+        });
+        round_trip(&batch);
+
+        // The nine continuation entries must each cost a handful of bytes:
+        // epoch + flags + side + length-prefixed atom, no identifier.
+        for window in entries[..10].windows(2) {
+            let bytes = batch_entry_bytes(&window[1], Some(&window[0]));
+            assert!(bytes <= 6, "continuation entry cost {bytes}B");
+        }
     }
 
     #[test]

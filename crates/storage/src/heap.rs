@@ -492,10 +492,10 @@ mod tests {
     fn round_trip_flattened_document() {
         let atoms: Vec<String> = (0..40).map(|i| format!("line {i}")).collect();
         let doc: Treedoc<String, Sdis> = Treedoc::from_atoms(site(1), &atoms);
-        let image = DiskImage::encode(doc.tree());
+        let image = DiskImage::encode(&doc.tree());
         let back: Tree<String, Sdis> = image.decode().unwrap();
         assert_eq!(back.to_vec(), atoms);
-        assert_eq!(slots(&back), slots(doc.tree()));
+        assert_eq!(slots(&back), slots(&doc.tree()));
     }
 
     #[test]
@@ -507,7 +507,7 @@ mod tests {
         for _ in 0..10 {
             doc.local_delete(5).unwrap();
         }
-        let image = DiskImage::encode(doc.tree());
+        let image = DiskImage::encode(&doc.tree());
         let back: Tree<String, Sdis> = image.decode().unwrap();
         assert_eq!(back.to_vec(), doc.to_vec());
         assert_eq!(
@@ -515,7 +515,7 @@ mod tests {
             doc.node_count(),
             "tombstones survive the round trip"
         );
-        assert_eq!(slots(&back), slots(doc.tree()));
+        assert_eq!(slots(&back), slots(&doc.tree()));
     }
 
     #[test]
@@ -525,10 +525,10 @@ mod tests {
             doc.local_insert(i, format!("u{i}")).unwrap();
         }
         doc.local_delete(3).unwrap();
-        let image = DiskImage::encode(doc.tree());
+        let image = DiskImage::encode(&doc.tree());
         let back: Tree<String, Udis> = image.decode().unwrap();
         assert_eq!(back.to_vec(), doc.to_vec());
-        assert_eq!(slots(&back), slots(doc.tree()));
+        assert_eq!(slots(&back), slots(&doc.tree()));
     }
 
     #[test]
@@ -553,7 +553,7 @@ mod tests {
         b.apply(&between).unwrap();
         assert_eq!(a.to_vec(), b.to_vec());
 
-        let image = DiskImage::encode(a.tree());
+        let image = DiskImage::encode(&a.tree());
         let back: Tree<String, Sdis> = image.decode().unwrap();
         assert_eq!(back.to_vec(), a.to_vec());
         assert_eq!(back.node_count(), a.node_count());
@@ -565,7 +565,7 @@ mod tests {
             .map(|i| format!("some document line number {i}"))
             .collect();
         let doc: Treedoc<String, Sdis> = Treedoc::from_atoms(site(1), &atoms);
-        let image = DiskImage::encode(doc.tree());
+        let image = DiskImage::encode(&doc.tree());
         // A flattened document stores no disambiguators: a few bytes per node
         // (tag + state + atom ref) plus compressed markers.
         assert!(
@@ -588,9 +588,9 @@ mod tests {
         for i in 0..100 {
             appended.local_insert(i, format!("line {i}")).unwrap();
         }
-        let unbalanced = DiskImage::encode(appended.tree());
+        let unbalanced = DiskImage::encode(&appended.tree());
         appended.flatten_all().unwrap();
-        let flattened = DiskImage::encode(appended.tree());
+        let flattened = DiskImage::encode(&appended.tree());
         assert!(
             flattened.structure_bytes() < unbalanced.structure_bytes(),
             "flattening must shrink the on-disk structure ({} vs {})",
@@ -606,7 +606,7 @@ mod tests {
         for i in 0..64 {
             doc.local_insert(i, format!("b{i}")).unwrap();
         }
-        let image = DiskImage::encode(doc.tree());
+        let image = DiskImage::encode(&doc.tree());
         let back: Tree<String, Sdis> = image.decode().unwrap();
         assert_eq!(back.to_vec(), doc.to_vec());
     }
@@ -614,7 +614,7 @@ mod tests {
     #[test]
     fn corrupt_images_are_rejected_with_a_diagnosis() {
         let doc: Treedoc<String, Sdis> = Treedoc::from_atoms(site(1), &["a".to_string()]);
-        let mut image = DiskImage::encode(doc.tree());
+        let mut image = DiskImage::encode(&doc.tree());
         image.structure.truncate(1);
         assert!(matches!(
             image.decode::<Sdis>(),
@@ -632,7 +632,7 @@ mod tests {
     fn dangling_atom_references_are_diagnosed() {
         let doc: Treedoc<String, Sdis> =
             Treedoc::from_atoms(site(1), &["a".to_string(), "b".to_string()]);
-        let mut image = DiskImage::encode(doc.tree());
+        let mut image = DiskImage::encode(&doc.tree());
         // Drop the atom table: every live slot now points past the end.
         image.atoms.clear();
         assert_eq!(
@@ -644,7 +644,7 @@ mod tests {
     #[test]
     fn unknown_state_bytes_are_diagnosed() {
         let doc: Treedoc<String, Sdis> = Treedoc::from_atoms(site(1), &["a".to_string()]);
-        let mut image = DiskImage::encode(doc.tree());
+        let mut image = DiskImage::encode(&doc.tree());
         // Decompress, corrupt the root record's tag, recompress.
         let mut raw = rle_decompress(&image.structure).unwrap();
         raw[4] = 0x7E; // the root NODE_TAG slot
@@ -655,7 +655,7 @@ mod tests {
     #[test]
     fn empty_document_round_trips() {
         let doc: Treedoc<String, Sdis> = Treedoc::new(site(1));
-        let image = DiskImage::encode(doc.tree());
+        let image = DiskImage::encode(&doc.tree());
         let back: Tree<String, Sdis> = image.decode().unwrap();
         assert!(back.is_empty());
     }

@@ -79,11 +79,11 @@ proptest! {
         ),
     ) {
         let doc = edited_doc(&script);
-        let image = DiskImage::encode(doc.tree());
+        let image = DiskImage::encode(&doc.tree());
         let back = image.decode::<Sdis>().expect("healthy image decodes");
         prop_assert_eq!(back.to_vec(), doc.to_vec());
         prop_assert_eq!(back.node_count(), doc.node_count());
-        prop_assert_eq!(slots(&back), slots(doc.tree()));
+        prop_assert_eq!(slots(&back), slots(&doc.tree()));
     }
 
     /// Documents forced through the mini-node overflow section round-trip.
@@ -113,7 +113,7 @@ proptest! {
         b.apply(&between).expect("merges");
         prop_assert_eq!(a.to_vec(), b.to_vec());
 
-        let image = DiskImage::encode(a.tree());
+        let image = DiskImage::encode(&a.tree());
         prop_assert!(image.stats.overflow_slots > 0, "the wedge must overflow");
         let back = image.decode::<Sdis>().expect("healthy image decodes");
         prop_assert_eq!(back.to_vec(), a.to_vec());
@@ -135,7 +135,7 @@ proptest! {
                     .expect("in range");
             }
         }
-        let image = DiskImage::encode(doc.tree());
+        let image = DiskImage::encode(&doc.tree());
         let back = image.decode::<Udis>().expect("healthy image decodes");
         prop_assert_eq!(back.to_vec(), doc.to_vec());
         prop_assert_eq!(back.node_count(), doc.node_count());
@@ -153,7 +153,7 @@ proptest! {
         cut_ppm in 0u32..1_000_000,
     ) {
         let doc = edited_doc(&script);
-        let mut image = DiskImage::encode(doc.tree());
+        let mut image = DiskImage::encode(&doc.tree());
         let cut = (image.structure.len() as u64 * cut_ppm as u64 / 1_000_000) as usize;
         image.structure.truncate(cut);
         if let Ok(tree) = image.decode::<Sdis>() {
@@ -174,7 +174,7 @@ proptest! {
         flip in 1u8..255,
     ) {
         let doc = edited_doc(&script);
-        let mut image = DiskImage::encode(doc.tree());
+        let mut image = DiskImage::encode(&doc.tree());
         let raw = rle_decompress(&image.structure).expect("fresh image decompresses");
         let mut raw = raw;
         let at = (raw.len() as u64 * at_ppm as u64 / 1_000_000) as usize % raw.len().max(1);

@@ -232,7 +232,7 @@ fn replay_generic<D: Disambiguator + HasSource + DisCodec>(
 
     report.final_stats = doc.stats();
     report.document_bytes = report.final_stats.document_bytes;
-    let image = DiskImage::encode(doc.tree());
+    let image = DiskImage::encode(&doc.tree());
     report.disk_overhead_bytes = image.structure_bytes();
     report.elapsed = start.elapsed();
     report

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Diff a fresh bench run against a committed BENCH_*.json baseline.
+
+Usage: bench_diff.py BASELINE CURRENT [--out DIFF_JSON]
+
+Walks both JSON documents in parallel and compares every numeric leaf.
+Rows inside arrays are keyed by their "case" / "transport" / "protocol"
+field when they have one, so reordering or adding cases never misaligns
+the comparison. Each metric's direction is inferred from its name:
+throughput-like names ("*_per_sec", "ratio") should go up, cost-like
+names ("*bytes*", "*micros*", "height", "*rounds*") should go down, and
+anything else (op counts, configured sizes) is reported but never judged.
+
+A metric that moves more than THRESHOLD in its bad direction prints a
+GitHub `::warning` annotation; the full comparison is written to the
+`--out` file for the artifact upload. The exit status is always 0 — the
+CI job is a tripwire, not a gate (timing metrics are noisy on shared
+runners, which is also why the threshold is as loose as 25%).
+"""
+
+import json
+import re
+import sys
+
+THRESHOLD = 0.25
+
+HIGHER_BETTER = re.compile(r"(_per_sec|^ratio)$")
+LOWER_BETTER = re.compile(r"(bytes|micros|height|rounds|blocked)", re.IGNORECASE)
+ROW_KEYS = ("case", "transport", "protocol")
+
+
+def leaves(node, path=""):
+    """Yields (dot.path, number) for every numeric leaf under `node`."""
+    if isinstance(node, bool):
+        return
+    if isinstance(node, (int, float)):
+        yield path, float(node)
+    elif isinstance(node, dict):
+        for key, value in node.items():
+            yield from leaves(value, f"{path}.{key}" if path else key)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            label = str(index)
+            if isinstance(value, dict):
+                tags = [str(value[k]) for k in ROW_KEYS if k in value]
+                if tags:
+                    label = "/".join(tags)
+            yield from leaves(value, f"{path}[{label}]")
+
+
+def direction(path):
+    metric = path.rsplit(".", 1)[-1]
+    if HIGHER_BETTER.search(metric):
+        return "higher"
+    if LOWER_BETTER.search(metric):
+        return "lower"
+    return None
+
+
+def main():
+    argv = list(sys.argv[1:])
+    out_path = None
+    if "--out" in argv:
+        at = argv.index("--out")
+        out_path = argv[at + 1]
+        del argv[at : at + 2]
+    baseline_path, current_path = argv
+
+    with open(baseline_path) as f:
+        baseline = dict(leaves(json.load(f)))
+    with open(current_path) as f:
+        current = dict(leaves(json.load(f)))
+
+    rows = []
+    regressions = 0
+    for path, base in sorted(baseline.items()):
+        if path not in current:
+            rows.append({"metric": path, "status": "removed", "baseline": base})
+            continue
+        now = current[path]
+        change = (now - base) / base if base else 0.0
+        sense = direction(path)
+        worse = sense == "higher" and change < -THRESHOLD
+        worse = worse or (sense == "lower" and change > THRESHOLD)
+        status = "regressed" if worse else "ok" if sense else "info"
+        rows.append(
+            {
+                "metric": path,
+                "status": status,
+                "baseline": base,
+                "current": now,
+                "change_pct": round(change * 100, 1),
+            }
+        )
+        if worse:
+            regressions += 1
+            print(
+                f"::warning file={baseline_path}::{path} regressed "
+                f"{abs(change) * 100:.0f}% ({base:g} -> {now:g})"
+            )
+    for path in sorted(set(current) - set(baseline)):
+        rows.append({"metric": path, "status": "new", "current": current[path]})
+
+    report = {
+        "baseline": baseline_path,
+        "metrics": len(rows),
+        "regressions": regressions,
+        "rows": rows,
+    }
+    if out_path:
+        with open(out_path, "w") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+    judged = sum(1 for r in rows if r["status"] in ("ok", "regressed"))
+    print(
+        f"{baseline_path}: {judged} judged metrics, "
+        f"{regressions} past the {THRESHOLD:.0%} tripwire"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -220,7 +220,7 @@ fn corrupt_snapshots_fall_back_and_corrupt_trees_are_diagnosed() {
     assert_eq!(report.corrupt_snapshots_skipped, 0);
 
     let doc: Treedoc<String, Sdis> = Treedoc::from_atoms(site, &["a".to_string(), "b".to_string()]);
-    let mut image = DiskImage::encode(doc.tree());
+    let mut image = DiskImage::encode(&doc.tree());
     image.structure.truncate(2);
     match image.decode::<Sdis>() {
         Err(DecodeError::BadRleRun | DecodeError::TruncatedStructure) => {}

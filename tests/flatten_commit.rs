@@ -117,7 +117,7 @@ fn flatten_aborts_when_any_replica_keeps_editing() {
 fn flattened_and_unflattened_replicas_persist_and_reload() {
     let docs = convergent_replicas(2);
     for doc in &docs {
-        let image = DiskImage::encode(doc.tree());
+        let image = DiskImage::encode(&doc.tree());
         let reloaded = match image.decode::<Sdis>() {
             Ok(tree) => tree,
             Err(err) => panic!("image must decode, got {err}"),
@@ -134,9 +134,9 @@ fn flattened_and_unflattened_replicas_persist_and_reload() {
     }
     // Flattening shrinks the on-disk structure.
     let mut doc = convergent_replicas(1).remove(0);
-    let before = DiskImage::encode(doc.tree()).structure_bytes();
+    let before = DiskImage::encode(&doc.tree()).structure_bytes();
     doc.flatten_all().unwrap();
-    let after = DiskImage::encode(doc.tree()).structure_bytes();
+    let after = DiskImage::encode(&doc.tree()).structure_bytes();
     assert!(
         after < before,
         "flatten must shrink the on-disk structure ({after} vs {before})"

@@ -2,13 +2,18 @@
 //! record shape, asserted in **both** directions (fixture encodes to the
 //! golden bytes; golden bytes decode to the fixture).
 //!
-//! These bytes are the wire format v2 contract. An accidental layout change
+//! These bytes are the wire format v3 contract. An accidental layout change
 //! — reordered fields, a different tag, a varint width change — fails this
 //! test loudly instead of silently breaking interop between replicas (or
 //! recovery of stores written before the change). If you change the format
 //! **deliberately**, bump [`codec::WIRE_VERSION`], keep a decoder for the
 //! old version, and regenerate these vectors.
+//!
+//! Two prior generations stay decodable and are pinned here too: the v2
+//! binary vectors (v3 minus the run-step batch entries — a strict encoding
+//! subset, so decode-only checks cover them) and the v1 JSON WAL records.
 
+use treedoc_repro::core::codec::{put_site, put_u8, put_varint};
 use treedoc_repro::core::{PathElem, Side};
 use treedoc_repro::prelude::*;
 use treedoc_repro::replication::{
@@ -68,6 +73,14 @@ fn check_envelope(golden_hex: &str, fixture: Envelope<TestOp>) {
     assert_eq!(decoded, fixture);
 }
 
+/// Asserts the decode direction only: `golden_hex` is a **previous-generation**
+/// encoding (wire v2) the current decoder must keep reading.
+fn check_envelope_decodes(golden_hex: &str, fixture: Envelope<TestOp>) {
+    let decoded: Envelope<TestOp> =
+        decode_envelope(&unhex(golden_hex)).expect("legacy golden decodes");
+    assert_eq!(decoded, fixture);
+}
+
 /// Asserts both directions of one WAL-record golden vector.
 fn check_wal(golden_hex: &str, fixture: WalRecord<TestOp>) {
     let encoded = wire::encode_wal_record(&fixture);
@@ -85,7 +98,7 @@ fn check_wal(golden_hex: &str, fixture: WalRecord<TestOp>) {
 #[test]
 fn op_envelope_golden_vector() {
     check_envelope(
-        "0201010000000000010200000000000103000000000002050000020102000000000001026869",
+        "0301010000000000010200000000000103000000000002050000020102000000000001026869",
         Envelope::Op {
             epoch: 1,
             msg: msg(
@@ -106,7 +119,7 @@ fn op_batch_golden_vector() {
     // sender, clock = predecessor + own increment) and shares the first's
     // path prefix; the third deletes the first entry's atom.
     check_envelope(
-        "020303000000000000010100000000000101000001000100000000000101610003000101010100000000000101620003010100",
+        "030303000000000000010100000000000101000001000100000000000101610003000101010100000000000101620003010100",
         Envelope::OpBatch(OpBatch {
             entries: vec![
                 (
@@ -149,7 +162,7 @@ fn op_batch_golden_vector() {
 #[test]
 fn ack_envelope_golden_vector() {
     check_envelope(
-        "0202000000000002020000000000010300000000000207",
+        "0302000000000002020000000000010300000000000207",
         Envelope::Ack {
             from: SiteId::from_u64(2),
             clock: clock(&[(1, 3), (2, 7)]),
@@ -160,7 +173,7 @@ fn ack_envelope_golden_vector() {
 #[test]
 fn flatten_envelope_golden_vectors() {
     check_envelope(
-        "020400000000000102020982808080100102000000000001040000000000020401",
+        "030400000000000102020982808080100102000000000001040000000000020401",
         Envelope::FlattenPropose(FlattenPropose {
             proposal: FlattenProposal {
                 proposer: SiteId::from_u64(1),
@@ -174,7 +187,7 @@ fn flatten_envelope_golden_vectors() {
         }),
     );
     check_envelope(
-        "0205070000000000030100",
+        "0305070000000000030100",
         Envelope::FlattenVote(FlattenVote {
             txn: 7,
             from: SiteId::from_u64(3),
@@ -183,11 +196,125 @@ fn flatten_envelope_golden_vectors() {
         }),
     );
     check_envelope(
-        "02060701",
+        "03060701",
         Envelope::FlattenDecision(FlattenDecision {
             txn: 7,
             kind: DecisionKind::Commit,
         }),
+    );
+}
+
+#[test]
+fn wire_v2_vectors_stay_decodable() {
+    // The exact vectors this file pinned while WIRE_VERSION was 2. v2 never
+    // sets the run-step entry flag, so its encodings are a strict subset of
+    // v3 and the current decoder must keep reading them — a store or peer
+    // from before the run codec is still understood.
+    check_envelope_decodes(
+        "0201010000000000010200000000000103000000000002050000020102000000000001026869",
+        Envelope::Op {
+            epoch: 1,
+            msg: msg(
+                1,
+                &[(1, 3), (2, 5)],
+                Op::Insert {
+                    id: pos(&[(1, None), (0, Some(1))]),
+                    atom: "hi".into(),
+                },
+            ),
+        },
+    );
+    check_envelope_decodes(
+        "0202000000000002020000000000010300000000000207",
+        Envelope::Ack {
+            from: SiteId::from_u64(2),
+            clock: clock(&[(1, 3), (2, 7)]),
+        },
+    );
+    check_envelope_decodes(
+        "0205070000000000030100",
+        Envelope::FlattenVote(FlattenVote {
+            txn: 7,
+            from: SiteId::from_u64(3),
+            vote: Vote::Yes,
+            stage: VoteStage::Vote,
+        }),
+    );
+}
+
+/// The entries a run of sequential typing stamps: each identifier is the
+/// spine successor of the previous one (exactly the cells one coalesced
+/// [`treedoc_repro::core::RunTree`] run holds), the sender is constant and
+/// every clock is the previous clock plus the sender's own increment.
+fn run_sourced_entries() -> Vec<(u64, CausalMessage<TestOp>)> {
+    let site = SiteId::from_u64(1);
+    let mut doc = Treedoc::<String, Sdis>::new(site);
+    (0..4)
+        .map(|k| {
+            let op = doc
+                .local_insert(k, ["r", "u", "n", "s"][k].to_string())
+                .unwrap();
+            (0u64, msg(1, &[(1, k as u64 + 1)], op))
+        })
+        .collect()
+}
+
+/// The same entries in the per-atom layout wire v2 used: every entry carries
+/// its full delta-encoded position identifier. Built from the public codec
+/// primitives so the bytes are the real v2 contract, not a re-encode.
+fn per_atom_v2_batch(entries: &[(u64, CausalMessage<TestOp>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u8(&mut out, 2); // version (v2)
+    put_u8(&mut out, 3); // ENV_OP_BATCH
+    put_varint(&mut out, entries.len() as u64);
+    for (i, (epoch, m)) in entries.iter().enumerate() {
+        put_varint(&mut out, *epoch);
+        let prev = if i == 0 {
+            // Head entry: full sender and clock.
+            put_site(&mut out, m.sender);
+            put_varint(&mut out, 1);
+            put_site(&mut out, m.sender);
+            put_varint(&mut out, m.clock.get(m.sender));
+            None
+        } else {
+            // Same sender, clock = predecessor + own increment.
+            put_u8(&mut out, 0b0000_0011);
+            Some(&entries[i - 1].1.payload)
+        };
+        m.payload.encode_payload(prev, &mut out);
+    }
+    out
+}
+
+#[test]
+fn run_sourced_batch_golden_vector() {
+    let entries = run_sourced_entries();
+    let batch = Envelope::OpBatch(OpBatch {
+        entries: entries.clone(),
+    });
+
+    // v3 both ways: the three continuation entries are run steps (epoch,
+    // flags 0x07, side byte, atom) — no position identifier on the wire.
+    check_envelope(
+        "030304000000000000010100000000000101000001000100000000000101720007010175000701016e0007010173",
+        batch,
+    );
+
+    // The identical operations in the per-atom v2 layout must decode to the
+    // same entries — a run-coalesced document and a per-atom replica see
+    // exactly the same operation stream.
+    let v2 = per_atom_v2_batch(&entries);
+    check_envelope_decodes(&hex(&v2), Envelope::OpBatch(OpBatch { entries }));
+
+    // And the run-step form is strictly smaller: each continuation entry
+    // drops its delta-encoded identifier (a 6-byte SDIS plus the path
+    // header) for a single side byte.
+    let v3 = unhex("030304000000000000010100000000000101000001000100000000000101720007010175000701016e0007010173");
+    assert!(
+        v3.len() + 8 * 3 <= v2.len(),
+        "run batch {}B vs per-atom {}B",
+        v3.len(),
+        v2.len()
     );
 }
 
