@@ -709,6 +709,77 @@ pub fn wire_cost_grid(sites: usize, edits_per_site: usize) -> Vec<WireCostRow> {
         .collect()
 }
 
+/// One cell of the anti-entropy vs retransmission sweep: loss rate ×
+/// offline gap × recovery mechanism, recovery cost measured in encoded
+/// bytes by the wire codec (see [`ScenarioMatrix::sync_vs_retransmission`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct SyncCostRow {
+    /// Loss probability of the cell.
+    pub drop_prob: f64,
+    /// Whether site 1 spent the run from round 2 onward offline.
+    pub offline_gap: bool,
+    /// `true` = state-based anti-entropy, `false` = at-least-once
+    /// retransmission.
+    pub anti_entropy: bool,
+    /// Operations generated across all sites.
+    pub ops: usize,
+    /// Encoded operation-envelope bytes on the wire (initial broadcasts
+    /// plus retransmissions).
+    pub network_bytes: usize,
+    /// What the recovery mechanism itself cost: `retransmission_bytes +
+    /// ack_bytes` for the baseline, `sync_bytes` for anti-entropy.
+    pub recovery_bytes: usize,
+    /// `recovery_bytes / ops`.
+    pub recovery_bytes_per_op: f64,
+    /// Digest-walk messages ([`treedoc_sim::SimReport::sync_digest_msgs`]).
+    pub sync_digest_msgs: u64,
+    /// Leaf cell-exchange messages.
+    pub sync_run_msgs: u64,
+    /// Cells integrated by sync sessions.
+    pub sync_cells: u64,
+    /// Messages re-sent by the baseline.
+    pub retransmissions: u64,
+    /// Whether the cell converged.
+    pub converged: bool,
+}
+
+/// Runs the loss × offline-gap × mechanism sweep
+/// ([`ScenarioMatrix::sync_vs_retransmission`]) and returns one row per
+/// cell — the experiment behind the "anti-entropy vs retransmission"
+/// EXPERIMENTS section.
+pub fn sync_cost_grid(sites: usize, edits_per_site: usize) -> Vec<SyncCostRow> {
+    let matrix = ScenarioMatrix::sync_vs_retransmission(Scenario {
+        sites,
+        edits_per_site,
+        ..Scenario::default()
+    });
+    matrix
+        .run()
+        .into_iter()
+        .map(|(scenario, report)| {
+            let recovery_bytes = if scenario.anti_entropy {
+                report.sync_bytes
+            } else {
+                report.retransmission_bytes + report.ack_bytes
+            };
+            SyncCostRow {
+                drop_prob: scenario.drop_prob,
+                offline_gap: scenario.offline.is_some(),
+                anti_entropy: scenario.anti_entropy,
+                ops: report.ops_generated,
+                network_bytes: report.network_bytes,
+                recovery_bytes,
+                recovery_bytes_per_op: recovery_bytes as f64 / report.ops_generated.max(1) as f64,
+                sync_digest_msgs: report.sync_digest_msgs,
+                sync_run_msgs: report.sync_run_msgs,
+                sync_cells: report.sync_cells,
+                retransmissions: report.retransmissions,
+                converged: report.converged,
+            }
+        })
+        .collect()
+}
+
 // ---------------------------------------------------------------------------
 // Core document speed and memory-per-char (run-coalescing trajectory)
 // ---------------------------------------------------------------------------

@@ -10,11 +10,17 @@ use std::fmt::Debug;
 
 use serde::{de::DeserializeOwned, Serialize};
 
+use crate::hash::ContentHash;
+
 /// An element of the shared sequence.
 ///
-/// Blanket-implemented for every type meeting the bounds, so plain `char`,
-/// `String`, `Vec<u8>` and user types all work.
-pub trait Atom: Clone + Eq + Debug + Send + Sync + Serialize + DeserializeOwned + 'static {
+/// Implemented for `char`, `String`, `Vec<u8>` and the unsigned integers;
+/// user types qualify by meeting the bounds (including
+/// [`ContentHash`], which the run store's incremental merkle digest hashes
+/// cells with).
+pub trait Atom:
+    Clone + Eq + Debug + Send + Sync + Serialize + DeserializeOwned + ContentHash + 'static
+{
     /// Size of the atom's *content* in bytes, used when relating metadata
     /// overhead to document size (Table 1 reports overhead relative to the
     /// document size in bytes).

@@ -39,12 +39,15 @@ use crate::site::{SiteId, SITE_ID_BYTES};
 /// change; decoders reject unknown versions instead of misparsing. (Version 1
 /// is the implicit serde-JSON wire the workspace used before this codec;
 /// version 3 added the run-step batch entries — see
-/// [`WirePayload::encode_run_step`].)
-pub const WIRE_VERSION: u8 = 3;
+/// [`WirePayload::encode_run_step`]; version 4 added the state-based
+/// anti-entropy envelopes — sync digests, run transfers and snapshot
+/// bootstrap chunks.)
+pub const WIRE_VERSION: u8 = 4;
 
 /// Oldest binary wire version current decoders still accept. Version 2
 /// encodings are a strict subset of version 3 (they never set the run-step
-/// entry flag), so one decoder covers both generations.
+/// entry flag), and version 4 only *adds* envelope tags, so one decoder
+/// covers all three generations.
 pub const WIRE_MIN_VERSION: u8 = 2;
 
 // ---------------------------------------------------------------------------

@@ -21,6 +21,7 @@ use std::hash::Hash;
 
 use serde::{de::DeserializeOwned, Deserialize, Serialize};
 
+use crate::hash::{ContentHash, Hasher64};
 use crate::site::{SiteId, SITE_ID_BYTES};
 
 /// Number of bytes of the UDIS per-site counter, per the paper's evaluation
@@ -33,7 +34,7 @@ pub const UDIS_COUNTER_BYTES: usize = 4;
 /// Implementations must provide a total order; the order is arbitrary but
 /// must be the same at every site (it is derived from plain data, so it is).
 pub trait Disambiguator:
-    Clone + Eq + Ord + Hash + Debug + Send + Sync + Serialize + DeserializeOwned + 'static
+    Clone + Eq + Ord + Hash + Debug + Send + Sync + Serialize + DeserializeOwned + ContentHash + 'static
 {
     /// Whether a deleted node may be discarded immediately (`true`, UDIS) or
     /// must be kept as a tombstone (`false`, SDIS). See §3.3 of the paper.
@@ -100,6 +101,13 @@ impl Disambiguator for Udis {
     }
 }
 
+impl ContentHash for Udis {
+    fn feed(&self, hasher: &mut Hasher64) {
+        hasher.write_u32(self.counter);
+        self.site.feed(hasher);
+    }
+}
+
 impl fmt::Debug for Udis {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Display::fmt(self, f)
@@ -139,6 +147,12 @@ impl Disambiguator for Sdis {
     fn sequential_nth(&self, _n: usize) -> Option<Self> {
         // An SDIS source hands out the same value forever.
         Some(*self)
+    }
+}
+
+impl ContentHash for Sdis {
+    fn feed(&self, hasher: &mut Hasher64) {
+        self.site.feed(hasher);
     }
 }
 

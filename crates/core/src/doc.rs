@@ -23,6 +23,7 @@ use crate::atom::Atom;
 use crate::disambiguator::{DisSource, Disambiguator, HasSource};
 use crate::error::{Error, Result};
 use crate::flatten::FlattenOutcome;
+use crate::node::Content;
 use crate::ops::Op;
 use crate::path::{PathElem, PosId, Side};
 use crate::run::RunTree;
@@ -229,6 +230,51 @@ impl<A: Atom, D: Disambiguator + HasSource> Treedoc<A, D> {
     /// Checks the internal invariants of the identifier tree.
     pub fn check_invariants(&self) -> Result<(), String> {
         self.store.check_invariants()
+    }
+
+    // ------------------------------------------------------------------
+    // State-based sync (anti-entropy)
+    // ------------------------------------------------------------------
+
+    /// Incremental merkle digest of the whole document state — every stored
+    /// cell (live, tombstone and ghost) in document order. `O(1)` from the
+    /// store's cached root aggregate; replicas that applied the same
+    /// operation set agree on it regardless of how their stores fragmented.
+    pub fn merkle_digest(&self) -> u64 {
+        self.store.digest()
+    }
+
+    /// Integrates cells received through state-based anti-entropy (see
+    /// [`RunTree::integrate_cell`] for the precedence rules and the SDIS
+    /// soundness caveat). All cells are stamped with one fresh revision.
+    /// Returns how many cells actually changed the store.
+    pub fn integrate_cells(
+        &mut self,
+        cells: impl IntoIterator<Item = (PosId<D>, Content<A>)>,
+    ) -> Result<usize> {
+        let rev = self.next_revision();
+        let mut changed = 0;
+        for (id, content) in cells {
+            if self.store.integrate_cell(&id, content, rev)? {
+                changed += 1;
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Replaces this replica's content with `donor`'s while keeping the
+    /// local identity (site, disambiguator source) — the late-joiner
+    /// bootstrap: a brand-new site adopts a snapshot transferred from any
+    /// peer and can edit immediately under its own site, with no identifier
+    /// collisions because its disambiguator source is untouched.
+    ///
+    /// The revision counter takes the maximum of both sides so the cold-
+    /// subtree flatten heuristic never sees time move backwards; the local
+    /// configuration is kept (it only shapes local allocation heuristics).
+    pub fn adopt_state(&mut self, donor: Treedoc<A, D>) {
+        self.store = donor.store;
+        self.revision = self.revision.max(donor.revision);
+        self.reserved_appends.clear();
     }
 
     // ------------------------------------------------------------------

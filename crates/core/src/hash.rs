@@ -1,0 +1,321 @@
+//! The single content-hashing layer shared by every crate in the workspace.
+//!
+//! Three consumers used to carry their own ad-hoc hashing — the durability
+//! layer's WAL/snapshot checksums, the sim's convergence digests and (new)
+//! the anti-entropy sync protocol. They now all sit on this module:
+//!
+//! * [`crc32`] — CRC-32 (IEEE 802.3 polynomial), guarding every WAL record
+//!   against torn writes and bit rot. A mismatch on replay marks the end of
+//!   the valid log prefix.
+//! * [`content_hash64`] / [`Hasher64`] — FNV-1a 64-bit content hashing, in
+//!   one-shot and streaming form. The streaming form exposes its running
+//!   state ([`Hasher64::state`] / [`Hasher64::from_state`]) so callers that
+//!   hash many values sharing a long prefix (the run store's spine cells) can
+//!   snapshot the prefix once and branch per value in `O(1)`.
+//! * [`ContentHash`] — the trait a value implements to feed itself into a
+//!   [`Hasher64`] in a canonical, platform-independent byte order.
+//! * [`combine_hashes`] — an *ordered* combiner folding child hashes into a
+//!   parent hash (the merkle root over a snapshot's section hashes).
+//! * [`DIGEST_BASE`] / [`digest_pow`] / [`digest_merge`] — the mergeable
+//!   sequence-digest algebra the run store's incremental merkle digest is
+//!   built on: `digest(c_0..c_{n-1}) = Σ h(c_i)·B^{n-1-i} (mod 2^64)`. The
+//!   base `B` is odd, hence invertible mod `2^64`, so unequal single-cell
+//!   substitutions always change the digest. Unlike a structural merkle
+//!   tree the polynomial form is independent of how cells are grouped into
+//!   runs and tree nodes — two converged replicas whose stores fragment
+//!   differently still agree on every range digest.
+
+use crate::site::SiteId;
+
+/// The CRC-32 lookup table for the reflected IEEE polynomial `0xEDB88320`,
+/// built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        let idx = ((crc ^ byte as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ CRC32_TABLE[idx];
+    }
+    !crc
+}
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// The base of the polynomial sequence digest: the FNV prime. Odd, hence a
+/// unit of the ring `Z/2^64`, so multiplying a digest by a power of the base
+/// never loses information.
+pub const DIGEST_BASE: u64 = FNV_PRIME;
+
+/// FNV-1a 64-bit content hash of `data`.
+pub fn content_hash64(data: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &byte in data {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Combines an ordered list of child hashes into a parent hash (the
+/// merkle-style root over a snapshot's section hashes).
+pub fn combine_hashes(children: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = Hasher64::new();
+    for child in children {
+        h.write_u64(child);
+    }
+    h.state()
+}
+
+/// `DIGEST_BASE.pow(exp)` in wrapping (mod `2^64`) arithmetic, by square-and-
+/// multiply — `O(log exp)`.
+pub fn digest_pow(exp: u64) -> u64 {
+    let mut base = DIGEST_BASE;
+    let mut exp = exp;
+    let mut acc = 1u64;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc.wrapping_mul(base);
+        }
+        base = base.wrapping_mul(base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Concatenates two sequence digests: the digest of `left ++ right` given
+/// `left`'s digest, `right`'s digest and `right`'s cell count. The identity
+/// element is `(digest = 0, cells = 0)`.
+pub fn digest_merge(left: u64, right: u64, right_cells: u64) -> u64 {
+    left.wrapping_mul(digest_pow(right_cells))
+        .wrapping_add(right)
+}
+
+/// A streaming FNV-1a 64-bit hasher whose running state can be snapshotted
+/// and resumed, so hashes of many values sharing a common prefix cost the
+/// prefix once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hasher64 {
+    state: u64,
+}
+
+impl Default for Hasher64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub const fn new() -> Self {
+        Hasher64 { state: FNV_OFFSET }
+    }
+
+    /// Resumes hashing from a snapshotted [`state`](Hasher64::state).
+    pub const fn from_state(state: u64) -> Self {
+        Hasher64 { state }
+    }
+
+    /// The current state — equal to the finished hash of everything written
+    /// so far, and resumable via [`Hasher64::from_state`].
+    pub const fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Feeds one byte.
+    pub fn write_u8(&mut self, byte: u8) {
+        self.state ^= u64::from(byte);
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Feeds a byte slice.
+    pub fn write(&mut self, data: &[u8]) {
+        for &byte in data {
+            self.write_u8(byte);
+        }
+    }
+
+    /// Feeds a `u32` in little-endian byte order.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// A value with a canonical, platform-independent contribution to a content
+/// hash. Implemented by every [`Atom`](crate::Atom) and
+/// [`Disambiguator`](crate::Disambiguator) type so the run store can digest
+/// cells generically.
+pub trait ContentHash {
+    /// Feeds the value's canonical bytes into `hasher`.
+    fn feed(&self, hasher: &mut Hasher64);
+}
+
+impl ContentHash for u8 {
+    fn feed(&self, hasher: &mut Hasher64) {
+        hasher.write_u8(*self);
+    }
+}
+
+impl ContentHash for u32 {
+    fn feed(&self, hasher: &mut Hasher64) {
+        hasher.write_u32(*self);
+    }
+}
+
+impl ContentHash for u64 {
+    fn feed(&self, hasher: &mut Hasher64) {
+        hasher.write_u64(*self);
+    }
+}
+
+impl ContentHash for char {
+    fn feed(&self, hasher: &mut Hasher64) {
+        hasher.write_u32(*self as u32);
+    }
+}
+
+impl ContentHash for str {
+    fn feed(&self, hasher: &mut Hasher64) {
+        hasher.write_u64(self.len() as u64);
+        hasher.write(self.as_bytes());
+    }
+}
+
+impl ContentHash for String {
+    fn feed(&self, hasher: &mut Hasher64) {
+        self.as_str().feed(hasher);
+    }
+}
+
+impl ContentHash for [u8] {
+    fn feed(&self, hasher: &mut Hasher64) {
+        hasher.write_u64(self.len() as u64);
+        hasher.write(self);
+    }
+}
+
+impl ContentHash for Vec<u8> {
+    fn feed(&self, hasher: &mut Hasher64) {
+        self.as_slice().feed(hasher);
+    }
+}
+
+impl ContentHash for SiteId {
+    fn feed(&self, hasher: &mut Hasher64) {
+        hasher.write(self.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic check value of CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let reference = crc32(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        assert_eq!(content_hash64(b""), FNV_OFFSET);
+        assert_eq!(content_hash64(b"a"), 0xAF63_DC4C_8601_EC8C);
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        let a = content_hash64(b"left");
+        let b = content_hash64(b"right");
+        assert_ne!(combine_hashes([a, b]), combine_hashes([b, a]));
+        assert_eq!(combine_hashes([a, b]), combine_hashes([a, b]));
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"incremental merkle digest";
+        let mut h = Hasher64::new();
+        h.write(&data[..7]);
+        let mut resumed = Hasher64::from_state(h.state());
+        resumed.write(&data[7..]);
+        assert_eq!(resumed.state(), content_hash64(data));
+    }
+
+    #[test]
+    fn digest_algebra_is_associative() {
+        // digest(abc) assembled as (a·b)·c and a·(b·c) must agree.
+        let (a, b, c) = (
+            content_hash64(b"a"),
+            content_hash64(b"b"),
+            content_hash64(b"c"),
+        );
+        let left = digest_merge(digest_merge(a, b, 1), c, 1);
+        let right = digest_merge(a, digest_merge(b, c, 1), 2);
+        assert_eq!(left, right);
+        // And the identity really is the identity on both sides.
+        assert_eq!(digest_merge(0, left, 3), left);
+        assert_eq!(digest_merge(left, 0, 0), left);
+    }
+
+    #[test]
+    fn digest_pow_matches_repeated_multiplication() {
+        let mut acc = 1u64;
+        for k in 0..40u64 {
+            assert_eq!(digest_pow(k), acc);
+            acc = acc.wrapping_mul(DIGEST_BASE);
+        }
+    }
+
+    #[test]
+    fn content_hash_is_length_prefixed_for_variable_types() {
+        // "ab" + "c" must not collide with "a" + "bc".
+        let h = |parts: &[&str]| {
+            let mut h = Hasher64::new();
+            for p in parts {
+                p.feed(&mut h);
+            }
+            h.state()
+        };
+        assert_ne!(h(&["ab", "c"]), h(&["a", "bc"]));
+    }
+}

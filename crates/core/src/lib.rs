@@ -70,6 +70,7 @@ pub mod disambiguator;
 pub mod doc;
 pub mod error;
 pub mod flatten;
+pub mod hash;
 pub mod node;
 pub mod ops;
 pub mod path;
@@ -85,10 +86,11 @@ pub use disambiguator::{DisSource, Disambiguator, HasSource, Sdis, SdisSource, U
 pub use doc::{Treedoc, TreedocConfig};
 pub use error::{Error, Result};
 pub use flatten::{explode, FlattenOutcome};
+pub use hash::{combine_hashes, content_hash64, crc32, ContentHash, Hasher64, DIGEST_BASE};
 pub use node::{Content, MajorNode, MiniNode};
 pub use ops::{Op, OpKind};
 pub use path::{PathElem, PosId, Side};
-pub use run::{spine_step, spine_successor, RunTree};
+pub use run::{cell_hash, spine_step, spine_successor, RunTree};
 pub use site::SiteId;
 pub use stats::{DocStats, MemoryModel, PosIdStats};
 pub use storage::{Representation, StorageKind};

@@ -27,6 +27,7 @@ use std::mem;
 use crate::atom::Atom;
 use crate::disambiguator::Disambiguator;
 use crate::error::{Error, Result};
+use crate::hash::{digest_merge, digest_pow, Hasher64, DIGEST_BASE};
 use crate::node::Content;
 use crate::path::{PathElem, PosId, Side};
 use crate::stats::{DocStats, PosIdStats};
@@ -180,6 +181,12 @@ struct Agg {
     depth_max: usize,
     /// Sum of live atoms' content bytes.
     atom_bytes: usize,
+    /// Incremental merkle digest of the covered cells in document order:
+    /// `Σ cell_hash_i · B^(total-1-i) (mod 2^64)` with `B =`
+    /// [`DIGEST_BASE`]. Independent of run boundaries and tree shape, so
+    /// converged replicas agree on it however their stores fragmented; see
+    /// [`crate::hash`].
+    digest: u64,
 }
 
 impl Agg {
@@ -193,6 +200,7 @@ impl Agg {
         self.bits_max = self.bits_max.max(other.bits_max);
         self.depth_max = self.depth_max.max(other.depth_max);
         self.atom_bytes += other.atom_bytes;
+        self.digest = digest_merge(self.digest, other.digest, other.total as u64);
     }
 
     fn add_cell<A: Atom>(&mut self, bits: usize, depth: usize, content: &Content<A>) {
@@ -211,6 +219,45 @@ impl Agg {
             Content::Absent => unreachable!("run cells are always occupied"),
         }
     }
+}
+
+/// Feeds one path element into a streaming hasher: the side bit, then a
+/// presence marker and the disambiguator's canonical bytes.
+fn feed_elem<D: Disambiguator>(h: &mut Hasher64, e: &PathElem<D>) {
+    h.write_u8(e.side.bit());
+    match &e.dis {
+        None => h.write_u8(0),
+        Some(d) => {
+            h.write_u8(1);
+            d.feed(h);
+        }
+    }
+}
+
+/// Finishes a cell hash from a hasher already holding the cell's identifier
+/// bytes: a content tag, plus the atom bytes for live cells.
+fn finish_cell_hash<A: Atom>(mut h: Hasher64, content: &Content<A>) -> u64 {
+    match content {
+        Content::Live(a) => {
+            h.write_u8(1);
+            a.feed(&mut h);
+        }
+        Content::Tombstone => h.write_u8(2),
+        Content::Ghost => h.write_u8(3),
+        Content::Absent => unreachable!("run cells are always occupied"),
+    }
+    h.state()
+}
+
+/// Hash of one stored cell: its full identifier, a content tag and (for live
+/// cells) the atom bytes. Depends only on the cell itself — never on how the
+/// store groups cells into runs or tree nodes.
+pub fn cell_hash<A: Atom, D: Disambiguator>(id: &PosId<D>, content: &Content<A>) -> u64 {
+    let mut h = Hasher64::new();
+    for e in id.elems() {
+        feed_elem(&mut h, e);
+    }
+    finish_cell_hash(h, content)
 }
 
 /// How a run derives the identifier of its `j`-th cell.
@@ -245,6 +292,11 @@ pub struct Run<A, D> {
     live_bits: Vec<u64>,
     agg: Agg,
     hot_rev: u64,
+    /// Streaming-hash bookkeeping for `O(1)` digest maintenance on the
+    /// append fast path: for a `Right` spine, the [`Hasher64`] state holding
+    /// the identifier prefix of the *next* appended cell; for an `Exploded`
+    /// run, the state after the base identifier. Unused (0) otherwise.
+    aux_state: u64,
 }
 
 fn bits_push(bits: &mut Vec<u64>, index: usize, live: bool) {
@@ -275,6 +327,7 @@ impl<A: Atom, D: Disambiguator> Run<A, D> {
             live_bits: Vec::new(),
             agg: Agg::default(),
             hot_rev: rev,
+            aux_state: 0,
         };
         run.recompute();
         run
@@ -407,6 +460,136 @@ impl<A: Atom, D: Disambiguator> Run<A, D> {
             }
         }
         self.agg = agg;
+        let mut digest = 0u64;
+        let aux = self.for_each_id_state(0, self.cells.len(), &mut |j, st| {
+            digest = digest
+                .wrapping_mul(DIGEST_BASE)
+                .wrapping_add(finish_cell_hash(st, &self.cells[j]));
+        });
+        self.agg.digest = digest;
+        self.aux_state = aux;
+    }
+
+    /// Streams the identifier hash state of every cell in `[jlo, jhi)` in
+    /// document order: calls `f(j, state)` where `state` holds cell `j`'s
+    /// full identifier (content not yet fed). Spine and exploded patterns
+    /// advance one shared prefix state instead of re-hashing each identifier
+    /// from the root, so a full-run walk is `O(anchor depth + cells)`.
+    ///
+    /// Returns the [`Run::aux_state`] value for the pattern — meaningful
+    /// only when the walk covered the run's full cell range.
+    fn for_each_id_state(
+        &self,
+        jlo: usize,
+        jhi: usize,
+        f: &mut impl FnMut(usize, Hasher64),
+    ) -> u64 {
+        match &self.pattern {
+            Pattern::Spine { anchor, side } => {
+                let n = self.len();
+                let a = anchor.depth();
+                let last = anchor.last().expect("non-root anchor");
+                let dis = last.dis.as_ref().expect("spine anchors end in a mini-node");
+                // Growth range covered by the document-order cell range.
+                let (glo, ghi) = match side {
+                    Side::Right => (jlo, jhi),
+                    Side::Left => (n - jhi, n - jlo),
+                };
+                let mut prefix = Hasher64::new();
+                for e in &anchor.elems()[..a - 1] {
+                    feed_elem(&mut prefix, e);
+                }
+                // `chain` is the prefix of growth `g >= 1`: the anchor with
+                // its mini plainified, plus `g - 1` plain steps on `side`.
+                let mut chain = prefix;
+                chain.write_u8(last.side.bit());
+                chain.write_u8(0);
+                for _ in 1..glo.max(1) {
+                    chain.write_u8(side.bit());
+                    chain.write_u8(0);
+                }
+                let mut states: Vec<Hasher64> = Vec::new();
+                for g in glo..ghi {
+                    let st = if g == 0 {
+                        let mut st = prefix;
+                        feed_elem(&mut st, last);
+                        st
+                    } else {
+                        let mut st = chain;
+                        st.write_u8(side.bit());
+                        st.write_u8(1);
+                        dis.sequential_nth(g)
+                            .expect("spine growth overflow")
+                            .feed(&mut st);
+                        chain.write_u8(side.bit());
+                        chain.write_u8(0);
+                        st
+                    };
+                    match side {
+                        Side::Right => f(g, st),
+                        // Document order of a prepend chain is reversed:
+                        // buffer and replay below.
+                        Side::Left => states.push(st),
+                    }
+                }
+                match side {
+                    Side::Right => chain.state(),
+                    Side::Left => {
+                        for j in jlo..jhi {
+                            f(j, states[n - 1 - j - glo]);
+                        }
+                        0
+                    }
+                }
+            }
+            Pattern::Exploded { base, depth, start } => {
+                let mut prefix = Hasher64::new();
+                for e in base.elems() {
+                    feed_elem(&mut prefix, e);
+                }
+                for j in jlo..jhi {
+                    let mut st = prefix;
+                    for side in infix_path(*depth, start + j) {
+                        st.write_u8(side.bit());
+                        st.write_u8(0);
+                    }
+                    f(j, st);
+                }
+                prefix.state()
+            }
+            Pattern::Packed { ids } => {
+                for (j, id) in ids.iter().enumerate().take(jhi).skip(jlo) {
+                    let mut st = Hasher64::new();
+                    for e in id.elems() {
+                        feed_elem(&mut st, e);
+                    }
+                    f(j, st);
+                }
+                0
+            }
+        }
+    }
+
+    /// Polynomial digest of cells `[jlo, jhi)` in document order.
+    fn fold_digest(&self, jlo: usize, jhi: usize) -> u64 {
+        let mut digest = 0u64;
+        self.for_each_id_state(jlo, jhi, &mut |j, st| {
+            digest = digest
+                .wrapping_mul(DIGEST_BASE)
+                .wrapping_add(finish_cell_hash(st, &self.cells[j]));
+        });
+        digest
+    }
+
+    /// Cell index range `[jlo, jhi)` of this run's cells inside the
+    /// identifier range `[lo, hi)` (`None` bounds are unbounded).
+    fn range_bounds(&self, lo: Option<&PosId<D>>, hi: Option<&PosId<D>>) -> (usize, usize) {
+        let at = |bound: &PosId<D>| match self.find(bound) {
+            Ok(j) | Err(j) => j,
+        };
+        let jlo = lo.map_or(0, at);
+        let jhi = hi.map_or(self.len(), at);
+        (jlo, jhi)
     }
 
     /// Replaces the `j`-th cell's content, updating aggregates in place.
@@ -434,6 +617,19 @@ impl<A: Atom, D: Disambiguator> Run<A, D> {
             Content::Ghost => self.agg.ghosts += 1,
             Content::Absent => unreachable!("run cells stay occupied"),
         }
+        // Digest delta: swap cell `j`'s hash at its document position.
+        let id = self.cell_id(j);
+        let mut idh = Hasher64::new();
+        for e in id.elems() {
+            feed_elem(&mut idh, e);
+        }
+        let h_old = finish_cell_hash(idh, &old);
+        let h_new = finish_cell_hash(idh, new);
+        let weight = digest_pow((self.len() - 1 - j) as u64);
+        self.agg.digest = self
+            .agg
+            .digest
+            .wrapping_add(h_new.wrapping_sub(h_old).wrapping_mul(weight));
         bits_set(&mut self.live_bits, j, new.is_live());
         self.hot_rev = self.hot_rev.max(rev);
         old
@@ -452,10 +648,57 @@ impl<A: Atom, D: Disambiguator> Run<A, D> {
             self.cell_bits(j)
         };
         let cell = self.cells.pop().expect("just pushed");
+        let h = finish_cell_hash(self.push_id_state(j), &cell);
         self.agg
             .add_cell(bits, self.cell_depth_after_push(j), &cell);
+        self.agg.digest = self.agg.digest.wrapping_mul(DIGEST_BASE).wrapping_add(h);
         self.cells.push(cell);
         self.hot_rev = self.hot_rev.max(rev);
+    }
+
+    /// Identifier hash state of a cell being pushed at index `j`, advancing
+    /// [`Run::aux_state`] for `Right` spines. A `Left` spine returns a
+    /// placeholder — every left-spine push site recomputes immediately
+    /// after, because the push also perturbs document order.
+    fn push_id_state(&mut self, j: usize) -> Hasher64 {
+        match &self.pattern {
+            Pattern::Spine {
+                anchor,
+                side: Side::Right,
+            } => {
+                let last = anchor.last().expect("non-root anchor");
+                let dis = last.dis.as_ref().expect("spine anchors end in a mini-node");
+                let mut st = Hasher64::from_state(self.aux_state);
+                st.write_u8(Side::Right.bit());
+                st.write_u8(1);
+                dis.sequential_nth(j)
+                    .expect("spine growth overflow")
+                    .feed(&mut st);
+                let mut aux = Hasher64::from_state(self.aux_state);
+                aux.write_u8(Side::Right.bit());
+                aux.write_u8(0);
+                self.aux_state = aux.state();
+                st
+            }
+            Pattern::Spine {
+                side: Side::Left, ..
+            } => Hasher64::new(),
+            Pattern::Exploded { depth, start, .. } => {
+                let mut st = Hasher64::from_state(self.aux_state);
+                for side in infix_path(*depth, start + j) {
+                    st.write_u8(side.bit());
+                    st.write_u8(0);
+                }
+                st
+            }
+            Pattern::Packed { ids } => {
+                let mut st = Hasher64::new();
+                for e in ids[j].elems() {
+                    feed_elem(&mut st, e);
+                }
+                st
+            }
+        }
     }
 
     /// Depth of cell `j` assuming the run has `j + 1` cells (used while a
@@ -560,6 +803,10 @@ impl<A: Atom, D: Disambiguator> Run<A, D> {
                     side: Side::Right,
                 };
                 self.push_cell(None, content, rev);
+                // The push went through the packed-era `aux_state`; rebuild
+                // the digest and streaming state for the new pattern (the
+                // run has two cells, so this is O(anchor depth)).
+                self.recompute();
             }
             Action::UpgradeLeft(anchor) => {
                 self.pattern = Pattern::Spine {
@@ -726,6 +973,7 @@ impl<A: Atom, D: Disambiguator> Run<A, D> {
             live_bits: Vec::new(),
             agg: Agg::default(),
             hot_rev: self.hot_rev,
+            aux_state: 0,
         };
         tail.recompute();
         self.recompute();
@@ -813,6 +1061,7 @@ enum Node<A, D> {
 /// What an insert places at an identifier.
 enum Place<A> {
     Atom(A),
+    Tombstone,
     Ghost,
 }
 
@@ -1125,6 +1374,14 @@ fn place_in_leaf<A: Atom, D: Disambiguator>(
                         runs[i].hot_rev = runs[i].hot_rev.max(rev);
                         return Ok(());
                     }
+                    Place::Tombstone => {
+                        // State sync may land a tombstone on an occupied
+                        // slot; tombstones dominate whatever is stored.
+                        if !matches!(runs[i].cells[j], Content::Tombstone) {
+                            runs[i].set_cell(j, Content::Tombstone, rev);
+                        }
+                        return Ok(());
+                    }
                 },
                 Err(j) => {
                     debug_assert!(j > 0 && j < runs[i].len());
@@ -1161,7 +1418,19 @@ fn place_in_leaf<A: Atom, D: Disambiguator>(
 fn place_content<A>(place: Place<A>) -> Content<A> {
     match place {
         Place::Atom(a) => Content::Live(a),
+        Place::Tombstone => Content::Tombstone,
         Place::Ghost => Content::Ghost,
+    }
+}
+
+/// Integration precedence of state-sync'd content: tombstones dominate live
+/// atoms, which dominate ghosts (see [`RunTree::integrate_cell`]).
+fn content_rank<A>(content: &Content<A>) -> u8 {
+    match content {
+        Content::Absent => 0,
+        Content::Ghost => 1,
+        Content::Live(_) => 2,
+        Content::Tombstone => 3,
     }
 }
 
@@ -1492,6 +1761,7 @@ impl<A: Atom, D: Disambiguator> RunTree<A, D> {
             live_bits: Vec::new(),
             agg: Agg::default(),
             hot_rev: 0,
+            aux_state: 0,
         };
         run.recompute();
         Self::from_runs(vec![run])
@@ -1604,6 +1874,196 @@ impl<A: Atom, D: Disambiguator> RunTree<A, D> {
         let mut out = Vec::new();
         collect(self.root, &mut out);
         out
+    }
+}
+
+/// Whether `id` falls in the half-open identifier range `[lo, hi)` (`None`
+/// bounds are unbounded).
+fn id_in_range<D: Disambiguator>(
+    id: &PosId<D>,
+    lo: Option<&PosId<D>>,
+    hi: Option<&PosId<D>>,
+) -> bool {
+    lo.is_none_or(|l| *id >= *l) && hi.is_none_or(|h| *id < *h)
+}
+
+fn range_digest_rec<A: Atom, D: Disambiguator>(
+    node: &Node<A, D>,
+    lo: Option<&PosId<D>>,
+    hi: Option<&PosId<D>>,
+) -> (u64, usize) {
+    let (Some(first), Some(last)) = (node.first_id(), node.last_id()) else {
+        return (0, 0);
+    };
+    if hi.is_some_and(|h| first >= *h) || lo.is_some_and(|l| last < *l) {
+        return (0, 0);
+    }
+    if id_in_range(&first, lo, hi) && id_in_range(&last, lo, hi) {
+        // The node's whole identifier interval sits inside the range: its
+        // cached aggregate already holds the answer.
+        let a = node.agg();
+        return (a.digest, a.total);
+    }
+    match node {
+        Node::Internal { children, .. } => {
+            let mut digest = 0u64;
+            let mut cells = 0usize;
+            for child in children {
+                let (d, n) = range_digest_rec(child, lo, hi);
+                digest = digest_merge(digest, d, n as u64);
+                cells += n;
+            }
+            (digest, cells)
+        }
+        Node::Leaf { runs, .. } => {
+            let mut digest = 0u64;
+            let mut cells = 0usize;
+            for run in runs {
+                let (jlo, jhi) = run.range_bounds(lo, hi);
+                if jlo >= jhi {
+                    continue;
+                }
+                let d = if jlo == 0 && jhi == run.len() {
+                    run.agg.digest
+                } else {
+                    run.fold_digest(jlo, jhi)
+                };
+                digest = digest_merge(digest, d, (jhi - jlo) as u64);
+                cells += jhi - jlo;
+            }
+            (digest, cells)
+        }
+    }
+}
+
+fn cells_in_range_rec<A: Atom, D: Disambiguator>(
+    node: &Node<A, D>,
+    lo: Option<&PosId<D>>,
+    hi: Option<&PosId<D>>,
+    out: &mut Vec<(PosId<D>, Content<A>)>,
+) {
+    let (Some(first), Some(last)) = (node.first_id(), node.last_id()) else {
+        return;
+    };
+    if hi.is_some_and(|h| first >= *h) || lo.is_some_and(|l| last < *l) {
+        return;
+    }
+    match node {
+        Node::Internal { children, .. } => {
+            for child in children {
+                cells_in_range_rec(child, lo, hi, out);
+            }
+        }
+        Node::Leaf { runs, .. } => {
+            for run in runs {
+                let (jlo, jhi) = run.range_bounds(lo, hi);
+                for j in jlo..jhi {
+                    out.push((run.cell_id(j), run.cells[j].clone()));
+                }
+            }
+        }
+    }
+}
+
+impl<A: Atom, D: Disambiguator> RunTree<A, D> {
+    /// Incremental merkle digest over every stored cell (live, tombstone
+    /// and ghost) in document order — `O(1)` from the cached root
+    /// aggregate. Two replicas that have applied the same operation set
+    /// report the same digest, however differently their stores fragmented
+    /// into runs; see [`crate::hash`].
+    pub fn digest(&self) -> u64 {
+        self.root.agg().digest
+    }
+
+    /// Identifier of the `k`-th stored cell (counting every content kind)
+    /// in document order — how the sync digest walk picks its range
+    /// partition points. `O(log n)` by cached totals.
+    pub fn id_at_rank(&self, k: usize) -> Option<PosId<D>> {
+        fn rec<A: Atom, D: Disambiguator>(node: &Node<A, D>, mut k: usize) -> Option<PosId<D>> {
+            match node {
+                Node::Leaf { runs, .. } => {
+                    for run in runs {
+                        if k < run.len() {
+                            return Some(run.cell_id(k));
+                        }
+                        k -= run.len();
+                    }
+                    None
+                }
+                Node::Internal { children, .. } => {
+                    for child in children {
+                        let total = child.agg().total;
+                        if k < total {
+                            return rec(child, k);
+                        }
+                        k -= total;
+                    }
+                    None
+                }
+            }
+        }
+        if k >= self.root.agg().total {
+            return None;
+        }
+        rec(&self.root, k)
+    }
+
+    /// Merkle digest and cell count of the stored cells with
+    /// `lo <= id < hi` (`None` bounds are unbounded). Subtrees fully inside
+    /// the range are answered from cached aggregates, so the cost is
+    /// `O(log n)` plus the two boundary runs.
+    pub fn range_digest(&self, lo: Option<&PosId<D>>, hi: Option<&PosId<D>>) -> (u64, usize) {
+        range_digest_rec(&self.root, lo, hi)
+    }
+
+    /// Every stored cell with `lo <= id < hi`, in document order.
+    pub fn cells_in_range(
+        &self,
+        lo: Option<&PosId<D>>,
+        hi: Option<&PosId<D>>,
+    ) -> Vec<(PosId<D>, Content<A>)> {
+        let mut out = Vec::new();
+        cells_in_range_rec(&self.root, lo, hi, &mut out);
+        out
+    }
+
+    /// Integrates one cell received through state-based sync, under the
+    /// precedence `Tombstone > Live > Ghost`: a tombstone beats anything, a
+    /// live atom fills ghost and absent slots, a ghost only materialises
+    /// where nothing is stored. Ghost ancestors named by the identifier are
+    /// created exactly as [`RunTree::insert`] does. Returns whether the
+    /// store changed; already-dominant cells make the call a no-op, so
+    /// integration is idempotent and duplicate-tolerant.
+    ///
+    /// Sound for tombstone-keeping (SDIS) documents, where the delivered
+    /// cell set only grows; UDIS discards cells on delete, which makes
+    /// "deleted" indistinguishable from "never seen" for state sync — use
+    /// operation replay there.
+    pub fn integrate_cell(&mut self, id: &PosId<D>, content: Content<A>, rev: u64) -> Result<bool> {
+        if matches!(content, Content::Absent) {
+            return Ok(false);
+        }
+        if let Some(existing) = self.get(id) {
+            if content_rank(existing) >= content_rank(&content) {
+                return Ok(false);
+            }
+            self.set_content(id, content, rev);
+            return Ok(true);
+        }
+        for k in 1..id.depth() {
+            if id.elems()[k - 1].dis.is_some() {
+                let prefix = PosId::from_elems(id.elems()[..k].to_vec());
+                self.place(&prefix, Place::Ghost, rev)?;
+            }
+        }
+        let place = match content {
+            Content::Live(a) => Place::Atom(a),
+            Content::Tombstone => Place::Tombstone,
+            Content::Ghost => Place::Ghost,
+            Content::Absent => unreachable!("checked above"),
+        };
+        self.place(id, place, rev)?;
+        Ok(true)
     }
 }
 
@@ -1820,6 +2280,7 @@ impl<A: Atom, D: Disambiguator> RunTree<A, D> {
                 live_bits: Vec::new(),
                 agg: Agg::default(),
                 hot_rev: 0,
+                aux_state: 0,
             };
             run.recompute();
             rebuilt.push(run);
@@ -1872,6 +2333,9 @@ impl<A: Atom, D: Disambiguator> RunTree<A, D> {
                         }
                         if check.live_bits != run.live_bits {
                             return Err("stale live bitmap".into());
+                        }
+                        if check.aux_state != run.aux_state {
+                            return Err("stale streaming hash state".into());
                         }
                         for j in 0..run.len() {
                             let id = run.cell_id(j);
@@ -2167,6 +2631,7 @@ mod tests {
             live_bits: Vec::new(),
             agg: Agg::default(),
             hot_rev: 0,
+            aux_state: 0,
         };
         run.recompute();
         let rt = RunTree::from_runs(vec![run]);
@@ -2225,6 +2690,126 @@ mod tests {
             m.run.run_count(),
             back.run_count()
         );
+    }
+
+    /// From-scratch reference digest: hash every cell with its materialised
+    /// identifier and fold in document order. The incremental digest must
+    /// always equal this.
+    fn reference_digest<A: Atom, D: Disambiguator>(rt: &RunTree<A, D>) -> u64 {
+        let mut digest = 0u64;
+        for (id, c, _) in rt.collect_cells() {
+            digest = digest
+                .wrapping_mul(DIGEST_BASE)
+                .wrapping_add(cell_hash(&id, &c));
+        }
+        digest
+    }
+
+    #[test]
+    fn incremental_digest_matches_from_scratch_rehash() {
+        let mut m = Mirror::<Sdis>::new(6);
+        let mut rng = 0xd16e57u64;
+        for step in 0..600 {
+            let len = m.doc.len();
+            if len == 0 || lcg(&mut rng) % 100 < 60 {
+                let at = (lcg(&mut rng) as usize) % (len + 1);
+                let c = char::from(b'a' + (lcg(&mut rng) % 26) as u8);
+                m.insert(at, c);
+            } else {
+                m.delete((lcg(&mut rng) as usize) % len);
+            }
+            if step % 61 == 0 {
+                assert_eq!(m.run.digest(), reference_digest(&m.run), "step {step}");
+            }
+        }
+        assert_eq!(m.run.digest(), reference_digest(&m.run));
+    }
+
+    #[test]
+    fn digest_is_independent_of_run_fragmentation() {
+        // The same cell set laid out by incremental edits vs rebuilt from a
+        // flat cell list fragments into different runs — digests must agree.
+        let mut m = Mirror::<Udis>::new(8);
+        for (i, c) in ('a'..='z').cycle().take(300).enumerate() {
+            m.insert(i, c);
+        }
+        m.insert(17, 'X');
+        m.delete(40);
+        m.insert(0, 'Y');
+        let rebuilt = RunTree::<char, Udis>::from_cells(m.run.collect_cells());
+        assert_eq!(m.run.digest(), rebuilt.digest());
+        assert_eq!(m.run.node_count(), rebuilt.node_count());
+    }
+
+    #[test]
+    fn range_digests_compose_to_the_root() {
+        let mut m = Mirror::<Sdis>::new(11);
+        for (i, c) in ('a'..='z').cycle().take(200).enumerate() {
+            m.insert(i, c);
+        }
+        m.delete(5);
+        m.delete(100);
+        let total = m.run.node_count();
+        // Split at arbitrary ranks and check the pieces merge to the root.
+        for split in [1, 7, total / 2, total - 1] {
+            let mid = m.run.id_at_rank(split).expect("rank in range");
+            let (dl, nl) = m.run.range_digest(None, Some(&mid));
+            let (dr, nr) = m.run.range_digest(Some(&mid), None);
+            assert_eq!(nl, split);
+            assert_eq!(nl + nr, total);
+            assert_eq!(digest_merge(dl, dr, nr as u64), m.run.digest());
+        }
+        let (all, n) = m.run.range_digest(None, None);
+        assert_eq!((all, n), (m.run.digest(), total));
+    }
+
+    #[test]
+    fn integrate_cells_converges_a_stale_replica() {
+        // Build a document, then replay a prefix of its cells into a fresh
+        // store and integrate the missing suffix by range.
+        let mut m = Mirror::<Sdis>::new(12);
+        for (i, c) in ('a'..='z').cycle().take(120).enumerate() {
+            m.insert(i, c);
+        }
+        for i in [3usize, 40, 80] {
+            m.delete(i);
+        }
+        let cells = m.run.collect_cells();
+        let mut stale = RunTree::<char, Sdis>::new();
+        for (id, c, rev) in cells.iter().take(cells.len() / 3) {
+            stale.integrate_cell(id, c.clone(), *rev).expect("seed");
+        }
+        assert_ne!(stale.digest(), m.run.digest());
+        for (id, c, rev) in &cells {
+            stale.integrate_cell(id, c.clone(), *rev).expect("catch up");
+        }
+        stale.check_invariants().expect("integrated invariants");
+        assert_eq!(stale.digest(), m.run.digest());
+        assert_eq!(stale.to_vec(), m.run.to_vec());
+        // Idempotence: integrating everything again changes nothing.
+        for (id, c, rev) in &cells {
+            assert!(!stale.integrate_cell(id, c.clone(), *rev).expect("noop"));
+        }
+        assert_eq!(stale.digest(), m.run.digest());
+    }
+
+    #[test]
+    fn tombstone_dominates_live_dominates_ghost() {
+        let mut m = Mirror::<Sdis>::new(13);
+        m.insert(0, 'a');
+        m.insert(1, 'b');
+        let id = m.run.id_of_live_index(1).expect("live id");
+        let mut other = RunTree::<char, Sdis>::from_cells(m.run.collect_cells());
+        // Tombstone wins over live…
+        assert!(other
+            .integrate_cell(&id, Content::Tombstone, 9)
+            .expect("tombstone"));
+        // …and live never resurrects a tombstone.
+        assert!(!other
+            .integrate_cell(&id, Content::Live('b'), 10)
+            .expect("no resurrect"));
+        assert!(matches!(other.get(&id), Some(Content::Tombstone)));
+        other.check_invariants().expect("invariants");
     }
 
     #[test]

@@ -263,6 +263,36 @@ impl<T> CausalBuffer<T> {
         }
     }
 
+    /// Fast-forwards the delivered clock to cover `remote`, as justified by
+    /// state-based anti-entropy: when two replicas establish that their
+    /// document states are equal, everything the peer delivered is — by
+    /// construction — reflected here too, so this replica may adopt the
+    /// peer's coverage without replaying anything.
+    ///
+    /// Held-back messages whose sequence number falls under the new clock
+    /// are discarded as duplicates (their effects arrived through the state
+    /// transfer); messages that the merge newly unblocks are released and
+    /// returned in causal order for the caller to replay.
+    pub fn fast_forward(&mut self, remote: &VectorClock) -> Vec<CausalMessage<T>> {
+        self.delivered.merge(remote);
+        // Drop pending traffic the state transfer already covered.
+        let senders: Vec<SiteId> = self.pending.keys().copied().collect();
+        for sender in senders {
+            let covered = self.delivered.get(sender);
+            if let Some(queue) = self.pending.get_mut(&sender) {
+                let keep = queue.split_off(&(covered + 1));
+                let dropped = queue.len();
+                *queue = keep;
+                self.pending_total -= dropped;
+                self.stats.duplicates_discarded += dropped as u64;
+                if queue.is_empty() {
+                    self.pending.remove(&sender);
+                }
+            }
+        }
+        self.drain_deliverable()
+    }
+
     /// Releases every message that has become deliverable, in causal order.
     ///
     /// Only each sender's next-expected message (by sequence number) is ever
@@ -463,6 +493,36 @@ mod tests {
         let d = buf.receive(echo);
         assert_eq!(d.receipt, Receipt::Duplicate);
         assert_eq!(buf.pending_len(), 0);
+    }
+
+    #[test]
+    fn fast_forward_discards_covered_messages_and_releases_the_rest() {
+        let mut sender = VectorClock::new();
+        let m1 = msg(site(1), &mut sender, 1);
+        let m2 = msg(site(1), &mut sender, 2);
+        let m3 = msg(site(1), &mut sender, 3);
+        let m4 = msg(site(1), &mut sender, 4);
+
+        let mut buf = CausalBuffer::new();
+        assert!(buf.receive(m2.clone()).is_empty(), "m2 waits for m1");
+        assert!(buf.receive(m4.clone()).is_empty(), "m4 waits too");
+        assert_eq!(buf.pending_len(), 2);
+
+        // A state sync covered the peer's first three events: m2 must be
+        // discarded (its effect arrived via state), m4 becomes deliverable.
+        let released = buf.fast_forward(&m3.clock);
+        assert_eq!(
+            released.iter().map(|m| m.payload).collect::<Vec<_>>(),
+            vec![4],
+            "the uncovered held-back suffix is released"
+        );
+        assert_eq!(buf.pending_len(), 0);
+        assert_eq!(buf.stats().duplicates_discarded, 1, "m2 was covered");
+        assert_eq!(buf.delivered_clock().get(site(1)), 4);
+
+        // Late copies of covered messages are recognised as stale.
+        assert_eq!(buf.receive(m1).receipt, Receipt::Duplicate);
+        assert_eq!(buf.receive(m2).receipt, Receipt::Duplicate);
     }
 
     #[test]

@@ -37,7 +37,13 @@
 //!   recoverable behind the record-version byte — [`WalCodec`]),
 //!   checkpoints on committed flattens (truncating the pre-epoch log) and
 //!   recovers after a crash with its document, clock, hold-back and unacked
-//!   send log intact ([`Replica::recover`]).
+//!   send log intact ([`Replica::recover`]);
+//! * [`sync`] — state-based anti-entropy: replicas compare incremental
+//!   merkle digests, walk diverging identifier ranges in `O(log n)` digest
+//!   rounds and ship only the missing runs of cells
+//!   ([`Replica::sync_probe`] / [`Replica::receive_sync`]); a brand-new
+//!   site bootstraps from snapshot chunks instead
+//!   ([`Replica::snapshot_envelopes`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,6 +54,7 @@ pub mod flatten;
 pub mod network;
 pub mod persist;
 pub mod replica;
+pub mod sync;
 pub mod testkit;
 pub mod wire;
 
@@ -61,5 +68,11 @@ pub use flatten::{
 };
 pub use network::{LinkConfig, NetworkEvent, SimNetwork};
 pub use persist::{PersistentDocument, RecoverError, RecoveryReport, WalCodec, WalRecord};
-pub use replica::{BatchPolicy, Envelope, FlattenDocument, OpBatch, Replica, ReplicatedDocument};
+pub use replica::{
+    BatchPolicy, Envelope, FlattenDocument, OpBatch, Replica, ReplicatedDocument, SyncEffect,
+};
+pub use sync::{
+    RangeDigest, SnapshotChunk, SnapshotOffer, SyncConfig, SyncDigests, SyncDocument, SyncRoot,
+    SyncRuns,
+};
 pub use wire::{decode_envelope, encode_envelope, WireError};

@@ -26,6 +26,9 @@ use crate::flatten::{DecisionKind, FlattenDecision, FlattenPropose, FlattenVote,
 use crate::persist::{
     self, PersistentDocument, RecoverError, RecoveryReport, WalCodec, WalRecord, SECTION_REPLICA,
 };
+use crate::sync::{
+    SnapshotChunk, SnapshotOffer, SyncConfig, SyncDigests, SyncDocument, SyncRoot, SyncRuns,
+};
 
 /// A document type that can be driven by a [`Replica`].
 pub trait ReplicatedDocument {
@@ -56,12 +59,11 @@ where
     }
 
     fn digest(&self) -> u64 {
-        use std::hash::Hasher;
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        for atom in self.to_vec() {
-            atom.hash(&mut hasher);
-        }
-        hasher.finish()
+        // The store's incremental merkle digest: O(1) to read, covers every
+        // stored cell (live, tombstone, ghost) and is independent of how the
+        // store fragmented — the same digest the anti-entropy protocol
+        // compares, so "converged" means the same thing everywhere.
+        self.merkle_digest()
     }
 }
 
@@ -125,6 +127,16 @@ pub enum Envelope<Op> {
     FlattenVote(FlattenVote),
     /// Coordinator → participant: pre-commit, commit or abort.
     FlattenDecision(FlattenDecision),
+    /// Anti-entropy: root digest probe / echo (see [`crate::sync`]).
+    SyncRoot(SyncRoot),
+    /// Anti-entropy: sub-range digests of the merkle walk.
+    SyncDigests(SyncDigests),
+    /// Anti-entropy: the cells of a diverging leaf range.
+    SyncRuns(SyncRuns),
+    /// Bootstrap: announces a snapshot transfer to a joining site.
+    SnapshotOffer(SnapshotOffer),
+    /// Bootstrap: one piece of the offered snapshot.
+    SnapshotChunk(SnapshotChunk),
 }
 
 /// The per-replica participant role of the flatten commitment protocol (see
@@ -325,6 +337,9 @@ struct AtLeastOnce<Op> {
     peer_acked: BTreeMap<SiteId, u64>,
     /// Messages handed out again via [`Replica::unacked_for`].
     retransmissions: u64,
+    /// Cap on messages per [`Replica::unacked_batch_for`] call (`None` =
+    /// whole window). See [`Replica::set_retransmit_window`].
+    window: Option<usize>,
 }
 
 impl<Op> AtLeastOnce<Op> {
@@ -338,6 +353,7 @@ impl<Op> AtLeastOnce<Op> {
                 .map(|p| (p, 0))
                 .collect(),
             retransmissions: 0,
+            window: None,
         }
     }
 
@@ -369,6 +385,7 @@ impl<Op> AtLeastOnce<Op> {
                 .collect(),
             peer_acked: self.peer_acked.iter().map(|(&p, &a)| (p, a)).collect(),
             retransmissions: self.retransmissions,
+            window: self.window,
         }
     }
 
@@ -381,6 +398,7 @@ impl<Op> AtLeastOnce<Op> {
                 .collect(),
             peer_acked: image.peer_acked.into_iter().collect(),
             retransmissions: image.retransmissions,
+            window: image.window,
         }
     }
 }
@@ -392,6 +410,9 @@ struct AtLeastOnceImage<Op> {
     send_log: Vec<(u64, u64, CausalMessage<Op>)>,
     peer_acked: Vec<(SiteId, u64)>,
     retransmissions: u64,
+    /// Absent in images written before the window cap existed.
+    #[serde(default)]
+    window: Option<usize>,
 }
 
 /// The durable form of a whole [`Replica`] minus the document (which has its
@@ -448,6 +469,19 @@ pub struct Replica<Doc: ReplicatedDocument> {
     /// The sender-side operation batcher, when batching is on (see
     /// [`enable_batching`](Replica::enable_batching)).
     batcher: Option<Batcher<Doc::Op>>,
+    /// Chunks of an in-flight snapshot bootstrap (transient: a crash simply
+    /// restarts the transfer).
+    bootstrap: Option<BootstrapAssembly>,
+}
+
+/// Collects the chunks of one snapshot transfer until all have arrived.
+#[derive(Debug)]
+struct BootstrapAssembly {
+    from: SiteId,
+    digest: u64,
+    total_bytes: u64,
+    chunks: u64,
+    received: BTreeMap<u64, Vec<u8>>,
 }
 
 impl<Doc: ReplicatedDocument> Replica<Doc> {
@@ -464,6 +498,7 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
             epoch_held: Vec::new(),
             journal: None,
             batcher: None,
+            bootstrap: None,
         }
     }
 
@@ -662,12 +697,27 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
         missing
     }
 
+    /// Caps how many messages one [`unacked_batch_for`](Self::unacked_batch_for)
+    /// call re-ships (`None` restores the unbounded default). Without a cap,
+    /// every retransmission round re-sends a lagging peer its **entire**
+    /// unacked window — on a lossy link the same prefix crosses the wire
+    /// round after round, quadratically. With a cap, each round re-ships at
+    /// most `window` messages from the front of the window; cumulative
+    /// acknowledgements advance it, so a live peer still catches up while
+    /// the per-round cost stays bounded.
+    pub fn set_retransmit_window(&mut self, window: Option<usize>) {
+        if let Some(alo) = self.at_least_once.as_mut() {
+            alo.window = window;
+        }
+    }
+
     /// Like [`unacked_envelopes_for`](Self::unacked_envelopes_for), but
-    /// coalesces the peer's whole unacked window into a **single**
+    /// coalesces the peer's unacked window into a **single**
     /// [`Envelope::OpBatch`] (entries keep their stamped epochs), so a
     /// retransmission round costs one envelope instead of one per message.
-    /// Every entry still counts as a retransmission. `None` when the peer
-    /// is fully acknowledged.
+    /// A configured [`set_retransmit_window`](Self::set_retransmit_window)
+    /// caps the batch to the front of the window. Every entry still counts
+    /// as a retransmission. `None` when the peer is fully acknowledged.
     ///
     /// # Panics
     ///
@@ -683,6 +733,7 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
         let entries: Vec<(u64, CausalMessage<Doc::Op>)> = alo
             .send_log
             .range(acked + 1..)
+            .take(alo.window.unwrap_or(usize::MAX))
             .map(|(_, (epoch, m))| (*epoch, m.clone()))
             .collect();
         if entries.is_empty() {
@@ -929,6 +980,13 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
             Envelope::FlattenPropose(_)
             | Envelope::FlattenVote(_)
             | Envelope::FlattenDecision(_) => 0,
+            // Sync traffic needs a SyncDocument; route it through
+            // [`receive_sync`](Self::receive_sync).
+            Envelope::SyncRoot(_)
+            | Envelope::SyncDigests(_)
+            | Envelope::SyncRuns(_)
+            | Envelope::SnapshotOffer(_)
+            | Envelope::SnapshotChunk(_) => 0,
         }
     }
 
@@ -1081,6 +1139,268 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
             applied += self.receive_unjournaled(msg);
         }
         applied
+    }
+}
+
+/// What handling one sync envelope produced (see
+/// [`Replica::receive_sync`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SyncEffect<Op> {
+    /// Envelopes to send back to the peer the handled envelope came from.
+    pub replies: Vec<Envelope<Op>>,
+    /// Cells that changed this replica's store.
+    pub cells_integrated: usize,
+    /// Held-back operations released (and replayed) by a clock
+    /// fast-forward.
+    pub ops_released: usize,
+    /// `true` when a root comparison found the two states equal (the clock
+    /// was fast-forwarded; the session is over).
+    pub converged: bool,
+    /// `true` when a snapshot bootstrap completed and this replica adopted
+    /// the transferred state.
+    pub bootstrapped: bool,
+}
+
+impl<Op> SyncEffect<Op> {
+    fn empty() -> Self {
+        SyncEffect {
+            replies: Vec::new(),
+            cells_integrated: 0,
+            ops_released: 0,
+            converged: false,
+            bootstrapped: false,
+        }
+    }
+}
+
+/// State-based anti-entropy (see [`crate::sync`] for the protocol). Sync
+/// traffic is idempotent and therefore **not journaled**: a crash loses at
+/// most an in-flight session, which the next session repairs; integrated
+/// cells and fast-forwarded clocks become durable together at the next
+/// checkpoint.
+impl<Doc: SyncDocument> Replica<Doc> {
+    /// The opening probe of a sync session: this replica's root digest,
+    /// cell count and delivered clock.
+    pub fn sync_probe(&self) -> Envelope<Doc::Op> {
+        self.sync_root_envelope(true)
+    }
+
+    fn sync_root_envelope(&self, reply: bool) -> Envelope<Doc::Op> {
+        let (digest, cells) = self.doc.sync_root();
+        Envelope::SyncRoot(SyncRoot {
+            from: self.site,
+            digest,
+            cells,
+            clock: self.buffer.delivered_clock().clone(),
+            reply,
+        })
+    }
+
+    /// Merges a peer's clock after a state comparison proved the documents
+    /// equal, replaying anything the merge unblocks and discarding held-back
+    /// traffic the state transfer already covered. Released operations go
+    /// through the idempotent [`SyncDocument::sync_replay`]: a prior session
+    /// may have integrated their cells ahead of clock coverage.
+    fn sync_fast_forward(&mut self, remote: &VectorClock) -> usize {
+        let released = self.buffer.fast_forward(remote);
+        let count = released.len();
+        for m in released {
+            self.doc.sync_replay(&m.payload);
+            self.ops_applied += 1;
+        }
+        count
+    }
+
+    /// Handles one sync envelope, producing the replies of the digest walk.
+    /// Operation/ack/flatten envelopes passed here are delegated to
+    /// [`receive_envelope`](Self::receive_envelope) (their applied count is
+    /// reported as `ops_released`).
+    pub fn receive_sync(
+        &mut self,
+        envelope: Envelope<Doc::Op>,
+        config: &SyncConfig,
+    ) -> SyncEffect<Doc::Op> {
+        match envelope {
+            Envelope::SyncRoot(root) => self.on_sync_root(root, config),
+            Envelope::SyncDigests(digests) => self.on_sync_digests(digests, config),
+            Envelope::SyncRuns(runs) => self.on_sync_runs(runs),
+            Envelope::SnapshotOffer(offer) => {
+                self.bootstrap = Some(BootstrapAssembly {
+                    from: offer.from,
+                    digest: offer.digest,
+                    total_bytes: offer.total_bytes,
+                    chunks: offer.chunks,
+                    received: BTreeMap::new(),
+                });
+                SyncEffect::empty()
+            }
+            Envelope::SnapshotChunk(chunk) => self.on_snapshot_chunk(chunk),
+            other => SyncEffect {
+                ops_released: self.receive_envelope(other),
+                ..SyncEffect::empty()
+            },
+        }
+    }
+
+    fn on_sync_root(&mut self, root: SyncRoot, config: &SyncConfig) -> SyncEffect<Doc::Op> {
+        let (my_digest, my_cells) = self.doc.sync_root();
+        let mut effect = SyncEffect::empty();
+        if root.digest == my_digest && root.cells == my_cells {
+            // Equal states: everything the peer delivered is reflected here,
+            // so its clock coverage is safe to adopt.
+            effect.ops_released = self.sync_fast_forward(&root.clock);
+            effect.converged = true;
+            if root.reply {
+                effect.replies.push(self.sync_root_envelope(false));
+            }
+            return effect;
+        }
+        if !root.reply {
+            // A mismatched echo: the session's repair phase is (still)
+            // running; the next probe will re-compare.
+            return effect;
+        }
+        if my_cells as usize <= config.leaf_cells || root.cells as usize <= config.leaf_cells {
+            // One side is small enough that digest rounds cost more than the
+            // cells themselves: exchange them outright.
+            if let Some((cells, count)) = self.doc.sync_cells(&[], &[]) {
+                effect.replies.push(Envelope::SyncRuns(SyncRuns {
+                    from: self.site,
+                    lo: Vec::new(),
+                    hi: Vec::new(),
+                    count,
+                    cells,
+                    reply: true,
+                }));
+            }
+        } else if let Some(ranges) = self.doc.sync_split(&[], &[], config.fanout) {
+            effect.replies.push(Envelope::SyncDigests(SyncDigests {
+                from: self.site,
+                ranges,
+            }));
+        }
+        effect
+    }
+
+    fn on_sync_digests(
+        &mut self,
+        digests: SyncDigests,
+        config: &SyncConfig,
+    ) -> SyncEffect<Doc::Op> {
+        let mut effect = SyncEffect::empty();
+        let mut narrowed = Vec::new();
+        for range in digests.ranges {
+            let Some((my_digest, my_cells)) = self.doc.sync_range(&range.lo, &range.hi) else {
+                continue; // malformed bounds: drop the range
+            };
+            if my_digest == range.digest && my_cells == range.cells {
+                continue; // this range already agrees
+            }
+            if my_cells as usize <= config.leaf_cells || range.cells as usize <= config.leaf_cells {
+                if let Some((cells, count)) = self.doc.sync_cells(&range.lo, &range.hi) {
+                    effect.replies.push(Envelope::SyncRuns(SyncRuns {
+                        from: self.site,
+                        lo: range.lo,
+                        hi: range.hi,
+                        count,
+                        cells,
+                        reply: true,
+                    }));
+                }
+            } else if let Some(split) = self.doc.sync_split(&range.lo, &range.hi, config.fanout) {
+                narrowed.extend(split);
+            }
+        }
+        if !narrowed.is_empty() {
+            effect.replies.push(Envelope::SyncDigests(SyncDigests {
+                from: self.site,
+                ranges: narrowed,
+            }));
+        }
+        effect
+    }
+
+    fn on_sync_runs(&mut self, runs: SyncRuns) -> SyncEffect<Doc::Op> {
+        let mut effect = SyncEffect::empty();
+        // Compute the echo *before* integrating, and echo only the cells the
+        // peer provably lacks — absent from its list, or outranked by ours —
+        // so a leaf exchange costs bytes proportional to the divergence, not
+        // to the range population.
+        let mine = if runs.reply {
+            self.doc
+                .sync_cells_absent_from(&runs.lo, &runs.hi, &runs.cells)
+        } else {
+            None
+        };
+        effect.cells_integrated = self.doc.sync_integrate(&runs.cells).unwrap_or(0);
+        if let Some((cells, count)) = mine {
+            if count > 0 {
+                effect.replies.push(Envelope::SyncRuns(SyncRuns {
+                    from: self.site,
+                    lo: runs.lo,
+                    hi: runs.hi,
+                    count,
+                    cells,
+                    reply: false,
+                }));
+            }
+        }
+        effect
+    }
+
+    fn on_snapshot_chunk(&mut self, chunk: SnapshotChunk) -> SyncEffect<Doc::Op> {
+        let mut effect = SyncEffect::empty();
+        let Some(assembly) = self.bootstrap.as_mut() else {
+            return effect; // chunk without an offer: drop
+        };
+        if chunk.from != assembly.from || chunk.total != assembly.chunks {
+            return effect; // from a different transfer
+        }
+        assembly.received.insert(chunk.index, chunk.data);
+        if (assembly.received.len() as u64) < assembly.chunks {
+            return effect;
+        }
+        let assembly = self.bootstrap.take().expect("assembly just observed");
+        let bytes: Vec<u8> = assembly.received.into_values().flatten().collect();
+        if bytes.len() as u64 != assembly.total_bytes {
+            return effect; // chunk indices lied about coverage
+        }
+        if self.doc.adopt_bootstrap(&bytes).is_some() && self.doc.digest() == assembly.digest {
+            effect.bootstrapped = true;
+            effect.cells_integrated = self.doc.sync_root().1 as usize;
+        }
+        effect
+    }
+
+    /// The donor side of the bootstrap path: the whole document encoded as
+    /// a [`SnapshotOffer`] followed by its [`SnapshotChunk`]s, for a joining
+    /// site to adopt (the joiner then runs a normal sync session to pick up
+    /// its causal clock).
+    pub fn snapshot_envelopes(&self, config: &SyncConfig) -> Vec<Envelope<Doc::Op>> {
+        let bytes = self.doc.encode_bootstrap();
+        let chunk_bytes = config.chunk_bytes.max(1);
+        let pieces: Vec<&[u8]> = if bytes.is_empty() {
+            vec![&[]]
+        } else {
+            bytes.chunks(chunk_bytes).collect()
+        };
+        let total = pieces.len() as u64;
+        let mut out = Vec::with_capacity(pieces.len() + 1);
+        out.push(Envelope::SnapshotOffer(SnapshotOffer {
+            from: self.site,
+            digest: self.doc.digest(),
+            total_bytes: bytes.len() as u64,
+            chunks: total,
+        }));
+        for (index, piece) in pieces.into_iter().enumerate() {
+            out.push(Envelope::SnapshotChunk(SnapshotChunk {
+                from: self.site,
+                index: index as u64,
+                total,
+                data: piece.to_vec(),
+            }));
+        }
+        out
     }
 }
 
@@ -1334,6 +1654,7 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
             epoch_held: image.epoch_held,
             journal: None,
             batcher: None,
+            bootstrap: None,
         }
     }
 
@@ -1548,6 +1869,187 @@ mod tests {
         assert_eq!(b.doc().to_string(), "x");
         assert_eq!(b.ops_applied(), 1);
         assert_eq!(a.digest(), b.digest());
+    }
+
+    /// Runs one complete sync session between `a` and `b`: probe from `a`,
+    /// ping-pong every reply until both sides go quiet, then a closing probe
+    /// so both clocks fast-forward. Returns (total cells integrated, digest
+    /// messages, run messages).
+    fn sync_session(a: &mut Replica<Doc>, b: &mut Replica<Doc>) -> (usize, usize, usize) {
+        let config = SyncConfig::default();
+        let (mut cells, mut digest_msgs, mut run_msgs) = (0, 0, 0);
+        for _round in 0..64 {
+            // `true` in the queue = envelope addressed to `a`.
+            let mut queue: Vec<(bool, Envelope<<Doc as ReplicatedDocument>::Op>)> =
+                vec![(false, a.sync_probe())];
+            let mut converged = false;
+            while let Some((to_a, envelope)) = queue.pop() {
+                match &envelope {
+                    Envelope::SyncDigests(_) => digest_msgs += 1,
+                    Envelope::SyncRuns(_) => run_msgs += 1,
+                    _ => {}
+                }
+                let effect = if to_a {
+                    a.receive_sync(envelope, &config)
+                } else {
+                    b.receive_sync(envelope, &config)
+                };
+                cells += effect.cells_integrated;
+                converged |= effect.converged;
+                queue.extend(effect.replies.into_iter().map(|e| (!to_a, e)));
+            }
+            if converged {
+                return (cells, digest_msgs, run_msgs);
+            }
+        }
+        panic!("sync session did not converge");
+    }
+
+    #[test]
+    fn sync_session_repairs_a_diverged_replica() {
+        let mut a = replica(1);
+        let mut b = replica(2);
+        // Shared prefix both sides applied.
+        for i in 0..300 {
+            let op = a
+                .doc_mut()
+                .local_insert(i, char::from(b'a' + (i % 26) as u8))
+                .unwrap();
+            let msg = a.stamp(op);
+            b.receive(msg);
+        }
+        // A suffix b never saw (e.g. lost on the network).
+        for i in 300..340 {
+            let op = a
+                .doc_mut()
+                .local_insert(i, char::from(b'a' + (i % 26) as u8))
+                .unwrap();
+            let _lost = a.stamp(op);
+        }
+        assert_ne!(a.digest(), b.digest());
+        let (cells, digest_msgs, run_msgs) = sync_session(&mut a, &mut b);
+        assert_eq!(a.digest(), b.digest(), "states converged");
+        assert_eq!(a.doc().to_string(), b.doc().to_string());
+        assert!(cells >= 40, "the 40 missing cells crossed ({cells})");
+        assert!(cells < 340, "the shared prefix did not cross ({cells})");
+        assert!(digest_msgs > 0 && run_msgs > 0);
+        // The fast-forward lets b discard late copies of the synced ops as
+        // duplicates instead of replaying them (which would panic).
+        assert_eq!(
+            b.clock().get(site(1)),
+            a.clock().get(site(1)),
+            "b's clock covers everything the sync transferred"
+        );
+    }
+
+    #[test]
+    fn sync_session_between_equal_replicas_only_probes() {
+        let mut a = replica(1);
+        let mut b = replica(2);
+        for i in 0..100 {
+            let op = a.doc_mut().local_insert(i, 'x').unwrap();
+            let msg = a.stamp(op);
+            b.receive(msg);
+        }
+        let (cells, digest_msgs, run_msgs) = sync_session(&mut a, &mut b);
+        assert_eq!((cells, digest_msgs, run_msgs), (0, 0, 0));
+    }
+
+    #[test]
+    fn sync_handles_concurrent_divergence_on_both_sides() {
+        let mut a = replica(1);
+        let mut b = replica(2);
+        for i in 0..200 {
+            let op = a.doc_mut().local_insert(i, 'x').unwrap();
+            let msg = a.stamp(op);
+            b.receive(msg);
+        }
+        // Both sides edit concurrently; nothing is exchanged.
+        for i in 0..25 {
+            let op = a.doc_mut().local_insert(i * 3, 'A').unwrap();
+            a.stamp(op);
+            let op = b.doc_mut().local_insert(i * 5, 'B').unwrap();
+            b.stamp(op);
+        }
+        // Deletes diverge too (tombstones must cross).
+        let op = a.doc_mut().local_delete(10).unwrap();
+        a.stamp(op);
+        let (cells, _digests, _runs) = sync_session(&mut a, &mut b);
+        assert_eq!(a.digest(), b.digest(), "both directions repaired");
+        assert_eq!(a.doc().to_string(), b.doc().to_string());
+        assert!(cells >= 51, "both sides' edits crossed ({cells})");
+    }
+
+    #[test]
+    fn snapshot_bootstrap_brings_up_an_empty_joiner() {
+        let mut donor = replica(1);
+        for i in 0..500 {
+            let op = donor
+                .doc_mut()
+                .local_insert(i, char::from(b'a' + (i % 26) as u8))
+                .unwrap();
+            donor.stamp(op);
+        }
+        let op = donor.doc_mut().local_delete(123).unwrap();
+        donor.stamp(op);
+
+        let mut joiner = replica(9);
+        let config = SyncConfig {
+            chunk_bytes: 512, // force several chunks
+            ..SyncConfig::default()
+        };
+        let envelopes = donor.snapshot_envelopes(&config);
+        assert!(envelopes.len() > 3, "offer plus several chunks");
+        let mut bootstrapped = false;
+        for envelope in envelopes {
+            bootstrapped |= joiner.receive_sync(envelope, &config).bootstrapped;
+        }
+        assert!(bootstrapped);
+        assert_eq!(joiner.digest(), donor.digest());
+        assert_eq!(joiner.doc().to_string(), donor.doc().to_string());
+        assert_eq!(joiner.doc().site(), site(9), "joiner keeps its identity");
+
+        // A closing sync round transfers the causal clock, so late copies of
+        // the donor's ops are recognised as duplicates.
+        let (cells, _d, _r) = sync_session(&mut donor, &mut joiner);
+        assert_eq!(cells, 0, "states were already equal");
+        assert_eq!(joiner.clock().get(site(1)), donor.clock().get(site(1)));
+
+        // The joiner can edit immediately and the donor applies it.
+        let op = joiner.doc_mut().local_insert(0, '!').unwrap();
+        let msg = joiner.stamp(op);
+        donor.receive(msg);
+        assert_eq!(joiner.digest(), donor.digest());
+    }
+
+    #[test]
+    fn retransmit_window_caps_each_batch_and_still_converges() {
+        let mut a = replica(1);
+        let mut b = replica(2);
+        a.enable_at_least_once(&[site(2)]);
+        a.set_retransmit_window(Some(8));
+        let mut messages = Vec::new();
+        for i in 0..30 {
+            let op = a.doc_mut().local_insert(i, 'x').unwrap();
+            messages.push(a.stamp(op));
+        }
+        // Every original transmission was lost; retransmission rounds are
+        // capped at 8 messages each, advanced by cumulative acks.
+        let mut rounds = 0;
+        while a.has_unacked() {
+            rounds += 1;
+            assert!(rounds <= 10, "window must advance via acks");
+            if let Some(Envelope::OpBatch(batch)) = a.unacked_batch_for(site(2)) {
+                assert!(batch.len() <= 8, "cap respected, got {}", batch.len());
+                b.receive_envelope(Envelope::OpBatch(batch));
+            }
+            if let Envelope::Ack { from, clock } = b.ack_envelope() {
+                a.record_ack(from, &clock);
+            }
+        }
+        assert_eq!(rounds, 4, "30 messages in capped rounds of 8");
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.retransmissions(), 30, "every op re-shipped exactly once");
     }
 
     #[test]

@@ -36,7 +36,8 @@ use std::fmt;
 
 use treedoc_commit::{CommitProtocol, FlattenProposal, Vote};
 use treedoc_core::codec::{
-    get_sides, get_site, get_u8, get_varint, put_sides, put_site, put_u8, put_varint, WirePayload,
+    get_bytes, get_sides, get_site, get_u8, get_varint, put_bytes, put_sides, put_site, put_u8,
+    put_varint, WirePayload,
 };
 use treedoc_core::{SiteId, WIRE_MIN_VERSION, WIRE_VERSION};
 
@@ -45,6 +46,7 @@ use crate::clock::VectorClock;
 use crate::flatten::{DecisionKind, FlattenDecision, FlattenPropose, FlattenVote, VoteStage};
 use crate::persist::WalRecord;
 use crate::replica::{Envelope, OpBatch};
+use crate::sync::{RangeDigest, SnapshotChunk, SnapshotOffer, SyncDigests, SyncRoot, SyncRuns};
 
 /// First byte of a binary (format v2) WAL record. Distinct from `{` (0x7B),
 /// the first byte of every legacy JSON (format v1) record, so recovery can
@@ -338,6 +340,24 @@ const ENV_OP_BATCH: u8 = 3;
 const ENV_FLATTEN_PROPOSE: u8 = 4;
 const ENV_FLATTEN_VOTE: u8 = 5;
 const ENV_FLATTEN_DECISION: u8 = 6;
+// Wire v4: state-based anti-entropy (see `crate::sync`).
+const ENV_SYNC_ROOT: u8 = 7;
+const ENV_SYNC_DIGESTS: u8 = 8;
+const ENV_SYNC_RUNS: u8 = 9;
+const ENV_SNAPSHOT_OFFER: u8 = 10;
+const ENV_SNAPSHOT_CHUNK: u8 = 11;
+
+/// Digests are uniformly distributed 64-bit values: fixed-width
+/// little-endian beats a varint for them.
+fn put_u64(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+fn get_u64(input: &mut &[u8]) -> Option<u64> {
+    let (head, rest) = input.split_first_chunk::<8>()?;
+    *input = rest;
+    Some(u64::from_le_bytes(*head))
+}
 
 /// Encodes an envelope into a fresh buffer.
 pub fn encode_envelope<Op: WirePayload>(envelope: &Envelope<Op>) -> Vec<u8> {
@@ -390,6 +410,48 @@ pub fn encode_envelope_into<Op: WirePayload>(envelope: &Envelope<Op>, out: &mut 
             put_varint(out, d.txn);
             put_u8(out, decision_byte(d.kind));
         }
+        Envelope::SyncRoot(r) => {
+            put_u8(out, ENV_SYNC_ROOT);
+            put_site(out, r.from);
+            put_u64(out, r.digest);
+            put_varint(out, r.cells);
+            put_clock(out, &r.clock, None);
+            put_u8(out, r.reply as u8);
+        }
+        Envelope::SyncDigests(d) => {
+            put_u8(out, ENV_SYNC_DIGESTS);
+            put_site(out, d.from);
+            put_varint(out, d.ranges.len() as u64);
+            for range in &d.ranges {
+                put_bytes(out, &range.lo);
+                put_bytes(out, &range.hi);
+                put_u64(out, range.digest);
+                put_varint(out, range.cells);
+            }
+        }
+        Envelope::SyncRuns(r) => {
+            put_u8(out, ENV_SYNC_RUNS);
+            put_site(out, r.from);
+            put_bytes(out, &r.lo);
+            put_bytes(out, &r.hi);
+            put_varint(out, r.count);
+            put_bytes(out, &r.cells);
+            put_u8(out, r.reply as u8);
+        }
+        Envelope::SnapshotOffer(o) => {
+            put_u8(out, ENV_SNAPSHOT_OFFER);
+            put_site(out, o.from);
+            put_u64(out, o.digest);
+            put_varint(out, o.total_bytes);
+            put_varint(out, o.chunks);
+        }
+        Envelope::SnapshotChunk(c) => {
+            put_u8(out, ENV_SNAPSHOT_CHUNK);
+            put_site(out, c.from);
+            put_varint(out, c.index);
+            put_varint(out, c.total);
+            put_bytes(out, &c.data);
+        }
     }
 }
 
@@ -407,9 +469,11 @@ pub fn decode_envelope<Op: WirePayload>(bytes: &[u8]) -> Result<Envelope<Op>, Wi
 /// records).
 fn decode_envelope_cursor<Op: WirePayload>(input: &mut &[u8]) -> Result<Envelope<Op>, WireError> {
     let version = get_u8(input).ok_or(WireError::Malformed)?;
-    // v2 encodings are a strict subset of v3 (no run-step entries), so one
-    // decoder reads both generations; stores and peers from before the run
-    // codec stay readable.
+    // v2 encodings are a strict subset of v3 (no run-step entries), and v3
+    // of v4 (no sync envelopes), so one decoder reads all three
+    // generations; stores and peers from before the run codec or the
+    // anti-entropy protocol stay readable. The sync tags are gated on the
+    // version byte below, so a v2/v3 producer claiming them is malformed.
     if !(WIRE_MIN_VERSION..=WIRE_VERSION).contains(&version) {
         return Err(WireError::UnsupportedVersion(version));
     }
@@ -479,6 +543,83 @@ fn decode_envelope_cursor<Op: WirePayload>(input: &mut &[u8]) -> Result<Envelope
             let kind = decision_from(get_u8(input).ok_or(WireError::Malformed)?)
                 .ok_or(WireError::Malformed)?;
             Envelope::FlattenDecision(FlattenDecision { txn, kind })
+        }
+        ENV_SYNC_ROOT if version >= 4 => {
+            let from = get_site(input).ok_or(WireError::Malformed)?;
+            let digest = get_u64(input).ok_or(WireError::Malformed)?;
+            let cells = get_varint(input).ok_or(WireError::Malformed)?;
+            let clock = get_clock(input, None).ok_or(WireError::Malformed)?;
+            let reply = get_u8(input).ok_or(WireError::Malformed)? != 0;
+            Envelope::SyncRoot(SyncRoot {
+                from,
+                digest,
+                cells,
+                clock,
+                reply,
+            })
+        }
+        ENV_SYNC_DIGESTS if version >= 4 => {
+            let from = get_site(input).ok_or(WireError::Malformed)?;
+            let n = get_varint(input).ok_or(WireError::Malformed)? as usize;
+            // A range costs at least 11 bytes (two length bytes, the digest,
+            // a count); bound the claimed count by that floor.
+            if n > input.len() / 11 + 1 {
+                return Err(WireError::Malformed);
+            }
+            let mut ranges = Vec::with_capacity(n);
+            for _ in 0..n {
+                let lo = get_bytes(input).ok_or(WireError::Malformed)?.to_vec();
+                let hi = get_bytes(input).ok_or(WireError::Malformed)?.to_vec();
+                let digest = get_u64(input).ok_or(WireError::Malformed)?;
+                let cells = get_varint(input).ok_or(WireError::Malformed)?;
+                ranges.push(RangeDigest {
+                    lo,
+                    hi,
+                    digest,
+                    cells,
+                });
+            }
+            Envelope::SyncDigests(SyncDigests { from, ranges })
+        }
+        ENV_SYNC_RUNS if version >= 4 => {
+            let from = get_site(input).ok_or(WireError::Malformed)?;
+            let lo = get_bytes(input).ok_or(WireError::Malformed)?.to_vec();
+            let hi = get_bytes(input).ok_or(WireError::Malformed)?.to_vec();
+            let count = get_varint(input).ok_or(WireError::Malformed)?;
+            let cells = get_bytes(input).ok_or(WireError::Malformed)?.to_vec();
+            let reply = get_u8(input).ok_or(WireError::Malformed)? != 0;
+            Envelope::SyncRuns(SyncRuns {
+                from,
+                lo,
+                hi,
+                count,
+                cells,
+                reply,
+            })
+        }
+        ENV_SNAPSHOT_OFFER if version >= 4 => {
+            let from = get_site(input).ok_or(WireError::Malformed)?;
+            let digest = get_u64(input).ok_or(WireError::Malformed)?;
+            let total_bytes = get_varint(input).ok_or(WireError::Malformed)?;
+            let chunks = get_varint(input).ok_or(WireError::Malformed)?;
+            Envelope::SnapshotOffer(SnapshotOffer {
+                from,
+                digest,
+                total_bytes,
+                chunks,
+            })
+        }
+        ENV_SNAPSHOT_CHUNK if version >= 4 => {
+            let from = get_site(input).ok_or(WireError::Malformed)?;
+            let index = get_varint(input).ok_or(WireError::Malformed)?;
+            let total = get_varint(input).ok_or(WireError::Malformed)?;
+            let data = get_bytes(input).ok_or(WireError::Malformed)?.to_vec();
+            Envelope::SnapshotChunk(SnapshotChunk {
+                from,
+                index,
+                total,
+                data,
+            })
         }
         _ => return Err(WireError::Malformed),
     };

@@ -14,9 +14,13 @@
 //!   fault injection),
 //! * causal delivery is enforced by each replica's duplicate-safe hold-back
 //!   buffer; on lossy links the at-least-once ack/retransmit protocol
-//!   recovers dropped messages,
+//!   recovers dropped messages — or, with [`Scenario::anti_entropy`],
+//!   state-based merkle-digest sync sessions repair the divergence instead
+//!   (and a [`Scenario::late_join`]er bootstraps mid-run from snapshot
+//!   chunks; [`Scenario::offline`] models a long offline gap),
 //! * at the end the scenario drains the network, runs recovery rounds until
-//!   every send log is acknowledged, and asserts convergence.
+//!   every send log is acknowledged (or every root digest agrees, in
+//!   anti-entropy mode), and asserts convergence.
 //!
 //! [`Scenario`] describes a run; [`run`] executes it and returns the
 //! [`SimReport`] used by the integration tests, the examples and the
@@ -41,4 +45,4 @@ pub mod scenario;
 
 pub use commitment::{partitioned_commit_demo, PartitionedCommitReport};
 pub use recovery::{crash_recovery_demo, CrashRecoveryReport};
-pub use scenario::{run, CrashSchedule, Scenario, ScenarioMatrix, SimReport};
+pub use scenario::{run, CrashSchedule, OfflineWindow, Scenario, ScenarioMatrix, SimReport};

@@ -9,7 +9,7 @@ use treedoc_commit::{CommitOutcome, CommitProtocol};
 use treedoc_core::{Op, Sdis, SiteId, Treedoc, TreedocConfig};
 use treedoc_replication::{
     decode_envelope, encode_envelope, BatchPolicy, Envelope, FlattenCoordinator, LinkConfig,
-    NetworkEvent, Replica, SimNetwork,
+    NetworkEvent, Replica, SimNetwork, SyncConfig,
 };
 use treedoc_storage::DocStore;
 
@@ -30,6 +30,26 @@ pub struct CrashSchedule {
     /// Round at which it restarts from its store; a value past the edit
     /// rounds restarts it at the start of the drain phase.
     pub restart_round: usize,
+}
+
+/// An offline gap: one site's process is unreachable for a window of edit
+/// rounds — everything the network delivers to it during the window is
+/// discarded (the process is down), and it performs no edits. Unlike a
+/// [`CrashSchedule`] the replica object itself survives (its clock and
+/// document are intact), so the site models a laptop going offline rather
+/// than a process dying: it catches up afterwards either through
+/// at-least-once retransmission or through a state-based anti-entropy
+/// session, whichever the scenario enables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OfflineWindow {
+    /// Index of the site that goes offline (must not be 0 — the first site
+    /// is the convergence reference and sync hub).
+    pub site: usize,
+    /// First edit round of the gap (inclusive).
+    pub from_round: usize,
+    /// First edit round after the gap; a value past the edit rounds keeps
+    /// the site offline until the drain phase.
+    pub to_round: usize,
 }
 
 /// Description of one simulated editing session.
@@ -89,6 +109,31 @@ pub struct Scenario {
     pub snapshot_cadence: Option<usize>,
     /// Kill one site mid-run and restart it from its store.
     pub crash: Option<CrashSchedule>,
+    /// State-based anti-entropy: instead of (or in addition to) at-least-once
+    /// retransmission, the drain phase repairs diverged replicas by running
+    /// merkle-digest sync sessions between the first site and every other
+    /// site — `O(log n)` digest rounds per session, shipping only the runs of
+    /// cells that actually differ. The sessions run out-of-band (reliable,
+    /// synchronous), but every message still crosses the binary wire codec
+    /// and is byte-counted in [`SimReport::sync_bytes`].
+    pub anti_entropy: bool,
+    /// Cap on how many unacknowledged messages a coalesced retransmission
+    /// batch re-ships per recovery round ([`Replica::set_retransmit_window`]).
+    /// `None` re-ships the whole window at once. When set, the simulator
+    /// retransmits through batch envelopes even if sender-side batching is
+    /// otherwise off, so the cap is observable.
+    pub retransmit_window: Option<usize>,
+    /// A brand-new site (the last index) joins at this edit round: it starts
+    /// with an **empty** document (not the seed), takes no part in the
+    /// session until the round arrives, then bootstraps from the first site's
+    /// snapshot chunks and catches up through a sync session. Requires
+    /// [`anti_entropy`](Self::anti_entropy) (later losses to the joiner are
+    /// repaired by sync, not retransmission).
+    pub late_join: Option<usize>,
+    /// Take one site offline for a window of edit rounds (see
+    /// [`OfflineWindow`]). Requires [`retransmit`](Self::retransmit) or
+    /// [`anti_entropy`](Self::anti_entropy) to catch the site back up.
+    pub offline: Option<OfflineWindow>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -113,6 +158,10 @@ impl Default for Scenario {
             durable: false,
             snapshot_cadence: None,
             crash: None,
+            anti_entropy: false,
+            retransmit_window: None,
+            late_join: None,
+            offline: None,
             seed: 42,
         }
     }
@@ -163,6 +212,50 @@ impl Scenario {
                 restart_round,
             }),
             ..Scenario::faulty()
+        }
+    }
+
+    /// The same fault mix as [`faulty`](Self::faulty), recovered by
+    /// state-based anti-entropy instead of retransmission: no acks, no send
+    /// logs — losses are repaired at the drain phase by merkle-digest sync
+    /// sessions.
+    pub fn anti_entropy_faulty() -> Self {
+        Scenario {
+            retransmit: false,
+            anti_entropy: true,
+            ..Scenario::faulty()
+        }
+    }
+
+    /// A clean-network session in which a brand-new site joins at `round`
+    /// via snapshot bootstrap and sync catch-up. The joiner is the last site
+    /// index and starts empty.
+    pub fn late_joiner(round: usize) -> Self {
+        Scenario {
+            anti_entropy: true,
+            late_join: Some(round),
+            ..Scenario::default()
+        }
+    }
+
+    /// A session in which `site` is offline for `[from_round, to_round)`,
+    /// catching up afterwards through anti-entropy (when `anti_entropy`) or
+    /// retransmission (otherwise).
+    pub fn offline_gap(
+        site: usize,
+        from_round: usize,
+        to_round: usize,
+        anti_entropy: bool,
+    ) -> Self {
+        Scenario {
+            retransmit: !anti_entropy,
+            anti_entropy,
+            offline: Some(OfflineWindow {
+                site,
+                from_round,
+                to_round,
+            }),
+            ..Scenario::default()
         }
     }
 }
@@ -261,6 +354,32 @@ pub struct SimReport {
     /// Messages the network delivered to a site while it was dead (discarded;
     /// recovered later by retransmission).
     pub messages_lost_to_crash: u64,
+    /// Anti-entropy sessions run (pairwise: the first site against each
+    /// other site, repeated until every replica converged).
+    pub sync_sessions: u64,
+    /// Root-digest probe rounds across all sessions (each session needs at
+    /// least one; a second confirms convergence after repair).
+    pub sync_rounds: u64,
+    /// [`Envelope::SyncDigests`] messages exchanged — the subtree-walk cost,
+    /// `O(log n)` per diverging range.
+    pub sync_digest_msgs: u64,
+    /// [`Envelope::SyncRuns`] messages exchanged — leaf ranges whose cells
+    /// crossed the wire.
+    pub sync_run_msgs: u64,
+    /// Cells integrated from sync traffic across all replicas.
+    pub sync_cells: u64,
+    /// Encoded bytes of all anti-entropy traffic (probes, digests, runs; the
+    /// sessions run out-of-band, so these bytes are **not** part of
+    /// [`network_bytes`](Self::network_bytes)).
+    pub sync_bytes: usize,
+    /// Late-join snapshot bootstraps completed.
+    pub snapshot_bootstraps: u64,
+    /// Encoded bytes of snapshot offer/chunk traffic for those bootstraps.
+    pub snapshot_bytes: usize,
+    /// Messages discarded because the late joiner had not joined yet.
+    pub messages_before_join: u64,
+    /// Messages discarded while a site was inside its offline window.
+    pub offline_losses: u64,
 }
 
 type Doc = Treedoc<String, Sdis>;
@@ -452,6 +571,89 @@ fn restart_replica(
     replicas[idx] = replica;
 }
 
+/// Anti-entropy accounting accumulated across sessions.
+#[derive(Default)]
+struct SyncTotals {
+    sessions: u64,
+    rounds: u64,
+    digest_msgs: u64,
+    run_msgs: u64,
+    cells: u64,
+    bytes: usize,
+    snapshot_bootstraps: u64,
+    snapshot_bytes: usize,
+}
+
+/// Probe rounds a single anti-entropy session may take before the run is
+/// declared wedged. Each round either proves convergence or ships cells both
+/// ways, so a handful suffices; hitting the cap means the protocol is broken.
+const MAX_SYNC_ROUNDS: usize = 64;
+
+/// Runs one complete anti-entropy session between replicas `a` and `b`:
+/// `a` probes, replies ping-pong between the two until a round ends with
+/// equal root digests on both sides. The session is out-of-band — reliable
+/// and synchronous, unlike the lossy operation traffic — but every message
+/// still round-trips through the binary wire codec and its encoded size is
+/// counted, so [`SimReport`] compares sync cost against retransmission cost
+/// on measured bytes.
+fn sync_pair(
+    replicas: &mut [Replica<Doc>],
+    a: usize,
+    b: usize,
+    config: &SyncConfig,
+    totals: &mut SyncTotals,
+) {
+    totals.sessions += 1;
+    for _ in 0..MAX_SYNC_ROUNDS {
+        totals.rounds += 1;
+        let mut queue: Vec<(usize, Env)> = vec![(b, replicas[a].sync_probe())];
+        let mut converged = false;
+        while let Some((to, env)) = queue.pop() {
+            let bytes = encode_envelope(&env);
+            totals.bytes += bytes.len();
+            match &env {
+                Envelope::SyncDigests(_) => totals.digest_msgs += 1,
+                Envelope::SyncRuns(_) => totals.run_msgs += 1,
+                _ => {}
+            }
+            let env: Env = decode_envelope(&bytes)
+                .unwrap_or_else(|e| panic!("undecodable sync envelope: {e}"));
+            let effect = replicas[to].receive_sync(env, config);
+            totals.cells += effect.cells_integrated as u64;
+            converged |= effect.converged;
+            let reply_to = if to == a { b } else { a };
+            queue.extend(effect.replies.into_iter().map(|e| (reply_to, e)));
+        }
+        if converged {
+            return;
+        }
+    }
+    panic!("anti-entropy session failed to converge");
+}
+
+/// Bootstraps the late joiner from the donor's snapshot chunks, then runs a
+/// sync session so the joiner also adopts the donor's causal clock (making
+/// late copies of already-absorbed operations discardable duplicates).
+fn bootstrap_joiner(
+    replicas: &mut [Replica<Doc>],
+    donor: usize,
+    joiner: usize,
+    config: &SyncConfig,
+    totals: &mut SyncTotals,
+) {
+    let mut bootstrapped = false;
+    for env in replicas[donor].snapshot_envelopes(config) {
+        let bytes = encode_envelope(&env);
+        totals.snapshot_bytes += bytes.len();
+        let env: Env = decode_envelope(&bytes)
+            .unwrap_or_else(|e| panic!("undecodable snapshot envelope: {e}"));
+        bootstrapped |= replicas[joiner].receive_sync(env, config).bootstrapped;
+    }
+    assert!(bootstrapped, "snapshot bootstrap must complete");
+    totals.snapshot_bootstraps += 1;
+    sync_pair(replicas, donor, joiner, config, totals);
+}
+
 /// Runs a scenario to completion (all messages delivered, all losses
 /// recovered when retransmission is on) and checks convergence.
 pub fn run(scenario: &Scenario) -> SimReport {
@@ -460,8 +662,16 @@ pub fn run(scenario: &Scenario) -> SimReport {
         "a cooperative session needs at least two sites"
     );
     assert!(
-        scenario.drop_prob == 0.0 || scenario.retransmit,
-        "a lossy network cannot converge without retransmission"
+        scenario.drop_prob == 0.0 || scenario.retransmit || scenario.anti_entropy,
+        "a lossy network cannot converge without retransmission or anti-entropy"
+    );
+    assert!(
+        !(scenario.anti_entropy && scenario.flatten_cadence.is_some()),
+        "anti-entropy and flatten commitment are not combined in the simulator"
+    );
+    assert!(
+        !(scenario.anti_entropy && scenario.crash.is_some()),
+        "crash recovery catches up via retransmission, not anti-entropy"
     );
     let mut rng = StdRng::seed_from_u64(scenario.seed);
     let site_ids: Vec<SiteId> = (1..=scenario.sites as u64).map(SiteId::from_u64).collect();
@@ -471,15 +681,31 @@ pub fn run(scenario: &Scenario) -> SimReport {
         TreedocConfig::default()
     };
 
-    // Everyone starts from the same exploded seed document.
+    // The late joiner is always the last site index; until its join round it
+    // is absent — no seed document, no edits, and traffic addressed to it is
+    // discarded.
+    let joiner: Option<usize> = scenario.late_join.map(|_| scenario.sites - 1);
+    let mut joined = scenario.late_join.is_none();
+
+    // Everyone starts from the same exploded seed document — except the late
+    // joiner, which begins with an empty document of its own.
     let seed_doc: Vec<String> = (0..10).map(|i| format!("seed line {i}")).collect();
     let mut replicas: Vec<Replica<Doc>> = site_ids
         .iter()
-        .map(|&s| Replica::new(s, Doc::from_atoms_with_config(s, &seed_doc, config)))
+        .enumerate()
+        .map(|(i, &s)| {
+            let doc = if joiner == Some(i) {
+                Doc::with_config(s, config)
+            } else {
+                Doc::from_atoms_with_config(s, &seed_doc, config)
+            };
+            Replica::new(s, doc)
+        })
         .collect();
     if scenario.retransmit {
         for r in replicas.iter_mut() {
             r.enable_at_least_once(&site_ids);
+            r.set_retransmit_window(scenario.retransmit_window);
         }
     }
     if scenario.durable {
@@ -537,11 +763,49 @@ pub fn run(scenario: &Scenario) -> SimReport {
             "the crash must land within the edit rounds"
         );
     }
+    if let Some(join_round) = scenario.late_join {
+        assert!(
+            scenario.anti_entropy,
+            "a late joiner catches up via anti-entropy"
+        );
+        assert!(
+            !scenario.retransmit,
+            "a late joiner is not a registered at-least-once peer"
+        );
+        assert!(
+            join_round < total_rounds,
+            "the join must land within the edit rounds"
+        );
+        assert!(
+            scenario.crash.is_none() && scenario.offline.is_none(),
+            "one membership fault per run"
+        );
+    }
+    if let Some(ow) = scenario.offline {
+        assert!(
+            scenario.retransmit || scenario.anti_entropy,
+            "an offline site needs retransmission or anti-entropy to catch up"
+        );
+        assert!(
+            ow.site >= 1 && ow.site < scenario.sites,
+            "offline site out of range (site 0 is the reference)"
+        );
+        assert!(ow.from_round < ow.to_round, "the gap must be non-empty");
+        assert!(
+            ow.from_round < total_rounds,
+            "the gap must start within the edit rounds"
+        );
+        assert!(scenario.crash.is_none(), "one membership fault per run");
+    }
     // The dead site's index and its surviving store, while crashed.
     let mut dead: Option<(usize, DocStore)> = None;
     let mut crashes = 0usize;
     let mut lost_to_crash = 0u64;
     let mut recovery = RecoveryTotals::default();
+    let sync_config = SyncConfig::default();
+    let mut sync_totals = SyncTotals::default();
+    let mut messages_before_join = 0u64;
+    let mut offline_losses = 0u64;
     // Partition window of the middle third, clamped so the heal lands at
     // least one round after the cut: short runs used to compute the same
     // round for both (`total_rounds / 3 == 2 * total_rounds / 3`), silently
@@ -590,11 +854,37 @@ pub fn run(scenario: &Scenario) -> SimReport {
             }
         }
 
+        // The late joiner arrives: the first site donates a snapshot (offer +
+        // chunks over the wire codec), the joiner adopts it — keeping its own
+        // identity — and one sync session transfers the donor's causal clock.
+        // From here on the joiner edits and receives like everyone else.
+        if scenario.late_join == Some(round) && !joined {
+            joined = true;
+            bootstrap_joiner(
+                &mut replicas,
+                0,
+                joiner.expect("late_join implies a joiner"),
+                &sync_config,
+                &mut sync_totals,
+            );
+        }
+        // The site currently inside its offline window, if any.
+        let offline_site: Option<SiteId> = scenario
+            .offline
+            .filter(|ow| round >= ow.from_round && round < ow.to_round)
+            .map(|ow| site_ids[ow.site]);
+        let absent_site: Option<SiteId> = (!joined).then(|| site_ids[joiner.expect("unjoined")]);
+
         // Each site performs a burst of local edits and broadcasts them —
-        // unless it is dead, or locked prepared by an in-flight flatten
-        // proposal (edits in the subtree must wait for the decision).
+        // unless it is dead, offline, not yet joined, or locked prepared by
+        // an in-flight flatten proposal (edits in the subtree must wait for
+        // the decision).
         for i in 0..replicas.len() {
-            if Some(site_ids[i]) == dead_site || replicas[i].is_flatten_prepared() {
+            if Some(site_ids[i]) == dead_site
+                || Some(site_ids[i]) == offline_site
+                || Some(site_ids[i]) == absent_site
+                || replicas[i].is_flatten_prepared()
+            {
                 continue;
             }
             for _ in 0..scenario.burst.max(1) {
@@ -644,6 +934,16 @@ pub fn run(scenario: &Scenario) -> SimReport {
         let deliver_now = net.in_flight() / 2;
         for _ in 0..deliver_now {
             let Some(event) = net.step() else { break };
+            // An absent joiner or an offline process drops whatever arrives;
+            // the catch-up mechanism repairs the gap later.
+            if absent_site == Some(event.to) {
+                messages_before_join += 1;
+                continue;
+            }
+            if offline_site == Some(event.to) {
+                offline_losses += 1;
+                continue;
+            }
             deliver(
                 &mut replicas,
                 &site_ids,
@@ -692,6 +992,45 @@ pub fn run(scenario: &Scenario) -> SimReport {
                 broadcast_env(&mut net, site_ids[i], &site_ids, &env) * (scenario.sites - 1);
         }
     }
+    // Anti-entropy drain: fully deliver what is still in flight, then repair
+    // whatever the losses left diverged through hub sync sessions (site 0
+    // against each other site) until every replica reports the same root
+    // digest and an empty hold-back queue. Two passes usually suffice — the
+    // first gives site 0 everything, the second distributes it — and because
+    // the network is drained before each check, no stale operation copy can
+    // arrive after a session has already integrated its cells.
+    if scenario.anti_entropy {
+        let mut sync_recovery_rounds = 0usize;
+        loop {
+            while let Some(event) = net.step() {
+                deliver(
+                    &mut replicas,
+                    &site_ids,
+                    &mut driver,
+                    &mut net,
+                    event,
+                    &mut max_pending,
+                    None,
+                    &mut lost_to_crash,
+                );
+            }
+            let reference = replicas[0].digest();
+            let repaired = replicas.iter().all(|r| r.digest() == reference)
+                && replicas.iter().all(|r| r.pending() == 0);
+            if net.in_flight() == 0 && repaired {
+                break;
+            }
+            sync_recovery_rounds += 1;
+            assert!(
+                sync_recovery_rounds <= MAX_RECOVERY_ROUNDS,
+                "anti-entropy failed to converge"
+            );
+            for peer in 1..replicas.len() {
+                sync_pair(&mut replicas, 0, peer, &sync_config, &mut sync_totals);
+            }
+        }
+    }
+
     // With the protocol enabled, one extra proposal runs at quiescence:
     // every clock is equal by then, so it demonstrates the committed path.
     let mut final_flatten_pending = scenario.flatten_cadence.is_some();
@@ -797,7 +1136,10 @@ pub fn run(scenario: &Scenario) -> SimReport {
                     if peer == from {
                         continue;
                     }
-                    if batch_policy.is_some() {
+                    if batch_policy.is_some() || scenario.retransmit_window.is_some() {
+                        // A retransmission window always re-ships through
+                        // batch envelopes, so the cap bounds each round's
+                        // payload even when sender-side batching is off.
                         if let Some(env) = replicas[i].unacked_batch_for(peer) {
                             op_batches_sent += 1;
                             retransmission_bytes += send_env(&mut net, from, peer, &env);
@@ -862,6 +1204,16 @@ pub fn run(scenario: &Scenario) -> SimReport {
         snapshots_written: store_stats.iter().map(|s| s.snapshots_written).sum(),
         wal_truncations: store_stats.iter().map(|s| s.wal_truncations).sum(),
         messages_lost_to_crash: lost_to_crash,
+        sync_sessions: sync_totals.sessions,
+        sync_rounds: sync_totals.rounds,
+        sync_digest_msgs: sync_totals.digest_msgs,
+        sync_run_msgs: sync_totals.run_msgs,
+        sync_cells: sync_totals.cells,
+        sync_bytes: sync_totals.bytes,
+        snapshot_bootstraps: sync_totals.snapshot_bootstraps,
+        snapshot_bytes: sync_totals.snapshot_bytes,
+        messages_before_join,
+        offline_losses,
     }
 }
 
@@ -902,6 +1254,13 @@ pub struct ScenarioMatrix {
     /// Operation-batch sizes to sweep (`1` = per-op envelopes). See
     /// [`Scenario::batch_max_ops`].
     pub batch_sizes: Vec<usize>,
+    /// Recovery mechanisms to sweep: `false` = at-least-once retransmission
+    /// (cells with loss or an offline window get `retransmit = true`),
+    /// `true` = state-based anti-entropy ([`Scenario::anti_entropy`]).
+    pub anti_entropy: Vec<bool>,
+    /// Offline windows to sweep (`None` = nobody goes offline). See
+    /// [`OfflineWindow`].
+    pub offline_windows: Vec<Option<OfflineWindow>>,
 }
 
 impl ScenarioMatrix {
@@ -921,6 +1280,8 @@ impl ScenarioMatrix {
             snapshot_cadences: vec![None],
             crashes: vec![None],
             batch_sizes: vec![1],
+            anti_entropy: vec![false],
+            offline_windows: vec![None],
         }
     }
 
@@ -941,6 +1302,8 @@ impl ScenarioMatrix {
             snapshot_cadences: vec![None],
             crashes: vec![None],
             batch_sizes: vec![1, 4, 16, 64],
+            anti_entropy: vec![false],
+            offline_windows: vec![None],
         }
     }
 
@@ -962,6 +1325,8 @@ impl ScenarioMatrix {
             snapshot_cadences: vec![None],
             crashes: vec![None],
             batch_sizes: vec![1],
+            anti_entropy: vec![false],
+            offline_windows: vec![None],
         }
     }
 
@@ -1004,11 +1369,51 @@ impl ScenarioMatrix {
                 }),
             ],
             batch_sizes: vec![1],
+            anti_entropy: vec![false],
+            offline_windows: vec![None],
         }
     }
 
-    /// Expands the axes into concrete scenarios. Cells with `drop_prob > 0`
-    /// or a crash get `retransmit = true` (they cannot converge otherwise),
+    /// The anti-entropy vs retransmission wire-cost matrix: loss rate ×
+    /// offline gap × recovery mechanism. Retransmission cells pay
+    /// [`SimReport::retransmission_bytes`] + [`SimReport::ack_bytes`];
+    /// anti-entropy cells pay [`SimReport::sync_bytes`]. This is the sweep
+    /// the `sync_cost` bench binary prints and the EXPERIMENTS table reports:
+    /// digest sessions ship `O(missing + log n)` bytes, so they beat the
+    /// full-window (per-op envelope) baseline once the loss rate or the
+    /// offline gap makes the unacked windows large. Sender-side batching
+    /// (the `wire_bytes` sweep) narrows the gap at low loss rates — set
+    /// `batch_max_ops` on `base` to compare against coalesced
+    /// retransmission instead.
+    pub fn sync_vs_retransmission(base: Scenario) -> Self {
+        ScenarioMatrix {
+            base,
+            drop_probs: vec![0.0, 0.05, 0.1, 0.2],
+            duplicate_probs: vec![0.0],
+            bursts: vec![5],
+            partition: vec![false],
+            balancing: vec![false],
+            flatten_cadences: vec![None],
+            protocols: vec![CommitProtocol::TwoPhase],
+            snapshot_cadences: vec![None],
+            crashes: vec![None],
+            batch_sizes: vec![1],
+            anti_entropy: vec![false, true],
+            offline_windows: vec![
+                None,
+                // A long gap: site 1 offline from round 2 to the drain phase.
+                Some(OfflineWindow {
+                    site: 1,
+                    from_round: 2,
+                    to_round: usize::MAX,
+                }),
+            ],
+        }
+    }
+
+    /// Expands the axes into concrete scenarios. Cells with `drop_prob > 0`,
+    /// an offline window or a crash get `retransmit = true` — unless the
+    /// cell recovers by anti-entropy instead (crashes always retransmit) —
     /// and cells with a snapshot cadence or a crash run durable.
     pub fn scenarios(&self) -> Vec<Scenario> {
         let mut out = Vec::new();
@@ -1022,25 +1427,35 @@ impl ScenarioMatrix {
                                     for &snapshot_cadence in &self.snapshot_cadences {
                                         for &crash in &self.crashes {
                                             for &batch_max_ops in &self.batch_sizes {
-                                                out.push(Scenario {
-                                                    drop_prob,
-                                                    duplicate_prob,
-                                                    burst,
-                                                    partition_first_site,
-                                                    balancing,
-                                                    flatten_cadence,
-                                                    flatten_protocol,
-                                                    snapshot_cadence,
-                                                    crash,
-                                                    batch_max_ops,
-                                                    durable: self.base.durable
-                                                        || snapshot_cadence.is_some()
-                                                        || crash.is_some(),
-                                                    retransmit: self.base.retransmit
-                                                        || drop_prob > 0.0
-                                                        || crash.is_some(),
-                                                    ..self.base
-                                                });
+                                                for &anti_entropy in &self.anti_entropy {
+                                                    for &offline in &self.offline_windows {
+                                                        let anti_entropy =
+                                                            self.base.anti_entropy || anti_entropy;
+                                                        out.push(Scenario {
+                                                            drop_prob,
+                                                            duplicate_prob,
+                                                            burst,
+                                                            partition_first_site,
+                                                            balancing,
+                                                            flatten_cadence,
+                                                            flatten_protocol,
+                                                            snapshot_cadence,
+                                                            crash,
+                                                            batch_max_ops,
+                                                            anti_entropy,
+                                                            offline,
+                                                            durable: self.base.durable
+                                                                || snapshot_cadence.is_some()
+                                                                || crash.is_some(),
+                                                            retransmit: self.base.retransmit
+                                                                || crash.is_some()
+                                                                || ((drop_prob > 0.0
+                                                                    || offline.is_some())
+                                                                    && !anti_entropy),
+                                                            ..self.base
+                                                        });
+                                                    }
+                                                }
                                             }
                                         }
                                     }
@@ -1633,6 +2048,155 @@ mod tests {
                 report.protocol_messages > 0,
                 "cell {scenario:?}: {report:?}"
             );
+        }
+    }
+
+    #[test]
+    fn anti_entropy_converges_under_loss_without_retransmission() {
+        // 10% drops, 10% duplicates, 10% reorder bursts — and no send logs,
+        // no acks, no retransmission. The drain phase repairs every replica
+        // through merkle-digest sync sessions alone.
+        let report = run(&Scenario::anti_entropy_faulty());
+        assert!(report.converged, "{report:?}");
+        assert!(report.messages_dropped > 0, "{report:?}");
+        assert_eq!(report.retransmissions, 0, "{report:?}");
+        assert_eq!(report.ack_bytes, 0, "{report:?}");
+        assert!(report.sync_sessions > 0, "{report:?}");
+        assert!(report.sync_cells > 0, "losses must be repaired: {report:?}");
+        assert!(report.sync_bytes > 0, "{report:?}");
+    }
+
+    #[test]
+    fn anti_entropy_on_a_clean_network_never_syncs() {
+        // Nothing dropped → the drain finds every digest equal before the
+        // first session: anti-entropy costs zero bytes when nothing diverged.
+        let report = run(&Scenario {
+            anti_entropy: true,
+            ..Scenario::default()
+        });
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.sync_sessions, 0, "{report:?}");
+        assert_eq!(report.sync_bytes, 0, "{report:?}");
+    }
+
+    #[test]
+    fn late_joiner_bootstraps_mid_run_and_converges() {
+        // A brand-new site joins at round 5 of 20: snapshot bootstrap from
+        // site 0, clock transfer through one sync session, then it edits and
+        // receives like everyone else.
+        let report = run(&Scenario::late_joiner(5));
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.snapshot_bootstraps, 1, "{report:?}");
+        assert!(report.snapshot_bytes > 0, "{report:?}");
+        assert!(
+            report.messages_before_join > 0,
+            "pre-join broadcasts are discarded: {report:?}"
+        );
+        assert!(report.sync_sessions >= 1, "{report:?}");
+    }
+
+    #[test]
+    fn offline_gap_catches_up_via_anti_entropy() {
+        // Site 1 goes offline at round 2 and stays down until the drain
+        // phase — a long-offline laptop. Anti-entropy repairs the whole gap.
+        let report = run(&Scenario::offline_gap(1, 2, usize::MAX, true));
+        assert!(report.converged, "{report:?}");
+        assert!(report.offline_losses > 0, "{report:?}");
+        assert_eq!(report.retransmissions, 0, "{report:?}");
+        assert!(report.sync_cells > 0, "{report:?}");
+    }
+
+    #[test]
+    fn offline_gap_catches_up_via_retransmission_too() {
+        // The same gap recovered by the at-least-once baseline, for the
+        // wire-cost comparison below.
+        let report = run(&Scenario::offline_gap(1, 2, usize::MAX, false));
+        assert!(report.converged, "{report:?}");
+        assert!(report.offline_losses > 0, "{report:?}");
+        assert!(report.retransmissions > 0, "{report:?}");
+        assert_eq!(report.sync_bytes, 0, "{report:?}");
+    }
+
+    #[test]
+    fn anti_entropy_beats_retransmission_on_a_long_offline_gap() {
+        // The headline comparison: site 1 misses ~90% of the run. The
+        // baseline re-ships its whole unacked window plus rounds of ack
+        // broadcasts; a digest walk ships the missing runs once.
+        let retrans = run(&Scenario::offline_gap(1, 2, usize::MAX, false));
+        let sync = run(&Scenario::offline_gap(1, 2, usize::MAX, true));
+        assert!(retrans.converged && sync.converged);
+        let retrans_cost = retrans.retransmission_bytes + retrans.ack_bytes;
+        let sync_cost = sync.sync_bytes;
+        assert!(
+            sync_cost < retrans_cost,
+            "anti-entropy ({sync_cost} B) must beat retransmission \
+             ({retrans_cost} B) on a long gap"
+        );
+    }
+
+    #[test]
+    fn anti_entropy_beats_retransmission_under_heavy_loss() {
+        // At 10% loss the per-op baseline pays repeated recovery rounds of
+        // acks and re-sends; the sync walk pays O(missing + log n) once.
+        let retrans = run(&Scenario::faulty());
+        let sync = run(&Scenario::anti_entropy_faulty());
+        assert!(retrans.converged && sync.converged);
+        let retrans_cost = retrans.retransmission_bytes + retrans.ack_bytes;
+        let sync_cost = sync.sync_bytes;
+        assert!(
+            sync_cost < retrans_cost,
+            "anti-entropy ({sync_cost} B) must beat retransmission \
+             ({retrans_cost} B) at 10% loss"
+        );
+    }
+
+    #[test]
+    fn anti_entropy_runs_are_reproducible() {
+        let scenario = Scenario {
+            edits_per_site: 40,
+            ..Scenario::anti_entropy_faulty()
+        };
+        assert_eq!(run(&scenario), run(&scenario));
+        let joiner = Scenario {
+            edits_per_site: 40,
+            ..Scenario::late_joiner(3)
+        };
+        assert_eq!(run(&joiner), run(&joiner));
+    }
+
+    #[test]
+    fn retransmit_window_bounds_resends_and_still_converges() {
+        // Satellite check at the scenario level: a capped window re-ships at
+        // most 4 messages per recovery round (as batch envelopes) and the
+        // run still converges under the full fault mix.
+        let report = run(&Scenario {
+            retransmit_window: Some(4),
+            ..Scenario::faulty()
+        });
+        assert!(report.converged, "{report:?}");
+        assert!(report.retransmissions > 0, "{report:?}");
+        assert!(
+            report.op_batches_sent > 0,
+            "a window re-ships through batch envelopes: {report:?}"
+        );
+    }
+
+    #[test]
+    fn sync_matrix_covers_both_mechanisms_and_converges() {
+        let matrix = ScenarioMatrix::sync_vs_retransmission(Scenario {
+            sites: 3,
+            edits_per_site: 20,
+            ..Default::default()
+        });
+        let results = matrix.run();
+        assert_eq!(results.len(), 4 * 2 * 2);
+        for (scenario, report) in results {
+            assert!(report.converged, "cell {scenario:?} diverged: {report:?}");
+            if scenario.anti_entropy {
+                assert_eq!(report.retransmissions, 0, "cell {scenario:?}");
+            } else {
+                assert_eq!(report.sync_bytes, 0, "cell {scenario:?}");
+            }
         }
     }
 

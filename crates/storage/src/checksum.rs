@@ -1,110 +1,32 @@
 //! Checksums used by the durability layer.
 //!
-//! Two flavours, for two failure models:
+//! The implementations live in [`treedoc_core::hash`] — the single content
+//! hashing layer shared by the run store's incremental merkle digest, the
+//! snapshot manifest and the sync protocol. This module re-exports the three
+//! functions the durability layer consumes, for two failure models:
 //!
 //! * [`crc32`] — CRC-32 (IEEE 802.3 polynomial), guarding every WAL record
 //!   against torn writes and bit rot. A mismatch on replay marks the end of
 //!   the valid log prefix.
 //! * [`content_hash64`] — FNV-1a 64-bit content hash, used by the snapshot
 //!   manifest: each section is hashed, and a root hash over the section
-//!   hashes (merkle-style) pins the manifest itself, so a snapshot that
-//!   passes verification is known byte-for-byte intact.
+//!   hashes ([`combine_hashes`], merkle-style) pins the manifest itself, so
+//!   a snapshot that passes verification is known byte-for-byte intact.
 
-/// The CRC-32 lookup table for the reflected IEEE polynomial `0xEDB88320`,
-/// built at compile time.
-const CRC32_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ 0xEDB8_8320
-            } else {
-                crc >> 1
-            };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-};
-
-/// CRC-32 (IEEE) of `data`.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &byte in data {
-        let idx = ((crc ^ byte as u32) & 0xFF) as usize;
-        crc = (crc >> 8) ^ CRC32_TABLE[idx];
-    }
-    !crc
-}
-
-/// FNV-1a 64-bit offset basis.
-const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
-/// FNV-1a 64-bit prime.
-const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
-
-/// FNV-1a 64-bit content hash of `data`.
-pub fn content_hash64(data: &[u8]) -> u64 {
-    let mut hash = FNV_OFFSET;
-    for &byte in data {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(FNV_PRIME);
-    }
-    hash
-}
-
-/// Combines an ordered list of child hashes into a parent hash (the
-/// merkle-style root over a snapshot's section hashes).
-pub fn combine_hashes(children: impl IntoIterator<Item = u64>) -> u64 {
-    let mut hash = FNV_OFFSET;
-    for child in children {
-        for byte in child.to_le_bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(FNV_PRIME);
-        }
-    }
-    hash
-}
+pub use treedoc_core::hash::{combine_hashes, content_hash64, crc32};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    // The canonical vectors are pinned in `treedoc_core::hash`; these keep a
+    // local tripwire so a re-export slip is caught at the storage boundary.
     #[test]
-    fn crc32_matches_known_vectors() {
-        // The classic check value of CRC-32/IEEE.
+    fn reexports_keep_the_pinned_vectors() {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b""), 0);
-    }
-
-    #[test]
-    fn crc32_detects_single_bit_flips() {
-        let data = b"the quick brown fox jumps over the lazy dog".to_vec();
-        let reference = crc32(&data);
-        for i in 0..data.len() {
-            for bit in 0..8 {
-                let mut flipped = data.clone();
-                flipped[i] ^= 1 << bit;
-                assert_ne!(crc32(&flipped), reference, "flip at byte {i} bit {bit}");
-            }
-        }
-    }
-
-    #[test]
-    fn fnv_matches_known_vectors() {
-        assert_eq!(content_hash64(b""), FNV_OFFSET);
         assert_eq!(content_hash64(b"a"), 0xAF63_DC4C_8601_EC8C);
-    }
-
-    #[test]
-    fn combine_is_order_sensitive() {
         let a = content_hash64(b"left");
         let b = content_hash64(b"right");
         assert_ne!(combine_hashes([a, b]), combine_hashes([b, a]));
-        assert_eq!(combine_hashes([a, b]), combine_hashes([a, b]));
     }
 }

@@ -66,8 +66,16 @@ def main():
         del argv[at : at + 2]
     baseline_path, current_path = argv
 
-    with open(baseline_path) as f:
-        baseline = dict(leaves(json.load(f)))
+    # A missing baseline file is not an error: the first run after a new
+    # bench binary lands has nothing to diff against, so every current
+    # metric is reported as "new" and the exit stays 0 (commit the fresh
+    # JSON as the baseline to start judging it).
+    try:
+        with open(baseline_path) as f:
+            baseline = dict(leaves(json.load(f)))
+    except FileNotFoundError:
+        print(f"{baseline_path}: no baseline yet, reporting all metrics as new")
+        baseline = {}
     with open(current_path) as f:
         current = dict(leaves(json.load(f)))
 

@@ -41,7 +41,8 @@ pub mod prelude {
     pub use treedoc_replication::{
         decode_envelope, encode_envelope, BatchPolicy, CausalBuffer, CausalMessage, Envelope,
         FlattenCoordinator, LinkConfig, OpBatch, PersistentDocument, RecoverError, RecoveryReport,
-        Replica, SimNetwork, VectorClock, WalCodec, WireError,
+        Replica, SimNetwork, SyncConfig, SyncDocument, SyncEffect, VectorClock, WalCodec,
+        WireError,
     };
     pub use treedoc_sim::{
         crash_recovery_demo, partitioned_commit_demo, CrashRecoveryReport, CrashSchedule,

@@ -7,7 +7,8 @@
 //! wire optimisation; it must never be visible in behaviour.
 
 use proptest::prelude::*;
-use treedoc_repro::core::{Op, Sdis, SiteId, Tree, Treedoc};
+use treedoc_repro::core::{cell_hash, Op, Sdis, SiteId, Tree, Treedoc, DIGEST_BASE};
+use treedoc_repro::replication::sync::encode_cells;
 use treedoc_repro::replication::testkit::faulty_schedule;
 use treedoc_repro::replication::{
     decode_envelope, encode_envelope, CausalBuffer, CausalMessage, Envelope, OpBatch,
@@ -216,4 +217,89 @@ proptest! {
         }
         prop_assert_eq!(doc.digest(), in_order.digest());
     }
+
+    /// The incremental merkle digest cached in the `RunTree` aggregates
+    /// equals a from-scratch rehash of the cell stream at every point of a
+    /// random edit/flatten schedule — flattening rewrites every identifier,
+    /// so it exercises the digest maintenance far harder than edits alone.
+    #[test]
+    fn incremental_digest_equals_rehash_under_edits_and_flattens(
+        schedule in proptest::collection::vec((arb_edits(15), any::<bool>()), 1..5),
+    ) {
+        let mut doc = SDoc::new(site(1));
+        for (edits, flatten) in &schedule {
+            apply_edits(&mut doc, edits);
+            prop_assert_eq!(doc.store().digest(), rehash(&doc));
+            if *flatten && !doc.is_empty() {
+                doc.flatten_all().unwrap();
+                prop_assert_eq!(doc.store().digest(), rehash(&doc));
+            }
+        }
+    }
+
+    /// Digest equality ⇔ identical wire bytes: a replica that applied the
+    /// same operations reports the same digest and encodes the same cell
+    /// stream bit-for-bit; a replica missing a suffix disagrees on both.
+    /// The digest is a sound and (collision-aside) complete stand-in for
+    /// comparing full states on the wire.
+    #[test]
+    fn digest_equality_iff_identical_state_bytes(
+        edits in arb_edits(40),
+        dropped in any::<usize>(),
+    ) {
+        let seed_doc: Vec<char> = "common ground".chars().collect();
+        let mut doc = SDoc::from_atoms(site(1), &seed_doc);
+        let ops = apply_edits(&mut doc, &edits);
+
+        // Full replay: digests agree and so do the encoded state bytes.
+        let mut full = SDoc::from_atoms(site(2), &seed_doc);
+        for op in &ops {
+            full.apply(op).unwrap();
+        }
+        prop_assert_eq!(doc.store().digest(), full.store().digest());
+        prop_assert_eq!(state_bytes(&doc), state_bytes(&full));
+
+        // Partial replay: a causally closed prefix. SDIS keeps tombstones,
+        // so every missing insert or delete leaves a visible hole in the
+        // cell set — digest and bytes must both notice, together.
+        let kept = if ops.is_empty() { 0 } else { dropped % ops.len() };
+        let mut partial = SDoc::from_atoms(site(3), &seed_doc);
+        for op in &ops[..kept] {
+            partial.apply(op).unwrap();
+        }
+        let digests_agree = partial.store().digest() == doc.store().digest();
+        let bytes_agree = state_bytes(&partial) == state_bytes(&doc);
+        prop_assert_eq!(digests_agree, bytes_agree);
+        prop_assert_eq!(digests_agree, kept == ops.len());
+
+        // Flattening both full copies rewrites every identifier the same
+        // canonical way, so equality of digest and bytes survives it.
+        if !doc.is_empty() {
+            doc.flatten_all().unwrap();
+            full.flatten_all().unwrap();
+            prop_assert_eq!(doc.store().digest(), rehash(&doc));
+            prop_assert_eq!(doc.store().digest(), full.store().digest());
+            prop_assert_eq!(state_bytes(&doc), state_bytes(&full));
+        }
+    }
+}
+
+/// From-scratch reference rehash: fold every stored cell (with its
+/// materialised identifier) through the same polynomial the cached
+/// aggregates maintain incrementally — see `treedoc_core::hash`.
+fn rehash(doc: &SDoc) -> u64 {
+    doc.store()
+        .cells_in_range(None, None)
+        .iter()
+        .fold(0u64, |digest, (id, content)| {
+            digest
+                .wrapping_mul(DIGEST_BASE)
+                .wrapping_add(cell_hash(id, content))
+        })
+}
+
+/// Canonical state bytes: the full cell stream through the sync wire codec
+/// (the exact bytes a `SyncRuns` leaf exchange would carry).
+fn state_bytes(doc: &SDoc) -> Vec<u8> {
+    encode_cells(&doc.store().cells_in_range(None, None))
 }

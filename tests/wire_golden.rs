@@ -2,22 +2,26 @@
 //! record shape, asserted in **both** directions (fixture encodes to the
 //! golden bytes; golden bytes decode to the fixture).
 //!
-//! These bytes are the wire format v3 contract. An accidental layout change
+//! These bytes are the wire format v4 contract. An accidental layout change
 //! — reordered fields, a different tag, a varint width change — fails this
 //! test loudly instead of silently breaking interop between replicas (or
 //! recovery of stores written before the change). If you change the format
 //! **deliberately**, bump [`codec::WIRE_VERSION`], keep a decoder for the
 //! old version, and regenerate these vectors.
 //!
-//! Two prior generations stay decodable and are pinned here too: the v2
-//! binary vectors (v3 minus the run-step batch entries — a strict encoding
-//! subset, so decode-only checks cover them) and the v1 JSON WAL records.
+//! Three prior generations stay decodable and are pinned here too: the v3
+//! binary vectors (v4 minus the sync/snapshot envelopes — a strict encoding
+//! subset, so decode-only checks cover them), the v2 vectors (v3 minus the
+//! run-step batch entries) and the v1 JSON WAL records.
 
 use treedoc_repro::core::codec::{put_site, put_u8, put_varint};
-use treedoc_repro::core::{PathElem, Side};
+use treedoc_repro::core::node::Content;
+use treedoc_repro::core::{PathElem, PosId, Side};
 use treedoc_repro::prelude::*;
+use treedoc_repro::replication::sync::{encode_bound, encode_cells};
 use treedoc_repro::replication::{
-    wire, DecisionKind, FlattenDecision, FlattenPropose, FlattenVote, VoteStage, WalRecord,
+    wire, DecisionKind, FlattenDecision, FlattenPropose, FlattenVote, RangeDigest, SnapshotChunk,
+    SnapshotOffer, SyncDigests, SyncRoot, SyncRuns, VoteStage, WalRecord,
 };
 
 type TestOp = Op<String, Sdis>;
@@ -74,7 +78,7 @@ fn check_envelope(golden_hex: &str, fixture: Envelope<TestOp>) {
 }
 
 /// Asserts the decode direction only: `golden_hex` is a **previous-generation**
-/// encoding (wire v2) the current decoder must keep reading.
+/// encoding (wire v2 or v3) the current decoder must keep reading.
 fn check_envelope_decodes(golden_hex: &str, fixture: Envelope<TestOp>) {
     let decoded: Envelope<TestOp> =
         decode_envelope(&unhex(golden_hex)).expect("legacy golden decodes");
@@ -98,7 +102,7 @@ fn check_wal(golden_hex: &str, fixture: WalRecord<TestOp>) {
 #[test]
 fn op_envelope_golden_vector() {
     check_envelope(
-        "0301010000000000010200000000000103000000000002050000020102000000000001026869",
+        "0401010000000000010200000000000103000000000002050000020102000000000001026869",
         Envelope::Op {
             epoch: 1,
             msg: msg(
@@ -119,7 +123,7 @@ fn op_batch_golden_vector() {
     // sender, clock = predecessor + own increment) and shares the first's
     // path prefix; the third deletes the first entry's atom.
     check_envelope(
-        "030303000000000000010100000000000101000001000100000000000101610003000101010100000000000101620003010100",
+        "040303000000000000010100000000000101000001000100000000000101610003000101010100000000000101620003010100",
         Envelope::OpBatch(OpBatch {
             entries: vec![
                 (
@@ -162,7 +166,7 @@ fn op_batch_golden_vector() {
 #[test]
 fn ack_envelope_golden_vector() {
     check_envelope(
-        "0302000000000002020000000000010300000000000207",
+        "0402000000000002020000000000010300000000000207",
         Envelope::Ack {
             from: SiteId::from_u64(2),
             clock: clock(&[(1, 3), (2, 7)]),
@@ -173,7 +177,7 @@ fn ack_envelope_golden_vector() {
 #[test]
 fn flatten_envelope_golden_vectors() {
     check_envelope(
-        "030400000000000102020982808080100102000000000001040000000000020401",
+        "040400000000000102020982808080100102000000000001040000000000020401",
         Envelope::FlattenPropose(FlattenPropose {
             proposal: FlattenProposal {
                 proposer: SiteId::from_u64(1),
@@ -187,7 +191,7 @@ fn flatten_envelope_golden_vectors() {
         }),
     );
     check_envelope(
-        "0305070000000000030100",
+        "0405070000000000030100",
         Envelope::FlattenVote(FlattenVote {
             txn: 7,
             from: SiteId::from_u64(3),
@@ -196,7 +200,7 @@ fn flatten_envelope_golden_vectors() {
         }),
     );
     check_envelope(
-        "03060701",
+        "04060701",
         Envelope::FlattenDecision(FlattenDecision {
             txn: 7,
             kind: DecisionKind::Commit,
@@ -293,10 +297,10 @@ fn run_sourced_batch_golden_vector() {
         entries: entries.clone(),
     });
 
-    // v3 both ways: the three continuation entries are run steps (epoch,
+    // v4 both ways: the three continuation entries are run steps (epoch,
     // flags 0x07, side byte, atom) — no position identifier on the wire.
     check_envelope(
-        "030304000000000000010100000000000101000001000100000000000101720007010175000701016e0007010173",
+        "040304000000000000010100000000000101000001000100000000000101720007010175000701016e0007010173",
         batch,
     );
 
@@ -309,12 +313,127 @@ fn run_sourced_batch_golden_vector() {
     // And the run-step form is strictly smaller: each continuation entry
     // drops its delta-encoded identifier (a 6-byte SDIS plus the path
     // header) for a single side byte.
-    let v3 = unhex("030304000000000000010100000000000101000001000100000000000101720007010175000701016e0007010173");
+    let v4 = unhex("040304000000000000010100000000000101000001000100000000000101720007010175000701016e0007010173");
     assert!(
-        v3.len() + 8 * 3 <= v2.len(),
+        v4.len() + 8 * 3 <= v2.len(),
         "run batch {}B vs per-atom {}B",
-        v3.len(),
+        v4.len(),
         v2.len()
+    );
+}
+
+#[test]
+fn sync_envelope_golden_vectors() {
+    // The five state-sync shapes wire v4 added: the root probe, a
+    // digest-walk round, a leaf cell exchange, and the two snapshot
+    // bootstrap envelopes.
+    let mid = pos(&[(1, None), (0, Some(1))]);
+    check_envelope(
+        "040700000000000188776655443322112a02000000000001030000000000020501",
+        Envelope::SyncRoot(SyncRoot {
+            from: SiteId::from_u64(1),
+            digest: 0x1122_3344_5566_7788,
+            cells: 42,
+            clock: clock(&[(1, 3), (2, 5)]),
+            reply: true,
+        }),
+    );
+    check_envelope(
+        "040800000000000202000a000201020000000000010700000000000000030a0002010200000000000100090000000000000004",
+        Envelope::SyncDigests(SyncDigests {
+            from: SiteId::from_u64(2),
+            ranges: vec![
+                RangeDigest {
+                    lo: encode_bound::<Sdis>(None),
+                    hi: encode_bound(Some(&mid)),
+                    digest: 7,
+                    cells: 3,
+                },
+                RangeDigest {
+                    lo: encode_bound(Some(&mid)),
+                    hi: encode_bound::<Sdis>(None),
+                    digest: 9,
+                    cells: 4,
+                },
+            ],
+        }),
+    );
+    let cells: Vec<(PosId<Sdis>, Content<String>)> = vec![
+        (pos(&[(0, Some(1))]), Content::Live("hi".into())),
+        (pos(&[(0, Some(1)), (1, Some(2))]), Content::Tombstone),
+    ];
+    check_envelope(
+        "0409000000000001000a00020102000000000001021a020001000100000000000101026869010101010000000000020201",
+        Envelope::SyncRuns(SyncRuns {
+            from: SiteId::from_u64(1),
+            lo: encode_bound::<Sdis>(None),
+            hi: encode_bound(Some(&mid)),
+            count: cells.len() as u64,
+            cells: encode_cells(&cells),
+            reply: true,
+        }),
+    );
+    check_envelope(
+        "040a000000000003efbeadde00000000ac0202",
+        Envelope::SnapshotOffer(SnapshotOffer {
+            from: SiteId::from_u64(3),
+            digest: 0xdead_beef,
+            total_bytes: 300,
+            chunks: 2,
+        }),
+    );
+    check_envelope(
+        "040b000000000003010204cafebabe",
+        Envelope::SnapshotChunk(SnapshotChunk {
+            from: SiteId::from_u64(3),
+            index: 1,
+            total: 2,
+            data: vec![0xca, 0xfe, 0xba, 0xbe],
+        }),
+    );
+}
+
+#[test]
+fn wire_v3_vectors_stay_decodable() {
+    // The exact vectors this file pinned while WIRE_VERSION was 3. v4 only
+    // added the sync/snapshot envelope tags, so v3 encodings are a strict
+    // subset and the current decoder must keep reading them — a WAL or peer
+    // from before state-based sync is still understood.
+    check_envelope_decodes(
+        "0301010000000000010200000000000103000000000002050000020102000000000001026869",
+        Envelope::Op {
+            epoch: 1,
+            msg: msg(
+                1,
+                &[(1, 3), (2, 5)],
+                Op::Insert {
+                    id: pos(&[(1, None), (0, Some(1))]),
+                    atom: "hi".into(),
+                },
+            ),
+        },
+    );
+    check_envelope_decodes(
+        "0302000000000002020000000000010300000000000207",
+        Envelope::Ack {
+            from: SiteId::from_u64(2),
+            clock: clock(&[(1, 3), (2, 7)]),
+        },
+    );
+    check_envelope_decodes(
+        "0305070000000000030100",
+        Envelope::FlattenVote(FlattenVote {
+            txn: 7,
+            from: SiteId::from_u64(3),
+            vote: Vote::Yes,
+            stage: VoteStage::Vote,
+        }),
+    );
+    check_envelope_decodes(
+        "030304000000000000010100000000000101000001000100000000000101720007010175000701016e0007010173",
+        Envelope::OpBatch(OpBatch {
+            entries: run_sourced_entries(),
+        }),
     );
 }
 
