@@ -1,0 +1,106 @@
+//! The multi-document hosting experiment: Zipf-popularity user sessions
+//! over a large document population on one `HostingNode`, swept across
+//! resident-set sizes. Reports op-latency percentiles (the p99 carries the
+//! cold fault-in cost), resident memory against the hosted population,
+//! group-commit segment-append counts, and post-crash restart/refill times.
+//! `BENCH_node.json` at the repo root pins the committed baseline the CI
+//! `bench-regression` job diffs against.
+//!
+//! Run with `cargo run -p bench --bin node_hosting --release`
+//! (add `--json` for machine-readable output, `--out PATH` to refresh the
+//! committed baseline).
+
+use bench::{hosting_sweep, BenchArgs, HostingRow};
+use serde::Serialize;
+
+/// Hosted document population (override: `NODE_HOSTING_DOCS`).
+const DOCUMENTS: usize = 1500;
+/// User sessions driven through the node (override: `NODE_HOSTING_SESSIONS`).
+const SESSIONS: usize = 400;
+/// Resident-set capacities swept.
+const RESIDENTS: [usize; 3] = [16, 64, 256];
+
+fn scale(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[derive(Serialize)]
+struct Output {
+    documents: usize,
+    sessions: usize,
+    hosting: Vec<HostingRow>,
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let documents = scale("NODE_HOSTING_DOCS", DOCUMENTS);
+    let sessions = scale("NODE_HOSTING_SESSIONS", SESSIONS);
+    let hosting = hosting_sweep(documents, sessions, &RESIDENTS);
+
+    // Sanity-check before publishing an artifact: the hosting claims must
+    // hold at every sweep point, on both output paths.
+    for row in &hosting {
+        assert!(
+            row.hosted_docs >= row.max_resident.min(row.hosted_docs),
+            "dead workload: {row:?}"
+        );
+        assert!(
+            row.segment_appends < row.ops,
+            "group commit must keep segment appends under one per op: {row:?}"
+        );
+        assert!(
+            row.op_p99_micros >= row.op_p50_micros,
+            "bad percentiles: {row:?}"
+        );
+    }
+    // Smaller resident sets must not hold more memory than larger ones.
+    for pair in hosting.windows(2) {
+        assert!(
+            pair[0].resident_bytes <= pair[1].resident_bytes * 2,
+            "resident memory should grow with capacity: {pair:?}"
+        );
+    }
+
+    let out = Output {
+        documents,
+        sessions,
+        hosting,
+    };
+    if args.emit(&out) {
+        return;
+    }
+    let Output { hosting, .. } = out;
+
+    println!("Multi-document hosting ({documents} docs, {sessions} Zipf sessions, 4 shards):");
+    println!(
+        "{:>14} {:>7} {:>9} {:>9} {:>12} {:>9} {:>9} {:>9} {:>11} {:>11}",
+        "case",
+        "hosted",
+        "p50 µs",
+        "p99 µs",
+        "res. bytes",
+        "evicts",
+        "faults",
+        "appends",
+        "restart µs",
+        "refill µs"
+    );
+    for row in &hosting {
+        println!(
+            "{:>14} {:>7} {:>9} {:>9} {:>12} {:>9} {:>9} {:>9} {:>11} {:>11}",
+            row.case,
+            row.hosted_docs,
+            row.op_p50_micros,
+            row.op_p99_micros,
+            row.resident_bytes,
+            row.evictions,
+            row.fault_ins,
+            row.segment_appends,
+            row.restart_micros,
+            row.refill_micros
+        );
+    }
+}

@@ -14,7 +14,10 @@ use std::time::Duration;
 use serde::Serialize;
 
 use treedoc_commit::CommitProtocol;
-use treedoc_sim::{partitioned_commit_demo, run as run_scenario, Scenario, ScenarioMatrix};
+use treedoc_sim::{
+    partitioned_commit_demo, run as run_scenario, run_hosting, HostingScenario, Scenario,
+    ScenarioMatrix,
+};
 use treedoc_trace::{
     latex_corpus, paper_corpus, replay_logoot, replay_treedoc, DisChoice, DocumentSpec,
     ReplayConfig, ReplayReport,
@@ -972,6 +975,70 @@ pub fn core_memory_cases(chars: usize) -> Vec<CoreMemoryRow> {
     rows.push(memory_row("flattened", &exploded));
 
     rows
+}
+
+/// One row of the multi-document hosting sweep (`node_hosting` bin): a
+/// Zipf-popularity session workload at one resident-set size.
+#[derive(Debug, Clone, Serialize)]
+pub struct HostingRow {
+    /// Row label (`resident-<capacity>`).
+    pub case: String,
+    /// Documents in the hosted population.
+    pub documents: usize,
+    /// Resident-set capacity.
+    pub max_resident: usize,
+    /// Documents the workload actually touched.
+    pub hosted_docs: usize,
+    /// Operations served.
+    pub ops: u64,
+    /// Median op service latency, µs.
+    pub op_p50_micros: u64,
+    /// 99th-percentile op service latency, µs (cold fault-ins live here).
+    pub op_p99_micros: u64,
+    /// In-memory index bytes of the resident set at the end of the run.
+    pub resident_bytes: u64,
+    /// Cold evictions performed.
+    pub evictions: u64,
+    /// Fault-ins from the store.
+    pub fault_ins: u64,
+    /// Backend segment appends (group commit: ~shards × commits, not ~ops).
+    pub segment_appends: u64,
+    /// Post-crash restart (shard scan + rediscovery), µs.
+    pub restart_micros: u64,
+    /// Post-crash working-set refill (`max_resident` fault-ins), µs.
+    pub refill_micros: u64,
+}
+
+/// Runs the hosting workload once per resident-set size over a fixed
+/// document population and session schedule.
+pub fn hosting_sweep(documents: usize, sessions: usize, residents: &[usize]) -> Vec<HostingRow> {
+    residents
+        .iter()
+        .map(|&max_resident| {
+            let scenario = HostingScenario {
+                documents,
+                sessions,
+                max_resident,
+                ..HostingScenario::default()
+            };
+            let report = run_hosting(&scenario);
+            HostingRow {
+                case: format!("resident-{max_resident}"),
+                documents,
+                max_resident,
+                hosted_docs: report.hosted_docs,
+                ops: report.ops_applied,
+                op_p50_micros: report.op_p50_micros,
+                op_p99_micros: report.op_p99_micros,
+                resident_bytes: report.resident_bytes,
+                evictions: report.evictions,
+                fault_ins: report.fault_ins,
+                segment_appends: report.segment_appends,
+                restart_micros: report.restart_micros,
+                refill_micros: report.refill_micros,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,118 @@
+//! The resident-set bookkeeping: which documents are warm, and which one to
+//! evict when the set is full.
+//!
+//! A plain LRU over logical touch ticks. The node drives it: every routed
+//! operation [`touch`](ResidentSet::touch)es the document, admission checks
+//! [`over_capacity`](ResidentSet::over_capacity) and evicts
+//! [`coldest`](ResidentSet::coldest) until back under the limit. Keeping the
+//! policy in its own type (instead of inline in the node) makes the
+//! eviction-order tests independent of storage and sessions.
+
+use std::collections::BTreeMap;
+
+use crate::DocId;
+
+/// LRU tracker of the warm documents.
+#[derive(Debug, Default)]
+pub struct ResidentSet {
+    last_touch: BTreeMap<DocId, u64>,
+    tick: u64,
+}
+
+impl ResidentSet {
+    /// An empty resident set.
+    pub fn new() -> Self {
+        ResidentSet::default()
+    }
+
+    /// Marks `doc` as just used (admitting it if absent) and returns the
+    /// touch tick assigned.
+    pub fn touch(&mut self, doc: DocId) -> u64 {
+        self.tick += 1;
+        self.last_touch.insert(doc, self.tick);
+        self.tick
+    }
+
+    /// Whether `doc` is currently resident.
+    pub fn contains(&self, doc: DocId) -> bool {
+        self.last_touch.contains_key(&doc)
+    }
+
+    /// Forgets `doc` (evicted or dropped).
+    pub fn remove(&mut self, doc: DocId) {
+        self.last_touch.remove(&doc);
+    }
+
+    /// Number of resident documents.
+    pub fn len(&self) -> usize {
+        self.last_touch.len()
+    }
+
+    /// Whether no document is resident.
+    pub fn is_empty(&self) -> bool {
+        self.last_touch.is_empty()
+    }
+
+    /// Whether the set exceeds `capacity`.
+    pub fn over_capacity(&self, capacity: usize) -> bool {
+        self.last_touch.len() > capacity
+    }
+
+    /// The least-recently-touched resident document, skipping `protect`
+    /// (the one being served right now must not evict itself).
+    pub fn coldest(&self, protect: Option<DocId>) -> Option<DocId> {
+        self.last_touch
+            .iter()
+            .filter(|&(&doc, _)| Some(doc) != protect)
+            .min_by_key(|&(&doc, &tick)| (tick, doc))
+            .map(|(&doc, _)| doc)
+    }
+
+    /// Resident documents, coldest first (diagnostics).
+    pub fn by_coldness(&self) -> Vec<DocId> {
+        let mut docs: Vec<(u64, DocId)> = self
+            .last_touch
+            .iter()
+            .map(|(&doc, &tick)| (tick, doc))
+            .collect();
+        docs.sort_unstable();
+        docs.into_iter().map(|(_, doc)| doc).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_order_follows_touches() {
+        let mut set = ResidentSet::new();
+        for doc in [1, 2, 3] {
+            set.touch(doc);
+        }
+        assert_eq!(set.coldest(None), Some(1));
+        set.touch(1); // now 2 is coldest
+        assert_eq!(set.coldest(None), Some(2));
+        assert_eq!(set.by_coldness(), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn protected_document_is_never_chosen() {
+        let mut set = ResidentSet::new();
+        set.touch(7);
+        assert_eq!(set.coldest(Some(7)), None);
+        set.touch(8);
+        assert_eq!(set.coldest(Some(8)), Some(7));
+    }
+
+    #[test]
+    fn remove_forgets() {
+        let mut set = ResidentSet::new();
+        set.touch(1);
+        set.touch(2);
+        set.remove(1);
+        assert_eq!(set.len(), 1);
+        assert!(!set.contains(1));
+        assert_eq!(set.coldest(None), Some(2));
+    }
+}

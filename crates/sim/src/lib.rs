@@ -35,14 +35,22 @@
 //! back, snapshot hits) reported in the [`SimReport`]. The scripted
 //! [`crash_recovery_demo`] additionally proves the crash invisible: the
 //! recovered session ends with the same digest as the crash-free one.
+//!
+//! The [`hosting`] module leaves the single-document world: it drives
+//! Zipf-popularity user sessions over thousands of documents on one
+//! [`HostingNode`](treedoc_node::HostingNode), measuring op latency
+//! percentiles, resident memory against the hosted population, and
+//! node-wide crash recovery time against the resident-set size.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod commitment;
+pub mod hosting;
 pub mod recovery;
 pub mod scenario;
 
 pub use commitment::{partitioned_commit_demo, PartitionedCommitReport};
+pub use hosting::{run_hosting, HostingReport, HostingScenario, Zipf};
 pub use recovery::{crash_recovery_demo, CrashRecoveryReport};
 pub use scenario::{run, CrashSchedule, OfflineWindow, Scenario, ScenarioMatrix, SimReport};

@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
 /// An error from the storage backend (I/O failure, invalid name, …).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,7 +49,7 @@ impl From<std::io::Error> for StorageError {
 /// anything else. `write` must replace atomically-enough that a reader never
 /// observes a half-written blob of the *previous* generation — the
 /// [`FileBackend`] writes a temporary file and renames it into place.
-pub trait StorageBackend: fmt::Debug {
+pub trait StorageBackend: fmt::Debug + Send {
     /// Reads a blob, `None` when absent.
     fn read(&self, name: &str) -> Result<Option<Vec<u8>>, StorageError>;
     /// Creates or replaces a blob.
@@ -105,6 +106,211 @@ impl StorageBackend for MemoryBackend {
     }
 }
 
+/// Rejects blob (or namespace) names containing path-separator characters.
+///
+/// The multi-document layer builds blob names from *external* identifiers
+/// (per-document namespace prefixes), so a hostile document id like
+/// `../../etc/passwd` can reach the backend boundary; this check makes the
+/// rejection explicit and self-describing instead of relying on a character
+/// whitelist alone. `\` is included because a store directory may be synced
+/// to a platform where it separates paths.
+pub fn reject_path_separators(name: &str) -> Result<(), StorageError> {
+    if name.contains(['/', '\\']) {
+        return Err(StorageError::new(format!(
+            "blob name {name:?} contains a path separator"
+        )));
+    }
+    Ok(())
+}
+
+/// Lifetime counters of a [`SharedBackend`]: how many times the underlying
+/// store was actually hit. `appends` is the number the group-commit WAL
+/// exists to shrink — each one is a segment write (and, on a
+/// [`FileBackend`], an fsync).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedStats {
+    /// `write` calls (snapshots, cursor blobs).
+    pub writes: u64,
+    /// `append` calls (WAL segment writes).
+    pub appends: u64,
+    /// Bytes passed to `write` + `append`.
+    pub bytes: u64,
+}
+
+/// A cloneable handle to one [`StorageBackend`], so many document stores
+/// (and a shared group-commit WAL) can write to the same underlying
+/// directory or map. Counts every hit on the inner backend — the counters
+/// are what the group-commit tests assert on.
+#[derive(Clone)]
+pub struct SharedBackend {
+    inner: Arc<Mutex<Box<dyn StorageBackend>>>,
+    stats: Arc<Mutex<SharedStats>>,
+}
+
+impl fmt::Debug for SharedBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedBackend")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl SharedBackend {
+    /// Wraps `backend` in a shareable handle.
+    pub fn new(backend: impl StorageBackend + 'static) -> Self {
+        SharedBackend {
+            inner: Arc::new(Mutex::new(Box::new(backend))),
+            stats: Arc::new(Mutex::new(SharedStats::default())),
+        }
+    }
+
+    /// A shared handle over a fresh in-memory backend.
+    pub fn in_memory() -> Self {
+        SharedBackend::new(MemoryBackend::new())
+    }
+
+    /// How often (and how heavily) the inner backend was hit so far.
+    pub fn stats(&self) -> SharedStats {
+        *self.stats.lock().expect("backend stats lock")
+    }
+}
+
+impl StorageBackend for SharedBackend {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, StorageError> {
+        self.inner.lock().expect("backend lock").read(name)
+    }
+
+    fn write(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        self.inner
+            .lock()
+            .expect("backend lock")
+            .write(name, bytes)?;
+        let mut stats = self.stats.lock().expect("backend stats lock");
+        stats.writes += 1;
+        stats.bytes += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        self.inner
+            .lock()
+            .expect("backend lock")
+            .append(name, bytes)?;
+        let mut stats = self.stats.lock().expect("backend stats lock");
+        stats.appends += 1;
+        stats.bytes += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), StorageError> {
+        self.inner.lock().expect("backend lock").remove(name)
+    }
+
+    fn list(&self) -> Result<Vec<String>, StorageError> {
+        self.inner.lock().expect("backend lock").list()
+    }
+}
+
+/// Separator between a namespace prefix and the blob name proper. Blob names
+/// produced by the durability layer (`wal-*.log`, `snap-*.img`, `gwal-*.log`)
+/// never contain a double dash, so the namespace of a prefixed name is
+/// always recoverable as everything before the first `--`.
+pub const NAMESPACE_SEPARATOR: &str = "--";
+
+/// A per-document view of a [`SharedBackend`]: every blob name is prefixed
+/// with `<namespace>--`, and `list` shows only (and strips) this namespace.
+/// This is what lets one shard directory hold the stores of many documents
+/// without any document being able to read — or clobber — another's blobs.
+#[derive(Debug, Clone)]
+pub struct NamespacedBackend {
+    inner: SharedBackend,
+    namespace: String,
+}
+
+impl NamespacedBackend {
+    /// Scopes `inner` to `namespace`. The namespace crosses the trust
+    /// boundary (it is derived from an external document id), so it is
+    /// validated here: path separators, an empty string, a leading dot, the
+    /// separator `--` itself and any character outside `[A-Za-z0-9._-]` are
+    /// rejected.
+    pub fn new(inner: SharedBackend, namespace: &str) -> Result<Self, StorageError> {
+        reject_path_separators(namespace)?;
+        if namespace.is_empty()
+            || namespace.starts_with('.')
+            || namespace.contains(NAMESPACE_SEPARATOR)
+            || namespace
+                .chars()
+                .any(|c| !(c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.'))
+        {
+            return Err(StorageError::new(format!(
+                "invalid blob namespace {namespace:?}"
+            )));
+        }
+        Ok(NamespacedBackend {
+            inner,
+            namespace: namespace.to_string(),
+        })
+    }
+
+    /// The namespace this view is scoped to.
+    pub fn namespace(&self) -> &str {
+        &self.namespace
+    }
+
+    fn prefixed(&self, name: &str) -> Result<String, StorageError> {
+        reject_path_separators(name)?;
+        Ok(format!("{}{}{name}", self.namespace, NAMESPACE_SEPARATOR))
+    }
+}
+
+/// The namespaces present in a shared backend, in sorted order — how a
+/// restarted hosting node discovers which documents it holds. Blobs without
+/// a `--` separator (e.g. the shared group-WAL segments) belong to no
+/// namespace and are skipped.
+pub fn list_namespaces(backend: &dyn StorageBackend) -> Result<Vec<String>, StorageError> {
+    let mut seen = Vec::new();
+    for name in backend.list()? {
+        if let Some((ns, _)) = name.split_once(NAMESPACE_SEPARATOR) {
+            if seen.last().map(String::as_str) != Some(ns) {
+                seen.push(ns.to_string());
+            }
+        }
+    }
+    seen.dedup();
+    Ok(seen)
+}
+
+impl StorageBackend for NamespacedBackend {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, StorageError> {
+        self.inner.read(&self.prefixed(name)?)
+    }
+
+    fn write(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        let name = self.prefixed(name)?;
+        self.inner.write(&name, bytes)
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        let name = self.prefixed(name)?;
+        self.inner.append(&name, bytes)
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), StorageError> {
+        let name = self.prefixed(name)?;
+        self.inner.remove(&name)
+    }
+
+    fn list(&self) -> Result<Vec<String>, StorageError> {
+        let prefix = format!("{}{}", self.namespace, NAMESPACE_SEPARATOR);
+        Ok(self
+            .inner
+            .list()?
+            .into_iter()
+            .filter_map(|n| n.strip_prefix(&prefix).map(str::to_string))
+            .collect())
+    }
+}
+
 /// A directory-of-files backend: each blob is one file under `root`.
 #[derive(Debug, Clone)]
 pub struct FileBackend {
@@ -133,6 +339,15 @@ impl FileBackend {
         Ok(FileBackend { root })
     }
 
+    /// Opens shard `index` of a sharded store rooted at `root`: the blobs
+    /// live in the subdirectory `root/shard-<index>/`. This is the on-disk
+    /// layout of a multi-document hosting node — one directory per shard,
+    /// inside which per-document namespaces (see [`NamespacedBackend`]) and
+    /// the shard's shared group-commit WAL coexist as flat files.
+    pub fn open_shard(root: impl Into<PathBuf>, index: usize) -> Result<Self, StorageError> {
+        FileBackend::open(root.into().join(format!("shard-{index:03}")))
+    }
+
     /// The directory blobs live in.
     pub fn root(&self) -> &std::path::Path {
         &self.root
@@ -152,6 +367,11 @@ impl FileBackend {
     }
 
     fn path_of(&self, name: &str) -> Result<PathBuf, StorageError> {
+        // Path separators get their own check (and error) ahead of the
+        // whitelist: with per-document namespace prefixes in blob names the
+        // separator case is reachable from external identifiers, and the
+        // failure should say what was wrong, not just that something was.
+        reject_path_separators(name)?;
         if name.is_empty()
             || name.starts_with('.')
             || name
@@ -305,5 +525,79 @@ mod tests {
         assert!(backend.write(".hidden", b"x").is_err());
         assert!(backend.write("a/b", b"x").is_err());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn path_separators_are_rejected_with_a_dedicated_error() {
+        // The namespace boundary makes separator-bearing names reachable
+        // from external document ids; both separators must fail, and the
+        // error must say why.
+        let dir = scratch_dir("separators");
+        let mut backend = FileBackend::open(&dir).unwrap();
+        for name in ["a/b", "..\\evil", "doc/../../escape", "back\\slash"] {
+            let err = backend.write(name, b"x").unwrap_err();
+            assert!(
+                err.to_string().contains("path separator"),
+                "{name:?} must be rejected as a path separator, got: {err}"
+            );
+            assert!(backend.read(name).is_err(), "reads too: {name:?}");
+            assert!(backend.append(name, b"x").is_err());
+            assert!(backend.remove(name).is_err());
+        }
+        assert_eq!(backend.list().unwrap(), Vec::<String>::new());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_backend_shard_layout() {
+        let dir = scratch_dir("shards");
+        let mut s0 = FileBackend::open_shard(&dir, 0).unwrap();
+        let mut s1 = FileBackend::open_shard(&dir, 1).unwrap();
+        s0.write("blob", b"zero").unwrap();
+        s1.write("blob", b"one").unwrap();
+        assert_eq!(s0.read("blob").unwrap().unwrap(), b"zero");
+        assert_eq!(s1.read("blob").unwrap().unwrap(), b"one");
+        assert!(dir.join("shard-000").join("blob").exists());
+        assert!(dir.join("shard-001").join("blob").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn namespaced_views_are_isolated_over_one_backend() {
+        let shared = SharedBackend::in_memory();
+        let mut a = NamespacedBackend::new(shared.clone(), "d1").unwrap();
+        let mut b = NamespacedBackend::new(shared.clone(), "d2").unwrap();
+        a.write("wal-0.log", b"alpha").unwrap();
+        b.write("wal-0.log", b"beta").unwrap();
+        b.append("extra.log", b"tail").unwrap();
+        assert_eq!(a.read("wal-0.log").unwrap().unwrap(), b"alpha");
+        assert_eq!(b.read("wal-0.log").unwrap().unwrap(), b"beta");
+        assert_eq!(
+            a.read("extra.log").unwrap(),
+            None,
+            "no cross-namespace reads"
+        );
+        assert_eq!(a.list().unwrap(), vec!["wal-0.log"]);
+        assert_eq!(b.list().unwrap(), vec!["extra.log", "wal-0.log"]);
+        a.remove("wal-0.log").unwrap();
+        assert_eq!(b.read("wal-0.log").unwrap().unwrap(), b"beta");
+        assert_eq!(list_namespaces(&shared).unwrap(), vec!["d2"]);
+        assert_eq!(shared.stats().writes, 2);
+        assert_eq!(shared.stats().appends, 1);
+    }
+
+    #[test]
+    fn namespace_boundary_rejects_hostile_document_ids() {
+        let shared = SharedBackend::in_memory();
+        for ns in ["../up", "a/b", "c\\d", "", ".hidden", "a--b", "sp ace"] {
+            assert!(
+                NamespacedBackend::new(shared.clone(), ns).is_err(),
+                "namespace {ns:?} must be rejected"
+            );
+        }
+        // And a valid namespace still rejects separator-bearing blob names.
+        let mut ok = NamespacedBackend::new(shared, "doc-7").unwrap();
+        assert!(ok.write("../escape", b"x").is_err());
+        assert!(ok.write("a/b", b"x").is_err());
     }
 }

@@ -43,20 +43,43 @@
 //!   WAL tail) and compaction (checkpoint on flatten commit, truncating the
 //!   pre-epoch WAL — the committed epoch of §4.2.1 is the natural
 //!   log-compaction point).
+//!
+//! ## Multi-document hosting
+//!
+//! A hosting node keeps many documents over one backend. Two pieces make
+//! that shape first-class:
+//!
+//! * [`backend::NamespacedBackend`] — a per-document blob-namespace view
+//!   over a shared, counting [`backend::SharedBackend`] (with
+//!   [`backend::list_namespaces`] to rediscover hosted documents after a
+//!   restart, and [`FileBackend::open_shard`] for the on-disk shard
+//!   directory layout);
+//! * [`group`] — the cross-document group-commit WAL: every document of a
+//!   shard logs into one shared append queue, a flush writes the whole
+//!   queue with a single backend segment append, and per-document replay
+//!   cursors (durable in snapshot names) keep recovery isolated per
+//!   document. [`DocStore::with_group_wal`] opens a store in that mode;
+//!   its `append`/`checkpoint`/`recover` API is unchanged, so the
+//!   replication layer's journaling works identically over either sink.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backend;
 pub mod checksum;
+pub mod group;
 pub mod heap;
 pub mod rle;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 
-pub use backend::{FileBackend, MemoryBackend, StorageBackend, StorageError};
+pub use backend::{
+    list_namespaces, reject_path_separators, FileBackend, MemoryBackend, NamespacedBackend,
+    SharedBackend, SharedStats, StorageBackend, StorageError, NAMESPACE_SEPARATOR,
+};
 pub use checksum::{combine_hashes, content_hash64, crc32};
+pub use group::{GroupReplay, GroupWal, GroupWalStats};
 pub use heap::{DecodeError, DisCodec, DiskImage, EncodeStats};
 pub use rle::{rle_compress, rle_decompress};
 pub use snapshot::{Snapshot, SnapshotError};

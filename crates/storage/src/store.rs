@@ -26,6 +26,7 @@
 //! would double-apply operations and corrupt the recovered vector clock).
 
 use crate::backend::{MemoryBackend, StorageBackend, StorageError};
+use crate::group::GroupWal;
 use crate::snapshot::Snapshot;
 use crate::wal::{self, WalEntry, WalReplay};
 
@@ -79,15 +80,35 @@ pub struct Recovered {
     pub stats: RecoveryStats,
 }
 
+/// Where a store's WAL records go: its own private segments, or a shard's
+/// shared [`GroupWal`] (one queue, one segment write per flush, for every
+/// document of the shard — see [`crate::group`]).
+#[derive(Debug)]
+enum WalSink {
+    /// Private `wal-<seq>.log` segments in this store's own namespace.
+    Private,
+    /// The shard-wide group-commit WAL; `doc` tags this store's records.
+    Group {
+        /// Shared handle to the shard's WAL.
+        wal: GroupWal,
+        /// This document's identity inside the shared log.
+        doc: String,
+    },
+}
+
 /// A replica's durable store over a pluggable backend.
 #[derive(Debug)]
 pub struct DocStore {
     backend: Box<dyn StorageBackend>,
+    /// Where WAL records go (private segments or a shared group WAL).
+    sink: WalSink,
     /// Sequence of the active WAL segment (always the sequence of the
-    /// newest snapshot written, or 0 before the first checkpoint).
+    /// newest snapshot written, or 0 before the first checkpoint). In group
+    /// mode there are no private segments and this stays put.
     active_segment: u64,
     /// Bytes in the active segment, tracked in memory so a checkpoint can
-    /// tell whether it retires anything without re-reading the log.
+    /// tell whether it retires anything without re-reading the log. In
+    /// group mode this counts bytes logged since the last checkpoint.
     active_segment_bytes: u64,
     next_snapshot_seq: u64,
     stats: StoreStats,
@@ -101,7 +122,7 @@ impl DocStore {
         let backend: Box<dyn StorageBackend> = Box::new(backend);
         let newest_snapshot = Self::snapshot_blobs(backend.as_ref())?
             .last()
-            .map(|&(s, _)| s);
+            .map(|&(s, ..)| s);
         let newest_segment = Self::wal_segments(backend.as_ref())?.last().copied();
         let active_segment = newest_snapshot
             .unwrap_or(0)
@@ -118,8 +139,42 @@ impl DocStore {
             .map_or(0, |b| b.len() as u64);
         Ok(DocStore {
             backend,
+            sink: WalSink::Private,
             active_segment,
             active_segment_bytes,
+            next_snapshot_seq,
+            stats: StoreStats::default(),
+        })
+    }
+
+    /// Opens a store whose WAL records go to a shard-shared [`GroupWal`]
+    /// instead of private segments. `backend` is the document's own
+    /// (namespaced) blob view — snapshots still live there — and `doc` is
+    /// the identity tagging this store's records inside the shared log
+    /// (the hosting node uses the namespace string). The document's replay
+    /// cursor, embedded in its newest snapshot's name, is re-registered
+    /// with the WAL so pruning can make progress.
+    pub fn with_group_wal(
+        backend: impl StorageBackend + 'static,
+        wal: GroupWal,
+        doc: &str,
+    ) -> Result<Self, StorageError> {
+        let backend: Box<dyn StorageBackend> = Box::new(backend);
+        let snapshots = Self::snapshot_blobs(backend.as_ref())?;
+        let next_snapshot_seq = snapshots.last().map(|&(s, ..)| s + 1).unwrap_or(1);
+        // Register the OLDEST retained snapshot's cursor: a recovery may
+        // fall back past a corrupt newest snapshot and replay from the
+        // fallback's older cursor, so segments past it must survive.
+        let cursor = snapshots.first().and_then(|&(_, _, c)| c).unwrap_or(0);
+        wal.register(doc, cursor);
+        Ok(DocStore {
+            backend,
+            sink: WalSink::Group {
+                wal,
+                doc: doc.to_string(),
+            },
+            active_segment: 0,
+            active_segment_bytes: 0,
             next_snapshot_seq,
             stats: StoreStats::default(),
         })
@@ -136,8 +191,12 @@ impl DocStore {
         self.stats
     }
 
-    /// Snapshot blob names present, as `(sequence, epoch)` sorted ascending.
-    fn snapshot_blobs(backend: &dyn StorageBackend) -> Result<Vec<(u64, u64)>, StorageError> {
+    /// Snapshot blob names present, as `(sequence, epoch, group cursor)`
+    /// sorted ascending by sequence. The cursor is `None` for private-mode
+    /// snapshots (the plain `snap-<seq>-e<epoch>.img` names).
+    fn snapshot_blobs(
+        backend: &dyn StorageBackend,
+    ) -> Result<Vec<(u64, u64, Option<u64>)>, StorageError> {
         let mut found = Vec::new();
         for name in backend.list()? {
             if let Some(parsed) = parse_snapshot_name(&name) {
@@ -152,7 +211,7 @@ impl DocStore {
     pub fn snapshot_epochs(&self) -> Result<Vec<u64>, StorageError> {
         Ok(Self::snapshot_blobs(self.backend.as_ref())?
             .into_iter()
-            .map(|(_, epoch)| epoch)
+            .map(|(_, epoch, _)| epoch)
             .collect())
     }
 
@@ -212,40 +271,82 @@ impl DocStore {
     fn newest_snapshot_seq(&self) -> Result<u64, StorageError> {
         Ok(Self::snapshot_blobs(self.backend.as_ref())?
             .last()
-            .map(|&(seq, _)| seq)
+            .map(|&(seq, ..)| seq)
+            .unwrap_or(0))
+    }
+
+    /// The group-WAL replay cursor of the newest snapshot present (0 when
+    /// there is none, or when running in private mode).
+    fn newest_snapshot_cursor(&self) -> Result<u64, StorageError> {
+        Ok(Self::snapshot_blobs(self.backend.as_ref())?
+            .last()
+            .and_then(|&(_, _, cursor)| cursor)
             .unwrap_or(0))
     }
 
     /// Appends one WAL record carrying `payload`, tagged with the replica's
-    /// current flatten `epoch`, to the active segment.
+    /// current flatten `epoch` — to the active private segment, or (in
+    /// group mode) to the shard's shared queue, where it becomes durable at
+    /// the next group flush.
     pub fn append(&mut self, epoch: u64, payload: &[u8]) -> Result<(), StorageError> {
-        let mut frame = Vec::with_capacity(wal::record_size(payload.len()));
-        wal::append_record(&mut frame, epoch, payload);
-        self.backend
-            .append(&wal_name(self.active_segment), &frame)?;
-        self.active_segment_bytes += frame.len() as u64;
+        let frame_len = match &self.sink {
+            WalSink::Private => {
+                let mut frame = Vec::with_capacity(wal::record_size(payload.len()));
+                wal::append_record(&mut frame, epoch, payload);
+                self.backend
+                    .append(&wal_name(self.active_segment), &frame)?;
+                frame.len() as u64
+            }
+            WalSink::Group { wal, doc } => {
+                wal.enqueue(doc, epoch, payload);
+                wal::record_size(payload.len()) as u64
+            }
+        };
+        self.active_segment_bytes += frame_len;
         self.stats.wal_appends += 1;
-        self.stats.wal_bytes += frame.len() as u64;
+        self.stats.wal_bytes += frame_len;
         Ok(())
     }
 
     /// The decoded WAL a recovery would replay right now — the segments at
     /// or after the newest snapshot (diagnostics and the compaction
-    /// assertions of the test suite).
+    /// assertions of the test suite). In group mode: this document's
+    /// flushed records past its newest cursor.
     pub fn wal_entries(&self) -> Result<WalReplay, StorageError> {
-        let from = self.newest_snapshot_seq()?;
-        let segments = self.segments_from(from)?;
-        self.replay_segments(&segments)
+        match &self.sink {
+            WalSink::Private => {
+                let from = self.newest_snapshot_seq()?;
+                let segments = self.segments_from(from)?;
+                self.replay_segments(&segments)
+            }
+            WalSink::Group { wal, doc } => {
+                let replay = wal.replay_for(doc, self.newest_snapshot_cursor()?)?;
+                Ok(WalReplay {
+                    valid_bytes: replay.bytes,
+                    dropped_bytes: replay.torn_tail_bytes,
+                    entries: replay.entries,
+                    fault: None,
+                })
+            }
+        }
     }
 
-    /// Bytes of WAL a recovery would read right now.
+    /// Bytes of WAL a recovery would read right now (group mode: this
+    /// document's flushed frame bytes past its newest cursor).
     pub fn wal_len(&self) -> Result<usize, StorageError> {
-        let from = self.newest_snapshot_seq()?;
-        let mut total = 0usize;
-        for seq in self.segments_from(from)? {
-            total += self.backend.read(&wal_name(seq))?.map_or(0, |b| b.len());
+        match &self.sink {
+            WalSink::Private => {
+                let from = self.newest_snapshot_seq()?;
+                let mut total = 0usize;
+                for seq in self.segments_from(from)? {
+                    total += self.backend.read(&wal_name(seq))?.map_or(0, |b| b.len());
+                }
+                Ok(total)
+            }
+            WalSink::Group { wal, doc } => {
+                Ok(wal.replay_for(doc, self.newest_snapshot_cursor()?)?.bytes)
+            }
         }
-        Ok(total)
     }
 
     /// Writes `snapshot` as the checkpoint for `epoch`, rotates to that
@@ -264,8 +365,18 @@ impl DocStore {
         let retired = self.active_segment_bytes > 0;
         let seq = self.next_snapshot_seq;
         self.next_snapshot_seq += 1;
+        let cursor = match &self.sink {
+            WalSink::Private => None,
+            WalSink::Group { wal, .. } => {
+                // Flush first: the cursor stored in the snapshot name must
+                // never cover a record a crash could still lose, or LSNs
+                // assigned after a restart would hide behind it.
+                wal.flush()?;
+                Some(wal.watermark())
+            }
+        };
         self.backend
-            .write(&snapshot_name(seq, epoch), &snapshot.encode())?;
+            .write(&snapshot_blob_name(seq, epoch, cursor), &snapshot.encode())?;
         self.active_segment = seq;
         self.active_segment_bytes = 0;
         self.stats.snapshots_written += 1;
@@ -275,9 +386,10 @@ impl DocStore {
         let existing = Self::snapshot_blobs(self.backend.as_ref())?;
         if existing.len() > 1 + SNAPSHOT_FALLBACKS {
             let (pruned, retained) = existing.split_at(existing.len() - 1 - SNAPSHOT_FALLBACKS);
-            let oldest_retained = retained.first().map(|&(s, _)| s).unwrap_or(seq);
-            for &(old_seq, old_epoch) in pruned {
-                self.backend.remove(&snapshot_name(old_seq, old_epoch))?;
+            let oldest_retained = retained.first().map(|&(s, ..)| s).unwrap_or(seq);
+            for &(old_seq, old_epoch, old_cursor) in pruned {
+                self.backend
+                    .remove(&snapshot_blob_name(old_seq, old_epoch, old_cursor))?;
             }
             // Segments older than the oldest retained snapshot can never be
             // replayed again (every recovery starts at a retained snapshot).
@@ -286,6 +398,17 @@ impl DocStore {
                     self.backend.remove(&wal_name(old))?;
                 }
             }
+        }
+        if let (WalSink::Group { wal, doc }, Some(cursor)) = (&self.sink, cursor) {
+            // Group segments are shared: they are pruned by cursor floor,
+            // not by snapshot sequence. A recovery falling back past the
+            // newest snapshot replays from the FALLBACK's (older) cursor,
+            // so only that oldest retained cursor may advance the floor.
+            let oldest_retained_cursor = Self::snapshot_blobs(self.backend.as_ref())?
+                .first()
+                .and_then(|&(_, _, c)| c)
+                .unwrap_or(cursor);
+            wal.note_checkpoint(doc, oldest_retained_cursor)?;
         }
         Ok(())
     }
@@ -298,11 +421,12 @@ impl DocStore {
         let mut stats = RecoveryStats::default();
         let mut snapshot = None;
         let mut from_seq = 0u64;
-        for (seq, epoch) in Self::snapshot_blobs(self.backend.as_ref())?
+        let mut from_cursor = 0u64;
+        for (seq, epoch, cursor) in Self::snapshot_blobs(self.backend.as_ref())?
             .into_iter()
             .rev()
         {
-            let Some(bytes) = self.backend.read(&snapshot_name(seq, epoch))? else {
+            let Some(bytes) = self.backend.read(&snapshot_blob_name(seq, epoch, cursor))? else {
                 continue;
             };
             match Snapshot::decode(&bytes) {
@@ -312,13 +436,27 @@ impl DocStore {
                     stats.bytes_recovered += bytes.len();
                     snapshot = Some((epoch, decoded));
                     from_seq = seq;
+                    from_cursor = cursor.unwrap_or(0);
                     break;
                 }
                 Err(_) => stats.corrupt_snapshots_skipped += 1,
             }
         }
-        let segments = self.segments_from(from_seq)?;
-        let replay = self.replay_segments(&segments)?;
+        let replay = match &self.sink {
+            WalSink::Private => {
+                let segments = self.segments_from(from_seq)?;
+                self.replay_segments(&segments)?
+            }
+            WalSink::Group { wal, doc } => {
+                let group = wal.replay_for(doc, from_cursor)?;
+                WalReplay {
+                    valid_bytes: group.bytes,
+                    dropped_bytes: group.torn_tail_bytes,
+                    entries: group.entries,
+                    fault: None,
+                }
+            }
+        };
         stats.wal_records = replay.entries.len();
         stats.bytes_recovered += replay.valid_bytes;
         stats.torn_tail_bytes = replay.dropped_bytes;
@@ -330,8 +468,20 @@ impl DocStore {
     }
 }
 
+/// Private-mode snapshot name (kept stable across releases).
 fn snapshot_name(seq: u64, epoch: u64) -> String {
     format!("snap-{seq:012}-e{epoch}.img")
+}
+
+/// Snapshot blob name; group-mode snapshots carry the document's replay
+/// cursor as a `-c<lsn>` suffix, making the cursor durable atomically with
+/// the snapshot itself (the checkpoint commit point) — no separate cursor
+/// blob, no cross-file atomicity to get wrong.
+fn snapshot_blob_name(seq: u64, epoch: u64, cursor: Option<u64>) -> String {
+    match cursor {
+        None => snapshot_name(seq, epoch),
+        Some(c) => format!("snap-{seq:012}-e{epoch}-c{c}.img"),
+    }
 }
 
 fn wal_name(seq: u64) -> String {
@@ -345,10 +495,14 @@ fn parse_wal_name(name: &str) -> Option<u64> {
         .ok()
 }
 
-fn parse_snapshot_name(name: &str) -> Option<(u64, u64)> {
+fn parse_snapshot_name(name: &str) -> Option<(u64, u64, Option<u64>)> {
     let rest = name.strip_prefix("snap-")?.strip_suffix(".img")?;
-    let (seq, epoch) = rest.split_once("-e")?;
-    Some((seq.parse().ok()?, epoch.parse().ok()?))
+    let (seq, epoch_part) = rest.split_once("-e")?;
+    let (epoch, cursor) = match epoch_part.split_once("-c") {
+        Some((epoch, cursor)) => (epoch, Some(cursor.parse().ok()?)),
+        None => (epoch_part, None),
+    };
+    Some((seq.parse().ok()?, epoch.parse().ok()?, cursor))
 }
 
 #[cfg(test)]
@@ -538,8 +692,94 @@ mod tests {
 
     #[test]
     fn snapshot_names_round_trip() {
-        assert_eq!(parse_snapshot_name(&snapshot_name(7, 3)), Some((7, 3)));
+        assert_eq!(
+            parse_snapshot_name(&snapshot_name(7, 3)),
+            Some((7, 3, None))
+        );
+        assert_eq!(
+            parse_snapshot_name(&snapshot_blob_name(7, 3, Some(42))),
+            Some((7, 3, Some(42)))
+        );
         assert_eq!(parse_snapshot_name("wal.log"), None);
         assert_eq!(parse_snapshot_name("snap-xx-e1.img"), None);
+        assert_eq!(parse_snapshot_name("snap-000000000007-e3-cxx.img"), None);
+    }
+
+    mod group_mode {
+        use super::*;
+        use crate::backend::{NamespacedBackend, SharedBackend};
+        use crate::group::GroupWal;
+
+        fn shard() -> (SharedBackend, GroupWal) {
+            let backend = SharedBackend::in_memory();
+            let wal = GroupWal::open(backend.clone()).unwrap();
+            (backend, wal)
+        }
+
+        fn doc_store(backend: &SharedBackend, wal: &GroupWal, ns: &str) -> DocStore {
+            let view = NamespacedBackend::new(backend.clone(), ns).unwrap();
+            DocStore::with_group_wal(view, wal.clone(), ns).unwrap()
+        }
+
+        #[test]
+        fn group_recover_replays_only_this_documents_records() {
+            let (backend, wal) = shard();
+            let mut a = doc_store(&backend, &wal, "a");
+            let mut b = doc_store(&backend, &wal, "b");
+            a.append(0, b"a-one").unwrap();
+            b.append(0, b"b-one").unwrap();
+            a.append(0, b"a-two").unwrap();
+            wal.flush().unwrap();
+
+            let rec = a.recover().unwrap();
+            assert_eq!(
+                rec.wal
+                    .iter()
+                    .map(|e| e.payload.as_slice())
+                    .collect::<Vec<_>>(),
+                vec![&b"a-one"[..], &b"a-two"[..]]
+            );
+            assert_eq!(b.recover().unwrap().wal.len(), 1);
+        }
+
+        #[test]
+        fn group_checkpoint_sets_a_cursor_that_survives_reopen() {
+            let (backend, wal) = shard();
+            let mut store = doc_store(&backend, &wal, "d");
+            store.append(0, b"folded").unwrap();
+            store.checkpoint(1, &snapshot_with("ck")).unwrap();
+            store.append(1, b"tail").unwrap();
+            wal.flush().unwrap();
+
+            // Reopen the shard cold, as a node restart would.
+            let wal2 = GroupWal::open(backend.clone()).unwrap();
+            let store2 = doc_store(&backend, &wal2, "d");
+            let rec = store2.recover().unwrap();
+            assert_eq!(rec.snapshot.unwrap().0, 1);
+            assert_eq!(rec.wal.len(), 1, "only the post-checkpoint tail");
+            assert_eq!(rec.wal[0].payload, b"tail");
+        }
+
+        #[test]
+        fn group_checkpoint_flushes_the_queue_first() {
+            let (backend, wal) = shard();
+            let mut store = doc_store(&backend, &wal, "d");
+            store.append(0, b"queued").unwrap();
+            assert_eq!(wal.pending_records(), 1);
+            store.checkpoint(1, &snapshot_with("ck")).unwrap();
+            assert_eq!(wal.pending_records(), 0, "checkpoint durably flushed");
+            assert!(wal.watermark() >= 1);
+        }
+
+        #[test]
+        fn group_wal_len_tracks_the_unfolded_tail() {
+            let (backend, wal) = shard();
+            let mut store = doc_store(&backend, &wal, "d");
+            store.append(0, b"one").unwrap();
+            wal.flush().unwrap();
+            assert!(store.wal_len().unwrap() > 0);
+            store.checkpoint(1, &snapshot_with("ck")).unwrap();
+            assert_eq!(store.wal_len().unwrap(), 0);
+        }
     }
 }

@@ -8,8 +8,10 @@ Rows inside arrays are keyed by their "case" / "transport" / "protocol"
 field when they have one, so reordering or adding cases never misaligns
 the comparison. Each metric's direction is inferred from its name:
 throughput-like names ("*_per_sec", "ratio") should go up, cost-like
-names ("*bytes*", "*micros*", "height", "*rounds*") should go down, and
-anything else (op counts, configured sizes) is reported but never judged.
+names ("*bytes*", "*micros*", "*_us"/"*_ms", "height", "*rounds*", the
+hosting node's latency percentiles "*p50*"/"*p99*", "*latency*",
+"*resident*" memory and "segment_appends") should go down, and anything
+else (op counts, configured sizes) is reported but never judged.
 
 A metric that moves more than THRESHOLD in its bad direction prints a
 GitHub `::warning` annotation; the full comparison is written to the
@@ -25,7 +27,10 @@ import sys
 THRESHOLD = 0.25
 
 HIGHER_BETTER = re.compile(r"(_per_sec|^ratio)$")
-LOWER_BETTER = re.compile(r"(bytes|micros|height|rounds|blocked)", re.IGNORECASE)
+LOWER_BETTER = re.compile(
+    r"(bytes|micros|height|rounds|blocked|p50|p99|latency|resident|segment_appends|_us$|_ms$)",
+    re.IGNORECASE,
+)
 ROW_KEYS = ("case", "transport", "protocol")
 
 

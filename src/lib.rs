@@ -15,6 +15,8 @@
 //! * [`trace`] (`treedoc-trace`) — diffs, synthetic corpora and the replay
 //!   harness behind the paper's evaluation,
 //! * [`sim`] (`treedoc-sim`) — multi-site cooperative-editing scenarios,
+//! * [`node`] (`treedoc-node`) — the multi-document hosting node (sharded
+//!   stores, cold eviction, group-commit WAL),
 //! * [`logoot`] — the Logoot baseline CRDT of §5.3.
 //!
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the reproduction of
@@ -26,6 +28,7 @@
 pub use logoot;
 pub use treedoc_commit as commit;
 pub use treedoc_core as core;
+pub use treedoc_node as node;
 pub use treedoc_replication as replication;
 pub use treedoc_sim as sim;
 pub use treedoc_storage as storage;
@@ -38,6 +41,7 @@ pub mod prelude {
         codec, Op, PosId, Sdis, SiteId, Treedoc, TreedocConfig, Udis, WireAtom, WireDis,
         WirePayload,
     };
+    pub use treedoc_node::{DocId, HostingNode, NodeConfig, NodeError, SessionId};
     pub use treedoc_replication::{
         decode_envelope, encode_envelope, BatchPolicy, CausalBuffer, CausalMessage, Envelope,
         FlattenCoordinator, LinkConfig, OpBatch, PersistentDocument, RecoverError, RecoveryReport,
@@ -49,6 +53,7 @@ pub mod prelude {
         PartitionedCommitReport, Scenario, ScenarioMatrix, SimReport,
     };
     pub use treedoc_storage::{
-        DiskImage, DocStore, FileBackend, MemoryBackend, Snapshot, StorageBackend,
+        DiskImage, DocStore, FileBackend, GroupWal, MemoryBackend, NamespacedBackend,
+        SharedBackend, Snapshot, StorageBackend,
     };
 }
