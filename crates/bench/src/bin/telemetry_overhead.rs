@@ -1,0 +1,100 @@
+//! The observability layer's own cost: the sequential-typing `Replica`
+//! stamp workload timed with telemetry absent, disabled (inert handle), and
+//! enabled (live registry). The acceptance bound this bin asserts — and
+//! `BENCH_telemetry.json` pins for the CI `bench-regression` job — is that
+//! an enabled registry costs less than 5% on the hot path and a disabled
+//! handle is indistinguishable from no telemetry at all.
+//!
+//! Run with `cargo run -p bench --bin telemetry_overhead --release`
+//! (add `--json` for machine-readable output, `--out PATH` to refresh the
+//! committed baseline, `--telemetry-out PATH` to dump the instruments the
+//! enabled variant recorded).
+
+use bench::{global_registry, telemetry_overhead_cases, BenchArgs, OverheadRow, OVERHEAD_TRIALS};
+use serde::Serialize;
+
+/// Stamped operations per trial (override: `TELEMETRY_OVERHEAD_OPS`).
+const OPS: usize = 4_000;
+
+/// Noise headroom on the disabled variant: best-of minimums still jitter a
+/// little on shared runners, so "indistinguishable" is asserted as <4%.
+const DISABLED_BOUND_PCT: f64 = 4.0;
+/// The acceptance bound on the enabled variant.
+const ENABLED_BOUND_PCT: f64 = 5.0;
+
+#[derive(Serialize)]
+struct Output {
+    ops: usize,
+    trials: usize,
+    overhead: Vec<OverheadRow>,
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let ops = std::env::var("TELEMETRY_OVERHEAD_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(OPS);
+    let overhead = telemetry_overhead_cases(ops);
+
+    // Sanity-check before publishing an artifact, on both output paths.
+    let by_case = |case: &str| -> &OverheadRow {
+        overhead
+            .iter()
+            .find(|r| r.case == case)
+            .unwrap_or_else(|| panic!("variant {case} missing"))
+    };
+    let disabled = by_case("disabled");
+    let enabled = by_case("enabled");
+    assert!(
+        disabled.overhead_pct < DISABLED_BOUND_PCT,
+        "a disabled telemetry handle must be free on the stamp path: \
+         {:.2}% overhead (bound {DISABLED_BOUND_PCT}%)",
+        disabled.overhead_pct
+    );
+    assert!(
+        enabled.overhead_pct < ENABLED_BOUND_PCT,
+        "an enabled registry must stay under the acceptance bound on the \
+         stamp path: {:.2}% overhead (bound {ENABLED_BOUND_PCT}%)",
+        enabled.overhead_pct
+    );
+    // The enabled variant must actually have been observed, or the numbers
+    // above measured nothing.
+    let stamped = global_registry()
+        .snapshot()
+        .counter("replica.ops_stamped")
+        .unwrap_or(0);
+    assert!(
+        stamped >= ops as u64,
+        "enabled trials recorded {stamped} stamps, expected at least {ops}"
+    );
+
+    let out = Output {
+        ops,
+        trials: OVERHEAD_TRIALS,
+        overhead,
+    };
+    if args.emit(&out) {
+        return;
+    }
+    let Output { overhead, .. } = out;
+
+    println!("Telemetry overhead ({ops} stamped ops, best of {OVERHEAD_TRIALS} trials):");
+    println!(
+        "{:>10} {:>12} {:>14} {:>10}",
+        "case", "elapsed µs", "ops/sec", "overhead"
+    );
+    for row in &overhead {
+        println!(
+            "{:>10} {:>12} {:>14.0} {:>9.2}%",
+            row.case, row.elapsed_micros, row.ops_per_sec, row.overhead_pct
+        );
+    }
+    println!();
+    println!(
+        "baseline = no telemetry call at all; disabled = inert handle (one\n\
+         None branch per instrument); enabled = live registry (atomic\n\
+         counter + histogram record per op). Bounds asserted: disabled\n\
+         <{DISABLED_BOUND_PCT}%, enabled <{ENABLED_BOUND_PCT}%."
+    );
+}

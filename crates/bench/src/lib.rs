@@ -15,9 +15,10 @@ use serde::Serialize;
 
 use treedoc_commit::CommitProtocol;
 use treedoc_sim::{
-    partitioned_commit_demo, run as run_scenario, run_hosting, HostingScenario, Scenario,
+    partitioned_commit_demo, run as run_scenario, run_hosting_with, HostingScenario, Scenario,
     ScenarioMatrix,
 };
+use treedoc_telemetry::{Registry, Telemetry};
 use treedoc_trace::{
     latex_corpus, paper_corpus, replay_logoot, replay_treedoc, DisChoice, DocumentSpec,
     ReplayConfig, ReplayReport,
@@ -750,20 +751,36 @@ pub struct SyncCostRow {
 /// ([`ScenarioMatrix::sync_vs_retransmission`]) and returns one row per
 /// cell — the experiment behind the "anti-entropy vs retransmission"
 /// EXPERIMENTS section.
+///
+/// Each cell runs over its own telemetry [`Registry`]; the sync and
+/// recovery byte/message figures are read back from the registry snapshot
+/// (the `sim.*` instruments mirrored at the wire boundary) rather than the
+/// report's private counters, and every cell registry is folded into
+/// [`global_registry`] for the `--telemetry-out` dump.
 pub fn sync_cost_grid(sites: usize, edits_per_site: usize) -> Vec<SyncCostRow> {
     let matrix = ScenarioMatrix::sync_vs_retransmission(Scenario {
         sites,
         edits_per_site,
         ..Scenario::default()
     });
-    matrix
-        .run()
+    let mut registries: Vec<Registry> = Vec::new();
+    let cells = matrix.run_with(|_| {
+        let registry = Registry::new();
+        let handle = registry.handle();
+        registries.push(registry);
+        handle
+    });
+    cells
         .into_iter()
-        .map(|(scenario, report)| {
+        .zip(registries)
+        .map(|((scenario, report), registry)| {
+            let snapshot = registry.snapshot();
+            global_registry().merge_from(&registry);
+            let counter = |name: &str| snapshot.counter(name).unwrap_or(0);
             let recovery_bytes = if scenario.anti_entropy {
-                report.sync_bytes
+                counter("sim.sync_bytes") as usize
             } else {
-                report.retransmission_bytes + report.ack_bytes
+                (counter("sim.retransmission_bytes") + counter("sim.ack_bytes")) as usize
             };
             SyncCostRow {
                 drop_prob: scenario.drop_prob,
@@ -773,9 +790,9 @@ pub fn sync_cost_grid(sites: usize, edits_per_site: usize) -> Vec<SyncCostRow> {
                 network_bytes: report.network_bytes,
                 recovery_bytes,
                 recovery_bytes_per_op: recovery_bytes as f64 / report.ops_generated.max(1) as f64,
-                sync_digest_msgs: report.sync_digest_msgs,
-                sync_run_msgs: report.sync_run_msgs,
-                sync_cells: report.sync_cells,
+                sync_digest_msgs: counter("sim.sync_digest_msgs"),
+                sync_run_msgs: counter("sim.sync_run_msgs"),
+                sync_cells: counter("sim.sync_cells"),
                 retransmissions: report.retransmissions,
                 converged: report.converged,
             }
@@ -824,15 +841,28 @@ pub struct CoreMemoryRow {
 /// [`recovery_cost_grid`]).
 pub const CORE_SPEED_TRIALS: usize = 3;
 
+/// The process-wide telemetry registry the bench runners aggregate into:
+/// every runner that drives an instrumented subsystem folds its per-run
+/// registry in with [`Registry::merge_from`], and
+/// [`BenchArgs::emit_telemetry`] dumps the combined snapshot.
+pub fn global_registry() -> &'static Registry {
+    static GLOBAL: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
 /// Parses the shared bench-binary CLI surface: `--json` switches to
 /// machine-readable stdout, `--out PATH` additionally writes that JSON to
-/// `PATH` (the committed `BENCH_*.json` baselines at the repo root).
+/// `PATH` (the committed `BENCH_*.json` baselines at the repo root), and
+/// `--telemetry-out PATH` writes the aggregated [`global_registry`]
+/// snapshot as JSON.
 #[derive(Debug, Default, Clone)]
 pub struct BenchArgs {
     /// Print machine-readable JSON instead of the paper-style tables.
     pub json: bool,
     /// Baseline file to (over)write with the JSON output.
     pub out: Option<String>,
+    /// File to (over)write with the aggregated telemetry snapshot.
+    pub telemetry_out: Option<String>,
 }
 
 impl BenchArgs {
@@ -844,6 +874,7 @@ impl BenchArgs {
             match arg.as_str() {
                 "--json" => args.json = true,
                 "--out" => args.out = iter.next(),
+                "--telemetry-out" => args.telemetry_out = iter.next(),
                 _ => {}
             }
         }
@@ -851,8 +882,11 @@ impl BenchArgs {
     }
 
     /// Serialises `value`, prints it when `--json` was given and writes it to
-    /// the `--out` baseline when one was named.
+    /// the `--out` baseline when one was named. Also flushes the telemetry
+    /// snapshot when `--telemetry-out` was named, so every bin's output flow
+    /// carries its instrument dump.
     pub fn emit<T: Serialize>(&self, value: &T) -> bool {
+        self.emit_telemetry();
         if !self.json && self.out.is_none() {
             return false;
         }
@@ -865,13 +899,26 @@ impl BenchArgs {
         }
         self.json
     }
+
+    /// Writes the aggregated [`global_registry`] snapshot to the
+    /// `--telemetry-out` path, when one was named.
+    pub fn emit_telemetry(&self) {
+        if let Some(path) = &self.telemetry_out {
+            let json = global_registry().snapshot().to_json();
+            std::fs::write(path, format!("{json}\n")).expect("telemetry snapshot file writable");
+        }
+    }
 }
 
 use treedoc_core::Treedoc;
 
-fn best_of<T>(mut run: impl FnMut() -> T) -> (T, Duration) {
+fn best_of<T>(run: impl FnMut() -> T) -> (T, Duration) {
+    best_of_n(CORE_SPEED_TRIALS, run)
+}
+
+fn best_of_n<T>(trials: usize, mut run: impl FnMut() -> T) -> (T, Duration) {
     let mut best: Option<(T, Duration)> = None;
-    for _ in 0..CORE_SPEED_TRIALS {
+    for _ in 0..trials.max(1) {
         let t = std::time::Instant::now();
         let out = run();
         let elapsed = t.elapsed();
@@ -977,6 +1024,90 @@ pub fn core_memory_cases(chars: usize) -> Vec<CoreMemoryRow> {
     rows
 }
 
+// ---------------------------------------------------------------------------
+// Telemetry overhead (the observability layer's own cost)
+// ---------------------------------------------------------------------------
+
+/// One variant of the `telemetry_overhead` bench: the sequential-typing
+/// stamp workload with telemetry absent, disabled, or enabled.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverheadRow {
+    /// Variant label (`baseline` / `disabled` / `enabled`).
+    pub case: String,
+    /// Operations stamped.
+    pub ops: usize,
+    /// Wall time, microseconds (best of [`OVERHEAD_TRIALS`]).
+    pub elapsed_micros: u64,
+    /// Operations per second.
+    pub ops_per_sec: f64,
+    /// Slowdown against the baseline variant, percent (negative values are
+    /// measurement noise; the baseline row is 0 by construction).
+    pub overhead_pct: f64,
+}
+
+/// Trials per overhead variant; best-of minimums are far more stable than
+/// means for a sub-5% comparison.
+pub const OVERHEAD_TRIALS: usize = 9;
+
+fn overhead_typing_run(ops: usize, telemetry: Option<&Telemetry>) -> u64 {
+    let site = treedoc_core::SiteId::from_u64(1);
+    let mut replica = Replica::new(site, WireDoc::new(site));
+    if let Some(telemetry) = telemetry {
+        replica.set_telemetry(telemetry);
+    }
+    for k in 0..ops {
+        let len = replica.doc().len();
+        let op = replica
+            .doc_mut()
+            .local_insert(len, format!("typed line {k}"))
+            .expect("append in range");
+        let _ = replica.stamp(op);
+    }
+    replica.digest()
+}
+
+/// Measures what the telemetry layer itself costs on the hot `Replica`
+/// stamp path: the same `ops`-operation sequential-typing session with no
+/// telemetry call at all (`baseline`), an inert handle (`disabled` — one
+/// `None` branch per instrument hit), and a live registry (`enabled` —
+/// atomic counters plus a histogram record per op). The `enabled` row's
+/// `overhead_pct` is the figure the acceptance bound (<5%) pins.
+///
+/// Trials are interleaved round-robin across the three variants (taking
+/// each variant's best) so clock-frequency or load drift over the bench's
+/// lifetime cannot masquerade as overhead of whichever variant ran last.
+pub fn telemetry_overhead_cases(ops: usize) -> Vec<OverheadRow> {
+    let registry = Registry::new();
+    let enabled_handle = registry.handle();
+    let disabled_handle = Telemetry::disabled();
+    let variants: [Option<&Telemetry>; 3] = [None, Some(&disabled_handle), Some(&enabled_handle)];
+    let mut best = [Duration::MAX; 3];
+    for _ in 0..OVERHEAD_TRIALS {
+        for (slot, telemetry) in variants.iter().enumerate() {
+            let t = std::time::Instant::now();
+            overhead_typing_run(ops, *telemetry);
+            best[slot] = best[slot].min(t.elapsed());
+        }
+    }
+    let [baseline, disabled, enabled] = best;
+    global_registry().merge_from(&registry);
+
+    let row = |case: &str, elapsed: Duration| OverheadRow {
+        case: case.to_string(),
+        ops,
+        elapsed_micros: elapsed.as_micros() as u64,
+        ops_per_sec: ops as f64 / elapsed.as_secs_f64().max(1e-9),
+        overhead_pct: (elapsed.as_secs_f64() - baseline.as_secs_f64())
+            / baseline.as_secs_f64().max(1e-9)
+            * 100.0,
+    };
+    vec![
+        row("baseline", baseline),
+        row("disabled", disabled),
+        row("enabled", enabled),
+    ]
+}
+
 /// One row of the multi-document hosting sweep (`node_hosting` bin): a
 /// Zipf-popularity session workload at one resident-set size.
 #[derive(Debug, Clone, Serialize)]
@@ -1011,6 +1142,12 @@ pub struct HostingRow {
 
 /// Runs the hosting workload once per resident-set size over a fixed
 /// document population and session schedule.
+///
+/// Each sweep point runs over its own telemetry [`Registry`] (the latency
+/// percentiles in the report come from the node's `node.op_micros`
+/// histogram); the op count is read back from the registry snapshot and the
+/// registry is folded into [`global_registry`] for the `--telemetry-out`
+/// dump.
 pub fn hosting_sweep(documents: usize, sessions: usize, residents: &[usize]) -> Vec<HostingRow> {
     residents
         .iter()
@@ -1021,13 +1158,16 @@ pub fn hosting_sweep(documents: usize, sessions: usize, residents: &[usize]) -> 
                 max_resident,
                 ..HostingScenario::default()
             };
-            let report = run_hosting(&scenario);
+            let registry = Registry::new();
+            let report = run_hosting_with(&scenario, &registry.handle());
+            let snapshot = registry.snapshot();
+            global_registry().merge_from(&registry);
             HostingRow {
                 case: format!("resident-{max_resident}"),
                 documents,
                 max_resident,
                 hosted_docs: report.hosted_docs,
-                ops: report.ops_applied,
+                ops: snapshot.counter("node.ops").unwrap_or(0),
                 op_p50_micros: report.op_p50_micros,
                 op_p99_micros: report.op_p99_micros,
                 resident_bytes: report.resident_bytes,

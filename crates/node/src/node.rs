@@ -7,6 +7,7 @@ use std::fmt;
 use treedoc_core::{Sdis, SiteId, Treedoc};
 use treedoc_replication::Replica;
 use treedoc_storage::{list_namespaces, DocStore, GroupWal, NamespacedBackend, SharedBackend};
+use treedoc_telemetry::{Counter, Histogram, Telemetry, TraceEvent, Tracer};
 
 use crate::resident::ResidentSet;
 use crate::{DocId, NodeConfig, NodeError};
@@ -44,6 +45,40 @@ pub struct NodeStats {
 struct Session {
     user: String,
     doc: DocId,
+}
+
+/// Telemetry instruments of one hosting node: session-op volume and
+/// latency, eviction / fault-in / commit activity, plus trace events for
+/// the low-frequency lifecycle points. Inert by default; bound with
+/// [`HostingNode::set_telemetry`].
+#[derive(Debug, Clone, Default)]
+struct NodeMetrics {
+    /// The bound handle, re-applied to replicas faulted in later.
+    telemetry: Telemetry,
+    op_micros: Histogram,
+    ops: Counter,
+    sessions: Counter,
+    evictions: Counter,
+    fault_ins: Counter,
+    fault_in_micros: Histogram,
+    commit_micros: Histogram,
+    tracer: Tracer,
+}
+
+impl NodeMetrics {
+    fn resolve(telemetry: &Telemetry) -> Self {
+        NodeMetrics {
+            telemetry: telemetry.clone(),
+            op_micros: telemetry.histogram("node.op_micros"),
+            ops: telemetry.counter("node.ops"),
+            sessions: telemetry.counter("node.sessions"),
+            evictions: telemetry.counter("node.evictions"),
+            fault_ins: telemetry.counter("node.fault_ins"),
+            fault_in_micros: telemetry.histogram("node.fault_in_micros"),
+            commit_micros: telemetry.histogram("node.commit_micros"),
+            tracer: telemetry.tracer(),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -85,6 +120,7 @@ pub struct HostingNode {
     sessions: BTreeMap<u64, Session>,
     next_session: u64,
     stats: NodeStats,
+    metrics: NodeMetrics,
 }
 
 impl HostingNode {
@@ -126,7 +162,24 @@ impl HostingNode {
             sessions: BTreeMap::new(),
             next_session: 1,
             stats: NodeStats::default(),
+            metrics: NodeMetrics::default(),
         })
+    }
+
+    /// Points the node's instruments at `telemetry` and propagates the
+    /// handle to every shard group-WAL and every currently resident replica
+    /// (replicas faulted in later inherit it too). A disabled handle reverts
+    /// everything to no-ops.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.metrics = NodeMetrics::resolve(telemetry);
+        for shard in &self.shards {
+            shard.wal.set_telemetry(telemetry);
+        }
+        for hosted in self.docs.values_mut() {
+            if let Hosted::Resident(replica) = hosted {
+                replica.set_telemetry(telemetry);
+            }
+        }
     }
 
     /// Restart after a node-wide crash: same as [`open`](Self::open), named
@@ -200,6 +253,7 @@ impl HostingNode {
         let store = self.open_store(doc)?;
         let site = SiteId::from_u64(self.config.site);
         let mut replica = Replica::new(site, HostedDoc::new(site));
+        replica.set_telemetry(&self.metrics.telemetry);
         replica.attach_store(store)?;
         self.docs.insert(doc, Hosted::Resident(Box::new(replica)));
         self.admit(doc)?;
@@ -221,6 +275,7 @@ impl HostingNode {
             },
         );
         self.stats.sessions_admitted += 1;
+        self.metrics.sessions.inc();
         Ok(id)
     }
 
@@ -256,6 +311,7 @@ impl HostingNode {
         atom: char,
     ) -> Result<(), NodeError> {
         let doc = self.session_doc(session)?;
+        let span = self.metrics.op_micros.start();
         let replica = self.ensure_resident(doc)?;
         let len = replica.doc().len();
         if index > len {
@@ -266,13 +322,16 @@ impl HostingNode {
             .local_insert(index, atom)
             .expect("insert index checked in range");
         let _stamped = replica.stamp(op);
+        span.stop();
         self.stats.ops_applied += 1;
+        self.metrics.ops.inc();
         Ok(())
     }
 
     /// Deletes the atom at `index` in the session's document.
     pub fn remove(&mut self, session: SessionId, index: usize) -> Result<(), NodeError> {
         let doc = self.session_doc(session)?;
+        let span = self.metrics.op_micros.start();
         let replica = self.ensure_resident(doc)?;
         let len = replica.doc().len();
         if index >= len {
@@ -283,7 +342,9 @@ impl HostingNode {
             .local_delete(index)
             .expect("delete index checked in range");
         let _stamped = replica.stamp(op);
+        span.stop();
         self.stats.ops_applied += 1;
+        self.metrics.ops.inc();
         Ok(())
     }
 
@@ -305,11 +366,19 @@ impl HostingNode {
     /// every document's edits since the last commit. Returns the number of
     /// records made durable.
     pub fn commit(&mut self) -> Result<u64, NodeError> {
+        let span = self.metrics.commit_micros.start();
         let mut flushed = 0;
         for shard in &self.shards {
             flushed += shard.wal.flush()?;
         }
         self.stats.commits += 1;
+        let micros = span.stop();
+        self.metrics.tracer.record_with(|| TraceEvent {
+            site: self.config.site,
+            lsn: flushed,
+            micros,
+            ..TraceEvent::of("node.commit")
+        });
         Ok(flushed)
     }
 
@@ -327,6 +396,12 @@ impl HostingNode {
                 replica.persist_checkpoint()?;
                 self.residents.remove(doc);
                 self.stats.evictions += 1;
+                self.metrics.evictions.inc();
+                self.metrics.tracer.record_with(|| TraceEvent {
+                    site: self.config.site,
+                    doc: namespace(doc),
+                    ..TraceEvent::of("node.evict")
+                });
                 Ok(true)
             }
             Some(Hosted::Evicted) => Ok(false),
@@ -365,11 +440,23 @@ impl HostingNode {
         match self.docs.get(&doc) {
             None => return Err(NodeError::UnknownDocument(doc)),
             Some(Hosted::Evicted) => {
+                let span = self.metrics.fault_in_micros.start();
                 let store = self.open_store(doc)?;
-                let (replica, _report) = Replica::<HostedDoc>::recover(store)
+                let (mut replica, report) = Replica::<HostedDoc>::recover(store)
                     .map_err(|e| NodeError::Recover(e.to_string()))?;
+                replica.set_telemetry(&self.metrics.telemetry);
                 self.docs.insert(doc, Hosted::Resident(Box::new(replica)));
                 self.stats.fault_ins += 1;
+                self.metrics.fault_ins.inc();
+                let micros = span.stop();
+                self.metrics.tracer.record_with(|| TraceEvent {
+                    site: self.config.site,
+                    doc: namespace(doc),
+                    epoch: report.snapshot_epoch,
+                    bytes: report.bytes_recovered as u64,
+                    micros,
+                    ..TraceEvent::of("node.fault_in")
+                });
             }
             Some(Hosted::Resident(_)) => {}
         }

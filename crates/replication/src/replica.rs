@@ -19,6 +19,7 @@ use serde::{de::DeserializeOwned, Deserialize, Serialize};
 use treedoc_commit::{CommitProtocol, FlattenProposal, Vote};
 use treedoc_core::{Atom, Disambiguator, HasSource, Op, Side, SiteId, Treedoc};
 use treedoc_storage::{DocStore, Snapshot, StorageError};
+use treedoc_telemetry::{Counter, Gauge, Histogram, Telemetry};
 
 use crate::causal::{CausalBuffer, CausalBufferImage, CausalMessage};
 use crate::clock::VectorClock;
@@ -449,6 +450,45 @@ impl<Doc: ReplicatedDocument> std::fmt::Debug for Journal<Doc> {
     }
 }
 
+/// Telemetry instruments of one replica: stamp/receive volume and latency,
+/// batching, the causal/epoch hold-back depth, and sync-session traffic.
+/// Inert by default; bound by [`Replica::set_telemetry`].
+#[derive(Debug, Clone, Default)]
+struct ReplicaMetrics {
+    /// The bound handle, kept so a store attached later inherits it.
+    telemetry: Telemetry,
+    ops_stamped: Counter,
+    stamp_micros: Histogram,
+    ops_received: Counter,
+    receive_micros: Histogram,
+    batches_flushed: Counter,
+    batch_ops: Counter,
+    holdback_depth: Gauge,
+    sync_digests_rx: Counter,
+    sync_runs_rx: Counter,
+    sync_echo_bytes: Counter,
+    sync_cells_integrated: Counter,
+}
+
+impl ReplicaMetrics {
+    fn resolve(telemetry: &Telemetry) -> Self {
+        ReplicaMetrics {
+            telemetry: telemetry.clone(),
+            ops_stamped: telemetry.counter("replica.ops_stamped"),
+            stamp_micros: telemetry.histogram("replica.stamp_micros"),
+            ops_received: telemetry.counter("replica.ops_received"),
+            receive_micros: telemetry.histogram("replica.receive_micros"),
+            batches_flushed: telemetry.counter("replica.batches_flushed"),
+            batch_ops: telemetry.counter("replica.batch_ops"),
+            holdback_depth: telemetry.gauge("replica.holdback_depth"),
+            sync_digests_rx: telemetry.counter("sync.digests_rx"),
+            sync_runs_rx: telemetry.counter("sync.runs_rx"),
+            sync_echo_bytes: telemetry.counter("sync.echo_bytes"),
+            sync_cells_integrated: telemetry.counter("sync.cells_integrated"),
+        }
+    }
+}
+
 /// A document plus the machinery to exchange its operations causally.
 #[derive(Debug)]
 pub struct Replica<Doc: ReplicatedDocument> {
@@ -472,6 +512,7 @@ pub struct Replica<Doc: ReplicatedDocument> {
     /// Chunks of an in-flight snapshot bootstrap (transient: a crash simply
     /// restarts the transfer).
     bootstrap: Option<BootstrapAssembly>,
+    metrics: ReplicaMetrics,
 }
 
 /// Collects the chunks of one snapshot transfer until all have arrived.
@@ -499,6 +540,18 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
             journal: None,
             batcher: None,
             bootstrap: None,
+            metrics: ReplicaMetrics::default(),
+        }
+    }
+
+    /// Points this replica's instruments (stamp/receive counters and
+    /// latency, batching, hold-back depth, sync traffic) at `telemetry`, and
+    /// forwards the handle to the attached store if any. A disabled handle
+    /// reverts everything to no-ops.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.metrics = ReplicaMetrics::resolve(telemetry);
+        if let Some(journal) = self.journal.as_mut() {
+            journal.store.set_telemetry(telemetry);
         }
     }
 
@@ -747,6 +800,8 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
     /// producing the message to broadcast. In at-least-once mode the message
     /// is also retained for retransmission until every peer acknowledges it.
     pub fn stamp(&mut self, op: Doc::Op) -> CausalMessage<Doc::Op> {
+        let span = self.metrics.stamp_micros.start();
+        self.metrics.ops_stamped.inc();
         let clock = self.buffer.record_local(self.site);
         self.ops_sent += 1;
         let message = CausalMessage {
@@ -766,6 +821,7 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
             epoch,
             msg: message.clone(),
         });
+        span.stop();
         message
     }
 
@@ -839,9 +895,10 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
         }
         batcher.pending_bytes = 0;
         batcher.batches_flushed += 1;
-        Some(Envelope::OpBatch(OpBatch {
-            entries: std::mem::take(&mut batcher.pending),
-        }))
+        let entries = std::mem::take(&mut batcher.pending);
+        self.metrics.batches_flushed.inc();
+        self.metrics.batch_ops.add(entries.len() as u64);
+        Some(Envelope::OpBatch(OpBatch { entries }))
     }
 
     /// Operations buffered in the current (unflushed) batch.
@@ -861,8 +918,22 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
     /// With a store attached the message is persisted (as an epoch-tagged
     /// operation envelope) before delivery.
     pub fn receive(&mut self, message: CausalMessage<Doc::Op>) -> usize {
+        let span = self.metrics.receive_micros.start();
+        self.metrics.ops_received.inc();
         self.journal_received_op(self.flatten.epoch, &message);
-        self.receive_unjournaled(message)
+        let applied = self.receive_unjournaled(message);
+        span.stop();
+        self.note_holdback_depth();
+        applied
+    }
+
+    /// Publishes the hold-back depth (causally blocked plus epoch-held
+    /// messages) to the `replica.holdback_depth` gauge. One branch when
+    /// telemetry is off.
+    fn note_holdback_depth(&self) {
+        if self.metrics.holdback_depth.is_enabled() {
+            self.metrics.holdback_depth.set(self.pending() as u64);
+        }
     }
 
     /// The persist-before-deliver guard for incoming operations, shared by
@@ -953,16 +1024,26 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
     pub fn receive_envelope(&mut self, envelope: Envelope<Doc::Op>) -> usize {
         match envelope {
             Envelope::Op { epoch, msg } => {
+                let span = self.metrics.receive_micros.start();
+                self.metrics.ops_received.inc();
                 self.journal_received_op(epoch, &msg);
-                self.receive_op(epoch, msg)
+                let applied = self.receive_op(epoch, msg);
+                span.stop();
+                self.note_holdback_depth();
+                applied
             }
             Envelope::OpBatch(batch) => {
+                let span = self.metrics.receive_micros.start();
+                self.metrics.ops_received.add(batch.entries.len() as u64);
                 self.journal_received_batch(&batch);
-                batch
+                let applied = batch
                     .entries
                     .into_iter()
                     .map(|(epoch, msg)| self.receive_op(epoch, msg))
-                    .sum()
+                    .sum();
+                span.stop();
+                self.note_holdback_depth();
+                applied
             }
             Envelope::Ack { from, clock } => {
                 if self.journaling() && !self.ack_is_noop(from, &clock) {
@@ -1222,8 +1303,14 @@ impl<Doc: SyncDocument> Replica<Doc> {
     ) -> SyncEffect<Doc::Op> {
         match envelope {
             Envelope::SyncRoot(root) => self.on_sync_root(root, config),
-            Envelope::SyncDigests(digests) => self.on_sync_digests(digests, config),
-            Envelope::SyncRuns(runs) => self.on_sync_runs(runs),
+            Envelope::SyncDigests(digests) => {
+                self.metrics.sync_digests_rx.inc();
+                self.on_sync_digests(digests, config)
+            }
+            Envelope::SyncRuns(runs) => {
+                self.metrics.sync_runs_rx.inc();
+                self.on_sync_runs(runs)
+            }
             Envelope::SnapshotOffer(offer) => {
                 self.bootstrap = Some(BootstrapAssembly {
                     from: offer.from,
@@ -1333,8 +1420,12 @@ impl<Doc: SyncDocument> Replica<Doc> {
             None
         };
         effect.cells_integrated = self.doc.sync_integrate(&runs.cells).unwrap_or(0);
+        self.metrics
+            .sync_cells_integrated
+            .add(effect.cells_integrated as u64);
         if let Some((cells, count)) = mine {
             if count > 0 {
+                self.metrics.sync_echo_bytes.add(cells.len() as u64);
                 effect.replies.push(Envelope::SyncRuns(SyncRuns {
                     from: self.site,
                     lo: runs.lo,
@@ -1655,6 +1746,7 @@ impl<Doc: ReplicatedDocument> Replica<Doc> {
             journal: None,
             batcher: None,
             bootstrap: None,
+            metrics: ReplicaMetrics::default(),
         }
     }
 
@@ -1726,6 +1818,7 @@ where
             make_snapshot: Self::build_snapshot,
             replaying: false,
         };
+        journal.store.set_telemetry(&self.metrics.telemetry);
         let snapshot = Self::build_snapshot(self);
         journal.store.checkpoint(self.flatten.epoch, &snapshot)?;
         self.journal = Some(journal);

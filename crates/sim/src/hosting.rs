@@ -24,6 +24,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use treedoc_node::{DocId, HostingNode, NodeConfig};
+use treedoc_telemetry::{Registry, Telemetry};
 
 /// Parameters of a hosting run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -132,25 +133,36 @@ impl Zipf {
     }
 }
 
-fn percentile_micros(sorted: &[u64], pct: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * pct / 100.0).round() as usize;
-    sorted[idx]
+/// Runs the scenario and reports the figures (see the module docs).
+///
+/// Latency percentiles come from the node's `node.op_micros` telemetry
+/// histogram; when the caller has no registry, the run opens a private one so
+/// the report is identical either way.
+pub fn run_hosting(scenario: &HostingScenario) -> HostingReport {
+    run_hosting_with(scenario, &Telemetry::disabled())
 }
 
-/// Runs the scenario and reports the figures (see the module docs).
-pub fn run_hosting(scenario: &HostingScenario) -> HostingReport {
+/// [`run_hosting`] with an explicit telemetry handle, so bench bins can
+/// aggregate the node's instruments across runs.
+pub fn run_hosting_with(scenario: &HostingScenario, telemetry: &Telemetry) -> HostingReport {
+    // The report's p50/p99 are read back from the `node.op_micros`
+    // histogram, so the run always needs a live registry: fall back to a
+    // private one when the caller's handle is inert.
+    let fallback = Registry::new();
+    let telemetry = if telemetry.is_enabled() {
+        telemetry.clone()
+    } else {
+        fallback.handle()
+    };
     let config = NodeConfig {
         shards: scenario.shards.max(1),
         max_resident: scenario.max_resident.max(1),
         site: 1,
     };
     let mut node = HostingNode::new(config);
+    node.set_telemetry(&telemetry);
     let zipf = Zipf::new(scenario.documents.max(1), scenario.zipf_s);
     let mut rng = StdRng::seed_from_u64(scenario.seed);
-    let mut latencies: Vec<u64> = Vec::with_capacity(scenario.sessions * scenario.ops_per_session);
 
     for session_no in 0..scenario.sessions {
         let doc = zipf.sample(&mut rng) as DocId;
@@ -162,13 +174,11 @@ pub fn run_hosting(scenario: &HostingScenario) -> HostingReport {
             let delete = len > 4 && rng.gen_bool(0.25);
             let pos = rng.gen_range(0..=len.saturating_sub(delete as usize));
             let ch = char::from(b'a' + (rng.gen_range(0..26u32)) as u8);
-            let start = Instant::now();
             if delete {
                 node.remove(session, pos.min(len - 1)).expect("in range");
             } else {
                 node.insert(session, pos.min(len), ch).expect("in range");
             }
-            latencies.push(start.elapsed().as_micros() as u64);
         }
         node.disconnect(session).expect("live session");
         if (session_no + 1) % scenario.commit_every.max(1) == 0 {
@@ -176,7 +186,6 @@ pub fn run_hosting(scenario: &HostingScenario) -> HostingReport {
         }
     }
     node.commit().expect("final commit");
-    latencies.sort_unstable();
 
     let stats = node.stats();
     let hosted_docs = node.hosted_count();
@@ -191,6 +200,7 @@ pub fn run_hosting(scenario: &HostingScenario) -> HostingReport {
     let restart_start = Instant::now();
     let mut node = HostingNode::restart(config, backends).expect("restart over intact shards");
     let restart_micros = restart_start.elapsed().as_micros() as u64;
+    node.set_telemetry(&telemetry);
 
     // Refill the working set: touch the hottest documents (low ids are the
     // hot Zipf head) up to the resident capacity, then verify the rest is
@@ -207,14 +217,20 @@ pub fn run_hosting(scenario: &HostingScenario) -> HostingReport {
         recovered_docs += 1;
     }
 
+    let snapshot = telemetry
+        .registry()
+        .expect("run always holds a registry")
+        .snapshot();
+    let op_micros = snapshot.histogram("node.op_micros");
+
     HostingReport {
         hosted_docs,
         resident_docs,
         max_resident: config.max_resident,
         sessions: scenario.sessions as u64,
         ops_applied: stats.ops_applied,
-        op_p50_micros: percentile_micros(&latencies, 50.0),
-        op_p99_micros: percentile_micros(&latencies, 99.0),
+        op_p50_micros: op_micros.map(|h| h.p50).unwrap_or(0),
+        op_p99_micros: op_micros.map(|h| h.p99).unwrap_or(0),
         resident_bytes,
         evictions: stats.evictions,
         fault_ins: stats.fault_ins,

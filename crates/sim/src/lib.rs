@@ -51,6 +51,8 @@ pub mod recovery;
 pub mod scenario;
 
 pub use commitment::{partitioned_commit_demo, PartitionedCommitReport};
-pub use hosting::{run_hosting, HostingReport, HostingScenario, Zipf};
+pub use hosting::{run_hosting, run_hosting_with, HostingReport, HostingScenario, Zipf};
 pub use recovery::{crash_recovery_demo, CrashRecoveryReport};
-pub use scenario::{run, CrashSchedule, OfflineWindow, Scenario, ScenarioMatrix, SimReport};
+pub use scenario::{
+    run, run_with, CrashSchedule, OfflineWindow, Scenario, ScenarioMatrix, SimReport,
+};

@@ -12,6 +12,7 @@ use treedoc_replication::{
     NetworkEvent, Replica, SimNetwork, SyncConfig,
 };
 use treedoc_storage::DocStore;
+use treedoc_telemetry::{Counter, Telemetry};
 
 /// A crash/restart fault: kill one site at an edit round, losing its entire
 /// in-memory state, then restart it from its durable store
@@ -392,25 +393,79 @@ type Env = Envelope<Op<String, Sdis>>;
 /// test.
 type Wire = Vec<u8>;
 
-/// Encodes an envelope and sends it, returning the encoded size.
-fn send_env(net: &mut SimNetwork<Wire>, from: SiteId, to: SiteId, env: &Env) -> usize {
+/// The simulator's telemetry mirror: wire traffic measured **at the send
+/// boundary** (inside [`send_env`]/[`broadcast_env`], so no call site can
+/// forget it), plus the per-purpose counters the registry-driven reports
+/// read. The wire counters are deliberately independent of the report's
+/// own accumulators — the differential test asserts the two decompositions
+/// agree byte for byte.
+#[derive(Debug, Clone, Default)]
+struct SimMetrics {
+    wire_bytes: Counter,
+    wire_msgs: Counter,
+    ack_bytes: Counter,
+    retransmission_bytes: Counter,
+    sync_sessions: Counter,
+    sync_rounds: Counter,
+    sync_digest_msgs: Counter,
+    sync_run_msgs: Counter,
+    sync_cells: Counter,
+    sync_bytes: Counter,
+    snapshot_bytes: Counter,
+}
+
+impl SimMetrics {
+    fn resolve(telemetry: &Telemetry) -> Self {
+        SimMetrics {
+            wire_bytes: telemetry.counter("sim.wire_bytes"),
+            wire_msgs: telemetry.counter("sim.wire_msgs"),
+            ack_bytes: telemetry.counter("sim.ack_bytes"),
+            retransmission_bytes: telemetry.counter("sim.retransmission_bytes"),
+            sync_sessions: telemetry.counter("sim.sync_sessions"),
+            sync_rounds: telemetry.counter("sim.sync_rounds"),
+            sync_digest_msgs: telemetry.counter("sim.sync_digest_msgs"),
+            sync_run_msgs: telemetry.counter("sim.sync_run_msgs"),
+            sync_cells: telemetry.counter("sim.sync_cells"),
+            sync_bytes: telemetry.counter("sim.sync_bytes"),
+            snapshot_bytes: telemetry.counter("sim.snapshot_bytes"),
+        }
+    }
+}
+
+/// Encodes an envelope and sends it, returning the encoded size. The bytes
+/// are mirrored into `sim.wire_bytes` here, at the one point every unicast
+/// passes through.
+fn send_env(
+    net: &mut SimNetwork<Wire>,
+    metrics: &SimMetrics,
+    from: SiteId,
+    to: SiteId,
+    env: &Env,
+) -> usize {
     let bytes = encode_envelope(env);
     let len = bytes.len();
+    metrics.wire_bytes.add(len as u64);
+    metrics.wire_msgs.inc();
     net.send(from, to, bytes);
     len
 }
 
 /// Encodes an envelope once and broadcasts it, returning the encoded size
 /// (per copy; the caller multiplies by the recipient count for per-link
-/// accounting).
+/// accounting). The mirrored `sim.wire_bytes` count covers every link
+/// crossed — the recipient list minus the sender itself.
 fn broadcast_env(
     net: &mut SimNetwork<Wire>,
+    metrics: &SimMetrics,
     from: SiteId,
     recipients: &[SiteId],
     env: &Env,
 ) -> usize {
     let bytes = encode_envelope(env);
     let len = bytes.len();
+    let links = recipients.iter().filter(|&&r| r != from).count();
+    metrics.wire_bytes.add((len * links) as u64);
+    metrics.wire_msgs.add(links as u64);
     net.broadcast(from, recipients, bytes);
     len
 }
@@ -469,13 +524,14 @@ impl FlattenDriver {
         replicas: &mut [Replica<Doc>],
         site_ids: &[SiteId],
         net: &mut SimNetwork<Wire>,
+        metrics: &SimMetrics,
     ) {
         let Some(coordinator) = self.active.as_mut() else {
             return;
         };
         for (to, env) in coordinator.tick::<Op<String, Sdis>>() {
             self.protocol_messages += 1;
-            self.protocol_bytes += send_env(net, site_ids[0], to, &env);
+            self.protocol_bytes += send_env(net, metrics, site_ids[0], to, &env);
         }
         if let Some(outcome) = coordinator.outcome() {
             if !self.self_finished {
@@ -508,6 +564,7 @@ fn deliver(
     site_ids: &[SiteId],
     driver: &mut FlattenDriver,
     net: &mut SimNetwork<Wire>,
+    metrics: &SimMetrics,
     event: NetworkEvent<Wire>,
     max_pending: &mut usize,
     dead: Option<SiteId>,
@@ -536,7 +593,7 @@ fn deliver(
     let (_, reply) = replicas[idx].receive_any(envelope);
     if let Some(reply) = reply {
         driver.protocol_messages += 1;
-        driver.protocol_bytes += send_env(net, event.to, event.from, &reply);
+        driver.protocol_bytes += send_env(net, metrics, event.to, event.from, &reply);
     }
     *max_pending = (*max_pending).max(replicas[idx].pending());
 }
@@ -560,6 +617,7 @@ fn restart_replica(
     store: DocStore,
     totals: &mut RecoveryTotals,
     batch_policy: Option<BatchPolicy>,
+    telemetry: &Telemetry,
 ) {
     let (mut replica, report) = Replica::recover(store).expect("crash recovery must succeed");
     totals.records += report.wal_records_replayed as u64;
@@ -568,6 +626,7 @@ fn restart_replica(
     if let Some(policy) = batch_policy {
         replica.enable_batching(policy);
     }
+    replica.set_telemetry(telemetry);
     replicas[idx] = replica;
 }
 
@@ -602,24 +661,35 @@ fn sync_pair(
     b: usize,
     config: &SyncConfig,
     totals: &mut SyncTotals,
+    metrics: &SimMetrics,
 ) {
     totals.sessions += 1;
+    metrics.sync_sessions.inc();
     for _ in 0..MAX_SYNC_ROUNDS {
         totals.rounds += 1;
+        metrics.sync_rounds.inc();
         let mut queue: Vec<(usize, Env)> = vec![(b, replicas[a].sync_probe())];
         let mut converged = false;
         while let Some((to, env)) = queue.pop() {
             let bytes = encode_envelope(&env);
             totals.bytes += bytes.len();
+            metrics.sync_bytes.add(bytes.len() as u64);
             match &env {
-                Envelope::SyncDigests(_) => totals.digest_msgs += 1,
-                Envelope::SyncRuns(_) => totals.run_msgs += 1,
+                Envelope::SyncDigests(_) => {
+                    totals.digest_msgs += 1;
+                    metrics.sync_digest_msgs.inc();
+                }
+                Envelope::SyncRuns(_) => {
+                    totals.run_msgs += 1;
+                    metrics.sync_run_msgs.inc();
+                }
                 _ => {}
             }
             let env: Env = decode_envelope(&bytes)
                 .unwrap_or_else(|e| panic!("undecodable sync envelope: {e}"));
             let effect = replicas[to].receive_sync(env, config);
             totals.cells += effect.cells_integrated as u64;
+            metrics.sync_cells.add(effect.cells_integrated as u64);
             converged |= effect.converged;
             let reply_to = if to == a { b } else { a };
             queue.extend(effect.replies.into_iter().map(|e| (reply_to, e)));
@@ -640,23 +710,35 @@ fn bootstrap_joiner(
     joiner: usize,
     config: &SyncConfig,
     totals: &mut SyncTotals,
+    metrics: &SimMetrics,
 ) {
     let mut bootstrapped = false;
     for env in replicas[donor].snapshot_envelopes(config) {
         let bytes = encode_envelope(&env);
         totals.snapshot_bytes += bytes.len();
+        metrics.snapshot_bytes.add(bytes.len() as u64);
         let env: Env = decode_envelope(&bytes)
             .unwrap_or_else(|e| panic!("undecodable snapshot envelope: {e}"));
         bootstrapped |= replicas[joiner].receive_sync(env, config).bootstrapped;
     }
     assert!(bootstrapped, "snapshot bootstrap must complete");
     totals.snapshot_bootstraps += 1;
-    sync_pair(replicas, donor, joiner, config, totals);
+    sync_pair(replicas, donor, joiner, config, totals, metrics);
 }
 
 /// Runs a scenario to completion (all messages delivered, all losses
 /// recovered when retransmission is on) and checks convergence.
 pub fn run(scenario: &Scenario) -> SimReport {
+    run_with(scenario, &Telemetry::disabled())
+}
+
+/// Like [`run`], but with every replica, store and wire boundary bound to
+/// `telemetry`: the registry afterwards holds the run's wire/sync/latency
+/// instruments (the `sim.*`, `replica.*` and `store.*` families). The report
+/// itself is byte-identical to a plain [`run`] — telemetry observes, it
+/// never steers.
+pub fn run_with(scenario: &Scenario, telemetry: &Telemetry) -> SimReport {
+    let metrics = SimMetrics::resolve(telemetry);
     assert!(
         scenario.sites >= 2,
         "a cooperative session needs at least two sites"
@@ -699,7 +781,9 @@ pub fn run(scenario: &Scenario) -> SimReport {
             } else {
                 Doc::from_atoms_with_config(s, &seed_doc, config)
             };
-            Replica::new(s, doc)
+            let mut replica = Replica::new(s, doc);
+            replica.set_telemetry(telemetry);
+            replica
         })
         .collect();
     if scenario.retransmit {
@@ -825,7 +909,14 @@ pub fn run(scenario: &Scenario) -> SimReport {
         if let Some(cs) = scenario.crash {
             if round == cs.restart_round {
                 if let Some((idx, store)) = dead.take() {
-                    restart_replica(&mut replicas, idx, store, &mut recovery, batch_policy);
+                    restart_replica(
+                        &mut replicas,
+                        idx,
+                        store,
+                        &mut recovery,
+                        batch_policy,
+                        telemetry,
+                    );
                 }
             }
             if round == cs.crash_round && crashes == 0 {
@@ -866,6 +957,7 @@ pub fn run(scenario: &Scenario) -> SimReport {
                 joiner.expect("late_join implies a joiner"),
                 &sync_config,
                 &mut sync_totals,
+                &metrics,
             );
         }
         // The site currently inside its offline window, if any.
@@ -908,8 +1000,9 @@ pub fn run(scenario: &Scenario) -> SimReport {
                 // the real encoded size, one count per link crossed.
                 if let Some(env) = replicas[i].stamp_batched(op) {
                     op_batches_sent += u64::from(matches!(env, Envelope::OpBatch(_)));
-                    network_bytes += broadcast_env(&mut net, site_ids[i], &site_ids, &env)
-                        * (scenario.sites - 1);
+                    network_bytes +=
+                        broadcast_env(&mut net, &metrics, site_ids[i], &site_ids, &env)
+                            * (scenario.sites - 1);
                 }
             }
         }
@@ -927,7 +1020,7 @@ pub fn run(scenario: &Scenario) -> SimReport {
         for r in replicas.iter_mut() {
             let _ = r.flatten_tick(PRE_COMMIT_TIMEOUT_TICKS);
         }
-        driver.pump(&mut replicas, &site_ids, &mut net);
+        driver.pump(&mut replicas, &site_ids, &mut net, &metrics);
 
         // Let some of the traffic flow between rounds (not all of it, so
         // concurrency actually happens).
@@ -949,6 +1042,7 @@ pub fn run(scenario: &Scenario) -> SimReport {
                 &site_ids,
                 &mut driver,
                 &mut net,
+                &metrics,
                 event,
                 &mut max_pending,
                 dead_site,
@@ -980,7 +1074,14 @@ pub fn run(scenario: &Scenario) -> SimReport {
     // A site still dead when the edits end restarts at the head of the drain
     // phase (the drain cannot terminate while a registered peer never acks).
     if let Some((idx, store)) = dead.take() {
-        restart_replica(&mut replicas, idx, store, &mut recovery, batch_policy);
+        restart_replica(
+            &mut replicas,
+            idx,
+            store,
+            &mut recovery,
+            batch_policy,
+            telemetry,
+        );
     }
     // Flush whatever the batchers still hold: without retransmission a
     // buffered-but-never-shipped batch would be lost for good, and the final
@@ -988,8 +1089,8 @@ pub fn run(scenario: &Scenario) -> SimReport {
     for i in 0..replicas.len() {
         if let Some(env) = replicas[i].flush_batch() {
             op_batches_sent += 1;
-            network_bytes +=
-                broadcast_env(&mut net, site_ids[i], &site_ids, &env) * (scenario.sites - 1);
+            network_bytes += broadcast_env(&mut net, &metrics, site_ids[i], &site_ids, &env)
+                * (scenario.sites - 1);
         }
     }
     // Anti-entropy drain: fully deliver what is still in flight, then repair
@@ -1008,6 +1109,7 @@ pub fn run(scenario: &Scenario) -> SimReport {
                     &site_ids,
                     &mut driver,
                     &mut net,
+                    &metrics,
                     event,
                     &mut max_pending,
                     None,
@@ -1026,7 +1128,14 @@ pub fn run(scenario: &Scenario) -> SimReport {
                 "anti-entropy failed to converge"
             );
             for peer in 1..replicas.len() {
-                sync_pair(&mut replicas, 0, peer, &sync_config, &mut sync_totals);
+                sync_pair(
+                    &mut replicas,
+                    0,
+                    peer,
+                    &sync_config,
+                    &mut sync_totals,
+                    &metrics,
+                );
             }
         }
     }
@@ -1048,6 +1157,7 @@ pub fn run(scenario: &Scenario) -> SimReport {
                 &site_ids,
                 &mut driver,
                 &mut net,
+                &metrics,
                 event,
                 &mut max_pending,
                 None,
@@ -1060,7 +1170,7 @@ pub fn run(scenario: &Scenario) -> SimReport {
         for r in replicas.iter_mut() {
             let _ = r.flatten_tick(PRE_COMMIT_TIMEOUT_TICKS);
         }
-        driver.pump(&mut replicas, &site_ids, &mut net);
+        driver.pump(&mut replicas, &site_ids, &mut net, &metrics);
 
         let net_idle = net.in_flight() == 0;
         let logs_clear = replicas.iter().all(|r| !r.has_unacked());
@@ -1109,8 +1219,10 @@ pub fn run(scenario: &Scenario) -> SimReport {
             // next round simply repeats them).
             for i in 0..replicas.len() {
                 let ack = replicas[i].ack_envelope();
-                ack_bytes +=
-                    broadcast_env(&mut net, site_ids[i], &site_ids, &ack) * (scenario.sites - 1);
+                let per_copy = broadcast_env(&mut net, &metrics, site_ids[i], &site_ids, &ack)
+                    * (scenario.sites - 1);
+                ack_bytes += per_copy;
+                metrics.ack_bytes.add(per_copy as u64);
             }
             while let Some(event) = net.step() {
                 deliver(
@@ -1118,6 +1230,7 @@ pub fn run(scenario: &Scenario) -> SimReport {
                     &site_ids,
                     &mut driver,
                     &mut net,
+                    &metrics,
                     event,
                     &mut max_pending,
                     None,
@@ -1142,11 +1255,15 @@ pub fn run(scenario: &Scenario) -> SimReport {
                         // payload even when sender-side batching is off.
                         if let Some(env) = replicas[i].unacked_batch_for(peer) {
                             op_batches_sent += 1;
-                            retransmission_bytes += send_env(&mut net, from, peer, &env);
+                            let sent = send_env(&mut net, &metrics, from, peer, &env);
+                            retransmission_bytes += sent;
+                            metrics.retransmission_bytes.add(sent as u64);
                         }
                     } else {
                         for env in replicas[i].unacked_envelopes_for(peer) {
-                            retransmission_bytes += send_env(&mut net, from, peer, &env);
+                            let sent = send_env(&mut net, &metrics, from, peer, &env);
+                            retransmission_bytes += sent;
+                            metrics.retransmission_bytes.add(sent as u64);
                         }
                     }
                 }
@@ -1471,10 +1588,22 @@ impl ScenarioMatrix {
 
     /// Runs every cell, returning each scenario with its report.
     pub fn run(&self) -> Vec<(Scenario, SimReport)> {
+        self.run_with(|_| Telemetry::disabled())
+    }
+
+    /// Runs every cell through [`run_with`], asking `telemetry_for` for each
+    /// cell's handle — pass a closure returning a fresh enabled registry's
+    /// handle per cell to collect per-cell instrument snapshots (the
+    /// `sync_cost` bench bin's data path), or a shared handle to aggregate.
+    pub fn run_with(
+        &self,
+        mut telemetry_for: impl FnMut(&Scenario) -> Telemetry,
+    ) -> Vec<(Scenario, SimReport)> {
         self.scenarios()
             .into_iter()
             .map(|scenario| {
-                let report = run(&scenario);
+                let telemetry = telemetry_for(&scenario);
+                let report = run_with(&scenario, &telemetry);
                 (scenario, report)
             })
             .collect()

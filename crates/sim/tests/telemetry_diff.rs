@@ -1,0 +1,156 @@
+//! Differential audit of the simulator's byte accounting: every scenario is
+//! run twice, once plain and once with a live telemetry registry, and the
+//! two independent decompositions of the wire traffic must agree.
+//!
+//! The `sim.wire_bytes` counter is mirrored **at the send boundary** (inside
+//! the simulator's `send_env`/`broadcast_env` helpers, where no call site
+//! can forget it), while the report's `network_bytes`/`ack_bytes`/
+//! `protocol_bytes` are accumulated per purpose at each call site — so a
+//! double-counted or missed path shows up as a byte-for-byte mismatch
+//! between the two. Telemetry must also never steer the run: the instrumented
+//! report has to equal the plain one exactly.
+
+use treedoc_sim::{run, run_with, Scenario, SimReport};
+use treedoc_telemetry::Registry;
+
+fn audit(label: &str, scenario: &Scenario) -> (SimReport, Registry) {
+    let plain = run(scenario);
+    let registry = Registry::new();
+    let report = run_with(scenario, &registry.handle());
+    assert_eq!(
+        plain, report,
+        "{label}: telemetry observes, it never steers — instrumented run \
+         must produce the identical report"
+    );
+    (report, registry)
+}
+
+fn assert_counters_agree(label: &str, report: &SimReport, registry: &Registry) {
+    let snapshot = registry.snapshot();
+    let counter = |name: &str| snapshot.counter(name).unwrap_or(0) as usize;
+
+    // Every byte handed to the network, mirrored at the send boundary, must
+    // equal the report's purpose-split accounting. `network_bytes` already
+    // includes the retransmission share.
+    assert_eq!(
+        counter("sim.wire_bytes"),
+        report.network_bytes + report.ack_bytes + report.protocol_bytes,
+        "{label}: wire-boundary bytes vs report decomposition"
+    );
+    // Messages handed to the network: everything the net later delivered
+    // (injected duplicate copies excluded — the net created those, nobody
+    // sent them; discards for dead/offline/not-yet-joined sites happen
+    // after delivery so they are already inside `messages_delivered`) plus
+    // everything fault injection dropped. A drained run leaves nothing in
+    // flight, so the two sides must match exactly.
+    assert_eq!(
+        counter("sim.wire_msgs") as u64,
+        report.messages_delivered + report.messages_dropped - report.messages_duplicated,
+        "{label}: wire-boundary messages vs report delivery accounting"
+    );
+    assert_eq!(
+        counter("sim.retransmission_bytes"),
+        report.retransmission_bytes,
+        "{label}: retransmission bytes"
+    );
+    assert_eq!(
+        counter("sim.ack_bytes"),
+        report.ack_bytes,
+        "{label}: ack bytes"
+    );
+
+    // The out-of-band flows (anti-entropy sessions, snapshot bootstrap)
+    // bypass the network, so they are mirrored in their own counters.
+    assert_eq!(
+        counter("sim.sync_bytes"),
+        report.sync_bytes,
+        "{label}: sync bytes"
+    );
+    assert_eq!(
+        counter("sim.sync_sessions") as u64,
+        report.sync_sessions,
+        "{label}: sync sessions"
+    );
+    assert_eq!(
+        counter("sim.sync_digest_msgs") as u64,
+        report.sync_digest_msgs,
+        "{label}: sync digest messages"
+    );
+    assert_eq!(
+        counter("sim.sync_run_msgs") as u64,
+        report.sync_run_msgs,
+        "{label}: sync run messages"
+    );
+    assert_eq!(
+        counter("sim.sync_cells") as u64,
+        report.sync_cells,
+        "{label}: sync cells"
+    );
+    assert_eq!(
+        counter("sim.snapshot_bytes"),
+        report.snapshot_bytes,
+        "{label}: snapshot bootstrap bytes"
+    );
+}
+
+fn audit_and_check(label: &str, scenario: &Scenario) -> SimReport {
+    let (report, registry) = audit(label, scenario);
+    assert!(report.converged, "{label}: scenario must converge");
+    assert_counters_agree(label, &report, &registry);
+    report
+}
+
+#[test]
+fn clean_run_counters_agree() {
+    audit_and_check("clean", &Scenario::default());
+}
+
+#[test]
+fn lossy_retransmission_counters_agree() {
+    let report = audit_and_check("faulty", &Scenario::faulty());
+    assert!(
+        report.retransmission_bytes > 0,
+        "faulty scenario must exercise the retransmission path"
+    );
+}
+
+#[test]
+fn batched_counters_agree() {
+    let report = audit_and_check("batched", &Scenario::batched_faulty(8));
+    assert!(
+        report.op_batches_sent > 0,
+        "batched scenario must exercise the batch-flush path"
+    );
+}
+
+#[test]
+fn anti_entropy_counters_agree() {
+    let report = audit_and_check("anti-entropy", &Scenario::anti_entropy_faulty());
+    assert!(
+        report.sync_bytes > 0,
+        "anti-entropy scenario must exercise the sync path"
+    );
+}
+
+#[test]
+fn late_join_counters_agree() {
+    let report = audit_and_check("late-join", &Scenario::late_joiner(4));
+    assert!(
+        report.snapshot_bytes > 0,
+        "late joiner must exercise the snapshot bootstrap path"
+    );
+}
+
+#[test]
+fn offline_gap_counters_agree() {
+    audit_and_check("offline-retransmit", &Scenario::offline_gap(1, 2, 8, false));
+    audit_and_check(
+        "offline-anti-entropy",
+        &Scenario::offline_gap(1, 2, 8, true),
+    );
+}
+
+#[test]
+fn durable_crash_counters_agree() {
+    audit_and_check("crash", &Scenario::crash_faulty(1, 4, 8));
+}

@@ -14,6 +14,8 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
+use treedoc_telemetry::{Histogram, Telemetry};
+
 /// An error from the storage backend (I/O failure, invalid name, …).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StorageError {
@@ -311,10 +313,31 @@ impl StorageBackend for NamespacedBackend {
     }
 }
 
+/// Telemetry instruments of a [`FileBackend`]: write/append latency with the
+/// fsync portion broken out separately. Inert until
+/// [`FileBackend::set_telemetry`] binds them.
+#[derive(Debug, Clone, Default)]
+struct FileMetrics {
+    write_micros: Histogram,
+    append_micros: Histogram,
+    fsync_micros: Histogram,
+}
+
+impl FileMetrics {
+    fn resolve(telemetry: &Telemetry) -> Self {
+        FileMetrics {
+            write_micros: telemetry.histogram("fs.write_micros"),
+            append_micros: telemetry.histogram("fs.append_micros"),
+            fsync_micros: telemetry.histogram("fs.fsync_micros"),
+        }
+    }
+}
+
 /// A directory-of-files backend: each blob is one file under `root`.
 #[derive(Debug, Clone)]
 pub struct FileBackend {
     root: PathBuf,
+    metrics: FileMetrics,
 }
 
 impl FileBackend {
@@ -336,7 +359,17 @@ impl FileBackend {
                 let _ = std::fs::remove_file(entry.path());
             }
         }
-        Ok(FileBackend { root })
+        Ok(FileBackend {
+            root,
+            metrics: FileMetrics::default(),
+        })
+    }
+
+    /// Points this backend's latency histograms (`fs.write_micros`,
+    /// `fs.append_micros`, `fs.fsync_micros`) at `telemetry`. A disabled
+    /// handle reverts them to no-ops.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.metrics = FileMetrics::resolve(telemetry);
     }
 
     /// Opens shard `index` of a sharded store rooted at `root`: the blobs
@@ -395,6 +428,7 @@ impl StorageBackend for FileBackend {
     }
 
     fn write(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        let span = self.metrics.write_micros.start();
         let path = self.path_of(name)?;
         // Write-then-rename so a crash mid-write leaves either the old blob
         // or the new one, never a torn mixture. (The WAL, whose torn tails
@@ -403,24 +437,33 @@ impl StorageBackend for FileBackend {
         {
             let mut file = std::fs::File::create(&tmp)?;
             file.write_all(bytes)?;
+            let fsync = self.metrics.fsync_micros.start();
             file.sync_all()?;
+            fsync.stop();
         }
         std::fs::rename(&tmp, &path)?;
         // The rename lives in directory metadata; without this sync a power
         // loss could surface the old blob again (or, worse, persist later
         // removals while dropping this rename).
+        let fsync = self.metrics.fsync_micros.start();
         self.sync_dir()?;
+        fsync.stop();
+        span.stop();
         Ok(())
     }
 
     fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        let span = self.metrics.append_micros.start();
         let path = self.path_of(name)?;
         let mut file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(&path)?;
         file.write_all(bytes)?;
+        let fsync = self.metrics.fsync_micros.start();
         file.sync_all()?;
+        fsync.stop();
+        span.stop();
         Ok(())
     }
 

@@ -47,6 +47,7 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use treedoc_core::codec::{get_bytes, get_varint, put_bytes, put_varint};
+use treedoc_telemetry::{Counter, Histogram, Telemetry, TraceEvent, Tracer};
 
 use crate::backend::{SharedBackend, StorageBackend, StorageError};
 use crate::wal::{self, WalEntry};
@@ -90,6 +91,29 @@ struct DocMark {
     last: u64,
 }
 
+/// Telemetry instruments of one shard's group WAL. Inert by default; bound
+/// by [`GroupWal::set_telemetry`].
+#[derive(Debug, Clone, Default)]
+struct GroupMetrics {
+    enqueue_micros: Histogram,
+    flush_micros: Histogram,
+    flush_records: Counter,
+    pruned_segments: Counter,
+    tracer: Tracer,
+}
+
+impl GroupMetrics {
+    fn resolve(telemetry: &Telemetry) -> Self {
+        GroupMetrics {
+            enqueue_micros: telemetry.histogram("gwal.enqueue_micros"),
+            flush_micros: telemetry.histogram("gwal.flush_micros"),
+            flush_records: telemetry.counter("gwal.flush_records"),
+            pruned_segments: telemetry.counter("gwal.pruned_segments"),
+            tracer: telemetry.tracer(),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct GroupInner {
     backend: SharedBackend,
@@ -105,6 +129,7 @@ struct GroupInner {
     /// Every document seen (enqueued, registered or discovered at open).
     docs: BTreeMap<String, DocMark>,
     stats: GroupWalStats,
+    metrics: GroupMetrics,
 }
 
 /// A cloneable handle to one shard's shared group-commit WAL. All methods
@@ -196,6 +221,7 @@ impl GroupWal {
                 segments,
                 docs,
                 stats: GroupWalStats::default(),
+                metrics: GroupMetrics::default(),
             })),
         })
     }
@@ -208,6 +234,13 @@ impl GroupWal {
     /// Overrides the segment-rotation threshold (bytes).
     pub fn set_rotate_bytes(&self, bytes: u64) {
         self.lock().rotate_bytes = bytes.max(1);
+    }
+
+    /// Points this WAL's instruments (enqueue/flush latency, flush-record
+    /// and prune counters, `gwal.flush` trace events) at `telemetry`. A
+    /// disabled handle reverts them to no-ops.
+    pub fn set_telemetry(&self, telemetry: &Telemetry) {
+        self.lock().metrics = GroupMetrics::resolve(telemetry);
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, GroupInner> {
@@ -246,6 +279,7 @@ impl GroupWal {
     /// Durable only after the next [`flush`](Self::flush).
     pub fn enqueue(&self, doc: &str, epoch: u64, payload: &[u8]) -> u64 {
         let mut inner = self.lock();
+        let span = inner.metrics.enqueue_micros.start();
         let lsn = inner.next_lsn;
         inner.next_lsn += 1;
         let framed = group_payload(lsn, doc, payload);
@@ -259,6 +293,7 @@ impl GroupWal {
         inner.stats.bytes += grew as u64;
         let mark = inner.docs.entry(doc.to_string()).or_default();
         mark.last = lsn;
+        span.stop();
         lsn
     }
 
@@ -271,13 +306,15 @@ impl GroupWal {
         if inner.queue.is_empty() {
             return Ok(0);
         }
+        let span = inner.metrics.flush_micros.start();
         let queue = std::mem::take(&mut inner.queue);
         let records = std::mem::take(&mut inner.queued_records);
         let seg = inner.active_segment;
         let name = segment_name(seg);
         let mut backend = inner.backend.clone();
         backend.append(&name, &queue)?;
-        inner.active_segment_bytes += queue.len() as u64;
+        let flushed_bytes = queue.len() as u64;
+        inner.active_segment_bytes += flushed_bytes;
         inner.stats.segment_writes += 1;
         let flushed_max = inner.next_lsn - 1;
         let entry = inner.segments.entry(seg).or_insert(0);
@@ -288,6 +325,14 @@ impl GroupWal {
             inner.stats.rotations += 1;
         }
         Self::prune(&mut inner)?;
+        let micros = span.stop();
+        inner.metrics.flush_records.add(records);
+        inner.metrics.tracer.record_with(|| TraceEvent {
+            lsn: flushed_max,
+            bytes: flushed_bytes,
+            micros,
+            ..TraceEvent::of("gwal.flush")
+        });
         Ok(records)
     }
 
@@ -322,6 +367,7 @@ impl GroupWal {
             backend.remove(&segment_name(seq))?;
             inner.segments.remove(&seq);
             inner.stats.pruned_segments += 1;
+            inner.metrics.pruned_segments.inc();
         }
         Ok(())
     }

@@ -29,6 +29,7 @@ use crate::backend::{MemoryBackend, StorageBackend, StorageError};
 use crate::group::GroupWal;
 use crate::snapshot::Snapshot;
 use crate::wal::{self, WalEntry, WalReplay};
+use treedoc_telemetry::{Counter, Histogram, Telemetry, TraceEvent, Tracer};
 
 /// Snapshots kept after a checkpoint: the new one plus this many fallbacks.
 const SNAPSHOT_FALLBACKS: usize = 1;
@@ -96,6 +97,34 @@ enum WalSink {
     },
 }
 
+/// Telemetry instruments of one store, resolved once at
+/// [`DocStore::set_telemetry`] so the hot paths never touch the registry.
+/// Defaults to the inert disabled handles.
+#[derive(Debug, Clone, Default)]
+struct StoreMetrics {
+    append_micros: Histogram,
+    checkpoint_micros: Histogram,
+    recover_micros: Histogram,
+    wal_appends: Counter,
+    wal_bytes: Counter,
+    snapshots_written: Counter,
+    tracer: Tracer,
+}
+
+impl StoreMetrics {
+    fn resolve(telemetry: &Telemetry) -> Self {
+        StoreMetrics {
+            append_micros: telemetry.histogram("store.append_micros"),
+            checkpoint_micros: telemetry.histogram("store.checkpoint_micros"),
+            recover_micros: telemetry.histogram("store.recover_micros"),
+            wal_appends: telemetry.counter("store.wal_appends"),
+            wal_bytes: telemetry.counter("store.wal_bytes"),
+            snapshots_written: telemetry.counter("store.snapshots_written"),
+            tracer: telemetry.tracer(),
+        }
+    }
+}
+
 /// A replica's durable store over a pluggable backend.
 #[derive(Debug)]
 pub struct DocStore {
@@ -112,6 +141,7 @@ pub struct DocStore {
     active_segment_bytes: u64,
     next_snapshot_seq: u64,
     stats: StoreStats,
+    metrics: StoreMetrics,
 }
 
 impl DocStore {
@@ -144,6 +174,7 @@ impl DocStore {
             active_segment_bytes,
             next_snapshot_seq,
             stats: StoreStats::default(),
+            metrics: StoreMetrics::default(),
         })
     }
 
@@ -177,7 +208,15 @@ impl DocStore {
             active_segment_bytes: 0,
             next_snapshot_seq,
             stats: StoreStats::default(),
+            metrics: StoreMetrics::default(),
         })
+    }
+
+    /// Points this store's instruments at `telemetry` (checkpoint/recover
+    /// latency histograms, WAL counters, trace events). A disabled handle
+    /// reverts them to no-ops.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.metrics = StoreMetrics::resolve(telemetry);
     }
 
     /// A store over a fresh in-memory backend (tests and the simulator's
@@ -289,6 +328,7 @@ impl DocStore {
     /// group mode) to the shard's shared queue, where it becomes durable at
     /// the next group flush.
     pub fn append(&mut self, epoch: u64, payload: &[u8]) -> Result<(), StorageError> {
+        let span = self.metrics.append_micros.start();
         let frame_len = match &self.sink {
             WalSink::Private => {
                 let mut frame = Vec::with_capacity(wal::record_size(payload.len()));
@@ -305,6 +345,9 @@ impl DocStore {
         self.active_segment_bytes += frame_len;
         self.stats.wal_appends += 1;
         self.stats.wal_bytes += frame_len;
+        self.metrics.wal_appends.inc();
+        self.metrics.wal_bytes.add(frame_len);
+        span.stop();
         Ok(())
     }
 
@@ -360,6 +403,7 @@ impl DocStore {
     /// and the old segments are skipped by sequence — no record is ever
     /// replayed on top of a snapshot that already contains it.
     pub fn checkpoint(&mut self, epoch: u64, snapshot: &Snapshot) -> Result<(), StorageError> {
+        let span = self.metrics.checkpoint_micros.start();
         // Did this checkpoint actually retire log records (as opposed to a
         // back-to-back checkpoint over an empty log)?
         let retired = self.active_segment_bytes > 0;
@@ -375,8 +419,10 @@ impl DocStore {
                 Some(wal.watermark())
             }
         };
+        let blob = snapshot.encode();
+        let blob_len = blob.len() as u64;
         self.backend
-            .write(&snapshot_blob_name(seq, epoch, cursor), &snapshot.encode())?;
+            .write(&snapshot_blob_name(seq, epoch, cursor), &blob)?;
         self.active_segment = seq;
         self.active_segment_bytes = 0;
         self.stats.snapshots_written += 1;
@@ -410,6 +456,14 @@ impl DocStore {
                 .unwrap_or(cursor);
             wal.note_checkpoint(doc, oldest_retained_cursor)?;
         }
+        let micros = span.stop();
+        self.metrics.snapshots_written.inc();
+        self.metrics.tracer.record_with(|| TraceEvent {
+            epoch,
+            bytes: blob_len,
+            micros,
+            ..TraceEvent::of("store.checkpoint")
+        });
         Ok(())
     }
 
@@ -418,6 +472,7 @@ impl DocStore {
     /// sequence. A store with no snapshot at all yields `snapshot: None`
     /// and every segment.
     pub fn recover(&self) -> Result<Recovered, StorageError> {
+        let span = self.metrics.recover_micros.start();
         let mut stats = RecoveryStats::default();
         let mut snapshot = None;
         let mut from_seq = 0u64;
@@ -460,6 +515,13 @@ impl DocStore {
         stats.wal_records = replay.entries.len();
         stats.bytes_recovered += replay.valid_bytes;
         stats.torn_tail_bytes = replay.dropped_bytes;
+        let micros = span.stop();
+        self.metrics.tracer.record_with(|| TraceEvent {
+            epoch: stats.snapshot_epoch,
+            bytes: stats.bytes_recovered as u64,
+            micros,
+            ..TraceEvent::of("store.recover")
+        });
         Ok(Recovered {
             snapshot,
             wal: replay.entries,

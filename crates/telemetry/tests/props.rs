@@ -1,0 +1,155 @@
+//! Property tests for the telemetry instruments: histogram percentile and
+//! merge algebra, and the trace ring's bounded-memory / eviction / JSONL
+//! guarantees.
+
+use proptest::prelude::*;
+use treedoc_telemetry::{parse_jsonl, Histogram, Registry, TraceEvent, SUB_BITS};
+
+/// A fresh enabled histogram fed `values`.
+fn filled(registry: &Registry, name: &str, values: &[u64]) -> Histogram {
+    let hist = registry.handle().histogram(name);
+    for &v in values {
+        hist.record(v);
+    }
+    hist
+}
+
+/// The quantisation contract: a reported percentile is the floor of the
+/// bucket the true value landed in, so it is `<=` the true value and within
+/// a `1/2^SUB_BITS` relative error of it.
+fn floor_close(reported: u64, actual: u64) -> bool {
+    reported <= actual && (actual - reported) as f64 <= actual as f64 / (1 << SUB_BITS) as f64
+}
+
+proptest! {
+    /// Percentile extraction is monotone in the percentile argument.
+    #[test]
+    fn percentiles_are_monotone(
+        values in proptest::collection::vec(any::<u64>(), 1..200),
+        a_pm in 0u32..1000,
+        b_pm in 0u32..1000,
+    ) {
+        let registry = Registry::new();
+        let hist = filled(&registry, "h", &values);
+        let (lo, hi) = if a_pm <= b_pm { (a_pm, b_pm) } else { (b_pm, a_pm) };
+        prop_assert!(
+            hist.percentile(lo as f64 / 10.0) <= hist.percentile(hi as f64 / 10.0),
+            "p{lo} > p{hi}"
+        );
+    }
+
+    /// The extreme percentiles hit the recorded extremes (to bucket
+    /// resolution): p0/p100 report the floors of the min/max buckets, and
+    /// values below 2^SUB_BITS are exact.
+    #[test]
+    fn extreme_percentiles_bound_the_data(
+        values in proptest::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let registry = Registry::new();
+        let hist = filled(&registry, "h", &values);
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        prop_assert!(floor_close(hist.percentile(0.0), min));
+        prop_assert!(floor_close(hist.percentile(100.0), max));
+    }
+
+    /// Bucket-boundary values (everything below 2^SUB_BITS, and any value a
+    /// bucket floor maps to) round-trip exactly through a single-value
+    /// histogram at every percentile.
+    #[test]
+    fn boundary_values_are_exact(small in 0u64..(1 << SUB_BITS), octave in 0u32..50, pm in 1u32..1000) {
+        let exact = small << octave; // a bucket floor in every octave
+        let registry = Registry::new();
+        let hist = filled(&registry, "h", &[exact]);
+        prop_assert_eq!(hist.percentile(pm as f64 / 10.0), exact);
+    }
+
+    /// Merging is associative (and order-insensitive): (a ∪ b) ∪ c and
+    /// a ∪ (b ∪ c) agree on every summary statistic the snapshot exposes.
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(any::<u64>(), 0..60),
+        b in proptest::collection::vec(any::<u64>(), 0..60),
+        c in proptest::collection::vec(any::<u64>(), 0..60),
+    ) {
+        let left_reg = Registry::new();
+        let ab = filled(&left_reg, "ab", &a);
+        ab.merge_from(&filled(&left_reg, "b", &b));
+        let left = filled(&left_reg, "left", &[]);
+        left.merge_from(&ab);
+        left.merge_from(&filled(&left_reg, "c", &c));
+
+        let right_reg = Registry::new();
+        let bc = filled(&right_reg, "bc", &b);
+        bc.merge_from(&filled(&right_reg, "c", &c));
+        let right = filled(&right_reg, "right", &a);
+        right.merge_from(&bc);
+
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.sum(), right.sum());
+        for pct in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            prop_assert_eq!(left.percentile(pct), right.percentile(pct), "p{}", pct);
+        }
+    }
+
+    /// The trace ring never exceeds its capacity, evicts oldest-first
+    /// (retained sequence numbers are the contiguous tail), and counts what
+    /// it dropped.
+    #[test]
+    fn trace_ring_is_bounded_and_evicts_oldest(
+        capacity in 1usize..32,
+        recorded in 0usize..100,
+    ) {
+        let registry = Registry::with_trace_capacity(capacity);
+        let tracer = registry.handle().tracer();
+        for i in 0..recorded {
+            tracer.record(TraceEvent { site: i as u64, ..TraceEvent::of("e") });
+        }
+        let events = tracer.events();
+        prop_assert!(events.len() <= capacity);
+        prop_assert_eq!(events.len(), recorded.min(capacity));
+        prop_assert_eq!(tracer.dropped() as usize, recorded.saturating_sub(capacity));
+        let first = recorded.saturating_sub(capacity) as u64;
+        for (offset, event) in events.iter().enumerate() {
+            prop_assert_eq!(event.seq, first + offset as u64);
+            prop_assert_eq!(event.site, first + offset as u64);
+        }
+    }
+
+    /// JSONL round-trip: a clean dump parses back to the same events, and
+    /// truncating the dump at ANY byte boundary never panics and only ever
+    /// costs whole records from the damaged point on.
+    #[test]
+    fn jsonl_survives_truncation(
+        docs in proptest::collection::vec(
+            (any::<u64>(), proptest::collection::vec(proptest::char::range('a', 'z'), 0..8)),
+            0..20,
+        ),
+        cut_ppm in 0u32..1_000_000,
+    ) {
+        let registry = Registry::new();
+        let tracer = registry.handle().tracer();
+        for (site, doc) in &docs {
+            tracer.record(TraceEvent {
+                site: *site,
+                doc: doc.iter().collect(),
+                ..TraceEvent::of("node.fault_in")
+            });
+        }
+        let dump = tracer.to_jsonl();
+        prop_assert_eq!(parse_jsonl(&dump), tracer.events());
+
+        let cut = (dump.len() as u64 * cut_ppm as u64 / 1_000_000) as usize;
+        // Cut on a char boundary (the dump is ASCII except inside `doc`,
+        // which this generator keeps ASCII too, but stay robust anyway).
+        let mut cut = cut.min(dump.len());
+        while cut > 0 && !dump.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let parsed = parse_jsonl(&dump[..cut]);
+        let all = tracer.events();
+        prop_assert!(parsed.len() <= all.len());
+        // Every surviving record is byte-identical to the original prefix.
+        prop_assert_eq!(&parsed[..], &all[..parsed.len()]);
+    }
+}

@@ -28,9 +28,15 @@ THRESHOLD = 0.25
 
 HIGHER_BETTER = re.compile(r"(_per_sec|^ratio)$")
 LOWER_BETTER = re.compile(
-    r"(bytes|micros|height|rounds|blocked|p50|p99|latency|resident|segment_appends|_us$|_ms$)",
+    r"(bytes|micros|height|rounds|blocked|p50|p99|latency|resident|segment_appends"
+    r"|overhead|_us$|_ms$)",
     re.IGNORECASE,
 )
+# Telemetry overhead percentages hover around zero (negative values are
+# measurement noise), so a relative diff is meaningless — judge those on
+# absolute percentage points instead.
+ABS_POINTS = re.compile(r"overhead_pct$")
+ABS_THRESHOLD = 2.0
 ROW_KEYS = ("case", "transport", "protocol")
 
 
@@ -93,8 +99,11 @@ def main():
         now = current[path]
         change = (now - base) / base if base else 0.0
         sense = direction(path)
-        worse = sense == "higher" and change < -THRESHOLD
-        worse = worse or (sense == "lower" and change > THRESHOLD)
+        if ABS_POINTS.search(path.rsplit(".", 1)[-1]):
+            worse = (now - base) > ABS_THRESHOLD
+        else:
+            worse = sense == "higher" and change < -THRESHOLD
+            worse = worse or (sense == "lower" and change > THRESHOLD)
         status = "regressed" if worse else "ok" if sense else "info"
         rows.append(
             {

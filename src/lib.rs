@@ -17,6 +17,8 @@
 //! * [`sim`] (`treedoc-sim`) — multi-site cooperative-editing scenarios,
 //! * [`node`] (`treedoc-node`) — the multi-document hosting node (sharded
 //!   stores, cold eviction, group-commit WAL),
+//! * [`telemetry`] (`treedoc-telemetry`) — counters, gauges, log-bucketed
+//!   histograms and the bounded trace ring every subsystem records into,
 //! * [`logoot`] — the Logoot baseline CRDT of §5.3.
 //!
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the reproduction of
@@ -32,6 +34,7 @@ pub use treedoc_node as node;
 pub use treedoc_replication as replication;
 pub use treedoc_sim as sim;
 pub use treedoc_storage as storage;
+pub use treedoc_telemetry as telemetry;
 pub use treedoc_trace as trace;
 
 /// Convenience prelude with the types most programs need.
@@ -55,5 +58,9 @@ pub mod prelude {
     pub use treedoc_storage::{
         DiskImage, DocStore, FileBackend, GroupWal, MemoryBackend, NamespacedBackend,
         SharedBackend, Snapshot, StorageBackend,
+    };
+    pub use treedoc_telemetry::{
+        parse_jsonl, Counter, Gauge, Histogram, Registry, RegistrySnapshot, Telemetry, TraceEvent,
+        Tracer,
     };
 }
