@@ -9,7 +9,10 @@
 //! (add `--json` for machine-readable output, `--out PATH` to refresh the
 //! committed baseline).
 
-use bench::{core_memory_cases, core_speed_cases, BenchArgs, CoreMemoryRow, CoreSpeedRow};
+use bench::{
+    core_memory_cases, core_scaling_curve, core_speed_cases, BenchArgs, CoreMemoryRow,
+    CoreSpeedRow, ScalingRow,
+};
 use serde::Serialize;
 
 /// Sequential-typing operations per timed case (override: `CORE_SPEED_OPS`).
@@ -31,6 +34,7 @@ struct Output {
     typing_ops: usize,
     memory_chars: usize,
     speed: Vec<CoreSpeedRow>,
+    scaling: Vec<ScalingRow>,
     memory: Vec<CoreMemoryRow>,
 }
 
@@ -39,12 +43,16 @@ fn main() {
     let typing_ops = scale("CORE_SPEED_OPS", TYPING_OPS);
     let memory_chars = scale("CORE_MEMORY_CHARS", MEMORY_CHARS);
     let speed = core_speed_cases(typing_ops);
+    let scaling = core_scaling_curve();
     let memory = core_memory_cases(memory_chars);
 
     // Sanity-check before publishing an artifact: a zero-throughput row or an
     // empty document means the harness itself broke.
     for row in &speed {
         assert!(row.ops_per_sec > 0.0, "dead speed case: {row:?}");
+    }
+    for row in &scaling {
+        assert!(row.nanos_per_op > 0.0, "dead scaling case: {row:?}");
     }
     for row in &memory {
         assert_eq!(row.live_atoms, memory_chars, "short document: {row:?}");
@@ -54,6 +62,7 @@ fn main() {
         typing_ops,
         memory_chars,
         speed,
+        scaling,
         memory,
     };
     if args.emit(&out) {
@@ -69,6 +78,19 @@ fn main() {
         println!(
             "{:>22} {:>10} {:>12} {:>14.0}",
             row.case, row.ops, row.elapsed_micros, row.ops_per_sec
+        );
+    }
+
+    println!();
+    println!("Identifier-scaling curve (per-op cost must stay flat):");
+    println!(
+        "{:>26} {:>10} {:>12} {:>12}",
+        "case", "ops", "micros", "ns/op"
+    );
+    for row in &out.scaling {
+        println!(
+            "{:>26} {:>10} {:>12} {:>12.0}",
+            row.case, row.ops, row.elapsed_micros, row.nanos_per_op
         );
     }
 

@@ -818,6 +818,23 @@ pub struct CoreSpeedRow {
     pub ops_per_sec: f64,
 }
 
+/// One point of the identifier-scaling curve: a sequential-typing workload
+/// at a given document size, reported as *per-op* cost so a superlinear
+/// identifier representation shows up as a rising column, not a subtly bent
+/// total.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingRow {
+    /// Case label, `<workload>_<ops>`.
+    pub case: String,
+    /// Operations executed.
+    pub ops: usize,
+    /// Wall time, microseconds (best of `CORE_SPEED_TRIALS`).
+    pub elapsed_micros: u64,
+    /// Per-operation cost in nanoseconds — flat across sizes for an O(1)
+    /// amortised hot path.
+    pub nanos_per_op: f64,
+}
+
 /// One memory-per-char case of the `core_speed` benchmark.
 #[derive(Debug, Clone, Serialize)]
 pub struct CoreMemoryRow {
@@ -1003,6 +1020,53 @@ pub fn core_speed_cases(typing_ops: usize) -> Vec<CoreSpeedRow> {
     ));
 
     rows
+}
+
+/// Document sizes of the identifier-scaling curve ([`core_scaling_curve`]).
+pub const SCALING_SIZES: [usize; 3] = [2_000, 20_000, 100_000];
+
+/// Runs the identifier-scaling curve: sequential typing (SDIS local appends)
+/// and remote replay (UDIS) at each of [`SCALING_SIZES`], reporting per-op
+/// nanoseconds. With owned-`Vec` identifiers every derived id cloned the
+/// whole path, so per-op cost grew linearly with document depth; the chunked
+/// shared representation must keep these columns flat.
+pub fn core_scaling_curve() -> Vec<ScalingRow> {
+    let site = treedoc_core::SiteId::from_u64(1);
+    let mut rows = Vec::new();
+    for &n in &SCALING_SIZES {
+        let (_, elapsed) = best_of(|| {
+            let mut doc: Treedoc<String, treedoc_core::Sdis> = Treedoc::new(site);
+            for k in 0..n {
+                doc.local_insert(k, format!("a{k}")).expect("append");
+            }
+            doc
+        });
+        rows.push(scaling_row("local_append_sdis", n, elapsed));
+
+        let mut source: Treedoc<String, treedoc_core::Udis> = Treedoc::new(site);
+        let ops: Vec<_> = (0..n)
+            .map(|k| source.local_insert(k, format!("a{k}")).expect("append"))
+            .collect();
+        let (_, elapsed) = best_of(|| {
+            let mut doc: Treedoc<String, treedoc_core::Udis> =
+                Treedoc::new(treedoc_core::SiteId::from_u64(2));
+            for op in &ops {
+                doc.apply(op).expect("replay");
+            }
+            doc
+        });
+        rows.push(scaling_row("remote_replay_udis", n, elapsed));
+    }
+    rows
+}
+
+fn scaling_row(workload: &str, ops: usize, elapsed: Duration) -> ScalingRow {
+    ScalingRow {
+        case: format!("{workload}_{ops}"),
+        ops,
+        elapsed_micros: elapsed.as_micros() as u64,
+        nanos_per_op: elapsed.as_nanos() as f64 / ops.max(1) as f64,
+    }
 }
 
 /// Runs the memory-per-char cases: a pure sequential-typing document (the

@@ -92,17 +92,16 @@ fn sibling_ancestor_of<D: Disambiguator>(p: &PosId<D>, f: &PosId<D>) -> bool {
     if n == 0 || f.depth() < n {
         return false;
     }
-    let (p_last, f_at) = (&p.elems()[n - 1], &f.elems()[n - 1]);
-    if p.elems()[..n - 1] != f.elems()[..n - 1] || p_last.side != f_at.side {
+    let (Some((f_side, Some(dm))), Some(dp)) = (f.elem_at(n - 1), p.last_dis()) else {
+        return false;
+    };
+    if p.last_side() != Some(f_side) || p.common_prefix_len(f) < n - 1 {
         return false;
     }
-    match (&p_last.dis, &f_at.dis) {
-        // `f` descends through (or is) mini-node `dm` of p's major node; the
-        // only relevant witnesses are *greater* siblings (`p < f` rules the
-        // others out anyway, and `dm == dp` is the ancestor case of line 5).
-        (Some(dp), Some(dm)) => dm > dp,
-        _ => false,
-    }
+    // `f` descends through (or is) mini-node `dm` of p's major node; the
+    // only relevant witnesses are *greater* siblings (`p < f` rules the
+    // others out anyway, and `dm == dp` is the ancestor case of line 5).
+    dm > dp
 }
 
 /// The new mini-node `dis` attached as the `side` child of the *major* node
@@ -202,20 +201,16 @@ pub fn batch_subtree_ids<D: Disambiguator>(
     // disambiguator to each (the first atom reuses the anchor's).
     let mut out = Vec::with_capacity(n);
     for (i, pos) in positions.into_iter().take(n).enumerate() {
-        let elems = pos.elems().to_vec();
-        let mut elems = elems;
-        let last = elems
-            .last_mut()
+        let side = pos
+            .last_side()
             .expect("subtree positions are never the root");
-        last.dis = Some(if i == 0 {
-            anchor
-                .last()
-                .and_then(|e| e.dis.clone())
-                .unwrap_or_else(&mut next_dis)
+        let dis = if i == 0 {
+            anchor.last_dis().cloned().unwrap_or_else(&mut next_dis)
         } else {
             next_dis()
-        });
-        out.push(PosId::from_elems(elems));
+        };
+        let parent = pos.parent().expect("subtree positions are never the root");
+        out.push(parent.child_mini(side, dis));
     }
     out
 }

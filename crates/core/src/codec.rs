@@ -31,7 +31,7 @@
 use crate::atom::Atom;
 use crate::disambiguator::{Disambiguator, Sdis, Udis};
 use crate::ops::Op;
-use crate::path::{PathElem, PosId, Side};
+use crate::path::{PosId, Side};
 use crate::run::{spine_step, spine_successor};
 use crate::site::{SiteId, SITE_ID_BYTES};
 
@@ -289,16 +289,6 @@ impl WireAtom for u64 {
 // Position identifiers: shared-prefix delta encoding
 // ---------------------------------------------------------------------------
 
-/// Number of leading elements (side **and** disambiguator equal) `id` shares
-/// with `prev`.
-fn shared_prefix_len<D: PartialEq>(id: &PosId<D>, prev: &PosId<D>) -> usize {
-    id.elems()
-        .iter()
-        .zip(prev.elems())
-        .take_while(|(a, b)| a == b)
-        .count()
-}
-
 /// Appends `id` delta-encoded against `prev` (use [`PosId::root`] when there
 /// is no previous identifier):
 ///
@@ -306,21 +296,34 @@ fn shared_prefix_len<D: PartialEq>(id: &PosId<D>, prev: &PosId<D>) -> usize {
 /// varint(shared prefix elems) · varint(suffix elems)
 /// · packed suffix side bits · packed suffix has-dis bits · dis values
 /// ```
+///
+/// The shared-prefix length comes from the chunked representation's
+/// divergence walk ([`PosId::common_prefix_len`]): consecutive identifiers
+/// in a batch share their spine chunks, so the scan skips them by pointer
+/// identity instead of comparing byte-wise from the root.
 pub fn put_pos_id<D: WireDis>(out: &mut Vec<u8>, id: &PosId<D>, prev: &PosId<D>) {
-    let shared = shared_prefix_len(id, prev);
-    let suffix = &id.elems()[shared..];
+    let shared = id.common_prefix_len(prev);
+    let suffix_len = id.depth() - shared;
     put_varint(out, shared as u64);
-    put_varint(out, suffix.len() as u64);
-    put_packed_bits(out, suffix.len(), suffix.iter().map(|e| e.side.bit() == 1));
-    put_packed_bits(out, suffix.len(), suffix.iter().map(|e| e.dis.is_some()));
-    for elem in suffix {
-        if let Some(dis) = &elem.dis {
+    put_varint(out, suffix_len as u64);
+    let mut sides = Vec::with_capacity(suffix_len);
+    let mut flags = Vec::with_capacity(suffix_len);
+    id.visit_elems_from(shared, |s, d| {
+        sides.push(s.bit() == 1);
+        flags.push(d.is_some());
+    });
+    put_packed_bits(out, suffix_len, sides.into_iter());
+    put_packed_bits(out, suffix_len, flags.into_iter());
+    id.visit_elems_from(shared, |_, d| {
+        if let Some(dis) = d {
             dis.encode_dis(out);
         }
-    }
+    });
 }
 
-/// Reads an identifier delta-encoded against `prev`.
+/// Reads an identifier delta-encoded against `prev`. The decoded identifier
+/// shares `prev`'s chunk chain up to the shared-prefix boundary, so delta
+/// decoding re-establishes structural sharing on the receiving replica.
 pub fn get_pos_id<D: WireDis>(input: &mut &[u8], prev: &PosId<D>) -> Option<PosId<D>> {
     let shared = get_varint(input)? as usize;
     if shared > prev.depth() {
@@ -329,20 +332,16 @@ pub fn get_pos_id<D: WireDis>(input: &mut &[u8], prev: &PosId<D>) -> Option<PosI
     let suffix_len = get_varint(input)? as usize;
     let sides = get_packed_bits(input, suffix_len)?;
     let has_dis = get_packed_bits(input, suffix_len)?;
-    let mut elems: Vec<PathElem<D>> = prev.elems()[..shared].to_vec();
-    elems.reserve(suffix_len);
+    let mut id = prev.prefix(shared);
     for (side_bit, with_dis) in sides.into_iter().zip(has_dis) {
-        let dis = if with_dis {
-            Some(D::decode_dis(input)?)
+        let side = Side::from_bit(u8::from(side_bit));
+        id = if with_dis {
+            id.child_mini(side, D::decode_dis(input)?)
         } else {
-            None
+            id.extend_plains(side, 1)
         };
-        elems.push(PathElem {
-            side: Side::from_bit(u8::from(side_bit)),
-            dis,
-        });
     }
-    Some(PosId::from_elems(elems))
+    Some(id)
 }
 
 // ---------------------------------------------------------------------------
@@ -454,6 +453,7 @@ impl<A: WireAtom, D: WireDis> WirePayload for Op<A, D> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::path::PathElem;
 
     fn site(n: u64) -> SiteId {
         SiteId::from_u64(n)

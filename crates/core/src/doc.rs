@@ -25,7 +25,7 @@ use crate::error::{Error, Result};
 use crate::flatten::FlattenOutcome;
 use crate::node::Content;
 use crate::ops::Op;
-use crate::path::{PathElem, PosId, Side};
+use crate::path::{PosId, Side};
 use crate::run::RunTree;
 use crate::site::SiteId;
 use crate::stats::DocStats;
@@ -137,13 +137,15 @@ impl<A: Atom, D: Disambiguator + HasSource> Treedoc<A, D> {
     /// [`DisSource::observe_replayed`]).
     pub fn note_replayed_local(&mut self, op: &Op<A, D>) {
         if let Op::Insert { id, .. } = op {
-            for elem in id.elems() {
-                if let Some(dis) = &elem.dis {
-                    if dis.site() == self.site() {
-                        self.source.observe_replayed(dis);
+            let site = self.site();
+            let source = &mut self.source;
+            id.visit_elems_from(0, |_, dis| {
+                if let Some(dis) = dis {
+                    if dis.site() == site {
+                        source.observe_replayed(dis);
                     }
                 }
-            }
+            });
         }
     }
 
@@ -248,14 +250,23 @@ impl<A: Atom, D: Disambiguator + HasSource> Treedoc<A, D> {
     /// [`RunTree::integrate_cell`] for the precedence rules and the SDIS
     /// soundness caveat). All cells are stamped with one fresh revision.
     /// Returns how many cells actually changed the store.
+    ///
+    /// Incoming identifiers decoded from a peer's transfer carry chunk chains
+    /// independent of anything already stored; they are interned through a
+    /// per-call [`crate::arena::PathArena`] so cells of one transfer share
+    /// their common prefixes before entering the store.
     pub fn integrate_cells(
         &mut self,
         cells: impl IntoIterator<Item = (PosId<D>, Content<A>)>,
     ) -> Result<usize> {
         let rev = self.next_revision();
+        let mut arena = crate::arena::PathArena::new();
         let mut changed = 0;
         for (id, content) in cells {
-            if self.store.integrate_cell(&id, content, rev)? {
+            if self
+                .store
+                .integrate_cell(&arena.intern(&id), content, rev)?
+            {
                 changed += 1;
             }
         }
@@ -504,12 +515,15 @@ impl<A: Atom, D: Disambiguator + HasSource> Treedoc<A, D> {
 /// Attaches a disambiguator to a plain position, producing the identifier of
 /// the mini-node that will hold the atom.
 fn attach_dis<D: Disambiguator>(plain: &PosId<D>, dis: D) -> PosId<D> {
-    let mut elems = plain.elems().to_vec();
-    match elems.last_mut() {
-        Some(last) => last.dis = Some(dis),
-        None => elems.push(PathElem::mini(Side::Left, dis)),
+    match plain.last_side() {
+        // Replace the final element with its disambiguated counterpart; the
+        // shared prefix is reused, so this is O(1) regardless of depth.
+        Some(side) => plain
+            .parent()
+            .expect("non-root identifier has a parent")
+            .child_mini(side, dis),
+        None => plain.child_mini(Side::Left, dis),
     }
-    PosId::from_elems(elems)
 }
 
 impl<A, D> fmt::Display for Treedoc<A, D>

@@ -64,6 +64,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod alloc;
+pub mod arena;
 pub mod atom;
 pub mod codec;
 pub mod disambiguator;
@@ -74,12 +75,14 @@ pub mod hash;
 pub mod node;
 pub mod ops;
 pub mod path;
+pub mod refpath;
 pub mod run;
 pub mod site;
 pub mod stats;
 pub mod storage;
 pub mod tree;
 
+pub use arena::PathArena;
 pub use atom::{Atom, Granularity};
 pub use codec::{WireAtom, WireDis, WirePayload, WIRE_MIN_VERSION, WIRE_VERSION};
 pub use disambiguator::{DisSource, Disambiguator, HasSource, Sdis, SdisSource, Udis, UdisSource};
@@ -90,6 +93,7 @@ pub use hash::{combine_hashes, content_hash64, crc32, ContentHash, Hasher64, DIG
 pub use node::{Content, MajorNode, MiniNode};
 pub use ops::{Op, OpKind};
 pub use path::{PathElem, PosId, Side};
+pub use refpath::RefPosId;
 pub use run::{cell_hash, spine_step, spine_successor, RunTree};
 pub use site::SiteId;
 pub use stats::{DocStats, MemoryModel, PosIdStats};

@@ -79,10 +79,7 @@ impl<A, D: Disambiguator> Op<A, D> {
     /// deletes refer to the identifier of the *deleted* atom, so the answer
     /// is the inserting site, not the deleting one).
     pub fn inserting_site(&self) -> Option<SiteId> {
-        self.id()
-            .last()
-            .and_then(|e| e.dis.as_ref())
-            .map(|d| d.site())
+        self.id().last_dis().map(|d| d.site())
     }
 
     /// Size in bytes of the operation when shipped over the network: the

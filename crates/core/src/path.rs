@@ -11,6 +11,34 @@
 //!   that mini-node's own subtree, which only happens after inserts between
 //!   mini-siblings, Fig. 4 of the paper).
 //!
+//! # Representation
+//!
+//! Logically an identifier is still the element sequence above, but it is
+//! stored as a *persistent, structurally shared* chain of run-length-encoded
+//! chunks (`Seg`): consecutive disambiguator-free elements on the same side
+//! collapse into one `Plains { side, count }` chunk, and each disambiguated
+//! element is its own `Mini` chunk. Chunks link to their parent through an
+//! [`Arc`], so
+//!
+//! * cloning an identifier is one reference-count bump (O(1));
+//! * a child identifier shares its entire prefix with the parent it was
+//!   derived from (prefix sharing by construction);
+//! * the deep spine produced by sequential typing — thousands of plain
+//!   elements followed by one mini — is **three chunks** regardless of
+//!   depth, so extending, comparing or hashing spine identifiers no longer
+//!   walks the whole document path.
+//!
+//! Every chunk caches the total element count (`depth`), the disambiguator
+//! count and a polynomial *shape hash* of the `(side, has-disambiguator)`
+//! sequence, so equality checks reject mismatches in O(1) and comparisons
+//! walk only the chunks past the shared prefix (pointer-equal chunks are
+//! skipped wholesale).
+//!
+//! The chunk decomposition is kept *canonical* — plain elements are always
+//! merged into a maximal same-side `Plains` chunk — so two identifiers with
+//! the same logical element sequence have the same chunk sequence, and chunk
+//! comparison is exactly element comparison.
+//!
 //! # Ordering
 //!
 //! Identifiers are ordered by an infix walk of the extended tree: a major
@@ -30,10 +58,13 @@
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
 use crate::disambiguator::Disambiguator;
+use crate::hash::DIGEST_BASE;
 
 /// One bit of a tree path: descend to the left or to the right child.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -135,92 +166,651 @@ enum Region {
     RightSubtree,
 }
 
+// ---------------------------------------------------------------------------
+// Shared chunk representation
+// ---------------------------------------------------------------------------
+
+/// One run-length-encoded chunk of a path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum Seg<D> {
+    /// A single element carrying a disambiguator.
+    Mini(Side, D),
+    /// `count >= 1` consecutive disambiguator-free elements on one side.
+    Plains(Side, u32),
+}
+
+/// One node of the shared path chain: a chunk plus cached aggregates over the
+/// whole prefix ending at (and including) this chunk.
+#[derive(Debug)]
+pub(crate) struct PathNode<D> {
+    pub(crate) parent: Option<Arc<PathNode<D>>>,
+    pub(crate) seg: Seg<D>,
+    /// Total logical element count of the path ending at this chunk.
+    pub(crate) depth: u32,
+    /// Total disambiguator count of the path ending at this chunk.
+    pub(crate) dis_count: u32,
+    /// Polynomial hash of the `(side, has-dis)` sequence of the whole path.
+    /// Purely structural (independent of disambiguator *values*) so that it
+    /// can be maintained without trait bounds on `D`; used only as a
+    /// fast-reject in equality checks, never as a proof of equality.
+    pub(crate) shape: u64,
+}
+
+impl<D> PathNode<D> {
+    fn seg_len(&self) -> u32 {
+        match self.seg {
+            Seg::Mini(..) => 1,
+            Seg::Plains(_, n) => n,
+        }
+    }
+}
+
+/// Mixing codes for the four `(side, has-dis)` element shapes. Any four
+/// distinct odd constants work; the polynomial in [`DIGEST_BASE`] does the
+/// mixing.
+const fn elem_code(side: Side, has_dis: bool) -> u64 {
+    match (side, has_dis) {
+        (Side::Left, false) => 0x9E37_79B9_7F4A_7C15,
+        (Side::Right, false) => 0xC2B2_AE3D_27D4_EB4F,
+        (Side::Left, true) => 0x1656_67B1_9E37_79F9,
+        (Side::Right, true) => 0x27D4_EB2F_1656_67C5,
+    }
+}
+
+/// `DIGEST_BASE^exp` in wrapping arithmetic (square-and-multiply).
+fn shape_pow(mut exp: u64) -> u64 {
+    let mut base = DIGEST_BASE;
+    let mut acc = 1u64;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc.wrapping_mul(base);
+        }
+        base = base.wrapping_mul(base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// `1 + B + B^2 + … + B^(k-1)` in wrapping arithmetic, O(log k) via the
+/// recurrences `S(2m) = S(m)·(B^m + 1)` and `S(2m+1) = S(2m)·B + 1`.
+fn shape_geom(k: u64) -> u64 {
+    if k == 0 {
+        return 0;
+    }
+    if k == 1 {
+        return 1;
+    }
+    let half = shape_geom(k / 2);
+    let even = half.wrapping_mul(shape_pow(k / 2).wrapping_add(1));
+    if k % 2 == 0 {
+        even
+    } else {
+        even.wrapping_mul(DIGEST_BASE).wrapping_add(1)
+    }
+}
+
+fn parent_stats<D>(parent: &Option<Arc<PathNode<D>>>) -> (u32, u32, u64) {
+    match parent {
+        None => (0, 0, 0),
+        Some(p) => (p.depth, p.dis_count, p.shape),
+    }
+}
+
 /// A position identifier: a path in the extended binary tree.
 ///
 /// The empty path identifies the (plain slot of the) root major node.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// Internally the path is a persistent chain of run-length-encoded chunks
+/// (see the module documentation): clones are O(1) and derived identifiers
+/// share their prefix with the identifier they were derived from.
 pub struct PosId<D> {
-    elems: Vec<PathElem<D>>,
+    node: Option<Arc<PathNode<D>>>,
+}
+
+impl<D> Clone for PosId<D> {
+    fn clone(&self) -> Self {
+        PosId {
+            node: self.node.clone(),
+        }
+    }
 }
 
 impl<D> Default for PosId<D> {
     fn default() -> Self {
-        PosId { elems: Vec::new() }
+        PosId { node: None }
+    }
+}
+
+/// Chunk chains at or below this length are compared without touching the
+/// heap; the overwhelming majority of identifiers fit (sequential typing
+/// stays at a handful of chunks regardless of depth).
+const INLINE_CHUNKS: usize = 16;
+
+/// A root-first view of a chunk chain with inline storage for shallow chains,
+/// so building one on a comparison path costs no allocation in the common
+/// case.
+struct ChunkList<'a, D> {
+    inline: [Option<&'a PathNode<D>>; INLINE_CHUNKS],
+    len: usize,
+    spill: Vec<&'a PathNode<D>>,
+}
+
+impl<'a, D> ChunkList<'a, D> {
+    fn of(id: &'a PosId<D>) -> Self {
+        let count = id.chunk_count();
+        if count > INLINE_CHUNKS {
+            let mut spill = Vec::with_capacity(count);
+            let mut cur = id.node.as_deref();
+            while let Some(n) = cur {
+                spill.push(n);
+                cur = n.parent.as_deref();
+            }
+            spill.reverse();
+            ChunkList {
+                inline: [None; INLINE_CHUNKS],
+                len: count,
+                spill,
+            }
+        } else {
+            let mut inline = [None; INLINE_CHUNKS];
+            let mut i = count;
+            let mut cur = id.node.as_deref();
+            while let Some(n) = cur {
+                i -= 1;
+                inline[i] = Some(n);
+                cur = n.parent.as_deref();
+            }
+            ChunkList {
+                inline,
+                len: count,
+                spill: Vec::new(),
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn get(&self, i: usize) -> Option<&'a PathNode<D>> {
+        if i >= self.len {
+            return None;
+        }
+        if self.spill.is_empty() {
+            self.inline[i]
+        } else {
+            Some(self.spill[i])
+        }
+    }
+}
+
+/// A borrowed cursor over the logical elements of a chunk list.
+struct Cursor<'a, D> {
+    chunks: &'a ChunkList<'a, D>,
+    chunk: usize,
+    off: u32,
+}
+
+impl<D> Clone for Cursor<'_, D> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<D> Copy for Cursor<'_, D> {}
+
+impl<'a, D> Cursor<'a, D> {
+    fn start(chunks: &'a ChunkList<'a, D>, chunk: usize) -> Self {
+        Cursor {
+            chunks,
+            chunk,
+            off: 0,
+        }
+    }
+
+    /// The element under the cursor, as `(side, disambiguator)`.
+    fn get(&self) -> Option<(Side, Option<&'a D>)> {
+        let n = self.chunks.get(self.chunk)?;
+        Some(match &n.seg {
+            Seg::Mini(side, d) => (*side, Some(d)),
+            Seg::Plains(side, _) => (*side, None),
+        })
+    }
+
+    fn advance(&mut self) {
+        if let Some(n) = self.chunks.get(self.chunk) {
+            self.off += 1;
+            if self.off >= n.seg_len() {
+                self.chunk += 1;
+                self.off = 0;
+            }
+        }
+    }
+
+    /// The element just past the cursor, without moving it.
+    fn peek_next(mut self) -> Option<(Side, Option<&'a D>)> {
+        self.advance();
+        self.get()
+    }
+
+    /// When the cursor sits inside a `Plains` chunk, its side and the number
+    /// of elements remaining in that chunk (always ≥ 1).
+    fn plains_rem(&self) -> Option<(Side, u32)> {
+        let n = self.chunks.get(self.chunk)?;
+        match n.seg {
+            Seg::Plains(side, k) => Some((side, k - self.off)),
+            Seg::Mini(..) => None,
+        }
+    }
+
+    /// Advances by `k` elements, which must not exceed the remainder of the
+    /// current chunk.
+    fn advance_by(&mut self, k: u32) {
+        if let Some(n) = self.chunks.get(self.chunk) {
+            self.off += k;
+            if self.off >= n.seg_len() {
+                self.chunk += 1;
+                self.off = 0;
+            }
+        }
+    }
+}
+
+/// Region of the shared major node an identifier falls in, given a cursor
+/// parked on an element known to be disambiguator-free.
+fn region_after<D>(cursor: Cursor<'_, D>) -> Region {
+    match cursor.peek_next() {
+        None => Region::PlainSlot,
+        Some((Side::Left, _)) => Region::LeftSubtree,
+        Some(_) => Region::RightSubtree,
     }
 }
 
 impl<D> PosId<D> {
     /// The identifier of the root position (empty path).
     pub const fn root() -> Self {
-        PosId { elems: Vec::new() }
+        PosId { node: None }
     }
 
     /// Builds an identifier from its elements.
     pub fn from_elems(elems: Vec<PathElem<D>>) -> Self {
-        PosId { elems }
+        let mut id = PosId::root();
+        for e in elems {
+            id = id.child(e);
+        }
+        id
     }
 
-    /// The path elements.
-    pub fn elems(&self) -> &[PathElem<D>] {
-        &self.elems
+    /// The path elements, materialised into an owned vector. Prefer the O(1)
+    /// accessors ([`Self::depth`], [`Self::last`], [`Self::dis_count`], …)
+    /// on hot paths; this walks and clones the whole logical path.
+    pub fn elems(&self) -> Vec<PathElem<D>>
+    where
+        D: Clone,
+    {
+        let mut out = Vec::with_capacity(self.depth());
+        for n in self.chunks() {
+            match &n.seg {
+                Seg::Mini(side, d) => out.push(PathElem::mini(*side, d.clone())),
+                Seg::Plains(side, k) => {
+                    out.extend(std::iter::repeat_n(PathElem::plain(*side), *k as usize))
+                }
+            }
+        }
+        out
     }
 
     /// Number of path elements (= depth of the identified node, = number of
     /// bits of the path).
     pub fn depth(&self) -> usize {
-        self.elems.len()
+        self.node.as_deref().map_or(0, |n| n.depth as usize)
     }
 
     /// `true` for the root identifier.
     pub fn is_root(&self) -> bool {
-        self.elems.is_empty()
+        self.node.is_none()
     }
 
     /// The last element, if any.
-    pub fn last(&self) -> Option<&PathElem<D>> {
-        self.elems.last()
+    pub fn last(&self) -> Option<PathElem<D>>
+    where
+        D: Clone,
+    {
+        self.node.as_deref().map(|n| match &n.seg {
+            Seg::Mini(side, d) => PathElem::mini(*side, d.clone()),
+            Seg::Plains(side, _) => PathElem::plain(*side),
+        })
+    }
+
+    /// The branch bit of the last element, if any.
+    pub fn last_side(&self) -> Option<Side> {
+        self.node.as_deref().map(|n| match n.seg {
+            Seg::Mini(side, _) => side,
+            Seg::Plains(side, _) => side,
+        })
+    }
+
+    /// The disambiguator of the last element, if the identifier ends in a
+    /// mini-node selection.
+    pub fn last_dis(&self) -> Option<&D> {
+        match self.node.as_deref() {
+            Some(PathNode {
+                seg: Seg::Mini(_, d),
+                ..
+            }) => Some(d),
+            _ => None,
+        }
     }
 
     /// The sequence of branch bits, ignoring disambiguators.
     pub fn bits(&self) -> impl Iterator<Item = Side> + '_ {
-        self.elems.iter().map(|e| e.side)
+        self.chunks().into_iter().flat_map(|n| {
+            let (side, len) = match n.seg {
+                Seg::Mini(side, _) => (side, 1),
+                Seg::Plains(side, k) => (side, k as usize),
+            };
+            std::iter::repeat_n(side, len)
+        })
     }
 
     /// The branch bits as a vector of 0/1 values.
     pub fn bit_vec(&self) -> Vec<u8> {
-        self.elems.iter().map(|e| e.side.bit()).collect()
+        self.bits().map(Side::bit).collect()
     }
 
     /// Number of disambiguators carried by this identifier.
     pub fn dis_count(&self) -> usize {
-        self.elems.iter().filter(|e| e.dis.is_some()).count()
+        self.node.as_deref().map_or(0, |n| n.dis_count as usize)
+    }
+
+    /// Number of disambiguators carried by *interior* elements (everything
+    /// but the last). Zero for the sequential-typing spine identifiers, which
+    /// lets hot paths skip ghost-ancestor bookkeeping entirely.
+    pub fn interior_dis_count(&self) -> usize {
+        match self.node.as_deref() {
+            None => 0,
+            Some(n) => (n.dis_count - matches!(n.seg, Seg::Mini(..)) as u32) as usize,
+        }
     }
 
     /// The identifier of the parent node: the same path with the final
     /// element removed (paper §3.1: `u / v` iff `id(v) = id(u)·p` or
-    /// `id(v) = id(u)·(p:d)`). Returns `None` for the root.
-    pub fn parent(&self) -> Option<PosId<D>>
-    where
-        D: Clone,
-    {
-        if self.elems.is_empty() {
-            None
-        } else {
-            Some(PosId {
-                elems: self.elems[..self.elems.len() - 1].to_vec(),
-            })
-        }
+    /// `id(v) = id(u)·(p:d)`). Returns `None` for the root. O(1).
+    pub fn parent(&self) -> Option<PosId<D>> {
+        let node = self.node.as_deref()?;
+        Some(match &node.seg {
+            Seg::Mini(..) | Seg::Plains(_, 1) => PosId {
+                node: node.parent.clone(),
+            },
+            Seg::Plains(side, n) => {
+                let (pd, pdc, pshape) = parent_stats(&node.parent);
+                let k = u64::from(n - 1);
+                let code = elem_code(*side, false);
+                PosId {
+                    node: Some(Arc::new(PathNode {
+                        parent: node.parent.clone(),
+                        seg: Seg::Plains(*side, n - 1),
+                        depth: pd + (n - 1),
+                        dis_count: pdc,
+                        shape: pshape
+                            .wrapping_mul(shape_pow(k))
+                            .wrapping_add(code.wrapping_mul(shape_geom(k))),
+                    })),
+                }
+            }
+        })
     }
 
     /// Extends this identifier with one more element, producing a child
-    /// identifier.
-    pub fn child(&self, elem: PathElem<D>) -> PosId<D>
+    /// identifier. O(1): the new identifier shares this one's path.
+    pub fn child(&self, elem: PathElem<D>) -> PosId<D> {
+        match elem.dis {
+            Some(d) => self.child_mini(elem.side, d),
+            None => self.extend_plains(elem.side, 1),
+        }
+    }
+
+    /// Extends with one disambiguated element (`child` without the
+    /// `PathElem` wrapper). O(1).
+    pub fn child_mini(&self, side: Side, dis: D) -> PosId<D> {
+        let (depth, dc, shape) = parent_stats(&self.node);
+        PosId {
+            node: Some(Arc::new(PathNode {
+                parent: self.node.clone(),
+                seg: Seg::Mini(side, dis),
+                depth: depth + 1,
+                dis_count: dc + 1,
+                shape: shape
+                    .wrapping_mul(DIGEST_BASE)
+                    .wrapping_add(elem_code(side, true)),
+            })),
+        }
+    }
+
+    /// Extends with `count` consecutive plain elements on `side`, in O(log
+    /// count): the run becomes (or merges into) a single chunk.
+    pub fn extend_plains(&self, side: Side, count: usize) -> PosId<D> {
+        if count == 0 {
+            return self.clone();
+        }
+        let count = u32::try_from(count).expect("path deeper than u32::MAX");
+        let k = u64::from(count);
+        let code = elem_code(side, false);
+        let added = code.wrapping_mul(shape_geom(k));
+        match self.node.as_deref() {
+            // Canonical form: merge into an existing same-side plains chunk.
+            Some(PathNode {
+                parent,
+                seg: Seg::Plains(s, n),
+                depth,
+                dis_count,
+                shape,
+            }) if *s == side => PosId {
+                node: Some(Arc::new(PathNode {
+                    parent: parent.clone(),
+                    seg: Seg::Plains(side, n + count),
+                    depth: depth + count,
+                    dis_count: *dis_count,
+                    shape: shape.wrapping_mul(shape_pow(k)).wrapping_add(added),
+                })),
+            },
+            _ => {
+                let (depth, dc, shape) = parent_stats(&self.node);
+                PosId {
+                    node: Some(Arc::new(PathNode {
+                        parent: self.node.clone(),
+                        seg: Seg::Plains(side, count),
+                        depth: depth + count,
+                        dis_count: dc,
+                        shape: shape.wrapping_mul(shape_pow(k)).wrapping_add(added),
+                    })),
+                }
+            }
+        }
+    }
+
+    /// The chunk chain, root-most chunk first.
+    pub(crate) fn chunks(&self) -> Vec<&PathNode<D>> {
+        let mut out = Vec::new();
+        let mut cur = self.node.as_deref();
+        while let Some(n) = cur {
+            out.push(n);
+            cur = n.parent.as_deref();
+        }
+        out.reverse();
+        out
+    }
+
+    /// Number of chunk nodes backing this identifier (a proxy for its heap
+    /// footprint: deep sequential-typing identifiers stay at a handful of
+    /// chunks regardless of depth).
+    pub fn chunk_count(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self.node.as_deref();
+        while let Some(node) = cur {
+            n += 1;
+            cur = node.parent.as_deref();
+        }
+        n
+    }
+
+    /// Approximate heap footprint: one `PathNode` per chunk. Shared chunks
+    /// are attributed to every identifier that references them.
+    pub fn heap_bytes(&self) -> usize {
+        self.chunk_count() * std::mem::size_of::<PathNode<D>>()
+    }
+
+    /// Visits the logical elements from index `start` on, as
+    /// `(side, disambiguator)` pairs, without materialising them. This is the
+    /// allocation-free alternative to [`PosId::elems`] for serialisation and
+    /// hashing paths.
+    pub fn visit_elems_from<F: FnMut(Side, Option<&D>)>(&self, start: usize, mut f: F) {
+        let chunks = self.chunks();
+        let mut idx = 0usize;
+        for n in &chunks {
+            let len = n.seg_len() as usize;
+            if idx + len <= start {
+                idx += len;
+                continue;
+            }
+            match &n.seg {
+                Seg::Mini(side, d) => f(*side, Some(d)),
+                Seg::Plains(side, _) => {
+                    for _ in idx.max(start)..idx + len {
+                        f(*side, None);
+                    }
+                }
+            }
+            idx += len;
+        }
+    }
+
+    /// The element at index `idx`, as `(side, disambiguator)`.
+    pub(crate) fn elem_at(&self, idx: usize) -> Option<(Side, Option<&D>)> {
+        let mut cur = self.node.as_deref()?;
+        if idx >= cur.depth as usize {
+            return None;
+        }
+        loop {
+            let start = (cur.depth - cur.seg_len()) as usize;
+            if idx >= start {
+                return Some(match &cur.seg {
+                    Seg::Mini(side, d) => (*side, Some(d)),
+                    Seg::Plains(side, _) => (*side, None),
+                });
+            }
+            cur = cur.parent.as_deref()?;
+        }
+    }
+
+    /// The prefix of this identifier keeping the first `len` elements, in
+    /// O(chunks): the result shares every wholly-kept chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the identifier's depth.
+    pub fn prefix(&self, len: usize) -> PosId<D> {
+        assert!(len <= self.depth(), "prefix past the end of the path");
+        let len = len as u32;
+        let mut cur = &self.node;
+        loop {
+            let node = match cur.as_deref() {
+                None => return PosId::root(),
+                Some(n) => n,
+            };
+            if node.depth == len {
+                return PosId { node: cur.clone() };
+            }
+            let start = node.depth - node.seg_len();
+            if start >= len {
+                cur = &node.parent;
+                continue;
+            }
+            // The prefix boundary falls inside this (necessarily Plains)
+            // chunk: truncate it.
+            let side = match node.seg {
+                Seg::Plains(side, _) => side,
+                Seg::Mini(..) => unreachable!("mini chunks have length 1"),
+            };
+            let keep = len - start;
+            let (pd, pdc, pshape) = parent_stats(&node.parent);
+            let k = u64::from(keep);
+            let code = elem_code(side, false);
+            return PosId {
+                node: Some(Arc::new(PathNode {
+                    parent: node.parent.clone(),
+                    seg: Seg::Plains(side, keep),
+                    depth: pd + keep,
+                    dis_count: pdc,
+                    shape: pshape
+                        .wrapping_mul(shape_pow(k))
+                        .wrapping_add(code.wrapping_mul(shape_geom(k))),
+                })),
+            };
+        }
+    }
+
+    /// Length of the longest common element-wise prefix of two identifiers,
+    /// in O(divergent chunks): pointer-equal shared chunks are skipped.
+    pub fn common_prefix_len(&self, other: &PosId<D>) -> usize
     where
-        D: Clone,
+        D: PartialEq,
     {
-        let mut elems = self.elems.clone();
-        elems.push(elem);
-        PosId { elems }
+        let ac = ChunkList::of(self);
+        let bc = ChunkList::of(other);
+        let mut skip = 0;
+        let mut shared = 0usize;
+        while skip < ac.len() && skip < bc.len() {
+            let (Some(x), Some(y)) = (ac.get(skip), bc.get(skip)) else {
+                break;
+            };
+            if !std::ptr::eq(x, y) {
+                break;
+            }
+            shared = x.depth as usize;
+            skip += 1;
+        }
+        let mut a = Cursor::start(&ac, skip);
+        let mut b = Cursor::start(&bc, skip);
+        loop {
+            // Same-side plain stretches match wholesale: skip them chunk-wise
+            // so the scan is O(divergent chunks), not O(divergent elements).
+            if let (Some((sa, ra)), Some((sb, rb))) = (a.plains_rem(), b.plains_rem()) {
+                if sa == sb {
+                    let k = ra.min(rb);
+                    shared += k as usize;
+                    a.advance_by(k);
+                    b.advance_by(k);
+                    continue;
+                }
+            }
+            let (Some((sa, da)), Some((sb, db))) = (a.get(), b.get()) else {
+                break;
+            };
+            if sa != sb || da != db {
+                break;
+            }
+            shared += 1;
+            a.advance();
+            b.advance();
+        }
+        shared
+    }
+
+    /// Identifiers of every strict prefix ending in a disambiguated element,
+    /// shallowest first. These are exactly the mini-node ancestors that need
+    /// ghost bookkeeping; the list is empty for spine identifiers (O(1)).
+    pub(crate) fn mini_prefixes(&self) -> Vec<PosId<D>> {
+        let mut out = Vec::new();
+        let mut cur = self.node.as_ref().and_then(|n| n.parent.as_ref());
+        while let Some(arc) = cur {
+            if matches!(arc.seg, Seg::Mini(..)) {
+                out.push(PosId {
+                    node: Some(arc.clone()),
+                });
+            }
+            cur = arc.parent.as_ref();
+        }
+        out.reverse();
+        out
     }
 
     /// Size of this identifier in bits: one bit per element plus the size of
@@ -230,7 +820,7 @@ impl<D> PosId<D> {
     where
         D: Disambiguator,
     {
-        self.elems.len() + self.dis_count() * D::ACCOUNTED_BYTES * 8
+        self.depth() + self.dis_count() * D::ACCOUNTED_BYTES * 8
     }
 
     /// Size of this identifier in bytes (rounded up), the unit used when the
@@ -248,8 +838,7 @@ impl<D> PosId<D> {
     where
         D: PartialEq,
     {
-        self.elems.len() < other.elems.len()
-            && self.elems.iter().zip(&other.elems).all(|(a, b)| a == b)
+        self.depth() < other.depth() && other.prefix(self.depth()) == *self
     }
 
     /// The *compatible-ancestor* relation used by the allocation algorithm
@@ -265,29 +854,27 @@ impl<D> PosId<D> {
     where
         D: PartialEq,
     {
-        let n = self.elems.len();
-        if n >= other.elems.len() {
+        let n = self.depth();
+        if n >= other.depth() {
             return false;
-        }
-        // All but the last element must match exactly (same branch and same
-        // mini-node selection), because interior disambiguators denote a
-        // genuinely different subtree.
-        for i in 0..n.saturating_sub(1) {
-            if self.elems[i] != other.elems[i] {
-                return false;
-            }
         }
         if n == 0 {
             return true;
         }
-        // The element of `other` landing on `self`'s position must use the
-        // same branch and either the same mini-node or the plain slot.
-        let mine = &self.elems[n - 1];
-        let theirs = &other.elems[n - 1];
-        if mine.side != theirs.side {
+        // All but the last element must match exactly (same branch and same
+        // mini-node selection), because interior disambiguators denote a
+        // genuinely different subtree.
+        if self.prefix(n - 1) != other.prefix(n - 1) {
             return false;
         }
-        match (&mine.dis, &theirs.dis) {
+        // The element of `other` landing on `self`'s position must use the
+        // same branch and either the same mini-node or the plain slot.
+        let (my_side, my_dis) = self.elem_at(n - 1).expect("n - 1 < depth");
+        let (their_side, their_dis) = other.elem_at(n - 1).expect("n - 1 < other depth");
+        if my_side != their_side {
+            return false;
+        }
+        match (my_dis, their_dis) {
             (_, None) => true,
             (Some(a), Some(b)) => a == b,
             (None, Some(_)) => false,
@@ -301,29 +888,36 @@ impl<D> PosId<D> {
     where
         D: PartialEq,
     {
-        if self.elems.len() != other.elems.len() || self.elems.is_empty() {
+        let n = self.depth();
+        if n != other.depth() || n == 0 {
             return false;
         }
-        let n = self.elems.len();
-        if self.elems[..n - 1] != other.elems[..n - 1] {
-            return false;
+        let (a, b) = match (self.node.as_deref(), other.node.as_deref()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return false,
+        };
+        match (&a.seg, &b.seg) {
+            (Seg::Mini(sa, da), Seg::Mini(sb, db)) if sa == sb && da != db => {
+                self.prefix(n - 1) == other.prefix(n - 1)
+            }
+            _ => false,
         }
-        let (a, b) = (&self.elems[n - 1], &other.elems[n - 1]);
-        a.side == b.side && a.dis.is_some() && b.dis.is_some() && a.dis != b.dis
     }
 
     /// A copy of this identifier with the final disambiguator removed (the
     /// `c1 … pn` prefix used by Algorithm 1 when allocating a child of the
-    /// *major* node rather than of the mini-node).
-    pub fn major_path(&self) -> PosId<D>
-    where
-        D: Clone,
-    {
-        let mut elems = self.elems.clone();
-        if let Some(last) = elems.last_mut() {
-            last.dis = None;
+    /// *major* node rather than of the mini-node). O(1).
+    pub fn major_path(&self) -> PosId<D> {
+        match self.node.as_deref() {
+            None => PosId::root(),
+            Some(n) => match &n.seg {
+                Seg::Plains(..) => self.clone(),
+                Seg::Mini(side, _) => PosId {
+                    node: n.parent.clone(),
+                }
+                .extend_plains(*side, 1),
+            },
         }
-        PosId { elems }
     }
 
     /// Human-readable rendering, used in error messages.
@@ -334,18 +928,72 @@ impl<D> PosId<D> {
         PosIdRepr(format!("{self:?}"))
     }
 
-    /// Region of the shared major node that this identifier falls in, when
-    /// its element at `idx` is known to share the branch bit with another
-    /// identifier's element at the same index.
-    fn region_at(&self, idx: usize) -> Region {
-        match self.elems.get(idx) {
-            None => unreachable!("region_at called past the end of the path"),
-            Some(e) if e.dis.is_some() => Region::Minis,
-            Some(_) => match self.elems.get(idx + 1) {
-                None => Region::PlainSlot,
-                Some(next) if next.side == Side::Left => Region::LeftSubtree,
-                Some(_) => Region::RightSubtree,
-            },
+    /// The chunk chain as owned `Arc`s, root-most chunk first. Used by the
+    /// interning arena, which relinks chains onto canonical nodes.
+    pub(crate) fn chunk_arcs(&self) -> Vec<Arc<PathNode<D>>> {
+        let mut out = Vec::new();
+        let mut cur = self.node.clone();
+        while let Some(arc) = cur {
+            cur = arc.parent.clone();
+            out.push(arc);
+        }
+        out.reverse();
+        out
+    }
+
+    /// The tip chunk node, for the interning arena's sharing assertions.
+    #[cfg(test)]
+    pub(crate) fn tip(&self) -> &Option<Arc<PathNode<D>>> {
+        &self.node
+    }
+
+    /// Rewraps an arena-owned chunk chain as an identifier.
+    pub(crate) fn from_node(node: Option<Arc<PathNode<D>>>) -> PosId<D> {
+        PosId { node }
+    }
+}
+
+impl<D: PartialEq> PartialEq for PosId<D> {
+    fn eq(&self, other: &Self) -> bool {
+        let (mut a, mut b) = (&self.node, &other.node);
+        loop {
+            match (a, b) {
+                (None, None) => return true,
+                (Some(x), Some(y)) => {
+                    if Arc::ptr_eq(x, y) {
+                        return true;
+                    }
+                    // The cached aggregates reject unequal paths in O(1);
+                    // they never *confirm* equality — the chunk walk does.
+                    if x.depth != y.depth || x.dis_count != y.dis_count || x.shape != y.shape {
+                        return false;
+                    }
+                    if x.seg != y.seg {
+                        return false;
+                    }
+                    a = &x.parent;
+                    b = &y.parent;
+                }
+                _ => return false,
+            }
+        }
+    }
+}
+
+impl<D: Eq> Eq for PosId<D> {}
+
+impl<D: Hash> Hash for PosId<D> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.node.as_deref().map_or(0, |n| n.shape));
+        state.write_usize(self.depth());
+        // Feed the disambiguators (tip-most first) so that mini-siblings,
+        // which share the structural shape, still hash apart.
+        let mut cur = self.node.as_deref();
+        while let Some(n) = cur {
+            if let Seg::Mini(_, d) = &n.seg {
+                d.hash(state);
+            }
+            cur = n.parent.as_deref();
         }
     }
 }
@@ -354,45 +1002,78 @@ impl<D: Disambiguator> PosId<D> {
     /// Compares two identifiers according to the infix-walk order of §3.1.
     ///
     /// See the module documentation for how the plain-versus-mini case is
-    /// resolved.
+    /// resolved. Pointer-equal shared chunks are skipped, so comparing two
+    /// identifiers derived from a common prefix walks only the divergent
+    /// suffix.
     fn infix_cmp(&self, other: &PosId<D>) -> Ordering {
-        let n = self.elems.len().min(other.elems.len());
-        for i in 0..n {
-            let a = &self.elems[i];
-            let b = &other.elems[i];
-            if a.side != b.side {
-                return a.side.cmp(&b.side);
-            }
-            match (&a.dis, &b.dis) {
-                (None, None) => continue,
-                (Some(da), Some(db)) => match da.cmp(db) {
-                    Ordering::Equal => continue,
-                    o => return o,
-                },
-                // Same branch bit, one path goes through the major node's
-                // plain namespace, the other through a mini-node: order by
-                // region (left subtree < plain slot < minis < right subtree).
-                (None, Some(_)) => return self.region_at(i).cmp(&Region::Minis),
-                (Some(_), None) => return Region::Minis.cmp(&other.region_at(i)),
-            }
+        match (&self.node, &other.node) {
+            (None, None) => return Ordering::Equal,
+            (Some(a), Some(b)) if Arc::ptr_eq(a, b) => return Ordering::Equal,
+            _ => {}
         }
-        // One is an element-wise prefix of the other (or they are equal): the
-        // longer one sorts according to the branch it takes next.
-        match self.elems.len().cmp(&other.elems.len()) {
-            Ordering::Equal => Ordering::Equal,
-            Ordering::Less => {
-                // `self` is the prefix: `other` continues below it.
-                if other.elems[n].side == Side::Right {
-                    Ordering::Less
-                } else {
-                    Ordering::Greater
+        let ac = ChunkList::of(self);
+        let bc = ChunkList::of(other);
+        let mut skip = 0;
+        while skip < ac.len() && skip < bc.len() {
+            let (Some(x), Some(y)) = (ac.get(skip), bc.get(skip)) else {
+                break;
+            };
+            if !std::ptr::eq(x, y) {
+                break;
+            }
+            skip += 1;
+        }
+        let mut a = Cursor::start(&ac, skip);
+        let mut b = Cursor::start(&bc, skip);
+        loop {
+            // Same-side plain stretches compare equal wholesale: skip them
+            // chunk-wise so the walk is O(divergent chunks) even when the
+            // shared prefix is not pointer-shared.
+            if let (Some((sa, ra)), Some((sb, rb))) = (a.plains_rem(), b.plains_rem()) {
+                if sa == sb {
+                    let k = ra.min(rb);
+                    a.advance_by(k);
+                    b.advance_by(k);
+                    continue;
                 }
             }
-            Ordering::Greater => {
-                if self.elems[n].side == Side::Right {
-                    Ordering::Greater
-                } else {
-                    Ordering::Less
+            match (a.get(), b.get()) {
+                (None, None) => return Ordering::Equal,
+                // One is an element-wise prefix of the other: the longer one
+                // sorts according to the branch it takes next.
+                (None, Some((side, _))) => {
+                    return if side == Side::Right {
+                        Ordering::Less
+                    } else {
+                        Ordering::Greater
+                    };
+                }
+                (Some((side, _)), None) => {
+                    return if side == Side::Right {
+                        Ordering::Greater
+                    } else {
+                        Ordering::Less
+                    };
+                }
+                (Some((sa, da)), Some((sb, db))) => {
+                    if sa != sb {
+                        return sa.cmp(&sb);
+                    }
+                    match (da, db) {
+                        (None, None) => {}
+                        (Some(x), Some(y)) => match x.cmp(y) {
+                            Ordering::Equal => {}
+                            o => return o,
+                        },
+                        // Same branch bit, one path goes through the major
+                        // node's plain namespace, the other through a
+                        // mini-node: order by region (left subtree < plain
+                        // slot < minis < right subtree).
+                        (None, Some(_)) => return region_after(a).cmp(&Region::Minis),
+                        (Some(_), None) => return Region::Minis.cmp(&region_after(b)),
+                    }
+                    a.advance();
+                    b.advance();
                 }
             }
         }
@@ -414,8 +1095,15 @@ impl<D: Disambiguator> Ord for PosId<D> {
 impl<D: fmt::Debug> fmt::Debug for PosId<D> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for e in &self.elems {
-            write!(f, "{e:?}")?;
+        for n in self.chunks() {
+            match &n.seg {
+                Seg::Mini(side, d) => write!(f, "({}:{:?})", side.bit(), d)?,
+                Seg::Plains(side, k) => {
+                    for _ in 0..*k {
+                        write!(f, "{}", side.bit())?;
+                    }
+                }
+            }
         }
         write!(f, "]")
     }
@@ -424,6 +1112,52 @@ impl<D: fmt::Debug> fmt::Debug for PosId<D> {
 impl<D: fmt::Debug> fmt::Display for PosId<D> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{self:?}")
+    }
+}
+
+// The wire image of a `PosId` is its element sequence, exactly as the old
+// `struct PosId { elems: Vec<PathElem<D>> }` derive produced it, so storage
+// snapshots and JSON WALs written before the chunked representation decode
+// unchanged (and vice versa).
+impl<D: Serialize> Serialize for PosId<D> {
+    fn to_value(&self) -> Value {
+        let mut arr = Vec::with_capacity(self.depth());
+        for n in self.chunks() {
+            match &n.seg {
+                Seg::Mini(side, d) => arr.push(elem_value(*side, Some(d))),
+                Seg::Plains(side, k) => {
+                    for _ in 0..*k {
+                        arr.push(elem_value::<D>(*side, None));
+                    }
+                }
+            }
+        }
+        Value::Map(vec![(String::from("elems"), Value::Array(arr))])
+    }
+}
+
+/// The value tree the `PathElem` derive produces, built from borrowed parts.
+fn elem_value<D: Serialize>(side: Side, dis: Option<&D>) -> Value {
+    Value::Map(vec![
+        (String::from("side"), side.to_value()),
+        (
+            String::from("dis"),
+            match dis {
+                None => Value::Null,
+                Some(d) => d.to_value(),
+            },
+        ),
+    ])
+}
+
+impl<D: Deserialize> Deserialize for PosId<D> {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let map = value
+            .as_map()
+            .ok_or_else(|| SerdeError::custom("expected map for `PosId`"))?;
+        let elems: Vec<PathElem<D>> =
+            Deserialize::from_value(serde::value::get_field(map, "elems"))?;
+        Ok(PosId::from_elems(elems))
     }
 }
 
@@ -640,6 +1374,84 @@ mod tests {
         assert_eq!(a, b);
     }
 
+    #[test]
+    fn derived_and_rebuilt_ids_are_equal_and_share_nothing() {
+        // The same logical path reached two ways: by child extension from a
+        // shared base, and rebuilt from scratch via `from_elems`. They must
+        // compare equal (and hash equal) despite disjoint chunk chains.
+        let base = p(&[(1, None), (0, Some(2))]);
+        let derived = base
+            .child(PathElem::plain(Side::Right))
+            .child(PathElem::plain(Side::Right))
+            .child(PathElem::mini(Side::Left, s(3)));
+        let rebuilt = p(&[(1, None), (0, Some(2)), (1, None), (1, None), (0, Some(3))]);
+        assert_eq!(derived, rebuilt);
+        assert_eq!(derived.cmp(&rebuilt), Ordering::Equal);
+        use std::collections::hash_map::DefaultHasher;
+        let h = |id: &PosId<Sdis>| {
+            let mut st = DefaultHasher::new();
+            id.hash(&mut st);
+            st.finish()
+        };
+        assert_eq!(h(&derived), h(&rebuilt));
+    }
+
+    #[test]
+    fn deep_spine_id_stays_flat_in_chunks() {
+        // A sequential-typing spine identifier: thousands of plain elements
+        // and one trailing mini must cost O(1) chunks, and extending it by
+        // one more level must not copy the prefix.
+        let deep = PosId::<Sdis>::root()
+            .extend_plains(Side::Right, 10_000)
+            .child(PathElem::mini(Side::Right, s(1)));
+        assert_eq!(deep.depth(), 10_001);
+        assert_eq!(deep.chunk_count(), 2);
+        assert_eq!(deep.dis_count(), 1);
+        assert_eq!(deep.interior_dis_count(), 0);
+        let deeper = deep.major_path().child(PathElem::mini(Side::Right, s(1)));
+        assert_eq!(deeper.depth(), 10_002);
+        assert_eq!(deeper.chunk_count(), 2);
+        // Siblings derived from the same anchor compare in O(divergence).
+        assert!(deep < deeper);
+    }
+
+    #[test]
+    fn prefix_and_common_prefix_len() {
+        let id = p(&[(1, None), (1, None), (0, Some(2)), (0, None), (1, Some(3))]);
+        assert_eq!(id.prefix(0), PosId::root());
+        assert_eq!(id.prefix(1), p(&[(1, None)]));
+        assert_eq!(id.prefix(3), p(&[(1, None), (1, None), (0, Some(2))]));
+        assert_eq!(id.prefix(5), id);
+        let other = p(&[(1, None), (1, None), (0, Some(2)), (1, None)]);
+        assert_eq!(id.common_prefix_len(&other), 3);
+        assert_eq!(id.common_prefix_len(&id.clone()), 5);
+        assert_eq!(id.common_prefix_len(&PosId::root()), 0);
+    }
+
+    #[test]
+    fn mini_prefixes_lists_ghost_ancestors_shallowest_first() {
+        let id = p(&[
+            (1, None),
+            (0, Some(1)),
+            (1, Some(5)),
+            (0, None),
+            (1, Some(7)),
+        ]);
+        let prefixes = id.mini_prefixes();
+        assert_eq!(
+            prefixes,
+            vec![
+                p(&[(1, None), (0, Some(1))]),
+                p(&[(1, None), (0, Some(1)), (1, Some(5))]),
+            ]
+        );
+        assert_eq!(id.interior_dis_count(), 2);
+        // Spine-shaped ids have no ghost ancestors to visit.
+        let spine = p(&[(1, None), (1, None), (1, Some(9))]);
+        assert!(spine.mini_prefixes().is_empty());
+        assert_eq!(spine.interior_dis_count(), 0);
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -710,6 +1522,38 @@ mod tests {
                 ids.reverse();
                 ids.sort();
                 prop_assert_eq!(once, ids);
+            }
+
+            /// The chunked representation round-trips through its element
+            /// sequence: `from_elems(id.elems())` is the identity, and the
+            /// derived accessors agree with the materialised elements.
+            #[test]
+            fn elems_round_trip(a in arb_posid()) {
+                let elems = a.elems();
+                let rebuilt = PosId::from_elems(elems.clone());
+                prop_assert_eq!(&a, &rebuilt);
+                prop_assert_eq!(a.depth(), elems.len());
+                prop_assert_eq!(a.dis_count(), elems.iter().filter(|e| e.dis.is_some()).count());
+                prop_assert_eq!(a.last(), elems.last().cloned());
+                prop_assert_eq!(
+                    a.parent(),
+                    (!elems.is_empty()).then(|| {
+                        PosId::from_elems(elems[..elems.len() - 1].to_vec())
+                    })
+                );
+            }
+
+            /// `prefix` and `common_prefix_len` agree with the element-wise
+            /// definitions.
+            #[test]
+            fn prefix_agrees_with_elementwise(a in arb_posid(), b in arb_posid()) {
+                let ae = a.elems();
+                let be = b.elems();
+                let shared = ae.iter().zip(&be).take_while(|(x, y)| x == y).count();
+                prop_assert_eq!(a.common_prefix_len(&b), shared);
+                for k in 0..=ae.len() {
+                    prop_assert_eq!(a.prefix(k), PosId::from_elems(ae[..k].to_vec()));
+                }
             }
         }
     }

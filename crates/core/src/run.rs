@@ -54,22 +54,19 @@ pub fn spine_step<D: Disambiguator>(prev: &PosId<D>, next: &PosId<D>) -> Option<
     if a == 0 || next.depth() != a + 1 {
         return None;
     }
-    let pe = prev.elems();
-    let ne = next.elems();
-    let prev_dis = pe[a - 1].dis.as_ref()?;
-    let next_last = &ne[a];
-    let next_dis = next_last.dis.as_ref()?;
+    let prev_dis = prev.last_dis()?;
+    let next_dis = next.last_dis()?;
     if *next_dis != prev_dis.sequential_next()? {
         return None;
     }
-    // prev's last element must appear plainified at the same index in next.
-    if ne[a - 1].side != pe[a - 1].side || ne[a - 1].dis.is_some() {
+    // prev's last element must appear plainified at the same index in next,
+    // below an identical interior prefix: next's parent is prev's major
+    // path. Chunked identifiers make this an O(chunks) compare (a long
+    // shared plain spine is one segment equality), not an O(depth) walk.
+    if next.parent()? != prev.major_path() {
         return None;
     }
-    if ne[..a - 1] != pe[..a - 1] {
-        return None;
-    }
-    Some(next_last.side)
+    next.last_side()
 }
 
 /// The inverse of [`spine_step`]: the identifier a sequential local insert
@@ -80,18 +77,8 @@ pub fn spine_step<D: Disambiguator>(prev: &PosId<D>, next: &PosId<D>) -> Option<
 /// always holds, which is what lets the wire codec ship a run continuation
 /// as a single side bit and reconstruct the identifier at the receiver.
 pub fn spine_successor<D: Disambiguator>(prev: &PosId<D>, side: Side) -> Option<PosId<D>> {
-    let a = prev.depth();
-    if a == 0 {
-        return None;
-    }
-    let last = prev.last().expect("non-root id");
-    let dis = last.dis.as_ref()?;
-    let next_dis = dis.sequential_next()?;
-    let mut elems = Vec::with_capacity(a + 1);
-    elems.extend_from_slice(&prev.elems()[..a - 1]);
-    elems.push(PathElem::plain(last.side));
-    elems.push(PathElem::mini(side, next_dis));
-    Some(PosId::from_elems(elems))
+    let next_dis = prev.last_dis()?.sequential_next()?;
+    Some(prev.major_path().child_mini(side, next_dis))
 }
 
 /// Identifier of the cell at growth `g` along the spine anchored at
@@ -100,21 +87,18 @@ fn spine_cell_id<D: Disambiguator>(anchor: &PosId<D>, side: Side, g: usize) -> P
     if g == 0 {
         return anchor.clone();
     }
-    let a = anchor.depth();
-    debug_assert!(a > 0, "spine anchors end in a mini-node");
-    let last = anchor.last().expect("non-root anchor");
-    let dis = last.dis.as_ref().expect("spine anchors end in a mini-node");
-    let mut elems = Vec::with_capacity(a + g);
-    elems.extend_from_slice(&anchor.elems()[..a - 1]);
-    elems.push(PathElem::plain(last.side));
-    for _ in 1..g {
-        elems.push(PathElem::plain(side));
-    }
-    elems.push(PathElem::mini(
-        side,
-        dis.sequential_nth(g).expect("spine growth overflow"),
-    ));
-    PosId::from_elems(elems)
+    debug_assert!(anchor.depth() > 0, "spine anchors end in a mini-node");
+    let dis = anchor
+        .last_dis()
+        .expect("spine anchors end in a mini-node")
+        .sequential_nth(g)
+        .expect("spine growth overflow");
+    // Constant chunk count however deep the spine: the shared major path,
+    // one merged plains segment, one mini tip.
+    anchor
+        .major_path()
+        .extend_plains(side, g - 1)
+        .child_mini(side, dis)
 }
 
 /// Branch sides from the root of a complete tree of the given `depth` to its
@@ -223,9 +207,9 @@ impl Agg {
 
 /// Feeds one path element into a streaming hasher: the side bit, then a
 /// presence marker and the disambiguator's canonical bytes.
-fn feed_elem<D: Disambiguator>(h: &mut Hasher64, e: &PathElem<D>) {
-    h.write_u8(e.side.bit());
-    match &e.dis {
+fn feed_parts<D: Disambiguator>(h: &mut Hasher64, side: Side, dis: Option<&D>) {
+    h.write_u8(side.bit());
+    match dis {
         None => h.write_u8(0),
         Some(d) => {
             h.write_u8(1);
@@ -254,9 +238,7 @@ fn finish_cell_hash<A: Atom>(mut h: Hasher64, content: &Content<A>) -> u64 {
 /// store groups cells into runs or tree nodes.
 pub fn cell_hash<A: Atom, D: Disambiguator>(id: &PosId<D>, content: &Content<A>) -> u64 {
     let mut h = Hasher64::new();
-    for e in id.elems() {
-        feed_elem(&mut h, e);
-    }
+    id.visit_elems_from(0, |side, dis| feed_parts(&mut h, side, dis));
     finish_cell_hash(h, content)
 }
 
@@ -348,11 +330,11 @@ impl<A: Atom, D: Disambiguator> Run<A, D> {
                 spine_cell_id(anchor, *side, g)
             }
             Pattern::Exploded { base, depth, start } => {
-                let mut elems = Vec::from(base.elems());
+                let mut id = base.clone();
                 for side in infix_path(*depth, start + j) {
-                    elems.push(PathElem::plain(side));
+                    id = id.extend_plains(side, 1);
                 }
-                PosId::from_elems(elems)
+                id
             }
             Pattern::Packed { ids } => ids[j].clone(),
         }
@@ -487,22 +469,24 @@ impl<A: Atom, D: Disambiguator> Run<A, D> {
         match &self.pattern {
             Pattern::Spine { anchor, side } => {
                 let n = self.len();
-                let a = anchor.depth();
-                let last = anchor.last().expect("non-root anchor");
-                let dis = last.dis.as_ref().expect("spine anchors end in a mini-node");
+                let last_side = anchor.last_side().expect("non-root anchor");
+                let dis = anchor.last_dis().expect("spine anchors end in a mini-node");
                 // Growth range covered by the document-order cell range.
                 let (glo, ghi) = match side {
                     Side::Right => (jlo, jhi),
                     Side::Left => (n - jhi, n - jlo),
                 };
+                // Prefix state over elements `[0, a - 1)`: everything above
+                // the anchor's final mini-node.
                 let mut prefix = Hasher64::new();
-                for e in &anchor.elems()[..a - 1] {
-                    feed_elem(&mut prefix, e);
-                }
+                anchor
+                    .parent()
+                    .expect("non-root anchor")
+                    .visit_elems_from(0, |s, d| feed_parts(&mut prefix, s, d));
                 // `chain` is the prefix of growth `g >= 1`: the anchor with
                 // its mini plainified, plus `g - 1` plain steps on `side`.
                 let mut chain = prefix;
-                chain.write_u8(last.side.bit());
+                chain.write_u8(last_side.bit());
                 chain.write_u8(0);
                 for _ in 1..glo.max(1) {
                     chain.write_u8(side.bit());
@@ -512,7 +496,7 @@ impl<A: Atom, D: Disambiguator> Run<A, D> {
                 for g in glo..ghi {
                     let st = if g == 0 {
                         let mut st = prefix;
-                        feed_elem(&mut st, last);
+                        feed_parts(&mut st, last_side, Some(dis));
                         st
                     } else {
                         let mut st = chain;
@@ -544,9 +528,7 @@ impl<A: Atom, D: Disambiguator> Run<A, D> {
             }
             Pattern::Exploded { base, depth, start } => {
                 let mut prefix = Hasher64::new();
-                for e in base.elems() {
-                    feed_elem(&mut prefix, e);
-                }
+                base.visit_elems_from(0, |s, d| feed_parts(&mut prefix, s, d));
                 for j in jlo..jhi {
                     let mut st = prefix;
                     for side in infix_path(*depth, start + j) {
@@ -560,9 +542,7 @@ impl<A: Atom, D: Disambiguator> Run<A, D> {
             Pattern::Packed { ids } => {
                 for (j, id) in ids.iter().enumerate().take(jhi).skip(jlo) {
                     let mut st = Hasher64::new();
-                    for e in id.elems() {
-                        feed_elem(&mut st, e);
-                    }
+                    id.visit_elems_from(0, |s, d| feed_parts(&mut st, s, d));
                     f(j, st);
                 }
                 0
@@ -620,9 +600,7 @@ impl<A: Atom, D: Disambiguator> Run<A, D> {
         // Digest delta: swap cell `j`'s hash at its document position.
         let id = self.cell_id(j);
         let mut idh = Hasher64::new();
-        for e in id.elems() {
-            feed_elem(&mut idh, e);
-        }
+        id.visit_elems_from(0, |s, d| feed_parts(&mut idh, s, d));
         let h_old = finish_cell_hash(idh, &old);
         let h_new = finish_cell_hash(idh, new);
         let weight = digest_pow((self.len() - 1 - j) as u64);
@@ -666,8 +644,7 @@ impl<A: Atom, D: Disambiguator> Run<A, D> {
                 anchor,
                 side: Side::Right,
             } => {
-                let last = anchor.last().expect("non-root anchor");
-                let dis = last.dis.as_ref().expect("spine anchors end in a mini-node");
+                let dis = anchor.last_dis().expect("spine anchors end in a mini-node");
                 let mut st = Hasher64::from_state(self.aux_state);
                 st.write_u8(Side::Right.bit());
                 st.write_u8(1);
@@ -693,9 +670,7 @@ impl<A: Atom, D: Disambiguator> Run<A, D> {
             }
             Pattern::Packed { ids } => {
                 let mut st = Hasher64::new();
-                for e in ids[j].elems() {
-                    feed_elem(&mut st, e);
-                }
+                ids[j].visit_elems_from(0, |s, d| feed_parts(&mut st, s, d));
                 st
             }
         }
@@ -824,11 +799,11 @@ impl<A: Atom, D: Disambiguator> Run<A, D> {
     fn continuation_id(&self, k: usize) -> PosId<D> {
         match &self.pattern {
             Pattern::Exploded { base, depth, .. } => {
-                let mut elems = Vec::from(base.elems());
+                let mut id = base.clone();
                 for side in infix_path(*depth, k) {
-                    elems.push(PathElem::plain(side));
+                    id = id.extend_plains(side, 1);
                 }
-                PosId::from_elems(elems)
+                id
             }
             _ => unreachable!("continuation_id is exploded-only"),
         }
@@ -1028,15 +1003,15 @@ impl<A: Atom, D: Disambiguator> Run<A, D> {
         }
     }
 
-    /// Approximate heap footprint of the run's pattern storage.
+    /// Approximate heap footprint of the run's pattern storage. Chunked
+    /// identifiers cost one node per segment, not one element per level.
     fn pattern_heap_bytes(&self) -> usize {
-        let elem = mem::size_of::<PathElem<D>>();
         match &self.pattern {
-            Pattern::Spine { anchor, .. } => anchor.depth() * elem,
-            Pattern::Exploded { base, .. } => base.depth() * elem,
+            Pattern::Spine { anchor, .. } => anchor.heap_bytes(),
+            Pattern::Exploded { base, .. } => base.heap_bytes(),
             Pattern::Packed { ids } => ids
                 .iter()
-                .map(|id| mem::size_of::<PosId<D>>() + id.depth() * elem)
+                .map(|id| mem::size_of::<PosId<D>>() + id.heap_bytes())
                 .sum(),
         }
     }
@@ -1167,9 +1142,10 @@ impl<A: Atom, D: Disambiguator> RunTree<A, D> {
     /// ancestors the identifier names (mirroring the per-atom tree, which
     /// materialises those mini-nodes structurally).
     pub fn insert(&mut self, id: &PosId<D>, atom: A, rev: u64) -> Result<()> {
-        for k in 1..id.depth() {
-            if id.elems()[k - 1].dis.is_some() {
-                let prefix = PosId::from_elems(id.elems()[..k].to_vec());
+        // Sequential-typing identifiers carry no interior disambiguators;
+        // the O(1) gate keeps the append hot path free of prefix scans.
+        if id.interior_dis_count() > 0 {
+            for prefix in id.mini_prefixes() {
                 self.place(&prefix, Place::Ghost, rev)?;
             }
         }
@@ -1219,11 +1195,10 @@ impl<A: Atom, D: Disambiguator> RunTree<A, D> {
     /// any descendants, deepest first — the run-level mirror of the per-atom
     /// tree's unwind-time pruning.
     fn cascade_ghost_ancestors(&mut self, id: &PosId<D>) {
-        for k in (1..id.depth()).rev() {
-            if id.elems()[k - 1].dis.is_none() {
-                continue;
-            }
-            let prefix = PosId::from_elems(id.elems()[..k].to_vec());
+        if id.interior_dis_count() == 0 {
+            return;
+        }
+        for prefix in id.mini_prefixes().into_iter().rev() {
             match self.get(&prefix) {
                 None => continue,
                 Some(Content::Ghost) => {
@@ -2050,9 +2025,8 @@ impl<A: Atom, D: Disambiguator> RunTree<A, D> {
             self.set_content(id, content, rev);
             return Ok(true);
         }
-        for k in 1..id.depth() {
-            if id.elems()[k - 1].dis.is_some() {
-                let prefix = PosId::from_elems(id.elems()[..k].to_vec());
+        if id.interior_dis_count() > 0 {
+            for prefix in id.mini_prefixes() {
                 self.place(&prefix, Place::Ghost, rev)?;
             }
         }
@@ -2160,9 +2134,8 @@ use crate::flatten::FlattenOutcome;
 /// `bits`: `Less`/`Greater` when the cell falls outside the region before /
 /// after it in document order, `Equal` when it is inside.
 fn cmp_vs_region<D: Disambiguator>(id: &PosId<D>, bits: &[Side]) -> Ordering {
-    let elems = id.elems();
     for (i, &b) in bits.iter().enumerate() {
-        let Some(e) = elems.get(i) else {
+        let Some((side, dis)) = id.elem_at(i) else {
             // The identifier names an ancestor slot of the region root; the
             // region lives in its `b`-side subtree.
             return match b {
@@ -2170,13 +2143,13 @@ fn cmp_vs_region<D: Disambiguator>(id: &PosId<D>, bits: &[Side]) -> Ordering {
                 Side::Right => Ordering::Less,
             };
         };
-        if e.side != b {
-            return match e.side {
+        if side != b {
+            return match side {
                 Side::Left => Ordering::Less,
                 Side::Right => Ordering::Greater,
             };
         }
-        if e.dis.is_some() {
+        if dis.is_some() {
             // The identifier enters a mini-node on the region's path. The
             // region root's own minis are part of the region; higher minis
             // sort against the plain child the region continues into.

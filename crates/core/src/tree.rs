@@ -176,7 +176,8 @@ impl<A: Atom, D: Disambiguator> Tree<A, D> {
             self.root.recount();
             return Ok(());
         }
-        let result = insert_below(HolderMut::Major(&mut self.root), id.elems(), atom, rev, id);
+        let elems = id.elems();
+        let result = insert_below(HolderMut::Major(&mut self.root), &elems, atom, rev, id);
         self.root.recount();
         result
     }
@@ -198,7 +199,8 @@ impl<A: Atom, D: Disambiguator> Tree<A, D> {
             self.root.recount();
             return Ok(removed);
         }
-        let removed = delete_below(HolderMut::Major(&mut self.root), id.elems(), rev);
+        let elems = id.elems();
+        let removed = delete_below(HolderMut::Major(&mut self.root), &elems, rev);
         self.root.recount();
         if D::DISCARD_ON_DELETE {
             self.root.prune();
@@ -251,7 +253,8 @@ impl<A: Atom, D: Disambiguator> Tree<A, D> {
     /// identifier between two atoms (§3.2) without ever colliding with a
     /// tombstone.
     pub fn successor_slot(&self, id: &PosId<D>) -> Option<PosId<D>> {
-        succ_in_major(&self.root, &PosId::root(), id.elems())
+        let elems = id.elems();
+        succ_in_major(&self.root, &PosId::root(), &elems)
     }
 
     /// All live atoms in document order.
@@ -268,8 +271,7 @@ impl<A: Atom, D: Disambiguator> Tree<A, D> {
     /// Live atoms paired with their identifiers, in document order.
     pub fn to_identified_vec(&self) -> Vec<(PosId<D>, A)> {
         let mut out = Vec::with_capacity(self.live_len());
-        let mut bits: Vec<PathElem<D>> = Vec::new();
-        collect_identified(&self.root, &mut bits, &mut out);
+        collect_identified(&self.root, &PosId::root(), &mut out);
         out
     }
 
@@ -419,8 +421,7 @@ impl<A: Atom, D: Disambiguator> Tree<A, D> {
     /// store ([`crate::run::RunTree`]).
     pub fn collect_cells(&self) -> Vec<(PosId<D>, Content<A>, u64)> {
         let mut out = Vec::with_capacity(self.node_count());
-        let mut path: Vec<PathElem<D>> = Vec::new();
-        collect_cells_rec(&self.root, &mut path, &mut out);
+        collect_cells_rec(&self.root, &PosId::root(), &mut out);
         out
     }
 
@@ -781,12 +782,13 @@ fn locate_live_mini<A, D: Disambiguator + Clone>(
 /// Identifier of the mini-node `dis` of the major node reached by
 /// `major_path` (whose last element is plain).
 fn mini_id<D: Disambiguator>(major_path: &PosId<D>, dis: &D) -> PosId<D> {
-    let mut elems = major_path.elems().to_vec();
-    let last = elems
-        .last_mut()
+    let side = major_path
+        .last_side()
         .expect("the root major node cannot hold mini-nodes");
-    last.dis = Some(dis.clone());
-    PosId::from_elems(elems)
+    let parent = major_path
+        .parent()
+        .expect("the root major node cannot hold mini-nodes");
+    parent.child_mini(side, dis.clone())
 }
 
 fn first_slot_in_major<A, D: Disambiguator>(
@@ -987,95 +989,70 @@ fn visit_major<A, D: Disambiguator>(
     }
 }
 
+/// The identifier of mini-node `dis` at the major node reached by `path`.
+/// The root major node holds no mini-nodes; should one appear there anyway,
+/// the plain root path is returned unchanged (mirroring the descent logic,
+/// which has nowhere else to file it).
+fn mini_path_of<D: Disambiguator>(path: &PosId<D>, dis: &D) -> PosId<D> {
+    match (path.parent(), path.last_side()) {
+        (Some(parent), Some(side)) => parent.child_mini(side, dis.clone()),
+        _ => path.clone(),
+    }
+}
+
 fn collect_identified<A: Atom, D: Disambiguator>(
     node: &MajorNode<A, D>,
-    path: &mut Vec<PathElem<D>>,
+    path: &PosId<D>,
     out: &mut Vec<(PosId<D>, A)>,
 ) {
     if let Some(left) = node.child(Side::Left) {
-        path.push(PathElem::plain(Side::Left));
-        collect_identified(left, path, out);
-        path.pop();
+        collect_identified(left, &path.extend_plains(Side::Left, 1), out);
     }
     if let Content::Live(a) = &node.plain {
-        out.push((PosId::from_elems(path.clone()), a.clone()));
+        out.push((path.clone(), a.clone()));
     }
     for mini in &node.minis {
-        let saved = path.last().cloned();
-        if let Some(last) = path.last_mut() {
-            last.dis = Some(mini.dis.clone());
-        }
+        let mini_path = mini_path_of(path, &mini.dis);
         if let Some(left) = mini.child(Side::Left) {
-            path.push(PathElem::plain(Side::Left));
-            collect_identified(left, path, out);
-            path.pop();
+            collect_identified(left, &mini_path.extend_plains(Side::Left, 1), out);
         }
         if let Content::Live(a) = &mini.content {
-            out.push((PosId::from_elems(path.clone()), a.clone()));
+            out.push((mini_path.clone(), a.clone()));
         }
         if let Some(right) = mini.child(Side::Right) {
-            path.push(PathElem::plain(Side::Right));
-            collect_identified(right, path, out);
-            path.pop();
-        }
-        if let (Some(last), Some(saved)) = (path.last_mut(), saved) {
-            *last = saved;
+            collect_identified(right, &mini_path.extend_plains(Side::Right, 1), out);
         }
     }
     if let Some(right) = node.child(Side::Right) {
-        path.push(PathElem::plain(Side::Right));
-        collect_identified(right, path, out);
-        path.pop();
+        collect_identified(right, &path.extend_plains(Side::Right, 1), out);
     }
 }
 
 fn collect_cells_rec<A: Atom, D: Disambiguator>(
     node: &MajorNode<A, D>,
-    path: &mut Vec<PathElem<D>>,
+    path: &PosId<D>,
     out: &mut Vec<(PosId<D>, Content<A>, u64)>,
 ) {
     if let Some(left) = node.child(Side::Left) {
-        path.push(PathElem::plain(Side::Left));
-        collect_cells_rec(left, path, out);
-        path.pop();
+        collect_cells_rec(left, &path.extend_plains(Side::Left, 1), out);
     }
     if node.plain.is_present() {
-        out.push((
-            PosId::from_elems(path.clone()),
-            node.plain.clone(),
-            node.hot_rev,
-        ));
+        out.push((path.clone(), node.plain.clone(), node.hot_rev));
     }
     for mini in &node.minis {
-        let saved = path.last().cloned();
-        if let Some(last) = path.last_mut() {
-            last.dis = Some(mini.dis.clone());
-        }
+        let mini_path = mini_path_of(path, &mini.dis);
         if let Some(left) = mini.child(Side::Left) {
-            path.push(PathElem::plain(Side::Left));
-            collect_cells_rec(left, path, out);
-            path.pop();
+            collect_cells_rec(left, &mini_path.extend_plains(Side::Left, 1), out);
         }
         if mini.content.is_present() {
-            out.push((
-                PosId::from_elems(path.clone()),
-                mini.content.clone(),
-                node.hot_rev,
-            ));
+            out.push((mini_path.clone(), mini.content.clone(), node.hot_rev));
         }
         if let Some(right) = mini.child(Side::Right) {
-            path.push(PathElem::plain(Side::Right));
-            collect_cells_rec(right, path, out);
-            path.pop();
-        }
-        if let (Some(last), Some(saved)) = (path.last_mut(), saved) {
-            *last = saved;
+            collect_cells_rec(right, &mini_path.extend_plains(Side::Right, 1), out);
         }
     }
     if let Some(right) = node.child(Side::Right) {
-        path.push(PathElem::plain(Side::Right));
-        collect_cells_rec(right, path, out);
-        path.pop();
+        collect_cells_rec(right, &path.extend_plains(Side::Right, 1), out);
     }
 }
 

@@ -1,6 +1,9 @@
 //! Randomised cooperative-editing scenarios, including faulty-network runs
 //! and the distributed flatten commitment protocol carried over the wire.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -1595,15 +1598,65 @@ impl ScenarioMatrix {
     /// cell's handle — pass a closure returning a fresh enabled registry's
     /// handle per cell to collect per-cell instrument snapshots (the
     /// `sync_cost` bench bin's data path), or a shared handle to aggregate.
+    ///
+    /// Cells are independent (each builds its own deterministic network and
+    /// replicas from the scenario seed), so they execute on a fixed pool of
+    /// [`std::thread::available_parallelism`] threads. `telemetry_for` is
+    /// still called serially, in scenario order, before any cell runs, and
+    /// the returned vector matches [`Self::scenarios`] order exactly — the
+    /// output is byte-for-byte the same as the sequential run.
     pub fn run_with(
         &self,
         mut telemetry_for: impl FnMut(&Scenario) -> Telemetry,
     ) -> Vec<(Scenario, SimReport)> {
-        self.scenarios()
+        let cells: Vec<(Scenario, Telemetry)> = self
+            .scenarios()
             .into_iter()
             .map(|scenario| {
                 let telemetry = telemetry_for(&scenario);
-                let report = run_with(&scenario, &telemetry);
+                (scenario, telemetry)
+            })
+            .collect();
+
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(cells.len().max(1));
+        if workers <= 1 {
+            return cells
+                .into_iter()
+                .map(|(scenario, telemetry)| {
+                    let report = run_with(&scenario, &telemetry);
+                    (scenario, report)
+                })
+                .collect();
+        }
+
+        // Work-stealing over a shared index: each worker claims the next
+        // unclaimed cell and writes the report into that cell's slot, so the
+        // output order is position-determined, not completion-determined.
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<SimReport>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((scenario, telemetry)) = cells.get(i) else {
+                        break;
+                    };
+                    let report = run_with(scenario, telemetry);
+                    *slots[i].lock().expect("worker panicked holding a slot") = Some(report);
+                });
+            }
+        });
+        cells
+            .into_iter()
+            .zip(slots)
+            .map(|((scenario, _), slot)| {
+                let report = slot
+                    .into_inner()
+                    .expect("worker panicked holding a slot")
+                    .expect("every claimed cell stores its report");
                 (scenario, report)
             })
             .collect()

@@ -16,7 +16,8 @@ use std::fmt;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use treedoc_core::{
-    Atom, Content, Disambiguator, MajorNode, PathElem, PosId, Sdis, Side, SiteId, Tree, Udis,
+    Atom, Content, Disambiguator, MajorNode, PathArena, PathElem, PosId, Sdis, Side, SiteId, Tree,
+    Udis,
 };
 
 use crate::rle::{rle_compress, rle_decompress, MARKER};
@@ -252,10 +253,15 @@ impl<A: Atom> DiskImage<A> {
             parents = children;
         }
 
-        // Overflow section: explicit (identifier, content) records.
+        // Overflow section: explicit (identifier, content) records. Unlike
+        // the positional heap section, whose identifiers share chunks with
+        // their parents by construction, each overflow record decodes to an
+        // independent chain — intern them so equal prefixes are stored once
+        // and later comparisons short-circuit on pointer identity.
+        let mut arena: PathArena<D> = PathArena::new();
         while overflow.has_remaining() {
             let (id, content) = decode_overflow_record::<A, D>(&mut overflow, &self.atoms)?;
-            tree.restore_slot(&id, content);
+            tree.restore_slot(&arena.intern(&id), content);
         }
 
         tree.rebuild_counts();
@@ -409,10 +415,8 @@ fn decode_major<A: Atom, D: DisCodec>(
 /// The identifier of mini-node `dis` at the major node `pos` (whose own last
 /// element is plain). The root major node cannot hold minis.
 fn mini_pos<D: Disambiguator>(pos: &PosId<D>, dis: &D) -> Option<PosId<D>> {
-    let mut elems = pos.elems().to_vec();
-    let last = elems.last_mut()?;
-    last.dis = Some(dis.clone());
-    Some(PosId::from_elems(elems))
+    let side = pos.last_side()?;
+    Some(pos.parent()?.child_mini(side, dis.clone()))
 }
 
 fn encode_overflow_record<A: Atom, D: DisCodec>(
@@ -421,20 +425,20 @@ fn encode_overflow_record<A: Atom, D: DisCodec>(
     overflow: &mut BytesMut,
     atoms: &mut Vec<A>,
 ) {
-    overflow.put_u16(id.elems().len() as u16);
-    for elem in id.elems() {
+    overflow.put_u16(id.depth() as u16);
+    id.visit_elems_from(0, |side, dis| {
         let mut flags = 0u8;
-        if elem.side == Side::Right {
+        if side == Side::Right {
             flags |= 0x01;
         }
-        if elem.dis.is_some() {
+        if dis.is_some() {
             flags |= 0x02;
         }
         overflow.put_u8(flags);
-        if let Some(d) = &elem.dis {
+        if let Some(d) = dis {
             d.encode_dis(overflow);
         }
-    }
+    });
     encode_content(content, overflow, atoms);
 }
 

@@ -8,7 +8,7 @@ Rows inside arrays are keyed by their "case" / "transport" / "protocol"
 field when they have one, so reordering or adding cases never misaligns
 the comparison. Each metric's direction is inferred from its name:
 throughput-like names ("*_per_sec", "ratio") should go up, cost-like
-names ("*bytes*", "*micros*", "*_us"/"*_ms", "height", "*rounds*", the
+names ("*bytes*", "*micros*", "*nanos*", "*_us"/"*_ms", "height", "*rounds*", the
 hosting node's latency percentiles "*p50*"/"*p99*", "*latency*",
 "*resident*" memory and "segment_appends") should go down, and anything
 else (op counts, configured sizes) is reported but never judged.
@@ -28,7 +28,7 @@ THRESHOLD = 0.25
 
 HIGHER_BETTER = re.compile(r"(_per_sec|^ratio)$")
 LOWER_BETTER = re.compile(
-    r"(bytes|micros|height|rounds|blocked|p50|p99|latency|resident|segment_appends"
+    r"(bytes|micros|nanos|height|rounds|blocked|p50|p99|latency|resident|segment_appends"
     r"|overhead|_us$|_ms$)",
     re.IGNORECASE,
 )
